@@ -1,0 +1,66 @@
+//! Criterion benches for the sampling substrate: SRS, the two
+//! weighted-without-replacement implementations, and stratified
+//! allocation + drawing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lts_sampling::{
+    draw_stratified, group_by_stratum, proportional_allocation, sample_without_replacement,
+    weighted_sample_es, weighted_sample_fenwick,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_srs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("srs");
+    group.sample_size(20);
+    for &(n, pop) in &[(100usize, 100_000usize), (1_000, 100_000), (10_000, 100_000)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}_of_{pop}")),
+            &(n, pop),
+            |b, &(n, pop)| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| sample_without_replacement(&mut rng, black_box(n), pop).unwrap())
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_weighted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weighted_without_replacement");
+    group.sample_size(20);
+    let weights: Vec<f64> = (0..100_000).map(|i| 0.05 + (i % 97) as f64 / 97.0).collect();
+    for &n in &[100usize, 1_000] {
+        group.bench_with_input(BenchmarkId::new("efraimidis_spirakis", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| weighted_sample_es(&mut rng, black_box(&weights), n).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("fenwick_sequential", n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| weighted_sample_fenwick(&mut rng, black_box(&weights), n).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_stratified(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stratified");
+    group.sample_size(20);
+    // 100k objects, 16 strata.
+    let assignments: Vec<usize> = (0..100_000).map(|i| i % 16).collect();
+    let strata = group_by_stratum(&assignments, 16);
+    let sizes: Vec<usize> = strata.iter().map(Vec::len).collect();
+    group.bench_function("allocate_proportional_16", |b| {
+        b.iter(|| proportional_allocation(black_box(&sizes), 2_000, 2).unwrap())
+    });
+    let alloc = proportional_allocation(&sizes, 2_000, 2).unwrap();
+    group.bench_function("draw_stratified_2000_of_100k", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| draw_stratified(&mut rng, black_box(&strata), &alloc).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_srs, bench_weighted, bench_stratified);
+criterion_main!(benches);

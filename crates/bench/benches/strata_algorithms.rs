@@ -1,0 +1,126 @@
+//! Criterion benches for the stratification-design algorithms:
+//! DirSol, LogBdr, DynPgm (per T-selection), DynPgmP, and the
+//! brute-force oracle, plus the ε-granularity ablation.
+//!
+//! These anchor the paper's complexity claims (§4.2.1): DirSol ~ m²
+//! pairs, DynPgm ~ |B|²·H per bound, DynPgmP a single separable pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lts_strata::{
+    brute_force, dirsol, dynpgm, dynpgmp, logbdr, Allocation, DesignParams, PilotIndex,
+    TSelection,
+};
+use std::hint::black_box;
+
+fn pilot(n_objects: usize, m: usize, seed: u64) -> PilotIndex {
+    let mut state = seed;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let entries: Vec<(usize, bool)> = (0..m)
+        .map(|k| {
+            let pos = k * n_objects / m;
+            let frac = pos as f64 / n_objects as f64;
+            (pos, next() < frac)
+        })
+        .collect();
+    PilotIndex::new(n_objects, entries).unwrap()
+}
+
+fn params(h: usize, n_objects: usize) -> DesignParams {
+    DesignParams {
+        n_strata: h,
+        budget: n_objects / 20,
+        min_stratum_size: n_objects / 10,
+        min_pilots_per_stratum: 3,
+        epsilon: 1.0,
+    }
+}
+
+fn bench_algorithms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strata_design");
+    group.sample_size(10);
+
+    for &(n, m) in &[(2_000usize, 40usize), (20_000, 120), (60_000, 300)] {
+        let p = pilot(n, m, 7);
+        group.bench_with_input(
+            BenchmarkId::new("dirsol_h3", format!("N{n}_m{m}")),
+            &p,
+            |b, p| {
+                b.iter(|| dirsol(black_box(p), &params(3, n), Allocation::Neyman).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dynpgm_h4_pruned", format!("N{n}_m{m}")),
+            &p,
+            |b, p| {
+                b.iter(|| dynpgm(black_box(p), &params(4, n), TSelection::Pruned(6)).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dynpgm_h4_unconstrained", format!("N{n}_m{m}")),
+            &p,
+            |b, p| {
+                b.iter(|| {
+                    dynpgm(black_box(p), &params(4, n), TSelection::Unconstrained).unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("dynpgmp_h4", format!("N{n}_m{m}")),
+            &p,
+            |b, p| b.iter(|| dynpgmp(black_box(p), &params(4, n)).unwrap()),
+        );
+    }
+
+    // Full T-grid on a mid-size input (the Theorem-3 configuration).
+    let p = pilot(20_000, 120, 7);
+    group.bench_function("dynpgm_h4_full_T", |b| {
+        b.iter(|| dynpgm(black_box(&p), &params(4, 20_000), TSelection::Full).unwrap())
+    });
+
+    // LogBdr is exponential in H: bench the small-m regime it is meant for.
+    let p_small = pilot(2_000, 18, 7);
+    group.bench_function("logbdr_h3_m18", |b| {
+        b.iter(|| logbdr(black_box(&p_small), &params(3, 2_000), Allocation::Neyman).unwrap())
+    });
+
+    // Brute force: only tiny inputs are tractable.
+    let p_tiny = pilot(80, 12, 7);
+    let tiny_params = DesignParams {
+        n_strata: 3,
+        budget: 4,
+        min_stratum_size: 8,
+        min_pilots_per_stratum: 2,
+        epsilon: 1.0,
+    };
+    group.bench_function("bruteforce_h3_N80", |b| {
+        b.iter(|| brute_force(black_box(&p_tiny), &tiny_params, Allocation::Neyman).unwrap())
+    });
+
+    group.finish();
+}
+
+fn bench_epsilon_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strata_epsilon");
+    group.sample_size(10);
+    let p = pilot(20_000, 120, 9);
+    for &eps in &[0.25f64, 0.5, 1.0, 3.0] {
+        let params = DesignParams {
+            epsilon: eps,
+            ..params(4, 20_000)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("dynpgmp", format!("eps{eps}")),
+            &p,
+            |b, p| b.iter(|| dynpgmp(black_box(p), &params).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_algorithms, bench_epsilon_ablation);
+criterion_main!(benches);

@@ -1,0 +1,8 @@
+//! Regenerates the implementation-decision ablations (DESIGN.md §5).
+fn main() {
+    let cfg = lts_bench::RunConfig::from_env();
+    if let Err(e) = lts_bench::experiments::ablations::run(&cfg) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,49 @@
+//! Runs every reproduction experiment in paper order: Table 1 then
+//! Figures 1–8. Accepts the shared flags (`--trials`, `--scale`,
+//! `--seed`, `--out`, `--full`).
+
+use lts_bench::experiments;
+use lts_bench::RunConfig;
+
+type Step = (&'static str, fn(&RunConfig) -> lts_core::CoreResult<()>);
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    println!(
+        "Reproducing all experiments (trials={}, scale={}, seed={}, out={})",
+        cfg.trials, cfg.scale, cfg.seed, cfg.out_dir
+    );
+    let start = std::time::Instant::now();
+    let steps: Vec<Step> = vec![
+        ("Table 1", experiments::table1::run),
+        ("Figure 1", experiments::fig1::run),
+        ("Figure 2", experiments::fig2::run),
+        ("Figure 3", experiments::fig3::run),
+        ("Figure 4 (layouts)", experiments::fig4_layout::run),
+        ("Figure 4 (strata)", experiments::fig4_strata::run),
+        ("Figure 5", experiments::fig5::run),
+        ("Figure 6", experiments::fig6::run),
+        ("Figure 7", experiments::fig7::run),
+        ("Figure 8", experiments::fig8::run),
+        ("Ablations", experiments::ablations::run),
+    ];
+    let mut failures = 0usize;
+    for (name, run) in steps {
+        println!();
+        let t0 = std::time::Instant::now();
+        match run(&cfg) {
+            Ok(()) => println!("   [{name} done in {:.1}s]", t0.elapsed().as_secs_f64()),
+            Err(e) => {
+                failures += 1;
+                eprintln!("   [{name} FAILED: {e}]");
+            }
+        }
+    }
+    println!(
+        "\nAll experiments finished in {:.1}s ({failures} failure(s)).",
+        start.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

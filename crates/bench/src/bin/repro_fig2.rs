@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 2 experiment.
+fn main() {
+    let cfg = lts_bench::RunConfig::from_env();
+    if let Err(e) = lts_bench::experiments::fig2::run(&cfg) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Figure 7 experiment.
+fn main() {
+    let cfg = lts_bench::RunConfig::from_env();
+    if let Err(e) = lts_bench::experiments::fig7::run(&cfg) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's table1 experiment.
+fn main() {
+    let cfg = lts_bench::RunConfig::from_env();
+    if let Err(e) = lts_bench::experiments::table1::run(&cfg) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

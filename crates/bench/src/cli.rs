@@ -1,0 +1,181 @@
+//! Minimal command-line parsing shared by all repro binaries.
+
+/// Runtime configuration for a reproduction run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Trials per experimental cell.
+    pub trials: usize,
+    /// Dataset-size multiplier relative to paper scale
+    /// (47 000 Sports rows, 73 000 Neighbors rows).
+    pub scale: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// CSV output directory.
+    pub out_dir: String,
+    /// Use the extended classifier lineup (adds LOGIT/GNB/GBM) in the
+    /// classifier-comparison figures.
+    pub extended: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        Self {
+            trials: 15,
+            scale: 0.2,
+            seed: 7,
+            out_dir: "results".into(),
+            extended: false,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Parse from `std::env::args`-style input (ignores `argv[0]`).
+    ///
+    /// Unknown flags abort with a usage message — a repro run silently
+    /// ignoring a typo would waste minutes.
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut cfg = Self::default();
+        let mut it = args.into_iter().skip(1);
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--trials" => {
+                    cfg.trials = it
+                        .next()
+                        .ok_or("--trials needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--trials: {e}"))?;
+                }
+                "--scale" => {
+                    cfg.scale = it
+                        .next()
+                        .ok_or("--scale needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?;
+                }
+                "--seed" => {
+                    cfg.seed = it
+                        .next()
+                        .ok_or("--seed needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--out" => {
+                    cfg.out_dir = it.next().ok_or("--out needs a value")?;
+                }
+                "--full" => {
+                    cfg.scale = 1.0;
+                    cfg.trials = 30;
+                }
+                "--extended" => {
+                    cfg.extended = true;
+                }
+                "--help" | "-h" => {
+                    return Err(USAGE.into());
+                }
+                other => return Err(format!("unknown flag `{other}`\n{USAGE}")),
+            }
+        }
+        if cfg.trials == 0 {
+            return Err("--trials must be positive".into());
+        }
+        if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
+            return Err("--scale must be in (0, 1]".into());
+        }
+        Ok(cfg)
+    }
+
+    /// Parse from the process arguments, exiting on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args()) {
+            Ok(cfg) => cfg,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Sports dataset rows at this scale.
+    pub fn sports_rows(&self) -> usize {
+        ((47_000.0 * self.scale) as usize).max(2_000)
+    }
+
+    /// Neighbors dataset rows at this scale.
+    pub fn neighbors_rows(&self) -> usize {
+        ((73_000.0 * self.scale) as usize).max(2_000)
+    }
+
+    /// The paper's per-figure budgets: 1% and 2% of the population.
+    pub fn budget_fractions(&self) -> [f64; 2] {
+        [0.01, 0.02]
+    }
+
+    /// The classifier lineup for Figures 6–7: the paper's four, or the
+    /// extended seven under `--extended`.
+    pub fn classifier_lineup(&self) -> Vec<lts_core::ClassifierSpec> {
+        if self.extended {
+            lts_core::ClassifierSpec::extended_lineup()
+        } else {
+            lts_core::ClassifierSpec::paper_lineup()
+        }
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str =
+    "usage: repro_* [--trials N] [--scale F] [--seed N] [--out DIR] [--full] [--extended]";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> impl Iterator<Item = String> + '_ {
+        std::iter::once("prog".to_string()).chain(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults_and_overrides() {
+        let cfg = RunConfig::parse(argv("")).unwrap();
+        assert_eq!(cfg.trials, 15);
+        let cfg = RunConfig::parse(argv("--trials 5 --scale 0.1 --seed 42 --out /tmp/x")).unwrap();
+        assert_eq!(cfg.trials, 5);
+        assert_eq!(cfg.scale, 0.1);
+        assert_eq!(cfg.seed, 42);
+        assert_eq!(cfg.out_dir, "/tmp/x");
+    }
+
+    #[test]
+    fn full_flag() {
+        let cfg = RunConfig::parse(argv("--full")).unwrap();
+        assert_eq!(cfg.scale, 1.0);
+        assert_eq!(cfg.trials, 30);
+    }
+
+    #[test]
+    fn extended_flag_widens_the_lineup() {
+        let cfg = RunConfig::parse(argv("")).unwrap();
+        assert_eq!(cfg.classifier_lineup().len(), 4);
+        let cfg = RunConfig::parse(argv("--extended")).unwrap();
+        assert!(cfg.extended);
+        assert_eq!(cfg.classifier_lineup().len(), 7);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(RunConfig::parse(argv("--bogus")).is_err());
+        assert!(RunConfig::parse(argv("--trials")).is_err());
+        assert!(RunConfig::parse(argv("--trials zero")).is_err());
+        assert!(RunConfig::parse(argv("--trials 0")).is_err());
+        assert!(RunConfig::parse(argv("--scale 2.0")).is_err());
+    }
+
+    #[test]
+    fn row_scaling() {
+        let cfg = RunConfig::parse(argv("--scale 1.0")).unwrap();
+        assert_eq!(cfg.sports_rows(), 47_000);
+        assert_eq!(cfg.neighbors_rows(), 73_000);
+        let cfg = RunConfig::parse(argv("--scale 0.001")).unwrap();
+        assert_eq!(cfg.sports_rows(), 2_000); // floor
+    }
+}

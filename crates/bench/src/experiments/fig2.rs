@@ -1,0 +1,53 @@
+//! Figure 2: estimate distributions of LWS and LSS against the SRS and
+//! SSP (plus SSN) baselines, across sample sizes (1%, 2%) and result
+//! sizes (XS, S, L), on both datasets.
+//!
+//! Expected shape (paper §5.2): LSS and LWS generate estimate
+//! distributions with consistently smaller IQRs than SSP and SRS; LWS is
+//! more prone to outliers; LSS is the most consistent overall.
+
+use super::{build_scenario, try_cell, FIGURE_LEVELS};
+use crate::cli::RunConfig;
+use crate::harness::{cell_row, paper_estimators, TextTable, CELL_HEADER};
+use lts_core::CoreResult;
+use lts_data::DatasetKind;
+
+/// Regenerate Figure 2.
+///
+/// # Errors
+///
+/// Propagates scenario-construction errors.
+pub fn run(cfg: &RunConfig) -> CoreResult<()> {
+    println!("== Figure 2: LWS & LSS vs SRS, SSP, SSN ==");
+    let mut table = TextTable::new(&CELL_HEADER);
+    for dataset in [DatasetKind::Neighbors, DatasetKind::Sports] {
+        for level in FIGURE_LEVELS {
+            let scenario = build_scenario(cfg, dataset, level)?;
+            println!("   {}", scenario.describe());
+            for frac in cfg.budget_fractions() {
+                let budget = ((scenario.problem.n() as f64 * frac) as usize).max(40);
+                let column = format!(
+                    "{}/{} @{:.0}%",
+                    dataset.label(),
+                    level.label(),
+                    frac * 100.0
+                );
+                for (name, est) in paper_estimators(cfg.seed) {
+                    if let Some(cell) =
+                        try_cell(&scenario, est.as_ref(), &name, &column, budget, cfg)
+                    {
+                        table.row(cell_row(&cell));
+                    }
+                }
+            }
+        }
+    }
+    print!("{}", table.render());
+    table
+        .write_csv(&cfg.out_dir, "fig2")
+        .map_err(|e| lts_core::CoreError::InvalidConfig {
+            message: format!("csv write failed: {e}"),
+        })?;
+    println!("   expect: LSS lowest IQR nearly everywhere; LWS next; occasional LWS outliers.");
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! §5.4.1 (Figure 4, layout panel): strata layout strategies —
+//! fixed width vs fixed height vs the optimized layout.
+//!
+//! Expected shape: fixed height is worst on skewed settings (XS/XXL,
+//! where one label dominates and equal-count strata mix labels); the
+//! optimized layout has the smallest IQR.
+
+use super::{build_scenario, try_cell, FIGURE_LEVELS};
+use crate::cli::RunConfig;
+use crate::harness::{cell_row, TextTable, CELL_HEADER};
+use lts_core::estimators::{Lss, LssLayout};
+use lts_core::CoreResult;
+use lts_data::DatasetKind;
+use lts_strata::DesignAlgorithm;
+
+/// Regenerate the strata-layout comparison.
+///
+/// # Errors
+///
+/// Propagates scenario-construction errors.
+pub fn run(cfg: &RunConfig) -> CoreResult<()> {
+    println!("== Figure 4 (layouts): fixed width / fixed height / optimized ==");
+    let layouts: [(&str, LssLayout); 3] = [
+        ("fixed-width", LssLayout::FixedWidth),
+        ("fixed-height", LssLayout::FixedHeight),
+        ("optimized", LssLayout::Optimized(DesignAlgorithm::DynPgm)),
+    ];
+    let mut table = TextTable::new(&CELL_HEADER);
+    for dataset in [DatasetKind::Neighbors, DatasetKind::Sports] {
+        for level in FIGURE_LEVELS {
+            let scenario = build_scenario(cfg, dataset, level)?;
+            println!("   {}", scenario.describe());
+            let budget = ((scenario.problem.n() as f64 * 0.02) as usize).max(60);
+            let column = format!("{}/{} @2%", dataset.label(), level.label());
+            for (name, layout) in layouts {
+                let est = Lss {
+                    layout,
+                    ..Lss::default()
+                };
+                if let Some(cell) = try_cell(&scenario, &est, name, &column, budget, cfg) {
+                    table.row(cell_row(&cell));
+                }
+            }
+        }
+    }
+    print!("{}", table.render());
+    println!("   expect: optimized ≤ fixed-width < fixed-height IQR, worst gap at XS.");
+    table
+        .write_csv(&cfg.out_dir, "fig4_layout")
+        .map_err(|e| lts_core::CoreError::InvalidConfig {
+            message: format!("csv write failed: {e}"),
+        })?;
+    Ok(())
+}

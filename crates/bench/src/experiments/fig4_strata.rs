@@ -1,0 +1,65 @@
+//! §5.4.2 (Figure 4, strata-count panel): LSS vs SSP as the number of
+//! strata grows (4, 9, 25, 49, 100).
+//!
+//! SSP grids the two surrogate attributes (2×2 … 10×10); LSS stratifies
+//! the score ordering with the same stratum count. For `H ≥ 9` LSS uses
+//! the separable DynPgmP design with post-hoc Neyman allocation
+//! (DESIGN.md decision 4). Cells whose scaled-down budget cannot support
+//! `H` strata are skipped with a notice.
+
+use super::{build_scenario, try_cell, FIGURE_LEVELS};
+use crate::cli::RunConfig;
+use crate::harness::{cell_row, TextTable, CELL_HEADER};
+use lts_core::estimators::{Lss, LssLayout, Ssp};
+use lts_core::CoreResult;
+use lts_data::DatasetKind;
+use lts_strata::DesignAlgorithm;
+
+/// Regenerate the strata-count sweep.
+///
+/// # Errors
+///
+/// Propagates scenario-construction errors.
+pub fn run(cfg: &RunConfig) -> CoreResult<()> {
+    println!("== Figure 4 (strata count): LSS vs SSP with 4..100 strata ==");
+    let mut table = TextTable::new(&CELL_HEADER);
+    for dataset in [DatasetKind::Neighbors, DatasetKind::Sports] {
+        for level in FIGURE_LEVELS {
+            let scenario = build_scenario(cfg, dataset, level)?;
+            println!("   {}", scenario.describe());
+            let budget = ((scenario.problem.n() as f64 * 0.02) as usize).max(60);
+            for strata in [4usize, 9, 25, 49, 100] {
+                let column = format!(
+                    "{}/{} H={strata}",
+                    dataset.label(),
+                    level.label()
+                );
+                let algo = if strata >= 9 {
+                    DesignAlgorithm::DynPgmP
+                } else {
+                    DesignAlgorithm::DynPgm
+                };
+                let lss = Lss {
+                    n_strata: strata,
+                    layout: LssLayout::Optimized(algo),
+                    ..Lss::default()
+                };
+                if let Some(cell) = try_cell(&scenario, &lss, "LSS", &column, budget, cfg) {
+                    table.row(cell_row(&cell));
+                }
+                let ssp = Ssp::with_strata(strata);
+                if let Some(cell) = try_cell(&scenario, &ssp, "SSP", &column, budget, cfg) {
+                    table.row(cell_row(&cell));
+                }
+            }
+        }
+    }
+    print!("{}", table.render());
+    println!("   expect: more strata helps mildly; LSS IQR below SSP throughout.");
+    table
+        .write_csv(&cfg.out_dir, "fig4_strata")
+        .map_err(|e| lts_core::CoreError::InvalidConfig {
+            message: format!("csv write failed: {e}"),
+        })?;
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! Figure 5: the learning : sampling budget split (10 / 25 / 50 / 75%
+//! of the budget to classifier training).
+//!
+//! Expected shape (paper §5.4.3): 10% under-trains the classifier (more
+//! extreme estimates), 75% starves the sampling phase; the middle
+//! splits (25%, 50%) give the lowest IQR.
+
+use super::{build_scenario, try_cell, FIGURE_LEVELS};
+use crate::cli::RunConfig;
+use crate::harness::{cell_row, TextTable, CELL_HEADER};
+use lts_core::estimators::Lss;
+use lts_core::CoreResult;
+use lts_data::DatasetKind;
+
+/// Regenerate Figure 5.
+///
+/// # Errors
+///
+/// Propagates scenario-construction errors.
+pub fn run(cfg: &RunConfig) -> CoreResult<()> {
+    println!("== Figure 5: training:sampling split ==");
+    let mut table = TextTable::new(&CELL_HEADER);
+    for dataset in [DatasetKind::Neighbors, DatasetKind::Sports] {
+        for level in FIGURE_LEVELS {
+            let scenario = build_scenario(cfg, dataset, level)?;
+            println!("   {}", scenario.describe());
+            for frac in cfg.budget_fractions() {
+                let budget = ((scenario.problem.n() as f64 * frac) as usize).max(60);
+                for split in [0.10f64, 0.25, 0.50, 0.75] {
+                    let column = format!(
+                        "{}/{} @{:.0}%",
+                        dataset.label(),
+                        level.label(),
+                        frac * 100.0
+                    );
+                    let est = Lss {
+                        train_frac: split,
+                        ..Lss::default()
+                    };
+                    let label = format!("split {:.0}%", split * 100.0);
+                    if let Some(cell) =
+                        try_cell(&scenario, &est, &label, &column, budget, cfg)
+                    {
+                        table.row(cell_row(&cell));
+                    }
+                }
+            }
+        }
+    }
+    print!("{}", table.render());
+    println!("   expect: 25% and 50% splits give the lowest IQR with fewest outliers.");
+    table
+        .write_csv(&cfg.out_dir, "fig5")
+        .map_err(|e| lts_core::CoreError::InvalidConfig {
+            message: format!("csv write failed: {e}"),
+        })?;
+    Ok(())
+}

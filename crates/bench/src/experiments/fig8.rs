@@ -1,0 +1,74 @@
+//! Figure 8: Classify-and-Count vs Adjusted Count, with and without
+//! one uncertainty-sampling augmentation step.
+//!
+//! Expected shape (paper §5.5.2): CC is generally one of the better
+//! quantification variants; AC sometimes has smaller IQRs but
+//! occasionally produces an extreme value (the paper observed roughly a
+//! 1-in-100 rate).
+
+use super::{build_scenario, try_cell, FIGURE_LEVELS};
+use crate::cli::RunConfig;
+use crate::harness::{cell_row, TextTable, CELL_HEADER};
+use lts_core::estimators::{Qlac, Qlcc};
+use lts_core::{ClassifierSpec, CoreResult, LearnPhaseConfig};
+use lts_data::DatasetKind;
+use lts_learn::active::AugmentConfig;
+
+/// Regenerate Figure 8.
+///
+/// # Errors
+///
+/// Propagates scenario-construction errors.
+pub fn run(cfg: &RunConfig) -> CoreResult<()> {
+    println!("== Figure 8: QLCC vs QLAC, with/without augmentation ==");
+    let mut table = TextTable::new(&CELL_HEADER);
+    let augment = AugmentConfig {
+        steps: 1,
+        per_step: ((100.0 * cfg.scale).round() as usize).max(20),
+        pool_size: 2000,
+    };
+    for dataset in [DatasetKind::Neighbors, DatasetKind::Sports] {
+        for level in FIGURE_LEVELS {
+            let scenario = build_scenario(cfg, dataset, level)?;
+            println!("   {}", scenario.describe());
+            for frac in cfg.budget_fractions() {
+                let budget = ((scenario.problem.n() as f64 * frac) as usize).max(60);
+                let column = format!(
+                    "{}/{} @{:.0}%",
+                    dataset.label(),
+                    level.label(),
+                    frac * 100.0
+                );
+                for (aug_label, aug) in [("", None), ("+aug", Some(augment))] {
+                    let learn = LearnPhaseConfig {
+                        spec: ClassifierSpec::RandomForest { n_trees: 100 },
+                        augment: aug,
+                        model_seed: cfg.seed,
+                    };
+                    let cc = Qlcc { learn };
+                    let label = format!("CC{aug_label}");
+                    if let Some(cell) =
+                        try_cell(&scenario, &cc, &label, &column, budget, cfg)
+                    {
+                        table.row(cell_row(&cell));
+                    }
+                    let ac = Qlac { learn, folds: 5 };
+                    let label = format!("AC{aug_label}");
+                    if let Some(cell) =
+                        try_cell(&scenario, &ac, &label, &column, budget, cfg)
+                    {
+                        table.row(cell_row(&cell));
+                    }
+                }
+            }
+        }
+    }
+    print!("{}", table.render());
+    println!("   expect: CC among the best; AC occasionally throws an extreme value.");
+    table
+        .write_csv(&cfg.out_dir, "fig8")
+        .map_err(|e| lts_core::CoreError::InvalidConfig {
+            message: format!("csv write failed: {e}"),
+        })?;
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! One module per table/figure of the paper's evaluation.
+//!
+//! Each module exposes `run(cfg) -> CoreResult<()>`, printing the
+//! paper-style rows to stdout and dropping a CSV into `cfg.out_dir`.
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4_layout;
+pub mod fig4_strata;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+
+use crate::cli::RunConfig;
+use crate::harness::{run_cell, Cell};
+use lts_core::estimators::CountEstimator;
+use lts_data::{neighbors_scenario, sports_scenario, DatasetKind, Scenario, SelectivityLevel};
+
+/// Build the scenario for a dataset/level under this run configuration.
+///
+/// # Errors
+///
+/// Propagates generation errors.
+pub fn build_scenario(
+    cfg: &RunConfig,
+    dataset: DatasetKind,
+    level: SelectivityLevel,
+) -> lts_core::CoreResult<Scenario> {
+    match dataset {
+        DatasetKind::Sports => sports_scenario(cfg.sports_rows(), level, cfg.seed),
+        DatasetKind::Neighbors => neighbors_scenario(cfg.neighbors_rows(), level, cfg.seed),
+    }
+}
+
+/// The three result-size columns most figures use (XS, S, L).
+pub const FIGURE_LEVELS: [SelectivityLevel; 3] = [
+    SelectivityLevel::XS,
+    SelectivityLevel::S,
+    SelectivityLevel::L,
+];
+
+/// Run a cell, degrading gracefully: infeasible configurations (e.g.
+/// 100 strata at a tiny scaled-down budget) yield `None` with a notice
+/// instead of aborting the whole figure.
+pub fn try_cell(
+    scenario: &Scenario,
+    estimator: &dyn CountEstimator,
+    label: &str,
+    column: &str,
+    budget: usize,
+    cfg: &RunConfig,
+) -> Option<Cell> {
+    match run_cell(scenario, estimator, label, column, budget, cfg) {
+        Ok(cell) => Some(cell),
+        Err(e) => {
+            println!("  [skip] {label} @ {column}: {e}");
+            None
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Table 1: result-set sizes (percent and exact) for every selectivity
+//! setting of both datasets.
+
+use super::build_scenario;
+use crate::cli::RunConfig;
+use crate::harness::TextTable;
+use lts_core::CoreResult;
+use lts_data::{DatasetKind, SelectivityLevel};
+
+/// Regenerate Table 1.
+///
+/// # Errors
+///
+/// Propagates scenario-construction errors.
+pub fn run(cfg: &RunConfig) -> CoreResult<()> {
+    println!("== Table 1: result set sizes, percent (exact) ==");
+    println!(
+        "   datasets at scale {} (Sports N={}, Neighbors N={})",
+        cfg.scale,
+        cfg.sports_rows(),
+        cfg.neighbors_rows()
+    );
+    let mut table = TextTable::new(&[
+        "dataset", "level", "target%", "achieved%", "count", "param",
+    ]);
+    for dataset in [DatasetKind::Sports, DatasetKind::Neighbors] {
+        for level in SelectivityLevel::ALL {
+            let sc = build_scenario(cfg, dataset, level)?;
+            let param = match sc.param {
+                lts_data::QueryParam::K(k) => format!("k={k}"),
+                lts_data::QueryParam::D(d) => format!("d={d:.4}"),
+            };
+            table.row(vec![
+                dataset.label().into(),
+                level.label().into(),
+                format!("{:.0}", level.target(dataset) * 100.0),
+                format!("{:.1}", sc.selectivity * 100.0),
+                sc.truth.to_string(),
+                param,
+            ]);
+        }
+    }
+    print!("{}", table.render());
+    table
+        .write_csv(&cfg.out_dir, "table1")
+        .map_err(|e| lts_core::CoreError::InvalidConfig {
+            message: format!("csv write failed: {e}"),
+        })?;
+    Ok(())
+}

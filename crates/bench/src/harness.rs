@@ -1,0 +1,268 @@
+//! Shared experiment machinery: standard estimator configurations,
+//! per-cell execution, text tables, and CSV export.
+
+use crate::cli::RunConfig;
+use lts_core::estimators::{CountEstimator, Lss, Lws, Srs, Ssn, Ssp};
+use lts_core::{run_trials, ClassifierSpec, CoreResult, LearnPhaseConfig, TrialStats};
+use lts_data::Scenario;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One experimental cell: an estimator run on a scenario at a budget.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Row label (e.g. estimator or variant name).
+    pub label: String,
+    /// Column label (e.g. "Sports/XS @1%").
+    pub column: String,
+    /// Ground truth.
+    pub truth: f64,
+    /// Trial statistics.
+    pub stats: TrialStats,
+}
+
+impl Cell {
+    /// Median relative error in percent.
+    pub fn median_rel_err_pct(&self) -> f64 {
+        if self.truth == 0.0 {
+            f64::NAN
+        } else {
+            (self.stats.median() - self.truth) / self.truth * 100.0
+        }
+    }
+
+    /// IQR as a percentage of the truth (scale-free spread).
+    pub fn iqr_pct(&self) -> f64 {
+        if self.truth == 0.0 {
+            f64::NAN
+        } else {
+            self.stats.iqr() / self.truth * 100.0
+        }
+    }
+}
+
+/// Run one cell.
+///
+/// # Errors
+///
+/// Propagates estimator errors.
+pub fn run_cell(
+    scenario: &Scenario,
+    estimator: &dyn CountEstimator,
+    label: impl Into<String>,
+    column: impl Into<String>,
+    budget: usize,
+    cfg: &RunConfig,
+) -> CoreResult<Cell> {
+    let truth = scenario.truth as f64;
+    let stats = run_trials(
+        &scenario.problem,
+        estimator,
+        budget,
+        cfg.trials,
+        cfg.seed,
+        Some(truth),
+    )?;
+    Ok(Cell {
+        label: label.into(),
+        column: column.into(),
+        truth,
+        stats,
+    })
+}
+
+/// The paper's standard estimator lineup for Figure 2.
+pub fn paper_estimators(seed: u64) -> Vec<(String, Box<dyn CountEstimator>)> {
+    let learn = LearnPhaseConfig {
+        spec: ClassifierSpec::RandomForest { n_trees: 100 },
+        augment: None,
+        model_seed: seed,
+    };
+    vec![
+        ("SRS".into(), Box::new(Srs::default()) as Box<dyn CountEstimator>),
+        ("SSP".into(), Box::new(Ssp::default())),
+        ("SSN".into(), Box::new(Ssn::default())),
+        (
+            "LWS".into(),
+            Box::new(Lws {
+                learn,
+                ..Lws::default()
+            }),
+        ),
+        (
+            "LSS".into(),
+            Box::new(Lss {
+                learn,
+                ..Lss::default()
+            }),
+        ),
+    ]
+}
+
+/// A simple aligned text table accumulated row by row.
+#[derive(Debug, Default, Clone)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create with a header row.
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncol];
+        for row in std::iter::once(&self.header).chain(&self.rows) {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |row: &[String], out: &mut String| {
+            for (i, cell) in row.iter().enumerate() {
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                let _ = write!(out, "{}{}  ", cell, " ".repeat(pad));
+            }
+            let _ = writeln!(out);
+        };
+        write_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * ncol;
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            write_row(row, &mut out);
+        }
+        out
+    }
+
+    /// Write as CSV to `dir/name.csv` (creates the directory).
+    ///
+    /// # Errors
+    ///
+    /// Returns IO errors.
+    pub fn write_csv(&self, dir: &str, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let path = Path::new(dir).join(format!("{name}.csv"));
+        let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        writeln!(
+            f,
+            "{}",
+            self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+        )?;
+        for row in &self.rows {
+            writeln!(
+                f,
+                "{}",
+                row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            )?;
+        }
+        f.flush()
+    }
+}
+
+/// Format a float compactly for tables.
+pub fn fmt(v: f64) -> String {
+    if v.is_nan() {
+        "-".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Standard cell row: label, median, IQR, IQR%, rel-err%, outliers,
+/// coverage, evals.
+pub fn cell_row(cell: &Cell) -> Vec<String> {
+    vec![
+        cell.label.clone(),
+        cell.column.clone(),
+        fmt(cell.truth),
+        fmt(cell.stats.median()),
+        fmt(cell.stats.iqr()),
+        fmt(cell.iqr_pct()),
+        fmt(cell.median_rel_err_pct()),
+        cell.stats.outliers.to_string(),
+        cell.stats
+            .coverage
+            .map_or("-".into(), |c| fmt(c * 100.0)),
+        fmt(cell.stats.mean_evals),
+    ]
+}
+
+/// Header matching [`cell_row`].
+pub const CELL_HEADER: [&str; 10] = [
+    "estimator", "cell", "truth", "median", "IQR", "IQR%", "relerr%", "outliers", "cover%",
+    "evals",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_table_renders_aligned() {
+        let mut t = TextTable::new(&["a", "bbbb"]);
+        t.row(vec!["xx".into(), "y".into()]);
+        t.row(vec!["1".into(), "22222".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4); // header + rule + 2 rows
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[1].starts_with('-'));
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("lts_bench_test");
+        let dir = dir.to_str().unwrap();
+        let mut t = TextTable::new(&["x", "y"]);
+        t.row(vec!["a,b".into(), "c\"d".into()]);
+        t.write_csv(dir, "t").unwrap();
+        let content = std::fs::read_to_string(format!("{dir}/t.csv")).unwrap();
+        assert!(content.contains("\"a,b\""));
+        assert!(content.contains("\"c\"\"d\""));
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(f64::NAN), "-");
+        assert_eq!(fmt(1234.5), "1234");
+        assert_eq!(fmt(12.34), "12.3");
+        assert_eq!(fmt(1.234), "1.234");
+    }
+
+    #[test]
+    fn paper_estimator_lineup() {
+        let ests = paper_estimators(1);
+        let names: Vec<&str> = ests.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["SRS", "SSP", "SSN", "LWS", "LSS"]);
+    }
+}

@@ -1,0 +1,54 @@
+//! Smoke tests for the reproduction harness: every experiment module
+//! must run end-to-end at a tiny scale without erroring, so the repro
+//! binaries cannot silently rot.
+
+use lts_bench::experiments;
+use lts_bench::RunConfig;
+
+fn tiny_cfg(name: &str) -> RunConfig {
+    RunConfig {
+        trials: 2,
+        scale: 0.03, // floors at 2 000 / 2 000 rows
+        seed: 11,
+        out_dir: std::env::temp_dir()
+            .join(format!("lts_smoke_{name}"))
+            .to_string_lossy()
+            .into_owned(),
+        extended: false,
+    }
+}
+
+#[test]
+fn table1_runs() {
+    experiments::table1::run(&tiny_cfg("table1")).unwrap();
+}
+
+#[test]
+fn fig1_runs_and_writes_heatmaps() {
+    let cfg = tiny_cfg("fig1");
+    experiments::fig1::run(&cfg).unwrap();
+    for step in 0..=2 {
+        let path = format!("{}/fig1_step{step}.csv", cfg.out_dir);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.lines().count() > 100, "{path} too small");
+    }
+}
+
+#[test]
+fn fig3_runs() {
+    experiments::fig3::run(&tiny_cfg("fig3")).unwrap();
+}
+
+#[test]
+fn fig4_layout_runs() {
+    experiments::fig4_layout::run(&tiny_cfg("fig4l")).unwrap();
+}
+
+#[test]
+fn ablations_run_and_write_csv() {
+    let cfg = tiny_cfg("ablations");
+    experiments::ablations::run(&cfg).unwrap();
+    let csv = std::fs::read_to_string(format!("{}/ablations.csv", cfg.out_dir)).unwrap();
+    assert!(csv.contains("A1 exact-remainder"));
+    assert!(csv.contains("A4 LWS-seq"));
+}

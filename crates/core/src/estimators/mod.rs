@@ -1,0 +1,73 @@
+//! The estimator suite behind one trait.
+
+mod lss;
+mod lws;
+mod lws_ht;
+mod lws_seq;
+mod ql;
+mod srs;
+mod ssn;
+mod ssp;
+
+pub use lss::{Lss, LssLayout, PilotHandling, PilotSource};
+pub use lws::Lws;
+pub use lws_ht::LwsHt;
+pub use lws_seq::LwsSequential;
+pub use ql::{Qlac, Qlcc};
+pub use srs::Srs;
+pub use ssn::Ssn;
+pub use ssp::Ssp;
+
+use crate::error::CoreResult;
+use crate::problem::CountingProblem;
+use crate::report::EstimateReport;
+use rand::rngs::StdRng;
+
+/// An estimator of `C(O, q)` operating under a labeling budget: the
+/// maximum number of **unique** `q` evaluations it may spend.
+pub trait CountEstimator: Send + Sync {
+    /// Short display name ("SRS", "LSS", …) matching the paper.
+    fn name(&self) -> &'static str;
+
+    /// Whether the returned interval is statistically meaningful
+    /// (quantification learning yields point estimates only).
+    fn provides_interval(&self) -> bool {
+        true
+    }
+
+    /// Run one estimate with the given labeling budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration/budget errors or propagated substrate
+    /// errors.
+    fn estimate(
+        &self,
+        problem: &CountingProblem,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> CoreResult<EstimateReport>;
+}
+
+/// Validate the budget against the population: every estimator needs
+/// `1 ≤ budget ≤ N`.
+pub(crate) fn check_budget(problem: &CountingProblem, budget: usize) -> CoreResult<()> {
+    if budget == 0 {
+        return Err(crate::error::CoreError::BudgetTooSmall {
+            budget,
+            required: 1,
+            reason: "zero labeling budget".into(),
+        });
+    }
+    if budget > problem.n() {
+        return Err(crate::error::CoreError::BudgetTooSmall {
+            budget,
+            required: problem.n(),
+            reason: format!(
+                "budget exceeds population size {} (a census is cheaper)",
+                problem.n()
+            ),
+        });
+    }
+    Ok(())
+}

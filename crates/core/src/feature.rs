@@ -1,0 +1,60 @@
+//! Feature extraction from object tables.
+//!
+//! The paper's heuristic (§3.2): "select the attributes of `o`
+//! referenced in `q`" — i.e. the caller names the columns the predicate
+//! touches, and each object's feature vector is those column values.
+
+use crate::error::{CoreError, CoreResult};
+use lts_learn::Matrix;
+use lts_table::Table;
+
+/// Build an `N × d` feature matrix from the named numeric columns of an
+/// object table (ints and bools coerce to floats).
+///
+/// # Errors
+///
+/// Returns an error for unknown or non-numeric columns, or an empty
+/// column list.
+pub fn features_from_columns(table: &Table, columns: &[&str]) -> CoreResult<Matrix> {
+    if columns.is_empty() {
+        return Err(CoreError::InvalidConfig {
+            message: "feature column list is empty".into(),
+        });
+    }
+    let cols: Vec<Vec<f64>> = columns
+        .iter()
+        .map(|c| Ok(table.column_by_name(c)?.to_f64_vec()?))
+        .collect::<CoreResult<_>>()?;
+    let n = table.len();
+    let mut m = Matrix::empty(columns.len());
+    let mut row = vec![0.0; columns.len()];
+    for i in 0..n {
+        for (j, col) in cols.iter().enumerate() {
+            row[j] = col[i];
+        }
+        m.push_row(&row).map_err(CoreError::Learn)?;
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_table::table::table_of_floats;
+
+    #[test]
+    fn extracts_columns_in_order() {
+        let t = table_of_floats(&[("x", &[1.0, 2.0]), ("y", &[3.0, 4.0])]).unwrap();
+        let m = features_from_columns(&t, &["y", "x"]).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.row(0), &[3.0, 1.0]);
+        assert_eq!(m.row(1), &[4.0, 2.0]);
+    }
+
+    #[test]
+    fn rejects_bad_columns() {
+        let t = table_of_floats(&[("x", &[1.0])]).unwrap();
+        assert!(features_from_columns(&t, &["nope"]).is_err());
+        assert!(features_from_columns(&t, &[]).is_err());
+    }
+}

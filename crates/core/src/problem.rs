@@ -1,0 +1,301 @@
+//! The counting problem and the budget-tracking labeler.
+
+use crate::error::{CoreError, CoreResult};
+use crate::feature::features_from_columns;
+use lts_learn::Matrix;
+use lts_table::{Metered, ObjectPredicate, PredicateStats, Table};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A counting problem: the object set `O` (paper Q2), the expensive
+/// predicate `q` (paper Q3) behind a metering wrapper, and a feature row
+/// per object for the learning-based estimators.
+pub struct CountingProblem {
+    objects: Arc<Table>,
+    predicate: Arc<Metered<Arc<dyn ObjectPredicate>>>,
+    features: Matrix,
+    level: f64,
+}
+
+impl CountingProblem {
+    /// Build a problem, extracting features from the named columns (the
+    /// paper's "attributes referenced in q" heuristic).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown/non-numeric feature columns or an
+    /// empty object set.
+    pub fn new(
+        objects: Arc<Table>,
+        predicate: Arc<dyn ObjectPredicate>,
+        feature_columns: &[&str],
+    ) -> CoreResult<Self> {
+        let features = features_from_columns(&objects, feature_columns)?;
+        Self::with_features(objects, predicate, features)
+    }
+
+    /// Build a problem from a pre-computed feature matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the matrix row count differs from the object
+    /// count or the object set is empty.
+    pub fn with_features(
+        objects: Arc<Table>,
+        predicate: Arc<dyn ObjectPredicate>,
+        features: Matrix,
+    ) -> CoreResult<Self> {
+        if objects.is_empty() {
+            return Err(CoreError::InvalidConfig {
+                message: "object set is empty".into(),
+            });
+        }
+        if features.rows() != objects.len() {
+            return Err(CoreError::InvalidConfig {
+                message: format!(
+                    "feature rows ({}) != objects ({})",
+                    features.rows(),
+                    objects.len()
+                ),
+            });
+        }
+        Ok(Self {
+            objects,
+            predicate: Arc::new(Metered::new(predicate)),
+            features,
+            level: 0.95,
+        })
+    }
+
+    /// Set the confidence level for intervals (default 0.95).
+    #[must_use]
+    pub fn with_level(mut self, level: f64) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Number of objects `N`.
+    pub fn n(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Confidence level for intervals.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// The object table.
+    pub fn objects(&self) -> &Arc<Table> {
+        &self.objects
+    }
+
+    /// Per-object features.
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Evaluate `q` on one object (metered).
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate errors.
+    pub fn label(&self, idx: usize) -> CoreResult<bool> {
+        Ok(self.predicate.eval(&self.objects, idx)?)
+    }
+
+    /// Metering counters for `q`.
+    pub fn predicate_stats(&self) -> PredicateStats {
+        self.predicate.stats()
+    }
+
+    /// Reset the `q` meter (between trials).
+    pub fn reset_meter(&self) {
+        self.predicate.reset();
+    }
+
+    /// Exact `C(O, q)` by full evaluation — the expensive ground truth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate errors.
+    pub fn exact_count(&self) -> CoreResult<usize> {
+        let mut c = 0;
+        for i in 0..self.n() {
+            if self.label(i)? {
+                c += 1;
+            }
+        }
+        Ok(c)
+    }
+}
+
+/// A caching labeler: evaluates `q` at most once per object, so an
+/// estimator's unique-evaluation count (its budget consumption) is
+/// tracked precisely even when phases revisit objects.
+pub struct Labeler<'a> {
+    problem: &'a CountingProblem,
+    cache: HashMap<usize, bool>,
+}
+
+impl<'a> Labeler<'a> {
+    /// Create a labeler for one estimation run.
+    pub fn new(problem: &'a CountingProblem) -> Self {
+        Self {
+            problem,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Label an object, consulting the cache first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate errors.
+    pub fn label(&mut self, idx: usize) -> CoreResult<bool> {
+        if let Some(&l) = self.cache.get(&idx) {
+            return Ok(l);
+        }
+        let l = self.problem.label(idx)?;
+        self.cache.insert(idx, l);
+        Ok(l)
+    }
+
+    /// Unique `q` evaluations so far.
+    pub fn unique_evals(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Count of positives among a set of already-labeled objects.
+    ///
+    /// # Errors
+    ///
+    /// Labels any not-yet-labeled member.
+    pub fn count_positives(&mut self, indices: &[usize]) -> CoreResult<usize> {
+        let mut c = 0;
+        for &i in indices {
+            if self.label(i)? {
+                c += 1;
+            }
+        }
+        Ok(c)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    //! Shared fixtures for estimator tests.
+    use super::*;
+    use lts_table::table::table_of_floats;
+    use lts_table::FnPredicate;
+
+    /// A 1-d problem: objects `x = 0..n`, positive iff `x < frac·n`.
+    /// Perfectly learnable from the single feature.
+    pub(crate) fn line_problem(n: usize, frac: f64) -> CountingProblem {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let t = Arc::new(table_of_floats(&[("x", &xs)]).unwrap());
+        let threshold = frac * n as f64;
+        let p: Arc<dyn ObjectPredicate> =
+            Arc::new(FnPredicate::new("lt-frac", move |t: &Table, i| {
+                Ok(t.floats("x")?[i] < threshold)
+            }));
+        CountingProblem::new(t, p, &["x"]).unwrap()
+    }
+
+    /// A ramp problem: `P(q = 1)` rises linearly from 0 to 1 as `x`
+    /// crosses `[lo·n, hi·n]` (labels fixed per object via hashing).
+    /// This is the paper's picture: confident regions at both ends and a
+    /// wide uncertain band in the middle that stratified designs should
+    /// isolate.
+    pub(crate) fn ramp_problem(n: usize, lo: f64, hi: f64, seed: u64) -> CountingProblem {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let t = Arc::new(table_of_floats(&[("x", &xs)]).unwrap());
+        let (lo, hi) = (lo * n as f64, hi * n as f64);
+        let p: Arc<dyn ObjectPredicate> =
+            Arc::new(FnPredicate::new("ramp", move |t: &Table, i| {
+                let x = t.floats("x")?[i];
+                let prob = ((x - lo) / (hi - lo)).clamp(0.0, 1.0);
+                let mut h = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                h ^= h >> 27;
+                h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+                h ^= h >> 31;
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                Ok(u < prob)
+            }));
+        CountingProblem::new(t, p, &["x"]).unwrap()
+    }
+
+    /// A noisy 1-d problem: positive with probability depending on x
+    /// (hard boundary + deterministic hash noise) — learnable but not
+    /// perfectly separable.
+    pub(crate) fn noisy_problem(n: usize, frac: f64, noise: f64, seed: u64) -> CountingProblem {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let t = Arc::new(table_of_floats(&[("x", &xs)]).unwrap());
+        let threshold = frac * n as f64;
+        let p: Arc<dyn ObjectPredicate> =
+            Arc::new(FnPredicate::new("noisy", move |t: &Table, i| {
+                let x = t.floats("x")?[i];
+                let mut h = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                h ^= h >> 27;
+                h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+                h ^= h >> 31;
+                let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+                let base = x < threshold;
+                Ok(if u < noise { !base } else { base })
+            }));
+        CountingProblem::new(t, p, &["x"]).unwrap()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_table::table::table_of_floats;
+    use lts_table::FnPredicate;
+
+    fn problem() -> CountingProblem {
+        let t = Arc::new(
+            table_of_floats(&[("v", &[1.0, -1.0, 2.0, -2.0, 3.0])]).unwrap(),
+        );
+        let p: Arc<dyn ObjectPredicate> = Arc::new(FnPredicate::new("pos", |t: &Table, i| {
+            Ok(t.floats("v")?[i] > 0.0)
+        }));
+        CountingProblem::new(t, p, &["v"]).unwrap()
+    }
+
+    #[test]
+    fn problem_basics() {
+        let p = problem();
+        assert_eq!(p.n(), 5);
+        assert_eq!(p.level(), 0.95);
+        assert_eq!(p.features().rows(), 5);
+        assert_eq!(p.exact_count().unwrap(), 3);
+        assert!(p.predicate_stats().evals >= 5);
+        p.reset_meter();
+        assert_eq!(p.predicate_stats().evals, 0);
+    }
+
+    #[test]
+    fn labeler_caches() {
+        let p = problem();
+        p.reset_meter();
+        let mut l = Labeler::new(&p);
+        assert!(l.label(0).unwrap());
+        assert!(l.label(0).unwrap());
+        assert!(!l.label(1).unwrap());
+        assert_eq!(l.unique_evals(), 2);
+        assert_eq!(p.predicate_stats().evals, 2); // cache prevented re-eval
+        assert_eq!(l.count_positives(&[0, 1, 2]).unwrap(), 2);
+        assert_eq!(l.unique_evals(), 3);
+    }
+
+    #[test]
+    fn with_level_and_validation() {
+        let p = problem().with_level(0.9);
+        assert_eq!(p.level(), 0.9);
+        let t = Arc::new(table_of_floats(&[("v", &[1.0])]).unwrap());
+        let pred: Arc<dyn ObjectPredicate> =
+            Arc::new(FnPredicate::new("any", |_: &Table, _| Ok(true)));
+        let bad_features = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(CountingProblem::with_features(t, pred, bad_features).is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! Repeated-trial experiment runner.
+//!
+//! The paper evaluates estimators by their *estimate distributions* over
+//! repeated runs (violin plots summarized by IQR, §5). This runner
+//! executes `trials` independent runs with per-trial seeds and produces
+//! the summary statistics every repro binary prints.
+
+use crate::error::CoreResult;
+use crate::estimators::CountEstimator;
+use crate::problem::CountingProblem;
+use crate::report::PhaseTimings;
+use lts_stats::Summary;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// Summary of repeated estimation trials.
+#[derive(Debug, Clone)]
+pub struct TrialStats {
+    /// Per-trial point estimates.
+    pub estimates: Vec<f64>,
+    /// Five-number summary of the estimates.
+    pub summary: Summary,
+    /// Mean unique `q` evaluations per trial.
+    pub mean_evals: f64,
+    /// Mean per-phase timings.
+    pub mean_timings: PhaseTimings,
+    /// Fraction of trials whose interval covered the truth (`None`
+    /// without ground truth or for interval-less estimators).
+    pub coverage: Option<f64>,
+    /// Root-mean-squared error against the truth (`None` without truth).
+    pub rmse: Option<f64>,
+    /// Tukey outliers (beyond 1.5·IQR) among the estimates.
+    pub outliers: usize,
+}
+
+impl TrialStats {
+    /// Interquartile range of the estimate distribution — the paper's
+    /// headline spread metric.
+    pub fn iqr(&self) -> f64 {
+        self.summary.iqr()
+    }
+
+    /// Median estimate.
+    pub fn median(&self) -> f64 {
+        self.summary.median
+    }
+}
+
+/// Run `trials` independent estimates. Each trial uses seed
+/// `base_seed + trial` and resets the problem's predicate meter.
+///
+/// # Errors
+///
+/// Propagates the first estimator failure.
+pub fn run_trials(
+    problem: &CountingProblem,
+    estimator: &dyn CountEstimator,
+    budget: usize,
+    trials: usize,
+    base_seed: u64,
+    truth: Option<f64>,
+) -> CoreResult<TrialStats> {
+    let mut estimates = Vec::with_capacity(trials);
+    let mut covered = 0usize;
+    let mut eval_sum = 0usize;
+    let mut sse = 0.0f64;
+    let mut t_learn = Duration::ZERO;
+    let mut t_design = Duration::ZERO;
+    let mut t_phase2 = Duration::ZERO;
+    let mut t_label = Duration::ZERO;
+    let mut t_total = Duration::ZERO;
+    let interval_ok = estimator.provides_interval();
+
+    for t in 0..trials {
+        problem.reset_meter();
+        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(t as u64));
+        let report = estimator.estimate(problem, budget, &mut rng)?;
+        if let Some(truth) = truth {
+            if interval_ok && report.estimate.interval.contains(truth) {
+                covered += 1;
+            }
+            let d = report.count() - truth;
+            sse += d * d;
+        }
+        eval_sum += report.evals;
+        t_learn += report.timings.learn;
+        t_design += report.timings.design;
+        t_phase2 += report.timings.phase2;
+        t_label += report.timings.labeling;
+        t_total += report.timings.total;
+        estimates.push(report.count());
+    }
+
+    let summary = Summary::from_slice(&estimates)?;
+    let outliers = summary.tukey_outliers(&estimates);
+    let tf = trials.max(1) as u32;
+    Ok(TrialStats {
+        outliers,
+        mean_evals: eval_sum as f64 / f64::from(tf),
+        mean_timings: PhaseTimings {
+            learn: t_learn / tf,
+            design: t_design / tf,
+            phase2: t_phase2 / tf,
+            labeling: t_label / tf,
+            total: t_total / tf,
+        },
+        coverage: truth.map(|_| {
+            if interval_ok {
+                covered as f64 / f64::from(tf)
+            } else {
+                f64::NAN
+            }
+        }),
+        rmse: truth.map(|_| (sse / f64::from(tf)).sqrt()),
+        summary,
+        estimates,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimators::Srs;
+    use crate::problem::tests_support::line_problem;
+
+    #[test]
+    fn runs_trials_and_summarizes() {
+        let problem = line_problem(300, 0.3);
+        let truth = problem.exact_count().unwrap() as f64;
+        let stats = run_trials(&problem, &Srs::default(), 60, 50, 42, Some(truth)).unwrap();
+        assert_eq!(stats.estimates.len(), 50);
+        assert!((stats.median() - truth).abs() < 30.0);
+        assert!(stats.iqr() >= 0.0);
+        assert!((stats.mean_evals - 60.0).abs() < 1e-9);
+        let coverage = stats.coverage.unwrap();
+        assert!(coverage > 0.7, "coverage {coverage}");
+        assert!(stats.rmse.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let problem = line_problem(200, 0.4);
+        let a = run_trials(&problem, &Srs::default(), 40, 10, 7, None).unwrap();
+        let b = run_trials(&problem, &Srs::default(), 40, 10, 7, None).unwrap();
+        assert_eq!(a.estimates, b.estimates);
+        let c = run_trials(&problem, &Srs::default(), 40, 10, 8, None).unwrap();
+        assert_ne!(a.estimates, c.estimates);
+    }
+
+    #[test]
+    fn no_truth_no_metrics() {
+        let problem = line_problem(100, 0.5);
+        let stats = run_trials(&problem, &Srs::default(), 20, 5, 1, None).unwrap();
+        assert!(stats.coverage.is_none());
+        assert!(stats.rmse.is_none());
+    }
+}

@@ -1,0 +1,333 @@
+//! Scenario assembly: the paper's Table-1 grid of dataset × selectivity.
+//!
+//! A [`Scenario`] bundles a generated dataset, a calibrated query
+//! parameter (`k` for the skyband, `d` for few-neighbors), the exact
+//! ground-truth count, and a ready-to-run [`CountingProblem`].
+//! Calibration inverts the exact selectivity curves — dominator-count
+//! quantiles for the skyband, (k+1)-NN-radius quantiles for
+//! few-neighbors — so hitting a target like "XS ≈ 1%" is exact, not
+//! search-based.
+
+use crate::neighborhood::{knn_radii, neighbors_fast_predicate, neighbors_sql_predicate};
+use crate::neighbors::{neighbors_table, NeighborsConfig};
+use crate::skyband::{dominator_counts, skyband_fast_predicate, skyband_sql_predicate};
+use crate::sports::{sports_table, SportsConfig};
+use lts_core::{CoreResult, CountingProblem};
+use lts_table::{ObjectPredicate, Table};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The two evaluation datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// MLB-pitching-like; k-skyband query (paper "Type 1 - Sports").
+    Sports,
+    /// KDD-99-like; few-neighbors query (paper "Type 2 - Neighbors").
+    Neighbors,
+}
+
+impl DatasetKind {
+    /// Display name matching the paper.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DatasetKind::Sports => "Sports",
+            DatasetKind::Neighbors => "Neighbors",
+        }
+    }
+}
+
+/// The paper's six selectivity settings (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SelectivityLevel {
+    /// ≈ 1–2% of objects qualify.
+    XS,
+    /// ≈ 10%.
+    S,
+    /// ≈ 25–29%.
+    M,
+    /// ≈ 40–50%.
+    L,
+    /// ≈ 70–75%.
+    XL,
+    /// ≈ 87–90%.
+    XXL,
+}
+
+impl SelectivityLevel {
+    /// All levels in Table-1 order.
+    pub const ALL: [SelectivityLevel; 6] = [
+        SelectivityLevel::XS,
+        SelectivityLevel::S,
+        SelectivityLevel::M,
+        SelectivityLevel::L,
+        SelectivityLevel::XL,
+        SelectivityLevel::XXL,
+    ];
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SelectivityLevel::XS => "XS",
+            SelectivityLevel::S => "S",
+            SelectivityLevel::M => "M",
+            SelectivityLevel::L => "L",
+            SelectivityLevel::XL => "XL",
+            SelectivityLevel::XXL => "XXL",
+        }
+    }
+
+    /// Target selectivity for a dataset (Table 1's percentages).
+    pub fn target(&self, dataset: DatasetKind) -> f64 {
+        match (dataset, self) {
+            (DatasetKind::Sports, SelectivityLevel::XS) => 0.01,
+            (DatasetKind::Sports, SelectivityLevel::S) => 0.10,
+            (DatasetKind::Sports, SelectivityLevel::M) => 0.29,
+            (DatasetKind::Sports, SelectivityLevel::L) => 0.50,
+            (DatasetKind::Sports, SelectivityLevel::XL) => 0.70,
+            (DatasetKind::Sports, SelectivityLevel::XXL) => 0.90,
+            (DatasetKind::Neighbors, SelectivityLevel::XS) => 0.02,
+            (DatasetKind::Neighbors, SelectivityLevel::S) => 0.10,
+            (DatasetKind::Neighbors, SelectivityLevel::M) => 0.25,
+            (DatasetKind::Neighbors, SelectivityLevel::L) => 0.40,
+            (DatasetKind::Neighbors, SelectivityLevel::XL) => 0.75,
+            (DatasetKind::Neighbors, SelectivityLevel::XXL) => 0.87,
+        }
+    }
+}
+
+/// The calibrated query parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QueryParam {
+    /// Skyband threshold `k` ("dominated by fewer than k").
+    K(usize),
+    /// Neighbor radius `d` (with the fixed neighbour cap below).
+    D(f64),
+}
+
+/// Fixed neighbour cap `k` for the few-neighbors query (the paper tunes
+/// `d` to control selectivity; the cap stays constant).
+pub const NEIGHBORS_K: usize = 10;
+
+/// A fully assembled experimental scenario.
+pub struct Scenario {
+    /// Dataset family.
+    pub dataset: DatasetKind,
+    /// Selectivity level.
+    pub level: SelectivityLevel,
+    /// The calibrated query parameter.
+    pub param: QueryParam,
+    /// Exact ground-truth count.
+    pub truth: usize,
+    /// Achieved selectivity (`truth / N`).
+    pub selectivity: f64,
+    /// Ready-to-run problem using the fast (compiled) predicate.
+    pub problem: CountingProblem,
+    /// The shared object table.
+    pub table: Arc<Table>,
+}
+
+impl Scenario {
+    /// The same problem with the faithful SQL-expression predicate
+    /// (nested-loop evaluation; orders of magnitude more expensive per
+    /// label — used by the Figure-3 overhead experiment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem construction errors.
+    pub fn sql_problem(&self) -> CoreResult<CountingProblem> {
+        let (x_col, y_col) = self.query_columns();
+        let predicate: Arc<dyn ObjectPredicate> = match self.param {
+            QueryParam::K(k) => Arc::new(skyband_sql_predicate(
+                Arc::clone(&self.table),
+                x_col,
+                y_col,
+                k as i64,
+            )),
+            QueryParam::D(d) => Arc::new(neighbors_sql_predicate(
+                Arc::clone(&self.table),
+                x_col,
+                y_col,
+                d,
+                NEIGHBORS_K as i64,
+            )),
+        };
+        CountingProblem::new(Arc::clone(&self.table), predicate, &[x_col, y_col])
+    }
+
+    /// The two attribute columns the query references (also the feature
+    /// columns).
+    pub fn query_columns(&self) -> (&'static str, &'static str) {
+        match self.dataset {
+            DatasetKind::Sports => ("strikeouts", "wins"),
+            DatasetKind::Neighbors => ("src_rate", "dst_rate"),
+        }
+    }
+
+    /// Scenario descriptor like `Sports/M (k=87, truth=13744, 29.2%)`.
+    pub fn describe(&self) -> String {
+        let param = match self.param {
+            QueryParam::K(k) => format!("k={k}"),
+            QueryParam::D(d) => format!("d={d:.4}"),
+        };
+        format!(
+            "{}/{} ({param}, truth={}, {:.1}%)",
+            self.dataset.label(),
+            self.level.label(),
+            self.truth,
+            self.selectivity * 100.0
+        )
+    }
+}
+
+/// Build the Sports scenario: generate the table, calibrate `k` to the
+/// level's target selectivity via the exact dominator-count
+/// distribution, and assemble the problem.
+///
+/// # Errors
+///
+/// Propagates generation or problem-construction errors.
+pub fn sports_scenario(
+    rows: usize,
+    level: SelectivityLevel,
+    seed: u64,
+) -> CoreResult<Scenario> {
+    let table = Arc::new(sports_table(&SportsConfig { rows, seed })?);
+    let xs = table.floats("strikeouts")?.to_vec();
+    let ys = table.floats("wins")?.to_vec();
+
+    // Selectivity(k) = #{dom(i) < k} / N — calibrate k by quantile.
+    let dom = dominator_counts(&xs, &ys);
+    let target = level.target(DatasetKind::Sports);
+    let mut sorted = dom.clone();
+    sorted.sort_unstable();
+    let want = ((rows as f64 * target).round() as usize).clamp(1, rows);
+    // Smallest k with at least `want` qualifying points: k = dom value at
+    // the want-th order statistic + 1.
+    let k = sorted[want - 1] + 1;
+    let truth = dom.iter().filter(|&&c| c < k).count();
+
+    let predicate: Arc<dyn ObjectPredicate> = Arc::new(skyband_fast_predicate(
+        &table,
+        "strikeouts",
+        "wins",
+        k as i64,
+    )?);
+    let problem =
+        CountingProblem::new(Arc::clone(&table), predicate, &["strikeouts", "wins"])?;
+    Ok(Scenario {
+        dataset: DatasetKind::Sports,
+        level,
+        param: QueryParam::K(k),
+        truth,
+        selectivity: truth as f64 / rows as f64,
+        problem,
+        table,
+    })
+}
+
+/// Build the Neighbors scenario: generate the table, calibrate the
+/// radius `d` to the level's target selectivity via the exact
+/// (k+1)-NN-radius distribution, and assemble the problem.
+///
+/// # Errors
+///
+/// Propagates generation or problem-construction errors.
+pub fn neighbors_scenario(
+    rows: usize,
+    level: SelectivityLevel,
+    seed: u64,
+) -> CoreResult<Scenario> {
+    let table = Arc::new(neighbors_table(&NeighborsConfig {
+        rows,
+        features: 41,
+        seed,
+    })?);
+    let xs = table.floats("src_rate")?.to_vec();
+    let ys = table.floats("dst_rate")?.to_vec();
+
+    // Selectivity(d) = #{radius_i > d} / N (decreasing in d): pick d as
+    // the (1 − target) quantile of the radii.
+    let mut radii = knn_radii(&xs, &ys, NEIGHBORS_K);
+    let target = level.target(DatasetKind::Neighbors);
+    radii.sort_by(f64::total_cmp);
+    let idx = (((1.0 - target) * rows as f64).round() as usize).min(rows - 1);
+    // Nudge just below the boundary radius so the boundary point counts.
+    let d = radii[idx] * (1.0 - 1e-12);
+    let truth = radii.iter().filter(|&&r| r > d).count();
+
+    let predicate: Arc<dyn ObjectPredicate> = Arc::new(neighbors_fast_predicate(
+        &table,
+        "src_rate",
+        "dst_rate",
+        d,
+        NEIGHBORS_K as i64,
+    )?);
+    let problem =
+        CountingProblem::new(Arc::clone(&table), predicate, &["src_rate", "dst_rate"])?;
+    Ok(Scenario {
+        dataset: DatasetKind::Neighbors,
+        level,
+        param: QueryParam::D(d),
+        truth,
+        selectivity: truth as f64 / rows as f64,
+        problem,
+        table,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sports_calibration_hits_targets() {
+        for level in SelectivityLevel::ALL {
+            let sc = sports_scenario(4000, level, 5).unwrap();
+            let target = level.target(DatasetKind::Sports);
+            // Dominator counts are discrete: allow slack, tighter for
+            // mid-range levels.
+            let slack = (target * 0.5).max(0.04);
+            assert!(
+                (sc.selectivity - target).abs() <= slack,
+                "{}: got {:.3}, want {target}",
+                sc.describe(),
+                sc.selectivity
+            );
+            assert_eq!(sc.truth, sc.problem.exact_count().unwrap());
+        }
+    }
+
+    #[test]
+    fn neighbors_calibration_hits_targets() {
+        for level in SelectivityLevel::ALL {
+            let sc = neighbors_scenario(3000, level, 5).unwrap();
+            let target = level.target(DatasetKind::Neighbors);
+            assert!(
+                (sc.selectivity - target).abs() <= 0.02,
+                "{}: got {:.3}, want {target}",
+                sc.describe(),
+                sc.selectivity
+            );
+            assert_eq!(sc.truth, sc.problem.exact_count().unwrap());
+        }
+    }
+
+    #[test]
+    fn sql_problem_agrees_with_fast_problem() {
+        let sc = sports_scenario(400, SelectivityLevel::M, 9).unwrap();
+        let sql = sc.sql_problem().unwrap();
+        assert_eq!(sql.exact_count().unwrap(), sc.truth);
+        let sc = neighbors_scenario(300, SelectivityLevel::S, 9).unwrap();
+        let sql = sc.sql_problem().unwrap();
+        assert_eq!(sql.exact_count().unwrap(), sc.truth);
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        let sc = sports_scenario(500, SelectivityLevel::XS, 1).unwrap();
+        let d = sc.describe();
+        assert!(d.contains("Sports/XS"));
+        assert!(d.contains("k="));
+        assert!(d.contains("truth="));
+    }
+}

@@ -1,0 +1,265 @@
+//! Uncertainty-sampling active learning (paper §3.2).
+//!
+//! Given a trained scoring function `g`, the next objects to label are
+//! those with the smallest `|g(o) − 0.5|` ("closest to the toss-up").
+//! As the paper recommends, candidates are drawn from a random pool
+//! rather than scoring the entire population, and a **single**
+//! augment-and-retrain step is the practical default.
+
+use crate::classifier::Classifier;
+use crate::error::{LearnError, LearnResult};
+use crate::matrix::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration for one uncertainty-sampling augmentation step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AugmentConfig {
+    /// Number of augmentation steps (paper recommends 1).
+    pub steps: usize,
+    /// Objects labeled per step (Figure 1 uses 100).
+    pub per_step: usize,
+    /// Random pool size scored per step; `0` means "score the whole
+    /// remaining pool".
+    pub pool_size: usize,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        Self {
+            steps: 1,
+            per_step: 100,
+            pool_size: 2000,
+        }
+    }
+}
+
+/// Select the `count` most uncertain candidates (smallest `|g − 0.5|`)
+/// from `candidates`, scoring each with `model` on its feature row in
+/// `features`.
+///
+/// Returns the selected candidate indices (into the same space as
+/// `candidates` values).
+///
+/// # Errors
+///
+/// Propagates scoring errors.
+pub fn select_uncertain(
+    model: &dyn Classifier,
+    features: &Matrix,
+    candidates: &[usize],
+    count: usize,
+) -> LearnResult<Vec<usize>> {
+    let mut scored: Vec<(f64, usize)> = Vec::with_capacity(candidates.len());
+    for &i in candidates {
+        let g = model.score(features.row(i))?;
+        scored.push(((g - 0.5).abs(), i));
+    }
+    let take = count.min(scored.len());
+    if take == 0 {
+        return Ok(Vec::new());
+    }
+    scored.select_nth_unstable_by(take - 1, |a, b| {
+        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+    });
+    scored.truncate(take);
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    Ok(scored.into_iter().map(|(_, i)| i).collect())
+}
+
+/// Draw a pool of unlabeled candidates, pick the most uncertain, label
+/// them with `label_fn`, and retrain — repeated `config.steps` times.
+///
+/// `labeled` holds indices already labeled (they are excluded from the
+/// pool and extended in place with the new picks). `labels` is extended
+/// in lockstep. Returns the number of labels spent.
+///
+/// # Errors
+///
+/// Propagates classifier and labeling errors.
+#[allow(clippy::too_many_arguments)]
+pub fn augment_training<R, F>(
+    rng: &mut R,
+    model: &mut dyn Classifier,
+    features: &Matrix,
+    labeled: &mut Vec<usize>,
+    labels: &mut Vec<bool>,
+    config: AugmentConfig,
+    mut label_fn: F,
+) -> LearnResult<usize>
+where
+    R: Rng + ?Sized,
+    F: FnMut(usize) -> LearnResult<bool>,
+{
+    if labeled.len() != labels.len() {
+        return Err(LearnError::LengthMismatch {
+            rows: labeled.len(),
+            labels: labels.len(),
+        });
+    }
+    let n = features.rows();
+    let mut spent = 0usize;
+    for _ in 0..config.steps {
+        // Build the unlabeled pool.
+        let mut in_labeled = vec![false; n];
+        for &i in labeled.iter() {
+            in_labeled[i] = true;
+        }
+        let mut pool: Vec<usize> = (0..n).filter(|&i| !in_labeled[i]).collect();
+        if pool.is_empty() {
+            break;
+        }
+        // Subsample the pool (paper: "a large enough number of objects").
+        if config.pool_size > 0 && pool.len() > config.pool_size {
+            // Partial Fisher–Yates.
+            for i in 0..config.pool_size {
+                let j = rng.random_range(i..pool.len());
+                pool.swap(i, j);
+            }
+            pool.truncate(config.pool_size);
+        }
+        let picks = select_uncertain(model, features, &pool, config.per_step)?;
+        if picks.is_empty() {
+            break;
+        }
+        for &i in &picks {
+            labeled.push(i);
+            labels.push(label_fn(i)?);
+            spent += 1;
+        }
+        // Retrain on the augmented training set.
+        let x = features.gather(labeled);
+        model.fit(&x, labels)?;
+    }
+    Ok(spent)
+}
+
+// `Rng::random_range` comes from `RngExt` in rand 0.10.
+use rand::RngExt as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::Knn;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn line_features(n: usize) -> Matrix {
+        Matrix::from_rows(&(0..n).map(|i| vec![i as f64 / n as f64]).collect::<Vec<_>>())
+            .unwrap()
+    }
+
+    #[test]
+    fn selects_scores_nearest_half() {
+        // Model = identity-ish: use a Knn fitted so scores increase along
+        // the line; the most uncertain points sit near the boundary.
+        let features = line_features(100);
+        let truth = |i: usize| i >= 50;
+        let mut model = Knn::new(5).unwrap();
+        let labeled: Vec<usize> = (0..100).step_by(10).collect();
+        let labels: Vec<bool> = labeled.iter().map(|&i| truth(i)).collect();
+        model.fit(&features.gather(&labeled), &labels).unwrap();
+        let candidates: Vec<usize> = (0..100).collect();
+        let picks = select_uncertain(&model, &features, &candidates, 10).unwrap();
+        // Picks should cluster near the decision boundary at 50.
+        let near = picks.iter().filter(|&&i| (30..70).contains(&i)).count();
+        assert!(near >= 7, "picks {picks:?} not near boundary");
+    }
+
+    #[test]
+    fn augmentation_improves_boundary_accuracy() {
+        // Reproduces Figure 1's mechanism on a 1-d problem.
+        let features = line_features(400);
+        let truth = |i: usize| i >= 200;
+        let mut model = Knn::new(5).unwrap();
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut labeled: Vec<usize> = (0..400).step_by(40).collect(); // coarse init
+        let mut labels: Vec<bool> = labeled.iter().map(|&i| truth(i)).collect();
+        model
+            .fit(&features.gather(&labeled), &labels)
+            .unwrap();
+        let boundary_err_before: usize = (180..220)
+            .filter(|&i| model.predict(features.row(i)).unwrap() != truth(i))
+            .count();
+        let spent = augment_training(
+            &mut rng,
+            &mut model,
+            &features,
+            &mut labeled,
+            &mut labels,
+            AugmentConfig {
+                steps: 2,
+                per_step: 20,
+                pool_size: 0,
+            },
+            |i| Ok(truth(i)),
+        )
+        .unwrap();
+        assert_eq!(spent, 40);
+        let boundary_err_after: usize = (180..220)
+            .filter(|&i| model.predict(features.row(i)).unwrap() != truth(i))
+            .count();
+        assert!(
+            boundary_err_after <= boundary_err_before,
+            "boundary errors {boundary_err_before} -> {boundary_err_after}"
+        );
+    }
+
+    #[test]
+    fn pool_exhaustion_stops_gracefully() {
+        let features = line_features(10);
+        let mut model = Knn::new(3).unwrap();
+        let mut labeled: Vec<usize> = (0..10).collect(); // everything labeled
+        let mut labels: Vec<bool> = (0..10).map(|i| i >= 5).collect();
+        model.fit(&features.gather(&labeled), &labels).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let spent = augment_training(
+            &mut rng,
+            &mut model,
+            &features,
+            &mut labeled,
+            &mut labels,
+            AugmentConfig::default(),
+            |_| Ok(true),
+        )
+        .unwrap();
+        assert_eq!(spent, 0);
+    }
+
+    #[test]
+    fn mismatched_bookkeeping_rejected() {
+        let features = line_features(10);
+        let mut model = Knn::new(3).unwrap();
+        let mut labeled = vec![0usize, 1];
+        let mut labels = vec![true];
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(augment_training(
+            &mut rng,
+            &mut model,
+            &features,
+            &mut labeled,
+            &mut labels,
+            AugmentConfig::default(),
+            |_| Ok(true),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn select_uncertain_empty_and_zero() {
+        let features = line_features(10);
+        let mut model = Knn::new(3).unwrap();
+        model
+            .fit(
+                &features.gather(&[0, 9]),
+                &[false, true],
+            )
+            .unwrap();
+        assert!(select_uncertain(&model, &features, &[], 5)
+            .unwrap()
+            .is_empty());
+        assert!(select_uncertain(&model, &features, &[1, 2], 0)
+            .unwrap()
+            .is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! The classifier trait: everything the paper needs from a model.
+
+use crate::error::LearnResult;
+use crate::matrix::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A binary classifier with a confidence score `g : O → [0, 1]`.
+///
+/// `score == 1` means confidently positive, `0` confidently negative,
+/// `0.5` a toss-up (§3.2). Implementations must return scores in
+/// `[0, 1]`; they need not be calibrated probabilities.
+pub trait Classifier: Send + Sync {
+    /// Fit on feature rows `x` with boolean labels `y`.
+    ///
+    /// Implementations must handle single-class training sets (the score
+    /// then collapses to a constant).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty/ragged/non-finite training data.
+    fn fit(&mut self, x: &Matrix, y: &[bool]) -> LearnResult<()>;
+
+    /// The confidence score `g(o)` for a feature row.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if unfitted or the dimension mismatches.
+    fn score(&self, row: &[f64]) -> LearnResult<f64>;
+
+    /// Hard prediction: `score >= 0.5`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Classifier::score`].
+    fn predict(&self, row: &[f64]) -> LearnResult<bool> {
+        Ok(self.score(row)? >= 0.5)
+    }
+
+    /// Scores for every row of a matrix.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Classifier::score`].
+    fn score_batch(&self, x: &Matrix) -> LearnResult<Vec<f64>> {
+        let mut out = Vec::with_capacity(x.rows());
+        for row in x.iter_rows() {
+            out.push(self.score(row)?);
+        }
+        Ok(out)
+    }
+
+    /// Short display name ("knn", "rf", "nn", "random", …).
+    fn name(&self) -> &'static str;
+}
+
+/// Enum of the classifier families evaluated in the paper, used by the
+/// reproduction harness to parameterize experiments (Figures 6–7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClassifierKind {
+    /// k-nearest neighbours.
+    Knn,
+    /// Random forest (100 estimators).
+    RandomForest,
+    /// Two-layer neural network (5, 2).
+    Mlp,
+    /// Logistic regression.
+    Logistic,
+    /// Gaussian Naive Bayes.
+    NaiveBayes,
+    /// Gradient-boosted trees.
+    Gbm,
+    /// Adversarial random scores.
+    Random,
+}
+
+impl ClassifierKind {
+    /// All kinds in the order figures present them (the paper's four
+    /// first, then this reproduction's extras).
+    pub const ALL: [ClassifierKind; 7] = [
+        ClassifierKind::Knn,
+        ClassifierKind::Mlp,
+        ClassifierKind::RandomForest,
+        ClassifierKind::Logistic,
+        ClassifierKind::NaiveBayes,
+        ClassifierKind::Gbm,
+        ClassifierKind::Random,
+    ];
+
+    /// Display label matching the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClassifierKind::Knn => "KNN",
+            ClassifierKind::RandomForest => "RF",
+            ClassifierKind::Mlp => "NN",
+            ClassifierKind::Logistic => "LOGIT",
+            ClassifierKind::NaiveBayes => "GNB",
+            ClassifierKind::Gbm => "GBM",
+            ClassifierKind::Random => "Random",
+        }
+    }
+}
+
+/// Validate a (features, labels) pair before fitting.
+///
+/// # Errors
+///
+/// Returns an error for empty or mismatched training data or non-finite
+/// features.
+pub fn validate_training(x: &Matrix, y: &[bool]) -> LearnResult<()> {
+    if x.is_empty() {
+        return Err(crate::error::LearnError::EmptyTrainingSet);
+    }
+    if x.rows() != y.len() {
+        return Err(crate::error::LearnError::LengthMismatch {
+            rows: x.rows(),
+            labels: y.len(),
+        });
+    }
+    x.check_finite()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dummy::ConstantScore;
+
+    #[test]
+    fn default_predict_thresholds_score() {
+        let c = ConstantScore::new(0.7);
+        assert!(c.predict(&[0.0]).unwrap());
+        let c = ConstantScore::new(0.3);
+        assert!(!c.predict(&[0.0]).unwrap());
+    }
+
+    #[test]
+    fn score_batch_maps_rows() {
+        let c = ConstantScore::new(0.25);
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert_eq!(c.score_batch(&x).unwrap(), vec![0.25, 0.25]);
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(validate_training(&x, &[true]).is_ok());
+        assert!(validate_training(&x, &[true, false]).is_err());
+        assert!(validate_training(&Matrix::empty(2), &[]).is_err());
+        let bad = Matrix::from_rows(&[vec![f64::INFINITY]]).unwrap();
+        assert!(validate_training(&bad, &[true]).is_err());
+    }
+
+    #[test]
+    fn kind_labels() {
+        assert_eq!(ClassifierKind::RandomForest.label(), "RF");
+        assert_eq!(ClassifierKind::Gbm.label(), "GBM");
+        assert_eq!(ClassifierKind::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,178 @@
+//! k-fold cross-validation.
+//!
+//! QLAC (paper §3.2, Eq. 2) adjusts the observed classifier count with
+//! `t̂pr` and `f̂pr` estimated by k-fold cross-validation on the training
+//! sample; [`cross_validated_rates`] implements exactly that.
+
+use crate::classifier::Classifier;
+use crate::error::{LearnError, LearnResult};
+use crate::matrix::Matrix;
+use crate::metrics::ConfusionMatrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Cross-validated true/false-positive rates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CvRates {
+    /// Estimated true-positive rate (`None` if no positives appeared in
+    /// any validation fold).
+    pub tpr: Option<f64>,
+    /// Estimated false-positive rate (`None` if no negatives appeared).
+    pub fpr: Option<f64>,
+    /// Pooled confusion matrix over all folds.
+    pub confusion: ConfusionMatrix,
+}
+
+/// Produce `k` shuffled folds of `0..n` (sizes differing by at most one).
+///
+/// # Errors
+///
+/// Returns an error if `k < 2` or `k > n`.
+pub fn k_fold_indices(n: usize, k: usize, seed: u64) -> LearnResult<Vec<Vec<usize>>> {
+    if k < 2 {
+        return Err(LearnError::InvalidParameter {
+            name: "k",
+            message: "cross-validation needs at least 2 folds".into(),
+        });
+    }
+    if k > n {
+        return Err(LearnError::InvalidParameter {
+            name: "k",
+            message: format!("cannot split {n} samples into {k} folds"),
+        });
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..order.len()).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    let mut folds = vec![Vec::new(); k];
+    for (pos, idx) in order.into_iter().enumerate() {
+        folds[pos % k].push(idx);
+    }
+    Ok(folds)
+}
+
+/// Estimate tpr/fpr by k-fold cross-validation: for each fold, train a
+/// fresh classifier (from `factory`) on the other folds, predict the held
+/// out fold, and pool the confusion counts.
+///
+/// # Errors
+///
+/// Returns fold-construction or fit/predict errors.
+pub fn cross_validated_rates<F>(
+    x: &Matrix,
+    y: &[bool],
+    k: usize,
+    seed: u64,
+    factory: F,
+) -> LearnResult<CvRates>
+where
+    F: Fn() -> Box<dyn Classifier>,
+{
+    if x.rows() != y.len() {
+        return Err(LearnError::LengthMismatch {
+            rows: x.rows(),
+            labels: y.len(),
+        });
+    }
+    let folds = k_fold_indices(x.rows(), k, seed)?;
+    let mut pooled = ConfusionMatrix::default();
+    for fold in &folds {
+        let mut train_idx = Vec::with_capacity(x.rows() - fold.len());
+        for other in &folds {
+            if !std::ptr::eq(other, fold) {
+                train_idx.extend_from_slice(other);
+            }
+        }
+        let train_x = x.gather(&train_idx);
+        let train_y: Vec<bool> = train_idx.iter().map(|&i| y[i]).collect();
+        // A fold whose training part is single-class still trains (our
+        // classifiers handle it); skip only if empty.
+        if train_y.is_empty() {
+            continue;
+        }
+        let mut model = factory();
+        model.fit(&train_x, &train_y)?;
+        for &i in fold {
+            let pred = model.predict(x.row(i))?;
+            pooled.record(pred, y[i]);
+        }
+    }
+    Ok(CvRates {
+        tpr: pooled.tpr(),
+        fpr: pooled.fpr(),
+        confusion: pooled,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dummy::ConstantScore;
+    use crate::knn::Knn;
+
+    #[test]
+    fn folds_partition_everything() {
+        let folds = k_fold_indices(10, 3, 1).unwrap();
+        assert_eq!(folds.len(), 3);
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        let sizes: Vec<usize> = folds.iter().map(Vec::len).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn folds_validation() {
+        assert!(k_fold_indices(10, 1, 0).is_err());
+        assert!(k_fold_indices(3, 5, 0).is_err());
+        assert!(k_fold_indices(5, 5, 0).is_ok());
+    }
+
+    #[test]
+    fn folds_deterministic_by_seed() {
+        assert_eq!(
+            k_fold_indices(20, 4, 9).unwrap(),
+            k_fold_indices(20, 4, 9).unwrap()
+        );
+        assert_ne!(
+            k_fold_indices(20, 4, 9).unwrap(),
+            k_fold_indices(20, 4, 10).unwrap()
+        );
+    }
+
+    #[test]
+    fn always_positive_classifier_has_unit_rates() {
+        let x = Matrix::from_rows(&(0..20).map(|i| vec![f64::from(i)]).collect::<Vec<_>>())
+            .unwrap();
+        let y: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
+        let rates =
+            cross_validated_rates(&x, &y, 4, 0, || Box::new(ConstantScore::new(1.0))).unwrap();
+        assert_eq!(rates.tpr, Some(1.0));
+        assert_eq!(rates.fpr, Some(1.0));
+        assert_eq!(rates.confusion.total(), 20);
+    }
+
+    #[test]
+    fn good_classifier_has_high_tpr_low_fpr() {
+        // Separable data: feature > 9.5 ⇒ positive.
+        let x = Matrix::from_rows(&(0..40).map(|i| vec![f64::from(i)]).collect::<Vec<_>>())
+            .unwrap();
+        let y: Vec<bool> = (0..40).map(|i| i >= 10).collect();
+        let rates =
+            cross_validated_rates(&x, &y, 5, 3, || Box::new(Knn::new(3).unwrap())).unwrap();
+        assert!(rates.tpr.unwrap() > 0.85, "tpr {:?}", rates.tpr);
+        assert!(rates.fpr.unwrap() < 0.3, "fpr {:?}", rates.fpr);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
+        assert!(
+            cross_validated_rates(&x, &[true], 2, 0, || Box::new(ConstantScore::new(0.5)))
+                .is_err()
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! Random forest: bagged CART trees with feature subsampling.
+//!
+//! The paper's default classifier (`n = 100` estimators). The score
+//! `g(o)` is the mean of the trees' leaf probabilities — naturally spread
+//! over `[0, 1]`, which is exactly what LSS's score-ordering relies on.
+
+use crate::classifier::{validate_training, Classifier};
+use crate::error::{LearnError, LearnResult};
+use crate::matrix::Matrix;
+use crate::tree::{DecisionTree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ForestConfig {
+    /// Number of trees (paper default: 100).
+    pub n_trees: usize,
+    /// Per-tree configuration (max_features defaults to √d at fit time).
+    pub tree: TreeConfig,
+    /// Master seed; tree `i` uses `seed + i`.
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            n_trees: 100,
+            tree: TreeConfig::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    config: ForestConfig,
+    trees: Vec<DecisionTree>,
+    dims: usize,
+}
+
+impl RandomForest {
+    /// Create an unfitted forest.
+    pub fn new(config: ForestConfig) -> Self {
+        Self {
+            config,
+            trees: Vec::new(),
+            dims: 0,
+        }
+    }
+
+    /// Convenience: `n` trees with default tree settings and a seed.
+    pub fn with_trees(n_trees: usize, seed: u64) -> Self {
+        Self::new(ForestConfig {
+            n_trees,
+            seed,
+            ..ForestConfig::default()
+        })
+    }
+
+    /// Number of fitted trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether no trees have been fitted.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        Self::new(ForestConfig::default())
+    }
+}
+
+impl Classifier for RandomForest {
+    fn fit(&mut self, x: &Matrix, y: &[bool]) -> LearnResult<()> {
+        validate_training(x, y)?;
+        if self.config.n_trees == 0 {
+            return Err(LearnError::InvalidParameter {
+                name: "n_trees",
+                message: "forest needs at least one tree".into(),
+            });
+        }
+        self.dims = x.cols();
+        let n = x.rows();
+        let max_features = self
+            .config
+            .tree
+            .max_features
+            .unwrap_or_else(|| ((x.cols() as f64).sqrt().round() as usize).max(1));
+        self.trees = Vec::with_capacity(self.config.n_trees);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut boot_idx = Vec::with_capacity(n);
+        let mut boot_y = Vec::with_capacity(n);
+        for t in 0..self.config.n_trees {
+            // Bootstrap resample.
+            boot_idx.clear();
+            boot_y.clear();
+            for _ in 0..n {
+                let i = rng.random_range(0..n);
+                boot_idx.push(i);
+                boot_y.push(y[i]);
+            }
+            let boot_x = x.gather(&boot_idx);
+            let cfg = TreeConfig {
+                max_features: Some(max_features),
+                seed: self.config.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                ..self.config.tree
+            };
+            let mut tree = DecisionTree::new(cfg);
+            tree.fit(&boot_x, &boot_y)?;
+            self.trees.push(tree);
+        }
+        Ok(())
+    }
+
+    fn score(&self, row: &[f64]) -> LearnResult<f64> {
+        if self.trees.is_empty() {
+            return Err(LearnError::NotFitted);
+        }
+        if row.len() != self.dims {
+            return Err(LearnError::DimensionMismatch {
+                expected: self.dims,
+                found: row.len(),
+            });
+        }
+        let mut sum = 0.0;
+        for t in &self.trees {
+            sum += t.score(row)?;
+        }
+        Ok(sum / self.trees.len() as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "rf"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_moons_ish() -> (Matrix, Vec<bool>) {
+        // Two offset noisy arcs (deterministic LCG noise).
+        let mut state = 17u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..150 {
+            let t = f64::from(i) / 150.0 * std::f64::consts::PI;
+            rows.push(vec![t.cos() + 0.1 * next(), t.sin() + 0.1 * next()]);
+            y.push(false);
+            rows.push(vec![
+                1.0 - t.cos() + 0.1 * next(),
+                0.5 - t.sin() + 0.1 * next(),
+            ]);
+            y.push(true);
+        }
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    #[test]
+    fn forest_fits_nonlinear_boundary() {
+        let (x, y) = two_moons_ish();
+        let mut f = RandomForest::with_trees(30, 7);
+        f.fit(&x, &y).unwrap();
+        // Training accuracy should be high.
+        let mut correct = 0;
+        for (i, row) in x.iter_rows().enumerate() {
+            if f.predict(row).unwrap() == y[i] {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / y.len() as f64;
+        assert!(acc > 0.9, "training accuracy {acc}");
+        assert_eq!(f.len(), 30);
+    }
+
+    #[test]
+    fn scores_are_probabilities_with_spread() {
+        let (x, y) = two_moons_ish();
+        let mut f = RandomForest::with_trees(25, 3);
+        f.fit(&x, &y).unwrap();
+        let scores = f.score_batch(&x).unwrap();
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+        // Forest scores must not be all 0/1 — the score ordering LSS uses
+        // needs intermediate confidence values.
+        let intermediate = scores.iter().filter(|&&s| s > 0.0 && s < 1.0).count();
+        assert!(intermediate > 0, "no intermediate scores");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = two_moons_ish();
+        let mut a = RandomForest::with_trees(10, 99);
+        let mut b = RandomForest::with_trees(10, 99);
+        a.fit(&x, &y).unwrap();
+        b.fit(&x, &y).unwrap();
+        for row in x.iter_rows().take(20) {
+            assert_eq!(a.score(row).unwrap(), b.score(row).unwrap());
+        }
+        let mut c = RandomForest::with_trees(10, 100);
+        c.fit(&x, &y).unwrap();
+        // A different seed should (almost surely) change some score.
+        let diff = x
+            .iter_rows()
+            .any(|r| (a.score(r).unwrap() - c.score(r).unwrap()).abs() > 1e-12);
+        assert!(diff);
+    }
+
+    #[test]
+    fn single_class_collapses_to_constant() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]).unwrap();
+        let mut f = RandomForest::with_trees(5, 1);
+        f.fit(&x, &[false, false, false]).unwrap();
+        assert_eq!(f.score(&[1.5]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn errors() {
+        let f = RandomForest::default();
+        assert!(matches!(f.score(&[1.0]), Err(LearnError::NotFitted)));
+        assert!(f.is_empty());
+        let mut zero = RandomForest::with_trees(0, 0);
+        let x = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        assert!(zero.fit(&x, &[true]).is_err());
+        let mut f = RandomForest::with_trees(3, 0);
+        f.fit(&x, &[true]).unwrap();
+        assert!(f.score(&[1.0, 2.0]).is_err());
+        assert_eq!(f.name(), "rf");
+    }
+}

@@ -1,0 +1,264 @@
+//! A kd-tree for exact k-nearest-neighbour queries.
+//!
+//! Built by recursive median splits (`select_nth_unstable`), queried with
+//! branch-and-bound pruning. Distances are squared Euclidean.
+
+use crate::matrix::Matrix;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Node of the kd-tree (indices into the owned point matrix).
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        /// Point ids in this leaf.
+        points: Vec<u32>,
+    },
+    Split {
+        /// Splitting dimension.
+        dim: usize,
+        /// Splitting value (points with `x[dim] < value` go left).
+        value: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// An exact kd-tree over a set of points.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    nodes: Vec<Node>,
+    points: Matrix,
+    root: usize,
+}
+
+/// Max-heap entry: (distance², point id).
+#[derive(Debug, PartialEq)]
+struct HeapItem(f64, u32);
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0).then(self.1.cmp(&other.1))
+    }
+}
+
+const LEAF_SIZE: usize = 16;
+
+impl KdTree {
+    /// Build a tree over the rows of `points`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty (callers validate first).
+    pub fn build(points: Matrix) -> Self {
+        assert!(!points.is_empty(), "kd-tree needs at least one point");
+        let mut ids: Vec<u32> = (0..points.rows())
+            .map(|i| u32::try_from(i).expect("point count fits u32"))
+            .collect();
+        let mut tree = Self {
+            nodes: Vec::new(),
+            points,
+            root: 0,
+        };
+        let root = tree.build_rec(&mut ids, 0);
+        tree.root = root;
+        tree
+    }
+
+    fn build_rec(&mut self, ids: &mut [u32], depth: usize) -> usize {
+        if ids.len() <= LEAF_SIZE {
+            self.nodes.push(Node::Leaf {
+                points: ids.to_vec(),
+            });
+            return self.nodes.len() - 1;
+        }
+        let dim = depth % self.points.cols();
+        let mid = ids.len() / 2;
+        // Borrow-checker friendly: compare through a raw accessor closure.
+        let pts = &self.points;
+        ids.select_nth_unstable_by(mid, |&a, &b| {
+            pts.row(a as usize)[dim].total_cmp(&pts.row(b as usize)[dim])
+        });
+        let value = self.points.row(ids[mid] as usize)[dim];
+        let (l, r) = ids.split_at_mut(mid);
+        // Degenerate split (all equal along dim): fall back to a leaf to
+        // guarantee termination.
+        if l.is_empty() || r.is_empty() {
+            self.nodes.push(Node::Leaf {
+                points: ids.to_vec(),
+            });
+            return self.nodes.len() - 1;
+        }
+        let left = self.build_rec(l, depth + 1);
+        let right = self.build_rec(r, depth + 1);
+        self.nodes.push(Node::Split {
+            dim,
+            value,
+            left,
+            right,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Number of indexed points.
+    pub fn len(&self) -> usize {
+        self.points.rows()
+    }
+
+    /// Whether the tree is empty (never true: construction requires
+    /// points).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `k` nearest neighbours of `query` as `(point_id, distance²)`
+    /// pairs, nearest first. Returns fewer if the tree holds fewer points.
+    pub fn knn(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        if k == 0 {
+            return Vec::new();
+        }
+        let mut heap: BinaryHeap<HeapItem> = BinaryHeap::with_capacity(k + 1);
+        self.knn_rec(self.root, query, k, &mut heap);
+        let mut out: Vec<(usize, f64)> = heap
+            .into_sorted_vec()
+            .into_iter()
+            .map(|HeapItem(d, i)| (i as usize, d))
+            .collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
+
+    fn knn_rec(&self, node: usize, query: &[f64], k: usize, heap: &mut BinaryHeap<HeapItem>) {
+        match &self.nodes[node] {
+            Node::Leaf { points } => {
+                for &p in points {
+                    let d = dist2(self.points.row(p as usize), query);
+                    if heap.len() < k {
+                        heap.push(HeapItem(d, p));
+                    } else if let Some(top) = heap.peek() {
+                        if d < top.0 {
+                            heap.pop();
+                            heap.push(HeapItem(d, p));
+                        }
+                    }
+                }
+            }
+            Node::Split {
+                dim,
+                value,
+                left,
+                right,
+            } => {
+                let delta = query[*dim] - value;
+                let (near, far) = if delta < 0.0 {
+                    (*left, *right)
+                } else {
+                    (*right, *left)
+                };
+                self.knn_rec(near, query, k, heap);
+                let worst = heap.peek().map_or(f64::INFINITY, |t| t.0);
+                if heap.len() < k || delta * delta <= worst {
+                    self.knn_rec(far, query, k, heap);
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_points(n: usize, d: usize, seed: u64) -> Matrix {
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let rows: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| next() * 10.0).collect()).collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    fn brute_knn(points: &Matrix, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        let mut all: Vec<(usize, f64)> = points
+            .iter_rows()
+            .enumerate()
+            .map(|(i, r)| (i, dist2(r, query)))
+            .collect();
+        all.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        for &(n, d) in &[(40usize, 2usize), (200, 3), (500, 5)] {
+            let pts = pseudo_points(n, d, 7);
+            let tree = KdTree::build(pts.clone());
+            for qi in (0..n).step_by(13) {
+                let q: Vec<f64> = pts.row(qi).to_vec();
+                for &k in &[1usize, 3, 7] {
+                    let got = tree.knn(&q, k);
+                    let want = brute_knn(&pts, &q, k);
+                    let got_d: Vec<f64> = got.iter().map(|x| x.1).collect();
+                    let want_d: Vec<f64> = want.iter().map(|x| x.1).collect();
+                    assert_eq!(got_d.len(), want_d.len());
+                    for (g, w) in got_d.iter().zip(&want_d) {
+                        assert!((g - w).abs() < 1e-9, "n={n} d={d} k={k}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let rows = vec![vec![1.0, 1.0]; 50];
+        let pts = Matrix::from_rows(&rows).unwrap();
+        let tree = KdTree::build(pts);
+        let nn = tree.knn(&[1.0, 1.0], 5);
+        assert_eq!(nn.len(), 5);
+        assert!(nn.iter().all(|&(_, d)| d == 0.0));
+    }
+
+    #[test]
+    fn k_larger_than_population() {
+        let pts = pseudo_points(4, 2, 3);
+        let tree = KdTree::build(pts);
+        let nn = tree.knn(&[0.0, 0.0], 10);
+        assert_eq!(nn.len(), 4);
+        assert_eq!(tree.len(), 4);
+    }
+
+    #[test]
+    fn k_zero_returns_empty() {
+        let pts = pseudo_points(10, 2, 3);
+        let tree = KdTree::build(pts);
+        assert!(tree.knn(&[0.0, 0.0], 0).is_empty());
+    }
+
+    #[test]
+    fn results_sorted_by_distance() {
+        let pts = pseudo_points(300, 4, 99);
+        let tree = KdTree::build(pts);
+        let nn = tree.knn(&[5.0, 5.0, 5.0, 5.0], 10);
+        for w in nn.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+}

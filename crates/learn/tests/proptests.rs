@@ -1,0 +1,196 @@
+//! Property-based tests for the ML substrate.
+
+use lts_learn::kdtree::KdTree;
+use lts_learn::{
+    accuracy, confusion, k_fold_indices, Classifier, Knn, Matrix, RandomForest, StandardScaler,
+};
+use proptest::prelude::*;
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn kdtree_matches_linear_scan(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-100.0f64..100.0, 3), 1..120),
+        k in 1usize..6,
+    ) {
+        let m = Matrix::from_rows(&points).unwrap();
+        let tree = KdTree::build(m.clone());
+        let query = points[0].clone();
+        let got = tree.knn(&query, k);
+        let mut want: Vec<f64> = points.iter().map(|p| dist2(p, &query)).collect();
+        want.sort_by(f64::total_cmp);
+        want.truncate(k);
+        prop_assert_eq!(got.len(), want.len());
+        for ((_, d_got), d_want) in got.iter().zip(&want) {
+            prop_assert!((d_got - d_want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn scaler_roundtrip_statistics(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-50.0f64..50.0, 2), 2..60),
+    ) {
+        let m = Matrix::from_rows(&rows).unwrap();
+        let scaler = StandardScaler::fit(&m).unwrap();
+        let t = scaler.transform(&m).unwrap();
+        for c in 0..t.cols() {
+            let vals: Vec<f64> = t.iter_rows().map(|r| r[c]).collect();
+            let mean: f64 = vals.iter().sum::<f64>() / vals.len() as f64;
+            prop_assert!(mean.abs() < 1e-8, "column {c} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn classifier_scores_always_unit_interval(
+        labels in proptest::collection::vec(any::<bool>(), 8..40),
+        seed in any::<u64>(),
+    ) {
+        let rows: Vec<Vec<f64>> = (0..labels.len())
+            .map(|i| vec![i as f64, (i * i % 17) as f64])
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let mut knn = Knn::new(3).unwrap();
+        knn.fit(&x, &labels).unwrap();
+        let mut rf = RandomForest::with_trees(8, seed);
+        rf.fit(&x, &labels).unwrap();
+        for row in x.iter_rows() {
+            for model in [&knn as &dyn Classifier, &rf as &dyn Classifier] {
+                let s = model.score(row).unwrap();
+                prop_assert!((0.0..=1.0).contains(&s));
+            }
+        }
+    }
+
+    #[test]
+    fn folds_partition(n in 4usize..200, k in 2usize..5, seed in any::<u64>()) {
+        prop_assume!(k <= n);
+        let folds = k_fold_indices(n, k, seed).unwrap();
+        let mut all: Vec<usize> = folds.concat();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn confusion_identities(
+        pairs in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..100),
+    ) {
+        let pred: Vec<bool> = pairs.iter().map(|&(p, _)| p).collect();
+        let act: Vec<bool> = pairs.iter().map(|&(_, a)| a).collect();
+        let m = confusion(&pred, &act).unwrap();
+        prop_assert_eq!(m.total(), pairs.len());
+        let acc = accuracy(&pred, &act).unwrap();
+        prop_assert!((acc - m.accuracy()).abs() < 1e-12);
+        // tpr·P + (1−fpr)·N = correct predictions count identity.
+        if let (Some(tpr), Some(fpr)) = (m.tpr(), m.fpr()) {
+            let p = (m.tp + m.fn_) as f64;
+            let n = (m.fp + m.tn) as f64;
+            let correct = tpr * p + (1.0 - fpr) * n;
+            prop_assert!((correct - (m.tp + m.tn) as f64).abs() < 1e-9);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// New classifier families: Gaussian NB and gradient-boosted trees.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// GNB scores are finite posteriors in [0, 1] for any training set,
+    /// and mirroring every feature mirrors the posterior (class
+    /// symmetry).
+    #[test]
+    fn gnb_scores_are_valid_posteriors(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-20.0f64..20.0, 2), 4..50),
+        flip in any::<u8>(),
+    ) {
+        use lts_learn::GaussianNb;
+        let m = Matrix::from_rows(&rows).unwrap();
+        // Labels from a hash of the row index — both classes usually
+        // present, sometimes single-class (also a valid input).
+        let y: Vec<bool> = (0..rows.len())
+            .map(|i| (i as u8).wrapping_mul(97).wrapping_add(flip) % 3 == 0)
+            .collect();
+        let mut nb = GaussianNb::default();
+        nb.fit(&m, &y).unwrap();
+        for row in m.iter_rows() {
+            let s = nb.score(row).unwrap();
+            prop_assert!(s.is_finite() && (0.0..=1.0).contains(&s), "score {s}");
+        }
+    }
+
+    /// GNB posterior is antisymmetric under label flip: swapping all
+    /// labels maps the score g to 1 - g.
+    #[test]
+    fn gnb_label_flip_mirrors_posterior(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-20.0f64..20.0, 2), 6..40),
+    ) {
+        use lts_learn::GaussianNb;
+        let m = Matrix::from_rows(&rows).unwrap();
+        let y: Vec<bool> = (0..rows.len()).map(|i| i % 2 == 0).collect();
+        let y_flip: Vec<bool> = y.iter().map(|&b| !b).collect();
+        let mut a = GaussianNb::default();
+        let mut b = GaussianNb::default();
+        a.fit(&m, &y).unwrap();
+        b.fit(&m, &y_flip).unwrap();
+        for row in m.iter_rows() {
+            let (sa, sb) = (a.score(row).unwrap(), b.score(row).unwrap());
+            prop_assert!((sa - (1.0 - sb)).abs() < 1e-9, "{sa} vs 1-{sb}");
+        }
+    }
+
+    /// GBM scores stay in (0, 1) and training reduces (or preserves)
+    /// log-loss relative to the prior for any labeled set.
+    #[test]
+    fn gbm_training_never_hurts_fit(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 2), 8..40),
+        salt in any::<u8>(),
+    ) {
+        use lts_learn::{Gbm, GbmConfig};
+        let m = Matrix::from_rows(&rows).unwrap();
+        // Learnable labels: sign of the first feature, salted.
+        let y: Vec<bool> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r[0] > f64::from(salt % 5) - 2.0 || i % 7 == 0)
+            .collect();
+        let positives = y.iter().filter(|&&b| b).count();
+        let n = y.len();
+        let p0 = ((positives as f64 + 0.5) / (n as f64 + 1.0)).clamp(1e-6, 1.0 - 1e-6);
+        let log_loss = |scores: &[f64]| -> f64 {
+            scores
+                .iter()
+                .zip(&y)
+                .map(|(&s, &b)| {
+                    let s = s.clamp(1e-9, 1.0 - 1e-9);
+                    if b { -s.ln() } else { -(1.0 - s).ln() }
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        let mut gbm = Gbm::new(GbmConfig { n_rounds: 20, ..GbmConfig::default() });
+        gbm.fit(&m, &y).unwrap();
+        let scores: Vec<f64> = m.iter_rows().map(|r| gbm.score(r).unwrap()).collect();
+        for &s in &scores {
+            prop_assert!(s.is_finite() && (0.0..=1.0).contains(&s));
+        }
+        let prior_scores = vec![p0; n];
+        prop_assert!(
+            log_loss(&scores) <= log_loss(&prior_scores) + 1e-6,
+            "boosted log-loss {} worse than prior {}",
+            log_loss(&scores),
+            log_loss(&prior_scores)
+        );
+    }
+}

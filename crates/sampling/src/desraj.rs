@@ -1,0 +1,225 @@
+//! The Des Raj ordered estimator for PPS sampling without replacement.
+//!
+//! Paper §4.1, Eq. (3): after drawing objects `o_1, o_2, …` according to
+//! initial probabilities `π` *without replacement*, compute for each draw
+//!
+//! ```text
+//! p_i = (1/N) ( Σ_{j<i} q(o_j)  +  q(o_i)/π(o_i) · (1 − Σ_{j<i} π(o_j)) )
+//! ```
+//!
+//! Each `p_i` is an unbiased estimator of the positive proportion; the
+//! running estimate after `n` draws is `pˆ(n) = (1/n) Σ p_i`, with
+//! variance estimated by the sample variance of the `p_i` divided by `n`.
+//! The estimator is unbiased **regardless of the quality of the weights**
+//! — the property that lets LWS use an arbitrary learned classifier score
+//! safely.
+
+use crate::error::{SamplingError, SamplingResult};
+use crate::estimate::CountEstimate;
+use lts_stats::{t_interval, RunningStats};
+
+/// Incremental Des Raj estimator.
+///
+/// Push draws in order; query the running estimate at any point.
+#[derive(Debug, Clone)]
+pub struct DesRaj {
+    population: usize,
+    sum_q: f64,
+    sum_pi: f64,
+    stats: RunningStats,
+}
+
+impl DesRaj {
+    /// Create an estimator for a population of `N` objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty population.
+    pub fn new(population: usize) -> SamplingResult<Self> {
+        if population == 0 {
+            return Err(SamplingError::EmptyPopulation);
+        }
+        Ok(Self {
+            population,
+            sum_q: 0.0,
+            sum_pi: 0.0,
+            stats: RunningStats::new(),
+        })
+    }
+
+    /// Record the `i`-th draw: its label `q(o_i)` and its **initial**
+    /// selection probability `π(o_i)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `pi` is outside `(0, 1]`.
+    pub fn push(&mut self, label: bool, pi: f64) -> SamplingResult<()> {
+        if !(pi > 0.0 && pi <= 1.0) {
+            return Err(SamplingError::InvalidProbability { value: pi });
+        }
+        let q = if label { 1.0 } else { 0.0 };
+        let n = self.population as f64;
+        let p_i = (self.sum_q + q / pi * (1.0 - self.sum_pi)) / n;
+        self.stats.push(p_i);
+        self.sum_q += q;
+        self.sum_pi += pi;
+        Ok(())
+    }
+
+    /// Number of draws recorded so far.
+    pub fn draws(&self) -> usize {
+        usize::try_from(self.stats.count()).expect("draw count fits usize")
+    }
+
+    /// Running proportion estimate `pˆ(n)`.
+    pub fn proportion(&self) -> f64 {
+        self.stats.mean()
+    }
+
+    /// Estimated variance of `pˆ(n)` (`None` before the second draw).
+    pub fn proportion_variance(&self) -> Option<f64> {
+        let n = self.stats.count();
+        self.stats.sample_variance().map(|s2| s2 / n as f64)
+    }
+
+    /// The running count estimate with a t-interval.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than two draws were recorded or the
+    /// level is invalid.
+    pub fn count_estimate(&self, level: f64) -> SamplingResult<CountEstimate> {
+        let n = self.draws();
+        if n < 2 {
+            return Err(SamplingError::EmptyPopulation);
+        }
+        let nf = self.population as f64;
+        let p = self.proportion();
+        let var = self.proportion_variance().expect("n >= 2");
+        let se = var.max(0.0).sqrt();
+        let interval = t_interval(p, se, (n - 1) as f64, level)?;
+        Ok(CountEstimate {
+            count: p * nf,
+            std_error: se * nf,
+            interval: interval.scaled(nf),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighted::weighted_sample_fenwick;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_classifier_gives_exact_estimates() {
+        // §4.1: with an accurate, confident classifier every sampled
+        // object is positive with π = 1/(pN); each p_i equals p exactly.
+        let population = 100usize;
+        let positives = 20usize;
+        let p = positives as f64 / population as f64;
+        let pi = 1.0 / (p * population as f64); // = 1/20
+        let mut dr = DesRaj::new(population).unwrap();
+        for _ in 0..10 {
+            dr.push(true, pi).unwrap();
+        }
+        assert!((dr.proportion() - p).abs() < 1e-12);
+        let est = dr.count_estimate(0.95).unwrap();
+        assert!((est.count - positives as f64).abs() < 1e-9);
+        assert!(est.std_error < 1e-9);
+    }
+
+    #[test]
+    fn unbiased_under_arbitrary_weights_monte_carlo() {
+        // Small population with known truth; skewed, "wrong" weights.
+        // The Des Raj estimate must still average to the truth.
+        let labels = [true, false, true, false, false, true, false, false];
+        let weights = [5.0, 1.0, 0.5, 2.0, 4.0, 1.5, 0.25, 3.0];
+        let truth = labels.iter().filter(|&&b| b).count() as f64;
+        let mut rng = StdRng::seed_from_u64(314);
+        let trials = 30_000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let draws = weighted_sample_fenwick(&mut rng, &weights, 4).unwrap();
+            let mut dr = DesRaj::new(labels.len()).unwrap();
+            for d in draws {
+                dr.push(labels[d.index], d.initial_probability).unwrap();
+            }
+            sum += dr.proportion() * labels.len() as f64;
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - truth).abs() < 0.05,
+            "Des Raj mean {mean} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn running_estimates_are_available_after_each_draw() {
+        let mut dr = DesRaj::new(10).unwrap();
+        dr.push(true, 0.2).unwrap();
+        assert_eq!(dr.draws(), 1);
+        assert!(dr.proportion_variance().is_none());
+        assert!(dr.count_estimate(0.95).is_err());
+        dr.push(false, 0.1).unwrap();
+        assert!(dr.proportion_variance().is_some());
+        let est = dr.count_estimate(0.95).unwrap();
+        assert!(est.interval.lo <= est.count && est.count <= est.interval.hi);
+    }
+
+    #[test]
+    fn rejects_invalid_probabilities() {
+        let mut dr = DesRaj::new(10).unwrap();
+        assert!(dr.push(true, 0.0).is_err());
+        assert!(dr.push(true, -0.5).is_err());
+        assert!(dr.push(true, 1.5).is_err());
+        assert!(dr.push(true, f64::NAN).is_err());
+        assert!(DesRaj::new(0).is_err());
+    }
+
+    #[test]
+    fn first_draw_formula_matches_hand_computation() {
+        // p_1 = q_1 / (π_1 N).
+        let mut dr = DesRaj::new(50).unwrap();
+        dr.push(true, 0.04).unwrap();
+        assert!((dr.proportion() - 1.0 / (0.04 * 50.0)).abs() < 1e-12);
+        // Second draw: p_2 = (q_1 + q_2/π_2 (1-π_1)) / N.
+        let mut dr2 = DesRaj::new(50).unwrap();
+        dr2.push(true, 0.04).unwrap();
+        dr2.push(false, 0.02).unwrap();
+        let p1 = 1.0 / (0.04 * 50.0);
+        let p2 = (1.0 + 0.0) / 50.0;
+        assert!((dr2.proportion() - (p1 + p2) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_coverage_is_reasonable() {
+        // 95% CIs from repeated runs should cover the truth most of the
+        // time (loose bound: ≥ 80% on this small, skewed example).
+        let labels: Vec<bool> = (0..30).map(|i| i % 3 == 0).collect();
+        let weights: Vec<f64> = (0..30).map(|i| 1.0 + (i % 5) as f64).collect();
+        let truth = labels.iter().filter(|&&b| b).count() as f64;
+        let mut rng = StdRng::seed_from_u64(555);
+        let trials = 800;
+        let mut covered = 0;
+        for _ in 0..trials {
+            let draws = weighted_sample_fenwick(&mut rng, &weights, 12).unwrap();
+            let mut dr = DesRaj::new(labels.len()).unwrap();
+            for d in draws {
+                dr.push(labels[d.index], d.initial_probability).unwrap();
+            }
+            if dr
+                .count_estimate(0.95)
+                .unwrap()
+                .interval
+                .contains(truth)
+            {
+                covered += 1;
+            }
+        }
+        let coverage = f64::from(covered) / trials as f64;
+        assert!(coverage > 0.8, "coverage {coverage}");
+    }
+}

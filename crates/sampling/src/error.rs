@@ -1,0 +1,116 @@
+//! Error types for the sampling substrate.
+
+use std::fmt;
+
+/// Errors produced by sampling routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SamplingError {
+    /// Requested sample larger than the population (without replacement).
+    SampleTooLarge {
+        /// Requested sample size.
+        requested: usize,
+        /// Population size.
+        population: usize,
+    },
+    /// Empty population or empty input where data is required.
+    EmptyPopulation,
+    /// A weight was negative, NaN, or all weights were zero.
+    InvalidWeights {
+        /// Description of the violation.
+        message: String,
+    },
+    /// An allocation is infeasible under the given constraints.
+    InfeasibleAllocation {
+        /// Total requested.
+        total: usize,
+        /// Lower bound implied by constraints.
+        lower: usize,
+        /// Upper bound implied by stratum sizes.
+        upper: usize,
+    },
+    /// Mismatched argument lengths.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Found length.
+        found: usize,
+    },
+    /// An inclusion probability was outside `(0, 1]`.
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// An underlying statistics routine failed.
+    Stats(lts_stats::StatsError),
+}
+
+impl fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SamplingError::SampleTooLarge {
+                requested,
+                population,
+            } => write!(
+                f,
+                "cannot draw {requested} without replacement from population of {population}"
+            ),
+            SamplingError::EmptyPopulation => write!(f, "population is empty"),
+            SamplingError::InvalidWeights { message } => write!(f, "invalid weights: {message}"),
+            SamplingError::InfeasibleAllocation {
+                total,
+                lower,
+                upper,
+            } => write!(
+                f,
+                "allocation of {total} infeasible: must lie in [{lower}, {upper}]"
+            ),
+            SamplingError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected}, found {found}")
+            }
+            SamplingError::InvalidProbability { value } => {
+                write!(f, "inclusion probability must lie in (0, 1], got {value}")
+            }
+            SamplingError::Stats(e) => write!(f, "statistics error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SamplingError::Stats(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<lts_stats::StatsError> for SamplingError {
+    fn from(e: lts_stats::StatsError) -> Self {
+        SamplingError::Stats(e)
+    }
+}
+
+/// Convenience result alias.
+pub type SamplingResult<T> = Result<T, SamplingError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SamplingError::SampleTooLarge {
+            requested: 10,
+            population: 5,
+        };
+        assert!(e.to_string().contains("10"));
+        let e = SamplingError::InfeasibleAllocation {
+            total: 3,
+            lower: 5,
+            upper: 20,
+        };
+        assert!(e.to_string().contains('5'));
+        let e: SamplingError = lts_stats::StatsError::EmptyInput.into();
+        assert!(e.to_string().contains("statistics"));
+    }
+}

@@ -1,0 +1,204 @@
+//! A Fenwick (binary indexed) tree over non-negative `f64` weights with
+//! prefix-sum search.
+//!
+//! Backbone of the draw-by-draw weighted sampler: drawing an object and
+//! removing it from the pool are both `O(log N)`.
+
+/// Fenwick tree over `f64` weights.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    tree: Vec<f64>,
+    /// Current weight per leaf (kept for exact removal).
+    weights: Vec<f64>,
+}
+
+impl Fenwick {
+    /// Build a tree from initial weights.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        let mut tree = vec![0.0; n + 1];
+        for (i, &w) in weights.iter().enumerate() {
+            let mut idx = i + 1;
+            while idx <= n {
+                tree[idx] += w;
+                idx += idx & idx.wrapping_neg();
+            }
+        }
+        Self {
+            tree,
+            weights: weights.to_vec(),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the tree has no leaves.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Current weight of leaf `i`.
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights[i]
+    }
+
+    /// Total weight.
+    pub fn total(&self) -> f64 {
+        self.prefix_sum(self.weights.len())
+    }
+
+    /// Sum of weights for leaves `0..i` (exclusive).
+    pub fn prefix_sum(&self, i: usize) -> f64 {
+        let mut idx = i.min(self.weights.len());
+        let mut sum = 0.0;
+        while idx > 0 {
+            sum += self.tree[idx];
+            idx -= idx & idx.wrapping_neg();
+        }
+        sum
+    }
+
+    /// Add `delta` to leaf `i` (may be negative).
+    pub fn add(&mut self, i: usize, delta: f64) {
+        self.weights[i] += delta;
+        let n = self.weights.len();
+        let mut idx = i + 1;
+        while idx <= n {
+            self.tree[idx] += delta;
+            idx += idx & idx.wrapping_neg();
+        }
+    }
+
+    /// Set leaf `i` to zero (removing it from the pool).
+    pub fn zero(&mut self, i: usize) {
+        let w = self.weights[i];
+        if w != 0.0 {
+            self.add(i, -w);
+            self.weights[i] = 0.0;
+        }
+    }
+
+    /// Find the smallest index `i` such that `prefix_sum(i + 1) > target`
+    /// where `0 <= target < total()`. Skips zero-weight leaves.
+    ///
+    /// Returns `None` if the total weight is zero or `target` is out of
+    /// range.
+    pub fn search(&self, target: f64) -> Option<usize> {
+        let n = self.weights.len();
+        if n == 0 || target < 0.0 {
+            return None;
+        }
+        let total = self.total();
+        if total <= 0.0 || target >= total {
+            return None;
+        }
+        // Standard Fenwick descent.
+        let mut idx = 0usize;
+        let mut rem = target;
+        let mut bit = n.next_power_of_two();
+        while bit > 0 {
+            let next = idx + bit;
+            if next <= n && self.tree[next] <= rem {
+                rem -= self.tree[next];
+                idx = next;
+            }
+            bit >>= 1;
+        }
+        // idx is now the count of leaves whose cumulative weight is <= target.
+        let mut i = idx;
+        // Guard against floating-point edge cases on zero-weight leaves.
+        while i < n && self.weights[i] <= 0.0 {
+            i += 1;
+        }
+        if i < n {
+            Some(i)
+        } else {
+            // All remaining weight was rounding error; fall back to the
+            // last positive-weight leaf.
+            (0..n).rev().find(|&j| self.weights[j] > 0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sums_match_naive() {
+        let w = [1.0, 2.0, 0.0, 4.0, 0.5];
+        let f = Fenwick::new(&w);
+        let mut acc = 0.0;
+        for i in 0..=w.len() {
+            assert!((f.prefix_sum(i) - acc).abs() < 1e-12, "i={i}");
+            if i < w.len() {
+                acc += w[i];
+            }
+        }
+        assert!((f.total() - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn search_finds_correct_leaf() {
+        let w = [1.0, 2.0, 0.0, 4.0];
+        let f = Fenwick::new(&w);
+        assert_eq!(f.search(0.0), Some(0));
+        assert_eq!(f.search(0.999), Some(0));
+        assert_eq!(f.search(1.0), Some(1));
+        assert_eq!(f.search(2.5), Some(1));
+        assert_eq!(f.search(3.0), Some(3)); // leaf 2 has zero weight
+        assert_eq!(f.search(6.999), Some(3));
+        assert_eq!(f.search(7.0), None);
+        assert_eq!(f.search(-1.0), None);
+    }
+
+    #[test]
+    fn zero_removes_from_pool() {
+        let w = [1.0, 2.0, 3.0];
+        let mut f = Fenwick::new(&w);
+        f.zero(1);
+        assert!((f.total() - 4.0).abs() < 1e-12);
+        assert_eq!(f.search(1.0), Some(2));
+        assert_eq!(f.weight(1), 0.0);
+        f.zero(0);
+        f.zero(2);
+        assert_eq!(f.search(0.0), None);
+    }
+
+    #[test]
+    fn add_updates() {
+        let mut f = Fenwick::new(&[0.0, 0.0]);
+        f.add(1, 5.0);
+        assert_eq!(f.search(0.0), Some(1));
+        f.add(0, 2.0);
+        assert_eq!(f.search(1.9), Some(0));
+        assert_eq!(f.search(2.1), Some(1));
+    }
+
+    #[test]
+    fn empty_tree() {
+        let f = Fenwick::new(&[]);
+        assert!(f.is_empty());
+        assert_eq!(f.search(0.0), None);
+        assert_eq!(f.total(), 0.0);
+    }
+
+    #[test]
+    fn non_power_of_two_sizes() {
+        for n in [1usize, 3, 5, 7, 13, 100] {
+            let w: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
+            let f = Fenwick::new(&w);
+            let total: f64 = w.iter().sum();
+            assert!((f.total() - total).abs() < 1e-9);
+            // Every leaf is findable at its cumulative offset.
+            let mut acc = 0.0;
+            for (i, &wi) in w.iter().enumerate() {
+                assert_eq!(f.search(acc), Some(i), "n={n}, i={i}");
+                acc += wi;
+            }
+        }
+    }
+}

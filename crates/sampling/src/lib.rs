@@ -1,0 +1,40 @@
+//! Sampling substrate for the `learning-to-sample` workspace.
+//!
+//! Implements the designs used by the paper's estimators (§3.1, §4.1):
+//!
+//! * [`srs`] — simple random sampling without replacement (Floyd's
+//!   algorithm) and the SRS proportion estimator with Wald/Wilson
+//!   intervals and finite-population correction;
+//! * [`weighted`] — sequential weighted sampling **without replacement**
+//!   (probability-proportional-to-size draw-by-draw over a Fenwick tree,
+//!   plus the equivalent Efraimidis–Spirakis exponential-keys method);
+//! * [`desraj`] — the Des Raj ordered estimator used by LWS (Eq. 3),
+//!   with running mean/variance as draws arrive;
+//! * [`ht`] — Horvitz–Thompson estimation under Poisson sampling
+//!   (the "popular alternative" the paper mentions);
+//! * [`stratified`] — stratified designs: proportional and Neyman
+//!   allocation with the paper's footnote-1 rebalancing constraints, and
+//!   the stratified proportion estimator of Eq. (1) with t-intervals.
+
+#![warn(missing_docs)]
+
+pub mod desraj;
+pub mod error;
+pub mod estimate;
+pub mod fenwick;
+pub mod ht;
+pub mod srs;
+pub mod stratified;
+pub mod weighted;
+
+pub use desraj::DesRaj;
+pub use error::{SamplingError, SamplingResult};
+pub use estimate::CountEstimate;
+pub use fenwick::Fenwick;
+pub use ht::{horvitz_thompson_count, poisson_sample};
+pub use srs::{sample_without_replacement, srs_count_estimate};
+pub use stratified::{
+    allocate, draw_stratified, group_by_stratum, neyman_allocation, proportional_allocation,
+    stratified_count_estimate, StratumSample,
+};
+pub use weighted::{systematic_pps_sample, weighted_sample_es, weighted_sample_fenwick, WeightedDraw};

@@ -1,0 +1,200 @@
+//! Simple random sampling without replacement, and the SRS estimator.
+//!
+//! `pˆN` with the Wald interval
+//! `pˆ ± z_{α/2} √(pˆ(1−pˆ)/n) · √((N−n)/(N−1))` — paper §3.1 — or the
+//! Wilson interval for extreme selectivities.
+
+use crate::error::{SamplingError, SamplingResult};
+use crate::estimate::CountEstimate;
+use lts_stats::{wald_proportion, wilson_proportion, IntervalKind};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+use std::collections::HashSet;
+
+/// Draw `n` distinct indices uniformly from `0..population`, in random
+/// order (Floyd's algorithm followed by a shuffle).
+///
+/// # Errors
+///
+/// Returns an error if `n > population`.
+pub fn sample_without_replacement<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    population: usize,
+) -> SamplingResult<Vec<usize>> {
+    if n > population {
+        return Err(SamplingError::SampleTooLarge {
+            requested: n,
+            population,
+        });
+    }
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    // Floyd's algorithm: uniform n-subsets in O(n) expected time.
+    let mut chosen: HashSet<usize> = HashSet::with_capacity(n);
+    let mut out = Vec::with_capacity(n);
+    for j in (population - n)..population {
+        let t = rng.random_range(0..=j);
+        if chosen.insert(t) {
+            out.push(t);
+        } else {
+            chosen.insert(j);
+            out.push(j);
+        }
+    }
+    out.shuffle(rng);
+    Ok(out)
+}
+
+/// The SRS count estimate from labeled draws: `N · pˆ` with a
+/// Wald or Wilson interval (with finite-population correction).
+///
+/// `labels[i]` is `q(o_i)` for the i-th sampled object.
+///
+/// # Errors
+///
+/// Returns an error for an empty sample or invalid level.
+pub fn srs_count_estimate(
+    labels: &[bool],
+    population: usize,
+    level: f64,
+    kind: IntervalKind,
+) -> SamplingResult<CountEstimate> {
+    if labels.is_empty() {
+        return Err(SamplingError::EmptyPopulation);
+    }
+    let n = labels.len();
+    let positives = labels.iter().filter(|&&b| b).count();
+    let p_hat = positives as f64 / n as f64;
+    let interval = match kind {
+        IntervalKind::Wald => wald_proportion(p_hat, n, Some(population), level)?,
+        IntervalKind::Wilson => wilson_proportion(positives, n, Some(population), level)?,
+    };
+    let fpc = lts_stats::interval::fpc(n, Some(population));
+    let se_p = (p_hat * (1.0 - p_hat) / n as f64).sqrt() * fpc;
+    let nf = population as f64;
+    Ok(CountEstimate {
+        count: p_hat * nf,
+        std_error: se_p * nf,
+        interval: interval.scaled(nf),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn draws_distinct_indices_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(n, pop) in &[(0usize, 10usize), (1, 1), (5, 10), (10, 10), (100, 1000)] {
+            let s = sample_without_replacement(&mut rng, n, pop).unwrap();
+            assert_eq!(s.len(), n);
+            let set: HashSet<_> = s.iter().collect();
+            assert_eq!(set.len(), n, "duplicates for n={n}, pop={pop}");
+            assert!(s.iter().all(|&i| i < pop));
+        }
+    }
+
+    #[test]
+    fn rejects_oversized_sample() {
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(sample_without_replacement(&mut rng, 11, 10).is_err());
+    }
+
+    #[test]
+    fn sampling_is_approximately_uniform() {
+        // Each element of a population of 10 should appear in a 5-sample
+        // with probability 1/2.
+        let mut rng = StdRng::seed_from_u64(123);
+        let trials = 20_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..trials {
+            for i in sample_without_replacement(&mut rng, 5, 10).unwrap() {
+                counts[i] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - 0.5).abs() < 0.02,
+                "element {i}: frequency {freq} too far from 0.5"
+            );
+        }
+    }
+
+    #[test]
+    fn draw_order_is_random() {
+        // First drawn element should be uniform over the population, not
+        // biased toward low indices.
+        let mut rng = StdRng::seed_from_u64(99);
+        let trials = 10_000;
+        let mut first_low = 0usize;
+        for _ in 0..trials {
+            let s = sample_without_replacement(&mut rng, 4, 8).unwrap();
+            if s[0] < 4 {
+                first_low += 1;
+            }
+        }
+        let freq = first_low as f64 / trials as f64;
+        assert!((freq - 0.5).abs() < 0.03, "first-draw bias: {freq}");
+    }
+
+    #[test]
+    fn estimate_matches_hand_computation() {
+        // 3 of 4 positive, population 100.
+        let labels = [true, true, true, false];
+        let e = srs_count_estimate(&labels, 100, 0.95, IntervalKind::Wald).unwrap();
+        assert!((e.count - 75.0).abs() < 1e-9);
+        assert!(e.interval.contains(75.0));
+        assert!(e.std_error > 0.0);
+    }
+
+    #[test]
+    fn census_has_zero_error() {
+        let labels = vec![true; 10];
+        let e = srs_count_estimate(&labels, 10, 0.95, IntervalKind::Wald).unwrap();
+        assert!((e.count - 10.0).abs() < 1e-9);
+        assert!(e.std_error.abs() < 1e-12);
+    }
+
+    #[test]
+    fn wilson_differs_from_wald_at_extremes() {
+        let labels = vec![false; 30];
+        let wald = srs_count_estimate(&labels, 1000, 0.95, IntervalKind::Wald).unwrap();
+        let wilson = srs_count_estimate(&labels, 1000, 0.95, IntervalKind::Wilson).unwrap();
+        assert_eq!(wald.interval.width(), 0.0);
+        assert!(wilson.interval.width() > 0.0);
+    }
+
+    #[test]
+    fn empty_sample_errors() {
+        assert!(srs_count_estimate(&[], 10, 0.95, IntervalKind::Wald).is_err());
+    }
+
+    #[test]
+    fn estimator_is_unbiased_monte_carlo() {
+        // Population of 40 with 12 positives; mean of many SRS estimates
+        // should approach 12.
+        let truth: Vec<bool> = (0..40).map(|i| i % 10 < 3).collect();
+        let true_count = truth.iter().filter(|&&b| b).count() as f64;
+        let mut rng = StdRng::seed_from_u64(2024);
+        let trials = 4000;
+        let mut sum = 0.0;
+        for _ in 0..trials {
+            let idx = sample_without_replacement(&mut rng, 10, 40).unwrap();
+            let labels: Vec<bool> = idx.iter().map(|&i| truth[i]).collect();
+            sum += srs_count_estimate(&labels, 40, 0.95, IntervalKind::Wald)
+                .unwrap()
+                .count;
+        }
+        let mean = sum / trials as f64;
+        assert!(
+            (mean - true_count).abs() < 0.3,
+            "mean {mean} vs truth {true_count}"
+        );
+    }
+}

@@ -1,0 +1,459 @@
+//! Weighted sampling without replacement.
+//!
+//! LWS (paper §4.1) assigns each object an initial probability
+//! `π(o) ∝ max(g(o), ε)` and draws objects *sequentially without
+//! replacement*: after each draw the drawn object is removed and the
+//! remaining weights renormalize implicitly. Two equivalent
+//! implementations are provided:
+//!
+//! * [`weighted_sample_fenwick`] — literal draw-by-draw over a Fenwick
+//!   tree (`O(n log N)`), the reference semantics;
+//! * [`weighted_sample_es`] — Efraimidis–Spirakis exponential keys
+//!   (`u_i^{1/w_i}` order statistics), which provably induces the same
+//!   sequential-draw distribution and is embarrassingly simple.
+//!
+//! Both return the draws *in draw order* along with each drawn object's
+//! **initial** selection probability `π(o_i) = w_i / Σ_j w_j`, which is
+//! exactly what the Des Raj estimator (Eq. 3) consumes.
+
+use crate::error::{SamplingError, SamplingResult};
+use crate::fenwick::Fenwick;
+use rand::{Rng, RngExt};
+
+/// One weighted draw: the population index plus its initial probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedDraw {
+    /// Index of the drawn object in the population.
+    pub index: usize,
+    /// Initial (first-draw) selection probability `w_i / Σ w`.
+    pub initial_probability: f64,
+}
+
+fn validate_weights(weights: &[f64], n: usize) -> SamplingResult<f64> {
+    if weights.is_empty() {
+        return Err(SamplingError::EmptyPopulation);
+    }
+    if n > weights.len() {
+        return Err(SamplingError::SampleTooLarge {
+            requested: n,
+            population: weights.len(),
+        });
+    }
+    let mut total = 0.0;
+    let mut positive = 0usize;
+    for &w in weights {
+        if !w.is_finite() || w < 0.0 {
+            return Err(SamplingError::InvalidWeights {
+                message: format!("weight {w} is negative or non-finite"),
+            });
+        }
+        if w > 0.0 {
+            positive += 1;
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        return Err(SamplingError::InvalidWeights {
+            message: "all weights are zero".into(),
+        });
+    }
+    if positive < n {
+        return Err(SamplingError::InvalidWeights {
+            message: format!("only {positive} positive weights but {n} draws requested"),
+        });
+    }
+    Ok(total)
+}
+
+/// Draw `n` objects without replacement with probability proportional to
+/// `weights`, by literal sequential draws over a Fenwick tree.
+///
+/// # Errors
+///
+/// Returns an error for invalid weights, `n` larger than the population,
+/// or fewer than `n` positive weights.
+pub fn weighted_sample_fenwick<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    n: usize,
+) -> SamplingResult<Vec<WeightedDraw>> {
+    let total = validate_weights(weights, n)?;
+    let mut tree = Fenwick::new(weights);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let remaining = tree.total();
+        debug_assert!(remaining > 0.0);
+        let target = rng.random::<f64>() * remaining;
+        let idx = tree
+            .search(target)
+            .expect("positive remaining weight guarantees a hit");
+        out.push(WeightedDraw {
+            index: idx,
+            initial_probability: weights[idx] / total,
+        });
+        tree.zero(idx);
+    }
+    Ok(out)
+}
+
+/// Draw `n` objects without replacement with probability proportional to
+/// `weights`, using Efraimidis–Spirakis exponential keys.
+///
+/// Each item gets key `u^{1/w}` (`u` uniform); taking the `n` largest
+/// keys in descending order yields draws identically distributed to the
+/// sequential procedure of [`weighted_sample_fenwick`].
+///
+/// # Errors
+///
+/// Same conditions as [`weighted_sample_fenwick`].
+pub fn weighted_sample_es<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    n: usize,
+) -> SamplingResult<Vec<WeightedDraw>> {
+    let total = validate_weights(weights, n)?;
+    // Use log-keys for numeric stability: ln(u)/w, larger is better.
+    let mut keyed: Vec<(f64, usize)> = weights
+        .iter()
+        .enumerate()
+        .filter(|&(_, &w)| w > 0.0)
+        .map(|(i, &w)| {
+            let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+            (u.ln() / w, i)
+        })
+        .collect();
+    // Select the n largest keys, then order them descending (draw order).
+    keyed.select_nth_unstable_by(n - 1, |a, b| b.0.total_cmp(&a.0));
+    keyed.truncate(n);
+    keyed.sort_by(|a, b| b.0.total_cmp(&a.0));
+    Ok(keyed
+        .into_iter()
+        .map(|(_, i)| WeightedDraw {
+            index: i,
+            initial_probability: weights[i] / total,
+        })
+        .collect())
+}
+
+/// Madow systematic PPS sampling: exactly `n` draws without
+/// replacement whose **first-order inclusion probabilities are exactly**
+/// `π_i = min(1, n·w_i/Σw)` (with certainty selections peeled off
+/// iteratively and the remaining budget redistributed).
+///
+/// Each returned draw carries its *inclusion* probability in
+/// `initial_probability` — exactly what the Horvitz–Thompson estimator
+/// consumes. Unlike Poisson sampling, the sample size is deterministic,
+/// so a hard labeling budget is respected exactly.
+///
+/// The object order is randomized before the systematic pass, which
+/// kills the periodicity pathologies of systematic sampling; joint
+/// (second-order) inclusion probabilities remain design-dependent, so
+/// HT *variance* estimates under this design are approximations (the
+/// usual practice for systematic PPS).
+///
+/// # Errors
+///
+/// Same conditions as [`weighted_sample_fenwick`].
+pub fn systematic_pps_sample<R: Rng + ?Sized>(
+    rng: &mut R,
+    weights: &[f64],
+    n: usize,
+) -> SamplingResult<Vec<WeightedDraw>> {
+    validate_weights(weights, n)?;
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+
+    // Peel off certainty selections: objects with n'·w/Σ'w ≥ 1 are
+    // included with probability 1; repeat on the remainder until the
+    // assignment is stable. At most n' objects can qualify per pass
+    // (their π's sum to ≤ n'), so `certain` never overshoots n.
+    let mut certain: Vec<usize> = Vec::new();
+    let mut rest: Vec<usize> = (0..weights.len()).filter(|&i| weights[i] > 0.0).collect();
+    loop {
+        let budget = n - certain.len();
+        if budget == 0 || rest.is_empty() {
+            break;
+        }
+        let total: f64 = rest.iter().map(|&i| weights[i]).sum();
+        let threshold = total / budget as f64; // w ≥ total/n' ⇔ π ≥ 1
+        let before = certain.len();
+        rest.retain(|&i| {
+            if weights[i] >= threshold {
+                certain.push(i);
+                false
+            } else {
+                true
+            }
+        });
+        if certain.len() == before {
+            break;
+        }
+    }
+    let budget = n - certain.len();
+    let mut out: Vec<WeightedDraw> = certain
+        .iter()
+        .map(|&i| WeightedDraw {
+            index: i,
+            initial_probability: 1.0,
+        })
+        .collect();
+    if budget == 0 {
+        return Ok(out);
+    }
+
+    // Systematic pass over the randomized remainder: cumulate
+    // π_i = budget·w_i/Σw (all < 1 now) and select where the cumsum
+    // crosses u + k for k = 0..budget.
+    rest.sort_unstable();
+    for k in (1..rest.len()).rev() {
+        let j = (rng.random::<f64>() * (k + 1) as f64) as usize;
+        rest.swap(k, j.min(k));
+    }
+    let total: f64 = rest.iter().map(|&i| weights[i]).sum();
+    let u: f64 = rng.random::<f64>();
+    let mut cum = 0.0;
+    let mut next_tick = u;
+    for &i in &rest {
+        let pi = budget as f64 * weights[i] / total;
+        cum += pi;
+        if cum > next_tick {
+            out.push(WeightedDraw {
+                index: i,
+                initial_probability: pi,
+            });
+            next_tick += 1.0;
+        }
+    }
+    // Float rounding can drop the final tick; top up from unselected
+    // objects (probability-negligible path, keeps the size exact).
+    if out.len() < n {
+        let chosen: std::collections::HashSet<usize> =
+            out.iter().map(|d| d.index).collect();
+        for &i in &rest {
+            if out.len() == n {
+                break;
+            }
+            if !chosen.contains(&i) {
+                out.push(WeightedDraw {
+                    index: i,
+                    initial_probability: budget as f64 * weights[i] / total,
+                });
+            }
+        }
+    }
+    debug_assert_eq!(out.len(), n);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn first_draw_frequencies(
+        method: impl Fn(&mut StdRng, &[f64], usize) -> SamplingResult<Vec<WeightedDraw>>,
+        weights: &[f64],
+        trials: usize,
+        seed: u64,
+    ) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..trials {
+            let draws = method(&mut rng, weights, 1).unwrap();
+            counts[draws[0].index] += 1;
+        }
+        counts
+            .into_iter()
+            .map(|c| c as f64 / trials as f64)
+            .collect()
+    }
+
+    #[test]
+    fn first_draw_proportional_to_weight_fenwick() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let freqs = first_draw_frequencies(weighted_sample_fenwick, &w, 40_000, 11);
+        for (i, f) in freqs.iter().enumerate() {
+            let expect = w[i] / 10.0;
+            assert!((f - expect).abs() < 0.01, "i={i}: {f} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn first_draw_proportional_to_weight_es() {
+        let w = [1.0, 2.0, 3.0, 4.0];
+        let freqs = first_draw_frequencies(weighted_sample_es, &w, 40_000, 13);
+        for (i, f) in freqs.iter().enumerate() {
+            let expect = w[i] / 10.0;
+            assert!((f - expect).abs() < 0.01, "i={i}: {f} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn methods_agree_on_pairwise_set_distribution() {
+        // Drawing 2 of 3 without replacement: compare the distribution of
+        // the drawn *set* between the two implementations.
+        let w = [5.0, 3.0, 2.0];
+        let trials = 60_000;
+        let run = |fenwick: bool, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut counts = std::collections::HashMap::new();
+            for _ in 0..trials {
+                let d = if fenwick {
+                    weighted_sample_fenwick(&mut rng, &w, 2).unwrap()
+                } else {
+                    weighted_sample_es(&mut rng, &w, 2).unwrap()
+                };
+                let mut key: Vec<usize> = d.iter().map(|x| x.index).collect();
+                key.sort_unstable();
+                *counts.entry(key).or_insert(0usize) += 1;
+            }
+            counts
+        };
+        let a = run(true, 21);
+        let b = run(false, 22);
+        for (key, ca) in &a {
+            let cb = b.get(key).copied().unwrap_or(0);
+            let fa = *ca as f64 / trials as f64;
+            let fb = cb as f64 / trials as f64;
+            assert!(
+                (fa - fb).abs() < 0.015,
+                "set {key:?}: fenwick {fa} vs es {fb}"
+            );
+        }
+    }
+
+    #[test]
+    fn no_duplicates_and_initial_probs_are_correct() {
+        let w = [0.5, 0.0, 1.5, 2.0];
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let d = weighted_sample_fenwick(&mut rng, &w, 3).unwrap();
+            let set: HashSet<_> = d.iter().map(|x| x.index).collect();
+            assert_eq!(set.len(), 3);
+            assert!(!set.contains(&1), "zero-weight item drawn");
+            for x in &d {
+                assert!((x.initial_probability - w[x.index] / 4.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_weight_items_never_drawn_es() {
+        let w = [0.0, 1.0, 0.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let d = weighted_sample_es(&mut rng, &w, 2).unwrap();
+            let idx: HashSet<_> = d.iter().map(|x| x.index).collect();
+            assert_eq!(idx, HashSet::from([1usize, 3]));
+        }
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(weighted_sample_fenwick(&mut rng, &[], 0).is_err());
+        assert!(weighted_sample_fenwick(&mut rng, &[1.0], 2).is_err());
+        assert!(weighted_sample_fenwick(&mut rng, &[-1.0, 1.0], 1).is_err());
+        assert!(weighted_sample_fenwick(&mut rng, &[0.0, 0.0], 1).is_err());
+        assert!(weighted_sample_fenwick(&mut rng, &[f64::NAN, 1.0], 1).is_err());
+        // More draws than positive weights.
+        assert!(weighted_sample_fenwick(&mut rng, &[0.0, 1.0], 2).is_err());
+        assert!(weighted_sample_es(&mut rng, &[0.0, 1.0], 2).is_err());
+    }
+
+    #[test]
+    fn full_draw_returns_permutation() {
+        let w = [1.0, 2.0, 3.0];
+        let mut rng = StdRng::seed_from_u64(77);
+        let d = weighted_sample_es(&mut rng, &w, 3).unwrap();
+        let mut idx: Vec<_> = d.iter().map(|x| x.index).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, vec![0, 1, 2]);
+    }
+
+    // -- systematic PPS --------------------------------------------------
+
+    #[test]
+    fn systematic_pps_draws_exactly_n_distinct() {
+        let weights: Vec<f64> = (0..60).map(|i| 0.2 + f64::from(i % 9)).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [1usize, 5, 20, 59] {
+            let d = systematic_pps_sample(&mut rng, &weights, n).unwrap();
+            assert_eq!(d.len(), n);
+            let set: HashSet<usize> = d.iter().map(|x| x.index).collect();
+            assert_eq!(set.len(), n, "duplicates at n={n}");
+            for x in &d {
+                assert!(x.initial_probability > 0.0 && x.initial_probability <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn systematic_pps_inclusion_probabilities_are_exact() {
+        // Empirical inclusion frequency must match π_i = min(1, n·w/Σw)
+        // — the property that makes Horvitz–Thompson exactly unbiased.
+        let weights = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let n = 2;
+        let trials = 40_000u32;
+        let mut hits = [0u32; 5];
+        let mut rng = StdRng::seed_from_u64(23);
+        for _ in 0..trials {
+            for d in systematic_pps_sample(&mut rng, &weights, n).unwrap() {
+                hits[d.index] += 1;
+            }
+        }
+        // π₀ = min(1, 2·8/16) = 1 (certainty); the rest share budget 1
+        // over total 8: π₁ = 4/8, π₂ = 2/8, π₃ = π₄ = 1/8.
+        let want = [1.0, 0.5, 0.25, 0.125, 0.125];
+        for (i, &w) in want.iter().enumerate() {
+            let got = f64::from(hits[i]) / f64::from(trials);
+            assert!((got - w).abs() < 0.01, "π_{i}: got {got}, want {w}");
+        }
+    }
+
+    #[test]
+    fn systematic_pps_reported_probabilities_match_design() {
+        let weights = [8.0, 4.0, 2.0, 1.0, 1.0];
+        let mut rng = StdRng::seed_from_u64(5);
+        let d = systematic_pps_sample(&mut rng, &weights, 2).unwrap();
+        for x in &d {
+            let want = match x.index {
+                0 => 1.0,
+                1 => 0.5,
+                2 => 0.25,
+                _ => 0.125,
+            };
+            assert!(
+                (x.initial_probability - want).abs() < 1e-12,
+                "index {}: {} vs {want}",
+                x.index,
+                x.initial_probability
+            );
+        }
+    }
+
+    #[test]
+    fn systematic_pps_uniform_weights_reduce_to_srs() {
+        let weights = vec![1.0; 30];
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = systematic_pps_sample(&mut rng, &weights, 10).unwrap();
+        assert_eq!(d.len(), 10);
+        for x in &d {
+            assert!((x.initial_probability - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn systematic_pps_validates_input() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(systematic_pps_sample(&mut rng, &[], 1).is_err());
+        assert!(systematic_pps_sample(&mut rng, &[1.0], 2).is_err());
+        assert!(systematic_pps_sample(&mut rng, &[f64::NAN, 1.0], 1).is_err());
+        assert!(systematic_pps_sample(&mut rng, &[0.0, 0.0], 1).is_err());
+        let d = systematic_pps_sample(&mut rng, &[1.0, 2.0], 0).unwrap();
+        assert!(d.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for statistical routines.
+
+use std::fmt;
+
+/// Errors produced by statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// A probability argument was outside `(0, 1)` (or `[0, 1]` where noted).
+    InvalidProbability {
+        /// The offending value.
+        value: f64,
+    },
+    /// A degrees-of-freedom argument was not strictly positive.
+    InvalidDegreesOfFreedom {
+        /// The offending value.
+        value: f64,
+    },
+    /// An input slice was empty where at least one element is required.
+    EmptyInput,
+    /// A numeric argument was NaN or infinite where a finite value is required.
+    NonFinite {
+        /// Name of the offending argument.
+        name: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A sample size argument was invalid (zero, or larger than the population).
+    InvalidSampleSize {
+        /// The requested sample size.
+        n: usize,
+        /// The population size, if applicable.
+        population: Option<usize>,
+    },
+    /// An iterative numeric routine failed to converge.
+    NoConvergence {
+        /// Name of the routine.
+        routine: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::InvalidProbability { value } => {
+                write!(f, "probability must lie in (0, 1), got {value}")
+            }
+            StatsError::InvalidDegreesOfFreedom { value } => {
+                write!(f, "degrees of freedom must be positive, got {value}")
+            }
+            StatsError::EmptyInput => write!(f, "input slice must be non-empty"),
+            StatsError::NonFinite { name, value } => {
+                write!(f, "argument `{name}` must be finite, got {value}")
+            }
+            StatsError::InvalidSampleSize { n, population } => match population {
+                Some(pop) => write!(f, "sample size {n} invalid for population of {pop}"),
+                None => write!(f, "sample size {n} is invalid"),
+            },
+            StatsError::NoConvergence { routine } => {
+                write!(f, "numeric routine `{routine}` failed to converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+/// Convenience result alias used throughout the crate.
+pub type StatsResult<T> = Result<T, StatsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StatsError::InvalidProbability { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        let e = StatsError::InvalidSampleSize {
+            n: 10,
+            population: Some(5),
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('5'));
+        let e = StatsError::NoConvergence { routine: "betacf" };
+        assert!(e.to_string().contains("betacf"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(StatsError::EmptyInput, StatsError::EmptyInput);
+        assert_ne!(
+            StatsError::EmptyInput,
+            StatsError::InvalidProbability { value: 0.0 }
+        );
+    }
+}

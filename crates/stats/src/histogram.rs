@@ -1,0 +1,171 @@
+//! Fixed-width histograms.
+//!
+//! Used by the reproduction harness to summarize classifier-score
+//! distributions (Figure 1's heat-map data) and estimate distributions.
+
+use crate::error::{StatsError, StatsResult};
+use serde::{Deserialize, Serialize};
+
+/// A fixed-bin histogram over `[min, max)` with an explicit overflow rule:
+/// values exactly at `max` land in the last bin; values outside the range
+/// are counted separately.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    below: u64,
+    above: u64,
+    total_in_range: u64,
+}
+
+impl Histogram {
+    /// Create a histogram with `bins` equal-width bins over `[min, max)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `bins == 0`, the bounds are not finite, or
+    /// `min >= max`.
+    pub fn new(min: f64, max: f64, bins: usize) -> StatsResult<Self> {
+        if bins == 0 {
+            return Err(StatsError::InvalidSampleSize {
+                n: 0,
+                population: None,
+            });
+        }
+        if !min.is_finite() {
+            return Err(StatsError::NonFinite {
+                name: "min",
+                value: min,
+            });
+        }
+        if !max.is_finite() || max <= min {
+            return Err(StatsError::NonFinite {
+                name: "max",
+                value: max,
+            });
+        }
+        Ok(Self {
+            min,
+            max,
+            counts: vec![0; bins],
+            below: 0,
+            above: 0,
+            total_in_range: 0,
+        })
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Bin width.
+    pub fn bin_width(&self) -> f64 {
+        (self.max - self.min) / self.counts.len() as f64
+    }
+
+    /// Add an observation.
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            return;
+        }
+        if x < self.min {
+            self.below += 1;
+        } else if x > self.max {
+            self.above += 1;
+        } else {
+            let mut idx = ((x - self.min) / self.bin_width()) as usize;
+            if idx >= self.counts.len() {
+                idx = self.counts.len() - 1; // x == max
+            }
+            self.counts[idx] += 1;
+            self.total_in_range += 1;
+        }
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of observations below `min` / above `max`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        self.min + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Normalized bin frequencies (fractions of in-range observations).
+    pub fn frequencies(&self) -> Vec<f64> {
+        let total = self.total_in_range.max(1) as f64;
+        self.counts.iter().map(|&c| c as f64 / total).collect()
+    }
+
+    /// Total observations that fell inside the range.
+    pub fn total(&self) -> u64 {
+        self.total_in_range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_values_correctly() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        for &x in &[0.0, 0.1, 0.3, 0.6, 0.9, 1.0] {
+            h.add(x);
+        }
+        assert_eq!(h.counts(), &[2, 1, 1, 2]); // 1.0 lands in last bin
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(-0.5);
+        h.add(2.0);
+        h.add(0.5);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn nan_ignored() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(f64::NAN);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.out_of_range(), (0, 0));
+    }
+
+    #[test]
+    fn centers_and_frequencies() {
+        let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+        assert!((h.bin_center(0) - 1.0).abs() < 1e-12);
+        assert!((h.bin_center(4) - 9.0).abs() < 1e-12);
+        h.add(1.0);
+        h.add(1.5);
+        h.add(9.0);
+        let f = h.frequencies();
+        assert!((f[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((f[4] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructor_rejects_bad_args() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 0.0, 3).is_err());
+        assert!(Histogram::new(0.0, f64::INFINITY, 3).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 3).is_err());
+    }
+}

@@ -1,0 +1,357 @@
+//! Special functions: log-gamma, error function, regularized incomplete beta.
+//!
+//! These are the numeric kernels behind the normal and Student-t
+//! distributions. Implementations follow the classical Lanczos,
+//! Lentz-continued-fraction, and Cody (SPECFUN) formulations; accuracy is
+//! ~1e-10 relative for `ln_gamma` and the incomplete beta, and close to
+//! machine precision for `erf`/`erfc`.
+
+#![allow(clippy::excessive_precision)] // reference-grade constants
+
+use crate::error::{StatsError, StatsResult};
+
+/// Lanczos coefficients (g = 7, n = 9).
+const LANCZOS: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_59,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_571_6e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`
+/// (extended to non-integer negative arguments via reflection).
+///
+/// Uses the Lanczos approximation with g = 7, accurate to ~1e-13 relative
+/// over the range used by this workspace (degrees of freedom up to ~1e6).
+pub fn ln_gamma(x: f64) -> f64 {
+    if x < 0.5 {
+        // Reflection formula: Γ(x) Γ(1-x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut acc = LANCZOS[0];
+        for (i, &c) in LANCZOS.iter().enumerate().skip(1) {
+            acc += c / (x + i as f64);
+        }
+        let t = x + 7.5;
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+    }
+}
+
+/// Cody rational-approximation coefficients for `erf` on `|x| <= 0.46875`.
+const ERF_A: [f64; 5] = [
+    3.161_123_743_870_565_6,
+    1.138_641_541_510_501_56e2,
+    3.774_852_376_853_020_2e2,
+    3.209_377_589_138_469_47e3,
+    1.857_777_061_846_031_53e-1,
+];
+const ERF_B: [f64; 4] = [
+    2.360_129_095_234_412_09e1,
+    2.440_246_379_344_441_73e2,
+    1.282_616_526_077_372_28e3,
+    2.844_236_833_439_170_62e3,
+];
+/// Cody coefficients for `erfc` on `0.46875 < |x| <= 4.0`.
+const ERF_C: [f64; 9] = [
+    5.641_884_969_886_700_89e-1,
+    8.883_149_794_388_375_94,
+    6.611_919_063_714_162_95e1,
+    2.986_351_381_974_001_31e2,
+    8.819_522_212_417_690_9e2,
+    1.712_047_612_634_070_58e3,
+    2.051_078_377_826_071_47e3,
+    1.230_339_354_797_997_25e3,
+    2.153_115_354_744_038_46e-8,
+];
+const ERF_D: [f64; 8] = [
+    1.574_492_611_070_983_47e1,
+    1.176_939_508_913_124_99e2,
+    5.371_811_018_620_098_58e2,
+    1.621_389_574_566_690_19e3,
+    3.290_799_235_733_459_63e3,
+    4.362_619_090_143_247_16e3,
+    3.439_367_674_143_721_64e3,
+    1.230_339_354_803_749_42e3,
+];
+/// Cody coefficients for `erfc` on `|x| > 4.0`.
+const ERF_P: [f64; 6] = [
+    3.053_266_349_612_323_44e-1,
+    3.603_448_999_498_044_39e-1,
+    1.257_817_261_112_292_46e-1,
+    1.608_378_514_874_227_66e-2,
+    6.587_491_615_298_378_03e-4,
+    1.631_538_713_730_209_78e-2,
+];
+const ERF_Q: [f64; 5] = [
+    2.568_520_192_289_822_42,
+    1.872_952_849_923_460_47,
+    5.279_051_029_514_284_12e-1,
+    6.051_834_131_244_131_91e-2,
+    2.335_204_976_268_691_85e-3,
+];
+/// `1/√π`.
+const SQRPI: f64 = 5.641_895_835_477_562_87e-1;
+
+/// `erf` kernel for the central region `|x| <= 0.46875`.
+fn erf_small(x: f64) -> f64 {
+    let z = x * x;
+    let mut xnum = ERF_A[4] * z;
+    let mut xden = z;
+    for i in 0..3 {
+        xnum = (xnum + ERF_A[i]) * z;
+        xden = (xden + ERF_B[i]) * z;
+    }
+    x * (xnum + ERF_A[3]) / (xden + ERF_B[3])
+}
+
+/// `erfc` kernel for positive `y` in `(0.46875, 4.0]`.
+fn erfc_mid(y: f64) -> f64 {
+    let mut xnum = ERF_C[8] * y;
+    let mut xden = y;
+    for i in 0..7 {
+        xnum = (xnum + ERF_C[i]) * y;
+        xden = (xden + ERF_D[i]) * y;
+    }
+    let result = (xnum + ERF_C[7]) / (xden + ERF_D[7]);
+    (-y * y).exp() * result
+}
+
+/// `erfc` kernel for positive `y > 4.0`.
+fn erfc_large(y: f64) -> f64 {
+    let z = 1.0 / (y * y);
+    let mut xnum = ERF_P[5] * z;
+    let mut xden = z;
+    for i in 0..4 {
+        xnum = (xnum + ERF_P[i]) * z;
+        xden = (xden + ERF_Q[i]) * z;
+    }
+    let mut result = z * (xnum + ERF_P[4]) / (xden + ERF_Q[4]);
+    result = (SQRPI - result) / y;
+    (-y * y).exp() * result
+}
+
+/// The error function `erf(x)`.
+///
+/// W. J. Cody's rational approximations (as in SPECFUN/CALERF), accurate
+/// to roughly machine precision.
+pub fn erf(x: f64) -> f64 {
+    let y = x.abs();
+    if y <= 0.46875 {
+        erf_small(x)
+    } else {
+        let e = 1.0 - if y <= 4.0 { erfc_mid(y) } else { erfc_large(y) };
+        if x >= 0.0 {
+            e
+        } else {
+            -e
+        }
+    }
+}
+
+/// The complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Evaluated directly in the tails (no catastrophic cancellation for
+/// large positive `x`).
+pub fn erfc(x: f64) -> f64 {
+    let y = x.abs();
+    let tail = if y <= 0.46875 {
+        return 1.0 - erf_small(x);
+    } else if y <= 4.0 {
+        erfc_mid(y)
+    } else {
+        erfc_large(y)
+    };
+    if x >= 0.0 {
+        tail
+    } else {
+        2.0 - tail
+    }
+}
+
+/// Maximum iterations for the incomplete-beta continued fraction.
+const BETACF_MAX_ITER: usize = 300;
+
+/// Continued-fraction evaluation for the incomplete beta function
+/// (modified Lentz's method).
+fn betacf(a: f64, b: f64, x: f64) -> StatsResult<f64> {
+    const FPMIN: f64 = 1e-300;
+    const EPS: f64 = 3e-14;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < FPMIN {
+        d = FPMIN;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=BETACF_MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            return Ok(h);
+        }
+    }
+    Err(StatsError::NoConvergence { routine: "betacf" })
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` for `a, b > 0` and
+/// `x ∈ [0, 1]`.
+///
+/// This is the CDF of the Beta(a, b) distribution and the kernel of the
+/// Student-t CDF.
+pub fn betai(a: f64, b: f64, x: f64) -> StatsResult<f64> {
+    if !(0.0..=1.0).contains(&x) {
+        return Err(StatsError::InvalidProbability { value: x });
+    }
+    if a <= 0.0 || b <= 0.0 {
+        return Err(StatsError::NonFinite {
+            name: "beta shape",
+            value: if a <= 0.0 { a } else { b },
+        });
+    }
+    if x == 0.0 {
+        return Ok(0.0);
+    }
+    if x == 1.0 {
+        return Ok(1.0);
+    }
+    let bt = (ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln()).exp();
+    if x < (a + 1.0) / (a + b + 2.0) {
+        Ok(bt * betacf(a, b, x)? / a)
+    } else {
+        Ok(1.0 - bt * betacf(b, a, 1.0 - x)? / b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(got: f64, want: f64, tol: f64) {
+        assert!(
+            (got - want).abs() <= tol,
+            "got {got}, want {want} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            if n > 1 {
+                fact *= f64::from(n - 1);
+            }
+            assert_close(ln_gamma(f64::from(n)), fact.ln(), 1e-10);
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half_integer() {
+        // Γ(1/2) = √π.
+        assert_close(ln_gamma(0.5), std::f64::consts::PI.sqrt().ln(), 1e-10);
+        // Γ(3/2) = √π / 2.
+        assert_close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-10,
+        );
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from standard tables.
+        assert_close(erf(0.0), 0.0, 1e-12);
+        assert_close(erf(0.5), 0.520_499_877_813_046_5, 1e-12);
+        assert_close(erf(1.0), 0.842_700_792_949_714_9, 1e-12);
+        assert_close(erf(2.0), 0.995_322_265_018_952_7, 1e-12);
+        assert_close(erf(-1.0), -0.842_700_792_949_714_9, 1e-12);
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for &x in &[-3.0, -1.0, -0.2, 0.0, 0.7, 2.5] {
+            assert_close(erf(x) + erfc(x), 1.0, 1e-12);
+        }
+    }
+
+    #[test]
+    fn erf_is_odd_and_monotone() {
+        let xs: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.05).collect();
+        for w in xs.windows(2) {
+            assert!(erf(w[1]) >= erf(w[0]));
+        }
+        for &x in &xs {
+            assert_close(erf(-x), -erf(x), 1e-12);
+        }
+    }
+
+    #[test]
+    fn betai_symmetry_and_bounds() {
+        // I_x(a,b) = 1 - I_{1-x}(b,a).
+        for &(a, b, x) in &[(2.0, 3.0, 0.3), (0.5, 0.5, 0.7), (5.0, 1.0, 0.9)] {
+            let lhs = betai(a, b, x).unwrap();
+            let rhs = 1.0 - betai(b, a, 1.0 - x).unwrap();
+            assert_close(lhs, rhs, 1e-10);
+            assert!((0.0..=1.0).contains(&lhs));
+        }
+    }
+
+    #[test]
+    fn betai_uniform_case() {
+        // Beta(1,1) is uniform: I_x(1,1) = x.
+        for &x in &[0.0, 0.25, 0.5, 0.75, 1.0] {
+            assert_close(betai(1.0, 1.0, x).unwrap(), x, 1e-12);
+        }
+    }
+
+    #[test]
+    fn betai_known_value() {
+        // I_{0.5}(2, 2) = 0.5 by symmetry.
+        assert_close(betai(2.0, 2.0, 0.5).unwrap(), 0.5, 1e-12);
+        // Beta(2,1) CDF is x^2.
+        assert_close(betai(2.0, 1.0, 0.3).unwrap(), 0.09, 1e-10);
+    }
+
+    #[test]
+    fn betai_rejects_bad_args() {
+        assert!(betai(2.0, 2.0, -0.1).is_err());
+        assert!(betai(2.0, 2.0, 1.1).is_err());
+        assert!(betai(-1.0, 2.0, 0.5).is_err());
+        assert!(betai(2.0, 0.0, 0.5).is_err());
+    }
+}

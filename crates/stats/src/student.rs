@@ -1,0 +1,201 @@
+//! Student's t distribution: density, CDF, and quantile.
+//!
+//! The CDF is expressed through the regularized incomplete beta function;
+//! the quantile inverts the CDF with a normal-quantile initial guess and
+//! safeguarded Newton iterations. Used for the `t_{α/2}` critical values
+//! in stratified-sampling confidence intervals (paper §3.1).
+
+use crate::error::{StatsError, StatsResult};
+use crate::normal::norm_quantile;
+use crate::special::{betai, ln_gamma};
+
+/// Student-t probability density with `df` degrees of freedom.
+///
+/// # Errors
+///
+/// Returns an error if `df <= 0` or not finite.
+pub fn t_pdf(x: f64, df: f64) -> StatsResult<f64> {
+    if !df.is_finite() || df <= 0.0 {
+        return Err(StatsError::InvalidDegreesOfFreedom { value: df });
+    }
+    let ln_coef = ln_gamma((df + 1.0) / 2.0)
+        - ln_gamma(df / 2.0)
+        - 0.5 * (df * std::f64::consts::PI).ln();
+    Ok((ln_coef - (df + 1.0) / 2.0 * (1.0 + x * x / df).ln()).exp())
+}
+
+/// Student-t cumulative distribution with `df` degrees of freedom.
+///
+/// # Errors
+///
+/// Returns an error if `df <= 0` or the underlying beta evaluation fails.
+pub fn t_cdf(x: f64, df: f64) -> StatsResult<f64> {
+    if !df.is_finite() || df <= 0.0 {
+        return Err(StatsError::InvalidDegreesOfFreedom { value: df });
+    }
+    let ib = betai(df / 2.0, 0.5, df / (df + x * x))?;
+    Ok(if x >= 0.0 { 1.0 - 0.5 * ib } else { 0.5 * ib })
+}
+
+/// Student-t quantile for probability `p ∈ (0, 1)` with `df` degrees of
+/// freedom.
+///
+/// Inverts [`t_cdf`] with a normal initial guess plus a Cornish–Fisher
+/// correction, followed by safeguarded Newton iterations (bisection
+/// fallback). Self-consistency with [`t_cdf`] is better than 1e-10.
+///
+/// # Errors
+///
+/// Returns an error for invalid `p` or `df`, or (pathologically) if the
+/// iteration fails to converge.
+pub fn t_quantile(p: f64, df: f64) -> StatsResult<f64> {
+    if !p.is_finite() || p <= 0.0 || p >= 1.0 {
+        return Err(StatsError::InvalidProbability { value: p });
+    }
+    if !df.is_finite() || df <= 0.0 {
+        return Err(StatsError::InvalidDegreesOfFreedom { value: df });
+    }
+    // Symmetry lets us work on the upper half only.
+    if p < 0.5 {
+        return Ok(-t_quantile(1.0 - p, df)?);
+    }
+    if (p - 0.5).abs() < 1e-15 {
+        return Ok(0.0);
+    }
+
+    // Initial guess: normal quantile with the leading Cornish-Fisher
+    // expansion term for the t distribution.
+    let z = norm_quantile(p)?;
+    let mut x = z + (z * z * z + z) / (4.0 * df);
+
+    // Bracket the root: the CDF is increasing, target is in (0.5, 1.0).
+    let (mut lo, mut hi) = (0.0f64, x.max(1.0));
+    while t_cdf(hi, df)? < p {
+        hi *= 2.0;
+        if hi > 1e12 {
+            return Err(StatsError::NoConvergence {
+                routine: "t_quantile bracket",
+            });
+        }
+    }
+    if x < lo || x > hi {
+        x = 0.5 * (lo + hi);
+    }
+
+    for _ in 0..100 {
+        let f = t_cdf(x, df)? - p;
+        if f.abs() < 1e-13 {
+            return Ok(x);
+        }
+        if f > 0.0 {
+            hi = x;
+        } else {
+            lo = x;
+        }
+        let d = t_pdf(x, df)?;
+        let newton = x - f / d;
+        x = if newton > lo && newton < hi {
+            newton
+        } else {
+            0.5 * (lo + hi)
+        };
+        if (hi - lo) < 1e-14 * (1.0 + x.abs()) {
+            return Ok(x);
+        }
+    }
+    Ok(x)
+}
+
+/// Two-sided critical value `t_{α/2, df}` for confidence level `1 − α`.
+///
+/// # Errors
+///
+/// Returns an error if `level` is outside `(0, 1)` or `df <= 0`.
+pub fn t_critical(level: f64, df: f64) -> StatsResult<f64> {
+    if !level.is_finite() || level <= 0.0 || level >= 1.0 {
+        return Err(StatsError::InvalidProbability { value: level });
+    }
+    t_quantile(0.5 + level / 2.0, df)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(got: f64, want: f64, tol: f64) {
+        assert!(
+            (got - want).abs() <= tol,
+            "got {got}, want {want} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn cdf_reference_values() {
+        // t with 1 df is Cauchy: CDF(1) = 3/4.
+        assert_close(t_cdf(1.0, 1.0).unwrap(), 0.75, 1e-10);
+        assert_close(t_cdf(0.0, 5.0).unwrap(), 0.5, 1e-12);
+        // Classic table values.
+        assert_close(t_cdf(2.228, 10.0).unwrap(), 0.975, 5e-4);
+        assert_close(t_cdf(1.812, 10.0).unwrap(), 0.95, 5e-4);
+    }
+
+    #[test]
+    fn quantile_reference_values() {
+        // Standard t-table critical values.
+        assert_close(t_quantile(0.975, 10.0).unwrap(), 2.228_138_852, 1e-6);
+        assert_close(t_quantile(0.975, 1.0).unwrap(), 12.706_204_74, 1e-4);
+        assert_close(t_quantile(0.95, 30.0).unwrap(), 1.697_260_887, 1e-6);
+        assert_close(t_quantile(0.025, 10.0).unwrap(), -2.228_138_852, 1e-6);
+    }
+
+    #[test]
+    fn quantile_roundtrips_cdf() {
+        for &df in &[1.0, 2.0, 5.0, 10.0, 30.0, 200.0] {
+            for i in 1..40 {
+                let p = f64::from(i) / 40.0;
+                let x = t_quantile(p, df).unwrap();
+                assert_close(t_cdf(x, df).unwrap(), p, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn converges_to_normal_for_large_df() {
+        let z = crate::normal::norm_quantile(0.975).unwrap();
+        let t = t_quantile(0.975, 1e6).unwrap();
+        assert_close(t, z, 1e-4);
+    }
+
+    #[test]
+    fn pdf_integrates_to_cdf_difference() {
+        // Trapezoid integration of the pdf should match the CDF.
+        let df = 7.0;
+        let (a, b) = (-2.0, 1.5);
+        let steps = 20_000;
+        let h = (b - a) / steps as f64;
+        let mut integral = 0.0;
+        for i in 0..steps {
+            let x0 = a + i as f64 * h;
+            let x1 = x0 + h;
+            integral += 0.5 * h * (t_pdf(x0, df).unwrap() + t_pdf(x1, df).unwrap());
+        }
+        let want = t_cdf(b, df).unwrap() - t_cdf(a, df).unwrap();
+        assert_close(integral, want, 1e-7);
+    }
+
+    #[test]
+    fn rejects_invalid_arguments() {
+        assert!(t_cdf(0.0, 0.0).is_err());
+        assert!(t_cdf(0.0, -1.0).is_err());
+        assert!(t_quantile(0.0, 5.0).is_err());
+        assert!(t_quantile(0.5, f64::NAN).is_err());
+        assert!(t_pdf(1.0, 0.0).is_err());
+        assert!(t_critical(1.5, 5.0).is_err());
+    }
+
+    #[test]
+    fn critical_values_match_tables() {
+        assert_close(t_critical(0.95, 10.0).unwrap(), 2.228_138_852, 1e-6);
+        assert_close(t_critical(0.99, 5.0).unwrap(), 4.032_142_983, 1e-5);
+    }
+}

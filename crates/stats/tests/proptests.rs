@@ -1,0 +1,97 @@
+//! Property-based tests for the statistical kernels.
+
+use lts_stats::{
+    norm_cdf, norm_quantile, quantile_type7, t_cdf, t_quantile, wald_proportion,
+    wilson_proportion, IntervalKind, RunningStats, Summary,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn normal_quantile_roundtrips(p in 1e-6f64..=0.999999) {
+        let x = norm_quantile(p).unwrap();
+        prop_assert!((norm_cdf(x) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn normal_cdf_monotone(a in -8.0f64..8.0, b in -8.0f64..8.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(norm_cdf(lo) <= norm_cdf(hi) + 1e-15);
+    }
+
+    #[test]
+    fn t_quantile_roundtrips(p in 0.001f64..=0.999, df in 1.0f64..200.0) {
+        let x = t_quantile(p, df).unwrap();
+        prop_assert!((t_cdf(x, df).unwrap() - p).abs() < 1e-8);
+    }
+
+    #[test]
+    fn t_is_symmetric(x in 0.0f64..30.0, df in 1.0f64..100.0) {
+        let upper = t_cdf(x, df).unwrap();
+        let lower = t_cdf(-x, df).unwrap();
+        prop_assert!((upper + lower - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn wald_and_wilson_contain_p_hat_center(
+        k in 0usize..50,
+        extra in 1usize..50,
+        level in 0.5f64..0.999,
+    ) {
+        let n = k + extra;
+        let p_hat = k as f64 / n as f64;
+        let wald = wald_proportion(p_hat, n, None, level).unwrap();
+        prop_assert!(wald.contains(p_hat));
+        let wilson = wilson_proportion(k, n, None, level).unwrap();
+        // Wilson recenters, but must still lie within [0, 1] and have
+        // positive width for interior levels.
+        prop_assert!(wilson.lo >= 0.0 && wilson.hi <= 1.0);
+        prop_assert!(wilson.width() > 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q(
+        mut xs in proptest::collection::vec(-1e3f64..1e3, 2..40),
+        q1 in 0.0f64..=1.0,
+        q2 in 0.0f64..=1.0,
+    ) {
+        xs.sort_by(f64::total_cmp);
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile_type7(&xs, lo).unwrap();
+        let b = quantile_type7(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+
+    #[test]
+    fn welford_matches_two_pass(xs in proptest::collection::vec(-1e4f64..1e4, 2..60)) {
+        let mut acc = RunningStats::new();
+        for &x in &xs {
+            acc.push(x);
+        }
+        let mean: f64 = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / (xs.len() - 1) as f64;
+        prop_assert!((acc.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+        prop_assert!((acc.sample_variance().unwrap() - var).abs() < 1e-5 * (1.0 + var));
+    }
+
+    #[test]
+    fn summary_orders_quartiles(xs in proptest::collection::vec(-1e3f64..1e3, 1..50)) {
+        let s = Summary::from_slice(&xs).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-12);
+        prop_assert!(s.q1 <= s.median + 1e-12);
+        prop_assert!(s.median <= s.q3 + 1e-12);
+        prop_assert!(s.q3 <= s.max + 1e-12);
+        prop_assert!(s.iqr() >= 0.0);
+    }
+
+    #[test]
+    fn census_intervals_collapse(k in 0usize..40, level in 0.6f64..0.99) {
+        // With the finite-population correction and n = N, Wald width is 0.
+        let n = k + 10;
+        let p_hat = k as f64 / n as f64;
+        let wald = wald_proportion(p_hat, n, Some(n), level).unwrap();
+        prop_assert!(wald.width() < 1e-12);
+        let _ = IntervalKind::Wald;
+    }
+}

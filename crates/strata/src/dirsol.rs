@@ -1,0 +1,389 @@
+//! DirSol: the (almost) exact stratification algorithm for `H = 3`
+//! (paper §4.2.1, Appendix A, Theorem 1).
+//!
+//! For every pair `(i, j)` of pilot indices — pilot `i` is the last
+//! sampled object of stratum 1, pilot `j` the first of stratum 3 — the
+//! within-stratum variances `s₁, s₂, s₃` are fixed, and the objective
+//! becomes the bivariate quadratic
+//! `f(N₁, N₃) = a₁N₁² + a₂N₃² + a₃N₁N₃ + a₄N₁ + a₅N₃ + a₆`
+//! minimized over the constraint polygon `R`. We enumerate the critical
+//! point (or valley line, since the Hessian is singular whenever the
+//! coefficients share the structural form), the five edge minima, and
+//! the polygon corners, snap each candidate to nearby feasible integer
+//! points, and keep the best.
+
+use crate::design::{Allocation, DesignParams, Stratification};
+use crate::error::{StrataError, StrataResult};
+use crate::objective::evaluate_cuts;
+use crate::pilot::PilotIndex;
+
+/// Coefficients of `f(N1, N3)` for one `(i, j)` pair. The constant term
+/// `a6` of the paper's expansion is irrelevant to the argmin and omitted
+/// (final variances come from re-evaluating the exact objective).
+#[derive(Debug, Clone, Copy)]
+struct Quad {
+    a1: f64,
+    a2: f64,
+    a3: f64,
+    a4: f64,
+    a5: f64,
+}
+
+impl Quad {
+    fn from_sds(s1: f64, s2: f64, s3: f64, n: f64, nn: f64) -> Self {
+        Self {
+            a1: (s1 - s2) * (s1 - s2) / n,
+            a2: (s3 - s2) * (s3 - s2) / n,
+            a3: 2.0 * (s1 - s2) * (s3 - s2) / n,
+            a4: 2.0 * (s1 - s2) * nn * s2 / n - (s1 * s1 - s2 * s2),
+            a5: 2.0 * (s3 - s2) * nn * s2 / n - (s3 * s3 - s2 * s2),
+        }
+    }
+}
+
+/// Feasible region for `(N1, N3)`: box `[l1,u1] × [l3,u3]` intersected
+/// with `N1 + N3 <= cap`.
+#[derive(Debug, Clone, Copy)]
+struct Region {
+    l1: f64,
+    u1: f64,
+    l3: f64,
+    u3: f64,
+    cap: f64,
+}
+
+impl Region {
+    fn contains(&self, x: f64, y: f64) -> bool {
+        x >= self.l1 - 1e-9
+            && x <= self.u1 + 1e-9
+            && y >= self.l3 - 1e-9
+            && y <= self.u3 + 1e-9
+            && x + y <= self.cap + 1e-9
+    }
+}
+
+/// Run DirSol. Requires `params.n_strata == 3`.
+///
+/// # Errors
+///
+/// Returns [`StrataError::Unsupported`] for `H != 3`, or infeasibility
+/// errors when the pilot cannot support three strata.
+pub fn dirsol(
+    pilot: &PilotIndex,
+    params: &DesignParams,
+    allocation: Allocation,
+) -> StrataResult<Stratification> {
+    if params.n_strata != 3 {
+        return Err(StrataError::Unsupported {
+            message: format!("DirSol handles H = 3 only, got H = {}", params.n_strata),
+        });
+    }
+    params.check_feasible(pilot)?;
+    let m = pilot.m();
+    let nn = pilot.n_objects();
+    let mu = params.min_pilots_per_stratum;
+    let nu = params.min_stratum_size;
+    let n_budget = params.budget as f64;
+
+    let mut best: Option<Stratification> = None;
+
+    // i, j are 1-indexed pilot counts as in the paper: stratum 1 holds
+    // pilots 1..=i, stratum 2 holds i+1..=j-1, stratum 3 holds j..=m.
+    for i in mu..m {
+        let Some(s1_sq) = pilot.s2_for_pilot_range(0, i) else {
+            continue;
+        };
+        for j in (i + mu + 1)..=(m - mu + 1) {
+            let Some(s2_sq) = pilot.s2_for_pilot_range(i, j - 1) else {
+                continue;
+            };
+            let Some(s3_sq) = pilot.s2_for_pilot_range(j - 1, m) else {
+                continue;
+            };
+            // Constraint polygon.
+            let l1 = (pilot.position(i - 1) + 1).max(nu);
+            let u1 = pilot.position(i);
+            let l3 = (nn - pilot.position(j - 1)).max(nu);
+            let u3 = nn - pilot.position(j - 2) - 1;
+            let cap = nn - nu;
+            if l1 > u1 || l3 > u3 || l1 + l3 > cap {
+                continue;
+            }
+            let region = Region {
+                l1: l1 as f64,
+                u1: u1 as f64,
+                l3: l3 as f64,
+                u3: u3 as f64,
+                cap: cap as f64,
+            };
+            let quad = Quad::from_sds(
+                s1_sq.max(0.0).sqrt(),
+                s2_sq.max(0.0).sqrt(),
+                s3_sq.max(0.0).sqrt(),
+                n_budget,
+                nn as f64,
+            );
+
+            for (x, y) in candidates(&quad, &region) {
+                try_candidate(pilot, params, allocation, &region, x, y, &mut best);
+            }
+        }
+    }
+
+    best.ok_or_else(|| StrataError::Infeasible {
+        message: "DirSol found no feasible 3-way stratification".into(),
+    })
+}
+
+/// Enumerate real-valued candidate minimizers: critical point / valley
+/// samples, edge minima, and corners.
+fn candidates(q: &Quad, r: &Region) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(24);
+
+    // Corners of the box (the diagonal constraint is handled by
+    // clamping during integer snapping).
+    out.push((r.l1, r.l3));
+    out.push((r.l1, r.u3.min(r.cap - r.l1)));
+    out.push((r.u1, r.l3));
+    out.push((r.u1, r.u3.min(r.cap - r.u1)));
+
+    // Interior critical point (unique-solution case).
+    let det = 4.0 * q.a1 * q.a2 - q.a3 * q.a3;
+    let scale = (q.a1.abs() + q.a2.abs() + q.a3.abs()).max(1e-300);
+    if det.abs() > 1e-12 * scale * scale {
+        let x = (q.a3 * q.a5 - 2.0 * q.a2 * q.a4) / det;
+        let y = (q.a3 * q.a4 - 2.0 * q.a1 * q.a5) / det;
+        if r.contains(x, y) {
+            out.push((x, y));
+        }
+    } else if q.a3.abs() > 1e-300 {
+        // Degenerate (parabolic-cylinder) case: sample the valley line
+        // 2·a1·x + a3·y + a4 = 0 across the feasible x-range.
+        for t in 0..=4 {
+            let x = r.l1 + (r.u1 - r.l1) * f64::from(t) / 4.0;
+            let y = -(2.0 * q.a1 * x + q.a4) / q.a3;
+            out.push((x, y));
+        }
+    }
+
+    // Vertical edges x = l1, x = u1: minimize over y.
+    for x in [r.l1, r.u1] {
+        if q.a2 > 0.0 {
+            out.push((x, -(q.a3 * x + q.a5) / (2.0 * q.a2)));
+        }
+    }
+    // Horizontal edges y = l3, y = u3: minimize over x.
+    for y in [r.l3, r.u3] {
+        if q.a1 > 0.0 {
+            out.push((-(q.a3 * y + q.a4) / (2.0 * q.a1), y));
+        }
+    }
+    // Diagonal edge x + y = cap.
+    let a = q.a1 + q.a2 - q.a3;
+    let b = -2.0 * q.a2 * r.cap + q.a3 * r.cap + q.a4 - q.a5;
+    if a > 0.0 {
+        let x = -b / (2.0 * a);
+        out.push((x, r.cap - x));
+    }
+    out
+}
+
+/// Snap a real candidate to nearby feasible integer points and keep the
+/// best (scored with the exact objective so all `(i, j)` pairs compare
+/// on equal footing).
+#[allow(clippy::too_many_arguments)]
+fn try_candidate(
+    pilot: &PilotIndex,
+    params: &DesignParams,
+    allocation: Allocation,
+    r: &Region,
+    x: f64,
+    y: f64,
+    best: &mut Option<Stratification>,
+) {
+    let nn = pilot.n_objects();
+    let x_opts = [x.floor(), x.ceil()];
+    for &xf in &x_opts {
+        let xi = xf.clamp(r.l1, r.u1);
+        if xi.fract() != 0.0 {
+            continue;
+        }
+        let y_cap = r.u3.min(r.cap - xi);
+        if y_cap < r.l3 {
+            continue; // no feasible N3 for this N1
+        }
+        for yf in [y.floor(), y.ceil(), y_cap.floor()] {
+            let yi = yf.clamp(r.l3, y_cap);
+            if yi.fract() != 0.0 || yi < r.l3 - 0.5 {
+                continue;
+            }
+            if !r.contains(xi, yi) {
+                continue;
+            }
+            let n1 = xi as usize;
+            let n3 = yi as usize;
+            if n1 + n3 >= nn {
+                continue;
+            }
+            let cuts = vec![n1, nn - n3];
+            if let Some(v) = evaluate_cuts(pilot, &cuts, params, allocation) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| v < b.estimated_variance)
+                {
+                    *best = Some(Stratification {
+                        cuts,
+                        estimated_variance: v,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::brute_force;
+
+    fn pilot_with_pattern(n_objects: usize, m: usize, flip_at: f64, seed: u64) -> PilotIndex {
+        // Pilots spread over the population; labels mostly negative
+        // before `flip_at` fraction, mostly positive after, with noise.
+        let mut state = seed;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let entries: Vec<(usize, bool)> = (0..m)
+            .map(|k| {
+                let pos = k * n_objects / m + (k % 2);
+                let frac = pos as f64 / n_objects as f64;
+                let p_pos = if frac < flip_at { 0.1 } else { 0.9 };
+                (pos.min(n_objects - 1), next() < p_pos)
+            })
+            .collect();
+        PilotIndex::new(n_objects, entries).unwrap()
+    }
+
+    fn params() -> DesignParams {
+        DesignParams {
+            n_strata: 3,
+            budget: 8,
+            min_stratum_size: 3,
+            min_pilots_per_stratum: 2,
+            epsilon: 1.0,
+        }
+    }
+
+    #[test]
+    fn rejects_wrong_h() {
+        let pilot = pilot_with_pattern(60, 12, 0.5, 1);
+        let bad = DesignParams {
+            n_strata: 4,
+            ..params()
+        };
+        assert!(matches!(
+            dirsol(&pilot, &bad, Allocation::Neyman),
+            Err(StrataError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn close_to_brute_force_on_small_inputs() {
+        // Theorem 1: DirSol is within (1 + O(1/N⊔)) of optimal. On small
+        // random instances we check it is close to the brute-force
+        // optimum (allowing the theorem's slack).
+        for seed in [1u64, 2, 3, 4, 5] {
+            let pilot = pilot_with_pattern(48, 12, 0.55, seed);
+            let p = params();
+            let exact = brute_force(&pilot, &p, Allocation::Neyman).unwrap();
+            let ds = dirsol(&pilot, &p, Allocation::Neyman).unwrap();
+            let nu = p.min_stratum_size as f64;
+            let n = p.budget as f64;
+            let factor = 1.0 + 2.0 / nu + 2.0 / (nu - n).abs().max(1.0)
+                + 4.0 / (nu * (nu - n).abs().max(1.0));
+            // Variances can be ~0 at the optimum; compare with an
+            // absolute slack as well.
+            assert!(
+                ds.estimated_variance <= exact.estimated_variance.abs() * factor + 1e-6,
+                "seed {seed}: dirsol {} vs exact {}",
+                ds.estimated_variance,
+                exact.estimated_variance
+            );
+        }
+    }
+
+    #[test]
+    fn clean_split_found_exactly() {
+        // Pilots: negatives, a mixed middle, positives. Parameters
+        // respect the paper's Theorem-1 assumption N⊔ > n.
+        let entries: Vec<(usize, bool)> = vec![
+            (0, false),
+            (4, false),
+            (8, false),
+            (12, false),
+            (16, false),
+            (20, true),
+            (24, false),
+            (28, true),
+            (32, true),
+            (36, true),
+            (40, true),
+            (44, true),
+        ];
+        let pilot = PilotIndex::new(48, entries).unwrap();
+        let p = DesignParams {
+            budget: 4,
+            min_stratum_size: 8, // N⊔ > n, per Theorem 1
+            ..params()
+        };
+        let ds = dirsol(&pilot, &p, Allocation::Neyman).unwrap();
+        assert_eq!(ds.cuts.len(), 2);
+        let exact = brute_force(&pilot, &p, Allocation::Neyman).unwrap();
+        // Within the Theorem-1 factor of the optimum (generously).
+        assert!(
+            ds.estimated_variance <= exact.estimated_variance.abs() * 2.5 + 1e-6,
+            "dirsol {} vs exact {} ({:?})",
+            ds.estimated_variance,
+            exact.estimated_variance,
+            ds.cuts
+        );
+        // The mixed pilots (positions 20, 24, 28) end up inside the
+        // middle stratum, not split across the homogeneous ones.
+        assert!(ds.cuts[0] <= 20 && ds.cuts[1] > 24, "{:?}", ds.cuts);
+    }
+
+    #[test]
+    fn respects_constraints() {
+        let pilot = pilot_with_pattern(90, 18, 0.4, 9);
+        let p = DesignParams {
+            min_stratum_size: 10,
+            ..params()
+        };
+        let ds = dirsol(&pilot, &p, Allocation::Neyman).unwrap();
+        let sizes = ds.stratum_sizes(90);
+        assert!(sizes.iter().all(|&s| s >= 10), "{sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>(), 90);
+    }
+
+    #[test]
+    fn proportional_allocation_works_too() {
+        let pilot = pilot_with_pattern(60, 12, 0.5, 3);
+        let ds = dirsol(&pilot, &params(), Allocation::Proportional).unwrap();
+        let exact = brute_force(&pilot, &params(), Allocation::Proportional).unwrap();
+        assert!(
+            ds.estimated_variance <= exact.estimated_variance * 2.0 + 1e-6,
+            "dirsol {} vs exact {}",
+            ds.estimated_variance,
+            exact.estimated_variance
+        );
+    }
+
+    #[test]
+    fn infeasible_pilot_errors() {
+        let pilot = PilotIndex::new(10, vec![(0, true), (5, false)]).unwrap();
+        assert!(dirsol(&pilot, &params(), Allocation::Neyman).is_err());
+    }
+}

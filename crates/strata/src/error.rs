@@ -1,0 +1,68 @@
+//! Error types for stratification design.
+
+use std::fmt;
+
+/// Errors produced by the stratification-design algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StrataError {
+    /// Invalid design parameter.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        message: String,
+    },
+    /// The pilot sample cannot support the requested design (too few
+    /// pilots, strata, or objects).
+    Infeasible {
+        /// Description of the infeasibility.
+        message: String,
+    },
+    /// Pilot sample construction problems (duplicate/out-of-range
+    /// positions).
+    InvalidPilot {
+        /// Description of the violation.
+        message: String,
+    },
+    /// The algorithm does not support the requested configuration
+    /// (e.g. DirSol with `H != 3`).
+    Unsupported {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for StrataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrataError::InvalidParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            StrataError::Infeasible { message } => write!(f, "infeasible design: {message}"),
+            StrataError::InvalidPilot { message } => write!(f, "invalid pilot sample: {message}"),
+            StrataError::Unsupported { message } => write!(f, "unsupported: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for StrataError {}
+
+/// Convenience result alias.
+pub type StrataResult<T> = Result<T, StrataError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        let e = StrataError::Infeasible {
+            message: "only 3 pilots".into(),
+        };
+        assert!(e.to_string().contains("3 pilots"));
+        let e = StrataError::Unsupported {
+            message: "DirSol needs H = 3".into(),
+        };
+        assert!(e.to_string().contains("H = 3"));
+    }
+}

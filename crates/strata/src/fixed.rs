@@ -1,0 +1,135 @@
+//! Fixed strata layouts (§5.4.1 baselines).
+//!
+//! *Fixed height* splits the ordered population into `H` equal-count
+//! ranges. *Fixed width* splits the **score domain** into `H`
+//! equal-width intervals — on skewed score distributions this produces
+//! unequal (possibly empty) strata, which is exactly why the paper's
+//! optimized layouts beat it.
+
+use crate::error::{StrataError, StrataResult};
+
+/// Equal-count cuts: stratum `h` gets `⌊N/H⌋` or `⌈N/H⌉` objects.
+///
+/// # Errors
+///
+/// Returns an error if `H < 2` or `H > N`.
+pub fn fixed_height_cuts(n_objects: usize, n_strata: usize) -> StrataResult<Vec<usize>> {
+    if n_strata < 2 {
+        return Err(StrataError::InvalidParameter {
+            name: "n_strata",
+            message: "need at least 2 strata".into(),
+        });
+    }
+    if n_strata > n_objects {
+        return Err(StrataError::Infeasible {
+            message: format!("{n_strata} strata over {n_objects} objects"),
+        });
+    }
+    Ok((1..n_strata)
+        .map(|h| h * n_objects / n_strata)
+        .collect())
+}
+
+/// Equal score-width cuts over a population sorted ascending by score.
+///
+/// Cut `h` is placed at the first object whose score reaches
+/// `min + h·(max−min)/H`. Adjacent cuts may coincide when a score band
+/// is empty; the result is deduplicated and strictly increasing, so the
+/// caller may receive fewer than `H − 1` cuts (fewer, wider strata) —
+/// faithful to how fixed-width gridding behaves on skewed data.
+///
+/// # Errors
+///
+/// Returns an error if `H < 2`, scores are empty, or scores are not
+/// sorted ascending.
+pub fn fixed_width_cuts(sorted_scores: &[f64], n_strata: usize) -> StrataResult<Vec<usize>> {
+    if n_strata < 2 {
+        return Err(StrataError::InvalidParameter {
+            name: "n_strata",
+            message: "need at least 2 strata".into(),
+        });
+    }
+    if sorted_scores.is_empty() {
+        return Err(StrataError::Infeasible {
+            message: "no scores".into(),
+        });
+    }
+    if sorted_scores.windows(2).any(|w| w[0] > w[1]) {
+        return Err(StrataError::InvalidParameter {
+            name: "sorted_scores",
+            message: "scores must be sorted ascending".into(),
+        });
+    }
+    let min = sorted_scores[0];
+    let max = *sorted_scores.last().expect("non-empty");
+    let n = sorted_scores.len();
+    if max <= min {
+        // All scores identical: no informative cuts.
+        return Ok(Vec::new());
+    }
+    let width = (max - min) / n_strata as f64;
+    let mut cuts = Vec::with_capacity(n_strata - 1);
+    for h in 1..n_strata {
+        let threshold = min + h as f64 * width;
+        let cut = sorted_scores.partition_point(|&s| s < threshold);
+        if cut > 0 && cut < n && cuts.last().is_none_or(|&c| cut > c) {
+            cuts.push(cut);
+        }
+    }
+    Ok(cuts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_height_is_balanced() {
+        let cuts = fixed_height_cuts(100, 4).unwrap();
+        assert_eq!(cuts, vec![25, 50, 75]);
+        let cuts = fixed_height_cuts(10, 3).unwrap();
+        assert_eq!(cuts, vec![3, 6]);
+        // Sizes differ by at most 1.
+        let sizes = [3, 3, 4];
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn fixed_height_validation() {
+        assert!(fixed_height_cuts(10, 1).is_err());
+        assert!(fixed_height_cuts(3, 4).is_err());
+    }
+
+    #[test]
+    fn fixed_width_uniform_scores() {
+        let scores: Vec<f64> = (0..100).map(|i| f64::from(i) / 100.0).collect();
+        let cuts = fixed_width_cuts(&scores, 4).unwrap();
+        assert_eq!(cuts, vec![25, 50, 75]);
+    }
+
+    #[test]
+    fn fixed_width_skewed_scores_collapse_strata() {
+        // 90 scores at ~0, 10 spread to 1.0: most width-cuts fall in the
+        // empty band and dedupe away.
+        let mut scores = vec![0.001; 90];
+        scores.extend((0..10).map(|i| 0.9 + f64::from(i) * 0.01));
+        let cuts = fixed_width_cuts(&scores, 4).unwrap();
+        assert!(cuts.len() < 3, "skew should collapse strata: {cuts:?}");
+        for w in cuts.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn fixed_width_constant_scores() {
+        let scores = vec![0.5; 20];
+        assert!(fixed_width_cuts(&scores, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn fixed_width_validation() {
+        assert!(fixed_width_cuts(&[], 3).is_err());
+        assert!(fixed_width_cuts(&[0.1, 0.2], 1).is_err());
+        assert!(fixed_width_cuts(&[0.3, 0.2], 2).is_err()); // unsorted
+    }
+}

@@ -1,0 +1,286 @@
+//! The pilot-sample index: positions within the score-ordered population
+//! plus the prefix-sum index `Γ` of §4.2.1.
+
+use crate::error::{StrataError, StrataResult};
+
+/// A first-stage (pilot) sample over a score-ordered population.
+///
+/// Holds the sorted 0-based positions of the `m` pilot objects within the
+/// ordered population of `N` objects, their labels, and the prefix-sum
+/// index `Γ(k)` = number of positives among the first `k` pilots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PilotIndex {
+    n_objects: usize,
+    positions: Vec<usize>,
+    labels: Vec<bool>,
+    gamma: Vec<usize>,
+}
+
+impl PilotIndex {
+    /// Build from `(position, label)` pairs (any order; positions must be
+    /// distinct and `< n_objects`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty input, out-of-range or duplicate
+    /// positions.
+    pub fn new(n_objects: usize, mut entries: Vec<(usize, bool)>) -> StrataResult<Self> {
+        if entries.is_empty() {
+            return Err(StrataError::InvalidPilot {
+                message: "pilot sample is empty".into(),
+            });
+        }
+        entries.sort_by_key(|&(p, _)| p);
+        let mut positions = Vec::with_capacity(entries.len());
+        let mut labels = Vec::with_capacity(entries.len());
+        let mut gamma = Vec::with_capacity(entries.len() + 1);
+        gamma.push(0usize);
+        for (i, &(p, l)) in entries.iter().enumerate() {
+            if p >= n_objects {
+                return Err(StrataError::InvalidPilot {
+                    message: format!("position {p} out of range (N = {n_objects})"),
+                });
+            }
+            if i > 0 && entries[i - 1].0 == p {
+                return Err(StrataError::InvalidPilot {
+                    message: format!("duplicate pilot position {p}"),
+                });
+            }
+            positions.push(p);
+            labels.push(l);
+            gamma.push(gamma[i] + usize::from(l));
+        }
+        Ok(Self {
+            n_objects,
+            positions,
+            labels,
+            gamma,
+        })
+    }
+
+    /// Population size `N`.
+    pub fn n_objects(&self) -> usize {
+        self.n_objects
+    }
+
+    /// Pilot count `m`.
+    pub fn m(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// 0-based position of the `k`-th pilot (`k < m`).
+    pub fn position(&self, k: usize) -> usize {
+        self.positions[k]
+    }
+
+    /// Sorted pilot positions.
+    pub fn positions(&self) -> &[usize] {
+        &self.positions
+    }
+
+    /// Label of the `k`-th pilot.
+    pub fn label(&self, k: usize) -> bool {
+        self.labels[k]
+    }
+
+    /// `Γ(k)`: positives among the first `k` pilots (`k <= m`).
+    pub fn gamma(&self, k: usize) -> usize {
+        self.gamma[k]
+    }
+
+    /// Number of pilots with position `< cut` (i.e. inside the first
+    /// `cut` objects). `O(log m)`.
+    pub fn pilots_below(&self, cut: usize) -> usize {
+        self.positions.partition_point(|&p| p < cut)
+    }
+
+    /// Positives among pilots `k_lo..k_hi` (pilot-index range).
+    pub fn positives_in(&self, k_lo: usize, k_hi: usize) -> usize {
+        self.gamma[k_hi] - self.gamma[k_lo]
+    }
+
+    /// Unbiased within-stratum variance estimate from pilots
+    /// `k_lo..k_hi`: `s² = (pos/(cnt−1)) (1 − pos/cnt)` — the paper's
+    /// estimator (equivalently the Bernoulli sample variance).
+    ///
+    /// Returns `None` when fewer than 2 pilots are in range.
+    pub fn s2_for_pilot_range(&self, k_lo: usize, k_hi: usize) -> Option<f64> {
+        let cnt = k_hi.checked_sub(k_lo)?;
+        if cnt < 2 {
+            return None;
+        }
+        let pos = self.positives_in(k_lo, k_hi) as f64;
+        let c = cnt as f64;
+        Some((pos / (c - 1.0)) * (1.0 - pos / c))
+    }
+
+    /// `(pilot_count, s²)` for the object-range stratum `[cut_lo, cut_hi)`.
+    ///
+    /// `s²` is `None` when fewer than 2 pilots fall in the range.
+    pub fn s2_for_cut_range(&self, cut_lo: usize, cut_hi: usize) -> (usize, Option<f64>) {
+        let k_lo = self.pilots_below(cut_lo);
+        let k_hi = self.pilots_below(cut_hi);
+        (k_hi - k_lo, self.s2_for_pilot_range(k_lo, k_hi))
+    }
+}
+
+/// Composite ordering key: `(score, object id)`. Ids break ties so the
+/// population order is total and pilot positions are unambiguous.
+#[inline]
+fn key_less(a: (f64, usize), b: (f64, usize)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    }
+}
+
+/// Pilot positions by full argsort of the population — the `O(N log N)`
+/// reference implementation.
+///
+/// `scores[i]` is the classifier score of object `i`; `pilot_ids` are the
+/// object ids of the pilots. Returns the 0-based positions of the pilots
+/// within the `(score, id)`-ordered population, sorted ascending.
+pub fn pilot_positions_argsort(scores: &[f64], pilot_ids: &[usize]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .total_cmp(&scores[b])
+            .then(a.cmp(&b))
+    });
+    let mut rank = vec![0usize; scores.len()];
+    for (pos, &id) in order.iter().enumerate() {
+        rank[id] = pos;
+    }
+    let mut positions: Vec<usize> = pilot_ids.iter().map(|&id| rank[id]).collect();
+    positions.sort_unstable();
+    positions
+}
+
+/// Pilot positions by the paper's bucket pass — `O(N log m)`, no
+/// population sort.
+///
+/// The `m` pilot keys split the key space into `m + 1` buckets; one pass
+/// over the population counts objects per bucket; prefix sums yield each
+/// pilot's position.
+pub fn pilot_positions_bucket(scores: &[f64], pilot_ids: &[usize]) -> Vec<usize> {
+    let m = pilot_ids.len();
+    // Sorted pilot keys.
+    let mut pkeys: Vec<(f64, usize)> = pilot_ids.iter().map(|&id| (scores[id], id)).collect();
+    pkeys.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    // cnt[r] = number of objects whose key has exactly r pilot keys <= it.
+    let mut cnt = vec![0usize; m + 1];
+    for (id, &s) in scores.iter().enumerate() {
+        let key = (s, id);
+        // partition_point: first pilot key that is NOT <= key.
+        let r = pkeys.partition_point(|&pk| !key_less(key, pk));
+        cnt[r] += 1;
+    }
+    // Objects with r(o) <= k are exactly those ordered strictly before
+    // pilot k (pilot_j for j < k has r = j+1 <= k; pilot_k itself has
+    // r = k+1). So pilot k's 0-based position is Σ_{r=0..=k} cnt[r].
+    let mut positions = Vec::with_capacity(m);
+    let mut below = 0usize;
+    for &c in cnt.iter().take(m) {
+        below += c;
+        positions.push(below);
+    }
+    positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_and_positions() {
+        let p = PilotIndex::new(
+            100,
+            vec![(10, true), (5, false), (50, true), (80, false)],
+        )
+        .unwrap();
+        assert_eq!(p.m(), 4);
+        assert_eq!(p.positions(), &[5, 10, 50, 80]);
+        assert_eq!(p.gamma(0), 0);
+        assert_eq!(p.gamma(2), 1); // positions 5 (false), 10 (true)
+        assert_eq!(p.gamma(4), 2);
+        assert!(!p.label(0));
+        assert!(p.label(1));
+        assert_eq!(p.pilots_below(0), 0);
+        assert_eq!(p.pilots_below(6), 1);
+        assert_eq!(p.pilots_below(100), 4);
+        assert_eq!(p.positives_in(1, 3), 2);
+    }
+
+    #[test]
+    fn s2_matches_bernoulli_sample_variance() {
+        // Pilots: labels T,F,T,T → s² over all 4 = sample variance of
+        // {1,0,1,1} = 0.25 (unbiased: Σ(x-x̄)²/(n-1) = (3·(0.25)²+(0.75)²)/3 = 0.25).
+        let p = PilotIndex::new(
+            10,
+            vec![(0, true), (1, false), (2, true), (3, true)],
+        )
+        .unwrap();
+        let s2 = p.s2_for_pilot_range(0, 4).unwrap();
+        assert!((s2 - 0.25).abs() < 1e-12);
+        // Homogeneous range → 0.
+        let s2 = p.s2_for_pilot_range(2, 4).unwrap();
+        assert!(s2.abs() < 1e-12);
+        // Too few pilots → None.
+        assert!(p.s2_for_pilot_range(1, 2).is_none());
+    }
+
+    #[test]
+    fn s2_for_cut_range_uses_positions() {
+        let p = PilotIndex::new(
+            100,
+            vec![(10, true), (20, false), (30, true), (90, false)],
+        )
+        .unwrap();
+        let (cnt, s2) = p.s2_for_cut_range(0, 35);
+        assert_eq!(cnt, 3);
+        let expect = (2.0f64 / 2.0) * (1.0 - 2.0 / 3.0);
+        assert!((s2.unwrap() - expect).abs() < 1e-12);
+        let (cnt, s2) = p.s2_for_cut_range(35, 100);
+        assert_eq!(cnt, 1);
+        assert!(s2.is_none());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PilotIndex::new(10, vec![]).is_err());
+        assert!(PilotIndex::new(10, vec![(10, true)]).is_err()); // out of range
+        assert!(PilotIndex::new(10, vec![(3, true), (3, false)]).is_err()); // dup
+    }
+
+    #[test]
+    fn bucket_positions_match_argsort() {
+        // Deterministic pseudo-random scores with ties.
+        let mut state = 77u64;
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) % 50) as f64 / 50.0 // only 50 distinct values → ties
+        };
+        let scores: Vec<f64> = (0..500).map(|_| next()).collect();
+        let pilot_ids: Vec<usize> = (0..500).step_by(7).collect();
+        let a = pilot_positions_argsort(&scores, &pilot_ids);
+        let b = pilot_positions_bucket(&scores, &pilot_ids);
+        assert_eq!(a, b);
+        // Positions are distinct and within range.
+        for w in a.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*a.last().unwrap() < 500);
+    }
+
+    #[test]
+    fn bucket_positions_distinct_scores() {
+        let scores: Vec<f64> = (0..100).map(|i| f64::from(i) * 0.37 % 7.0).collect();
+        let pilot_ids = vec![3usize, 50, 99, 0];
+        let a = pilot_positions_argsort(&scores, &pilot_ids);
+        let b = pilot_positions_bucket(&scores, &pilot_ids);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the stratification substrate.
+
+use lts_strata::{
+    evaluate_cuts, fixed_height_cuts, pilot_positions_argsort, pilot_positions_bucket,
+    Allocation, DesignParams, PilotIndex,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bucket pass and the argsort reference agree, including with
+    /// heavy score ties.
+    #[test]
+    fn bucket_positions_match_argsort(
+        scores in proptest::collection::vec(0u8..6, 10..200),
+        pick_every in 2usize..7,
+    ) {
+        let scores: Vec<f64> = scores.into_iter().map(|s| f64::from(s) / 6.0).collect();
+        let pilot_ids: Vec<usize> = (0..scores.len()).step_by(pick_every).collect();
+        prop_assume!(!pilot_ids.is_empty());
+        let a = pilot_positions_argsort(&scores, &pilot_ids);
+        let b = pilot_positions_bucket(&scores, &pilot_ids);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Positions are strictly increasing and within range.
+    #[test]
+    fn positions_strictly_increasing(
+        scores in proptest::collection::vec(0.0f64..1.0, 10..100),
+    ) {
+        let pilot_ids: Vec<usize> = (0..scores.len()).step_by(3).collect();
+        let pos = pilot_positions_bucket(&scores, &pilot_ids);
+        for w in pos.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert!(*pos.last().unwrap() < scores.len());
+    }
+
+    /// `evaluate_cuts` of the fixed-height layout is finite whenever the
+    /// pilot gives every stratum enough samples.
+    #[test]
+    fn fixed_height_evaluates_when_feasible(
+        n in 40usize..200,
+        labels in proptest::collection::vec(any::<bool>(), 20),
+    ) {
+        let m = labels.len();
+        let entries: Vec<(usize, bool)> =
+            labels.iter().enumerate().map(|(k, &l)| (k * n / m, l)).collect();
+        let pilot = PilotIndex::new(n, entries).unwrap();
+        let params = DesignParams {
+            n_strata: 2,
+            budget: 5,
+            min_stratum_size: 2,
+            min_pilots_per_stratum: 2,
+            epsilon: 1.0,
+        };
+        let cuts = fixed_height_cuts(n, 2).unwrap();
+        if let Some(v) = evaluate_cuts(&pilot, &cuts, &params, Allocation::Proportional) {
+            prop_assert!(v.is_finite());
+            prop_assert!(v >= -1e-9, "proportional variance must be non-negative, got {}", v);
+        }
+    }
+
+    /// Gamma prefix counts are consistent with the labels.
+    #[test]
+    fn gamma_counts_positives(
+        entries in proptest::collection::vec((0usize..1000, any::<bool>()), 1..60),
+    ) {
+        // Dedupe positions.
+        let mut seen = std::collections::HashSet::new();
+        let entries: Vec<(usize, bool)> = entries
+            .into_iter()
+            .filter(|&(p, _)| seen.insert(p))
+            .collect();
+        prop_assume!(!entries.is_empty());
+        let pilot = PilotIndex::new(1000, entries.clone()).unwrap();
+        let total_pos = entries.iter().filter(|&&(_, l)| l).count();
+        prop_assert_eq!(pilot.gamma(pilot.m()), total_pos);
+        prop_assert_eq!(pilot.gamma(0), 0);
+        // Gamma is monotone.
+        for k in 1..=pilot.m() {
+            prop_assert!(pilot.gamma(k) >= pilot.gamma(k - 1));
+            prop_assert!(pilot.gamma(k) - pilot.gamma(k - 1) <= 1);
+        }
+    }
+}

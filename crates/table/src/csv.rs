@@ -1,0 +1,384 @@
+//! CSV reading and writing.
+//!
+//! The paper's experiments run on real datasets (MLB pitching
+//! statistics, KDD Cup 1999); a user adopting this library brings their
+//! own data the same way. This module reads RFC-4180-style CSV into a
+//! [`Table`] with per-column type inference (`Int → Float → Bool →
+//! Str`, narrowest type that fits every field) and writes tables back
+//! out, so populations round-trip through files.
+//!
+//! Supported: quoted fields with `""` escapes, embedded delimiters and
+//! newlines inside quotes, a configurable delimiter, CRLF input, and
+//! blank lines (skipped). Deliberately not supported (columns are
+//! dense, §`column`): nullable fields — an empty field forces its
+//! column to `Str`.
+
+use crate::column::Column;
+use crate::error::{TableError, TableResult};
+use crate::schema::{Field, Schema};
+use crate::table::Table;
+use crate::value::DataType;
+use std::sync::Arc;
+
+/// CSV reading options.
+#[derive(Debug, Clone, Copy)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first record is a header of column names (default
+    /// true; without a header, columns are named `c0`, `c1`, …).
+    pub has_header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        Self {
+            delimiter: ',',
+            has_header: true,
+        }
+    }
+}
+
+/// Parse CSV text into a [`Table`] with inferred column types.
+///
+/// # Errors
+///
+/// Returns an error for empty input, ragged records, unterminated
+/// quotes, or duplicate header names.
+///
+/// # Examples
+///
+/// ```
+/// use lts_table::csv::{read_csv_str, CsvOptions};
+/// let t = read_csv_str("x,y,tag\n1,2.5,a\n2,3.5,b\n", CsvOptions::default()).unwrap();
+/// assert_eq!(t.len(), 2);
+/// assert_eq!(t.floats("y").unwrap(), &[2.5, 3.5]);
+/// ```
+pub fn read_csv_str(input: &str, options: CsvOptions) -> TableResult<Table> {
+    let records = parse_records(input, options.delimiter)?;
+    if records.is_empty() {
+        return Err(TableError::Empty);
+    }
+    let (header, data) = if options.has_header {
+        let mut it = records.into_iter();
+        let header = it.next().expect("nonempty");
+        (header, it.collect::<Vec<_>>())
+    } else {
+        let width = records[0].len();
+        let names: Vec<String> = (0..width).map(|i| format!("c{i}")).collect();
+        (names, records)
+    };
+
+    let width = header.len();
+    for (i, rec) in data.iter().enumerate() {
+        if rec.len() != width {
+            return Err(TableError::LengthMismatch {
+                expected: width,
+                found: rec.len(),
+            });
+        }
+        let _ = i;
+    }
+
+    let mut columns = Vec::with_capacity(width);
+    let mut fields = Vec::with_capacity(width);
+    for (c, name) in header.iter().enumerate() {
+        let raw: Vec<&str> = data.iter().map(|rec| rec[c].as_str()).collect();
+        let (dt, column) = infer_column(&raw);
+        fields.push(Field::new(name.clone(), dt));
+        columns.push(column);
+    }
+    Table::new(Schema::new(fields)?, columns)
+}
+
+/// Read a CSV file into a [`Table`].
+///
+/// # Errors
+///
+/// Same as [`read_csv_str`], plus I/O failures (surfaced as
+/// [`TableError::InvalidExpression`] with the OS message — the table
+/// engine has no dedicated I/O error variant and CSV is its only I/O).
+pub fn read_csv_path(
+    path: impl AsRef<std::path::Path>,
+    options: CsvOptions,
+) -> TableResult<Table> {
+    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| {
+        TableError::InvalidExpression {
+            message: format!("reading {}: {e}", path.as_ref().display()),
+        }
+    })?;
+    read_csv_str(&text, options)
+}
+
+/// Serialize a table as CSV (header + one record per row), quoting
+/// fields only when needed.
+pub fn write_csv_string(table: &Table) -> String {
+    let mut out = String::new();
+    let names: Vec<&str> = table
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .collect();
+    for (i, n) in names.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_field(&mut out, n);
+    }
+    out.push('\n');
+    for row in 0..table.len() {
+        for (c, _) in names.iter().enumerate() {
+            if c > 0 {
+                out.push(',');
+            }
+            let v = table
+                .column(c)
+                .and_then(|col| col.get(row))
+                .expect("in-range row/col");
+            match v {
+                crate::value::Value::Float(x) => out.push_str(&format!("{x:?}")),
+                crate::value::Value::Str(s) => push_field(&mut out, &s),
+                other => out.push_str(&other.to_string()),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn push_field(out: &mut String, field: &str) {
+    let needs_quotes = field
+        .chars()
+        .any(|c| c == ',' || c == '"' || c == '\n' || c == '\r');
+    if needs_quotes {
+        out.push('"');
+        for ch in field.chars() {
+            if ch == '"' {
+                out.push('"');
+            }
+            out.push(ch);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Split input into records of fields, honoring quotes.
+fn parse_records(input: &str, delimiter: char) -> TableResult<Vec<Vec<String>>> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+    let mut quote_start = 0usize;
+    let mut pos = 0usize;
+
+    while let Some(ch) = chars.next() {
+        let at = pos;
+        pos += ch.len_utf8();
+        if in_quotes {
+            match ch {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        field.push('"');
+                        chars.next();
+                        pos += 1;
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                other => field.push(other),
+            }
+            continue;
+        }
+        match ch {
+            '"' if field.is_empty() => {
+                in_quotes = true;
+                quote_start = at;
+                any = true;
+            }
+            c if c == delimiter => {
+                record.push(std::mem::take(&mut field));
+                any = true;
+            }
+            '\r' => { /* swallow; LF ends the record */ }
+            '\n' => {
+                if any || !field.is_empty() || !record.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                    any = false;
+                }
+            }
+            other => {
+                field.push(other);
+                any = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Parse {
+            position: quote_start,
+            message: "unterminated quoted field".into(),
+        });
+    }
+    if any || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Infer the narrowest dense type that fits every raw field, and build
+/// the column.
+fn infer_column(raw: &[&str]) -> (DataType, Column) {
+    if !raw.is_empty() && raw.iter().all(|s| s.parse::<i64>().is_ok()) {
+        return (
+            DataType::Int,
+            Column::Int(raw.iter().map(|s| s.parse().expect("checked")).collect()),
+        );
+    }
+    if !raw.is_empty()
+        && raw
+            .iter()
+            .all(|s| !s.is_empty() && s.parse::<f64>().is_ok())
+    {
+        return (
+            DataType::Float,
+            Column::Float(raw.iter().map(|s| s.parse().expect("checked")).collect()),
+        );
+    }
+    let as_bool = |s: &str| -> Option<bool> {
+        if s.eq_ignore_ascii_case("true") {
+            Some(true)
+        } else if s.eq_ignore_ascii_case("false") {
+            Some(false)
+        } else {
+            None
+        }
+    };
+    if !raw.is_empty() && raw.iter().all(|s| as_bool(s).is_some()) {
+        return (
+            DataType::Bool,
+            Column::Bool(raw.iter().map(|s| as_bool(s).expect("checked")).collect()),
+        );
+    }
+    (
+        DataType::Str,
+        Column::Str(raw.iter().map(|&s| Arc::<str>::from(s)).collect()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn reads_typed_columns() {
+        let t = read_csv_str(
+            "id,score,ok,name\n1,2.5,true,alice\n2,3.0,false,bob\n",
+            CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.schema().fields()[0].data_type, DataType::Int);
+        assert_eq!(t.schema().fields()[1].data_type, DataType::Float);
+        assert_eq!(t.schema().fields()[2].data_type, DataType::Bool);
+        assert_eq!(t.schema().fields()[3].data_type, DataType::Str);
+        assert_eq!(t.floats("score").unwrap(), &[2.5, 3.0]);
+    }
+
+    #[test]
+    fn integers_widen_to_float_when_mixed() {
+        let t = read_csv_str("x\n1\n2.5\n", CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().fields()[0].data_type, DataType::Float);
+        assert_eq!(t.floats("x").unwrap(), &[1.0, 2.5]);
+    }
+
+    #[test]
+    fn quoted_fields_with_escapes_and_newlines() {
+        let t = read_csv_str(
+            "a,b\n\"x,\"\"y\"\"\",\"line1\nline2\"\nplain,second\n",
+            CsvOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        let col = t.column_by_name("a").unwrap();
+        assert_eq!(col.get(0).unwrap(), Value::str("x,\"y\""));
+        let col = t.column_by_name("b").unwrap();
+        assert_eq!(col.get(0).unwrap(), Value::str("line1\nline2"));
+    }
+
+    #[test]
+    fn crlf_and_missing_trailing_newline() {
+        let t = read_csv_str("x,y\r\n1,2\r\n3,4", CsvOptions::default()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.column_by_name("y").unwrap().as_ints().unwrap(), &[2, 4]);
+    }
+
+    #[test]
+    fn headerless_and_custom_delimiter() {
+        let t = read_csv_str(
+            "1;2\n3;4\n",
+            CsvOptions {
+                delimiter: ';',
+                has_header: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.column_by_name("c0").unwrap().as_ints().unwrap(), &[1, 3]);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let t = read_csv_str("x\n1\n\n2\n", CsvOptions::default()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.schema().fields()[0].data_type, DataType::Int);
+    }
+
+    #[test]
+    fn empty_field_forces_string_column() {
+        let t = read_csv_str("x,y\n1,\n2,3\n", CsvOptions::default()).unwrap();
+        assert_eq!(t.schema().fields()[0].data_type, DataType::Int);
+        assert_eq!(t.schema().fields()[1].data_type, DataType::Str);
+        assert_eq!(t.column_by_name("y").unwrap().get(0).unwrap(), Value::str(""));
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        assert!(matches!(
+            read_csv_str("", CsvOptions::default()),
+            Err(TableError::Empty)
+        ));
+        assert!(matches!(
+            read_csv_str("a,b\n1\n", CsvOptions::default()),
+            Err(TableError::LengthMismatch { expected: 2, found: 1 })
+        ));
+        assert!(matches!(
+            read_csv_str("a\n\"unterminated\n", CsvOptions::default()),
+            Err(TableError::Parse { .. })
+        ));
+        assert!(read_csv_path("/nonexistent/file.csv", CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_values() {
+        let src = "i,f,s\n-3,0.125,hello\n7,2.5,\"wor,ld\"\n";
+        let t = read_csv_str(src, CsvOptions::default()).unwrap();
+        let text = write_csv_string(&t);
+        let t2 = read_csv_str(&text, CsvOptions::default()).unwrap();
+        assert_eq!(t.len(), t2.len());
+        for c in 0..2 {
+            for r in 0..t.len() {
+                assert_eq!(
+                    t.column(c).unwrap().get(r).unwrap(),
+                    t2.column(c).unwrap().get(r).unwrap()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! Error types for the table engine.
+
+use std::fmt;
+
+/// Errors produced by the table engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableError {
+    /// A referenced column does not exist.
+    UnknownColumn {
+        /// The column name that failed to resolve.
+        name: String,
+    },
+    /// A column index was out of range.
+    ColumnIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of columns in the schema.
+        len: usize,
+    },
+    /// A row index was out of range.
+    RowIndexOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of rows in the table.
+        len: usize,
+    },
+    /// A value had the wrong type for the operation.
+    TypeMismatch {
+        /// Description of what was expected.
+        expected: &'static str,
+        /// Description of what was found.
+        found: String,
+    },
+    /// Column lengths disagree when building a table.
+    LengthMismatch {
+        /// Expected length.
+        expected: usize,
+        /// Found length.
+        found: usize,
+    },
+    /// A duplicate column name was supplied.
+    DuplicateColumn {
+        /// The duplicated name.
+        name: String,
+    },
+    /// An expression referenced the outer row, but no outer row is bound.
+    NoOuterRow,
+    /// An arithmetic error (e.g. division by zero on integers).
+    Arithmetic {
+        /// Description of the failure.
+        message: &'static str,
+    },
+    /// An expression is invalid (e.g. wrong arity for a function).
+    InvalidExpression {
+        /// Description of the problem.
+        message: String,
+    },
+    /// A condition string failed to parse.
+    Parse {
+        /// Byte offset of the failure in the input.
+        position: usize,
+        /// Description of what went wrong.
+        message: String,
+    },
+    /// An empty table or column set where data is required.
+    Empty,
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::UnknownColumn { name } => write!(f, "unknown column `{name}`"),
+            TableError::ColumnIndexOutOfRange { index, len } => {
+                write!(f, "column index {index} out of range ({len} columns)")
+            }
+            TableError::RowIndexOutOfRange { index, len } => {
+                write!(f, "row index {index} out of range ({len} rows)")
+            }
+            TableError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            TableError::LengthMismatch { expected, found } => {
+                write!(f, "column length mismatch: expected {expected}, found {found}")
+            }
+            TableError::DuplicateColumn { name } => write!(f, "duplicate column `{name}`"),
+            TableError::NoOuterRow => write!(f, "expression references outer row but none is bound"),
+            TableError::Arithmetic { message } => write!(f, "arithmetic error: {message}"),
+            TableError::InvalidExpression { message } => write!(f, "invalid expression: {message}"),
+            TableError::Parse { position, message } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            TableError::Empty => write!(f, "empty input"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+/// Convenience result alias for the table engine.
+pub type TableResult<T> = Result<T, TableError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = TableError::UnknownColumn {
+            name: "wins".into(),
+        };
+        assert!(e.to_string().contains("wins"));
+        let e = TableError::RowIndexOutOfRange { index: 9, len: 3 };
+        assert!(e.to_string().contains('9'));
+        assert!(e.to_string().contains('3'));
+        let e = TableError::TypeMismatch {
+            expected: "float",
+            found: "Str(\"a\")".into(),
+        };
+        assert!(e.to_string().contains("float"));
+    }
+}

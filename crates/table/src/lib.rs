@@ -1,0 +1,51 @@
+//! A small in-memory table engine for the `learning-to-sample` workspace.
+//!
+//! The paper (§2) frames counting queries as: a set of objects `O` that is
+//! cheap to enumerate (query Q2), and an expensive per-object predicate
+//! `q` (query Q3) that may involve correlated aggregate subqueries,
+//! self-joins with HAVING clauses, or arbitrary user-defined functions.
+//! This crate provides exactly that substrate:
+//!
+//! * typed columnar [`Table`]s with a [`Schema`],
+//! * an expression AST ([`expr::Expr`]) with arithmetic, comparisons,
+//!   `SQRT`/`POWER`, boolean logic, and **correlated scalar aggregate
+//!   subqueries** evaluated by nested-loop scan — the evaluation strategy
+//!   the paper argues a generic system falls back to,
+//! * the Q1 → (Q2, Q3) decomposition ([`query`]): distinct projection for
+//!   the object set and an aggregate-threshold predicate,
+//! * instrumented predicates ([`predicate::Metered`]) that meter the
+//!   number and wall time of expensive `q` evaluations — the budget
+//!   currency of every estimator in the paper,
+//! * a 2-d [`grid::GridIndex`] used for surrogate-attribute
+//!   stratification (the paper's SSP baseline) and for fast exact ground
+//!   truth,
+//! * a SQL-ish condition [`parser`] (the paper's textual predicate form,
+//!   correlated subqueries included) with a round-trippable `Display`,
+//! * [`csv`] reading/writing with per-column type inference, so
+//!   populations come from real files the way the paper's datasets did.
+
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod expr;
+pub mod grid;
+pub mod parser;
+pub mod predicate;
+pub mod query;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use column::Column;
+pub use csv::{read_csv_path, read_csv_str, write_csv_string, CsvOptions};
+pub use error::{TableError, TableResult};
+pub use expr::{AggFunc, AggSubquery, BinaryOp, CmpOp, Expr, Func, RowCtx, UnaryOp};
+pub use grid::GridIndex;
+pub use parser::{parse_condition, TableRegistry};
+pub use predicate::{FnPredicate, Metered, ObjectPredicate, PredicateStats};
+pub use query::{distinct_project, AggThresholdPredicate, CountQuery, ExprPredicate};
+pub use schema::{Field, Schema};
+pub use table::{table_of_floats, Table, TableBuilder};
+pub use value::{DataType, Value};

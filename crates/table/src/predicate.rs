@@ -1,0 +1,214 @@
+//! Object predicates and evaluation metering.
+//!
+//! The paper's cost model counts **evaluations of the expensive predicate
+//! `q`** — every estimator has a labeling budget denominated in such
+//! evaluations. [`Metered`] wraps any predicate and tracks the evaluation
+//! count and cumulative wall time, so experiments can verify that no
+//! estimator exceeds its budget and report overhead as a fraction of
+//! labeling cost (Figure 3).
+
+use crate::error::TableResult;
+use crate::table::Table;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A Boolean predicate over rows of an object table: `q : O → {0, 1}`.
+pub trait ObjectPredicate: Send + Sync {
+    /// Evaluate `q(o)` for the object at `idx` in `objects`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates expression-evaluation errors (unknown columns, type
+    /// mismatches, …).
+    fn eval(&self, objects: &Table, idx: usize) -> TableResult<bool>;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &str {
+        "predicate"
+    }
+}
+
+impl<P: ObjectPredicate + ?Sized> ObjectPredicate for Arc<P> {
+    fn eval(&self, objects: &Table, idx: usize) -> TableResult<bool> {
+        (**self).eval(objects, idx)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+/// A predicate defined by a closure (a "user-defined function").
+pub struct FnPredicate<F> {
+    f: F,
+    name: String,
+}
+
+impl<F> FnPredicate<F>
+where
+    F: Fn(&Table, usize) -> TableResult<bool> + Send + Sync,
+{
+    /// Wrap a closure as a predicate.
+    pub fn new(name: impl Into<String>, f: F) -> Self {
+        Self {
+            f,
+            name: name.into(),
+        }
+    }
+}
+
+impl<F> ObjectPredicate for FnPredicate<F>
+where
+    F: Fn(&Table, usize) -> TableResult<bool> + Send + Sync,
+{
+    fn eval(&self, objects: &Table, idx: usize) -> TableResult<bool> {
+        (self.f)(objects, idx)
+    }
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Snapshot of metering counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PredicateStats {
+    /// Number of `q` evaluations performed.
+    pub evals: u64,
+    /// Cumulative wall time spent inside `q`.
+    pub elapsed: Duration,
+}
+
+impl PredicateStats {
+    /// Mean time per evaluation (zero when no evaluations happened).
+    pub fn mean_eval_time(&self) -> Duration {
+        if self.evals == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / u32::try_from(self.evals.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// Wraps a predicate and meters evaluation count + wall time.
+///
+/// Cheap to share: counters are atomics, so a single `Arc<Metered>` can
+/// be used across an entire estimation pipeline.
+pub struct Metered<P: ?Sized> {
+    evals: AtomicU64,
+    nanos: AtomicU64,
+    inner: P,
+}
+
+impl<P: ObjectPredicate> Metered<P> {
+    /// Wrap a predicate.
+    pub fn new(inner: P) -> Self {
+        Self {
+            evals: AtomicU64::new(0),
+            nanos: AtomicU64::new(0),
+            inner,
+        }
+    }
+
+    /// The wrapped predicate.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+}
+
+impl<P: ObjectPredicate + ?Sized> Metered<P> {
+    /// Current counters.
+    pub fn stats(&self) -> PredicateStats {
+        PredicateStats {
+            evals: self.evals.load(Ordering::Relaxed),
+            elapsed: Duration::from_nanos(self.nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Reset the counters to zero.
+    pub fn reset(&self) {
+        self.evals.store(0, Ordering::Relaxed);
+        self.nanos.store(0, Ordering::Relaxed);
+    }
+}
+
+impl<P: ObjectPredicate + ?Sized> ObjectPredicate for Metered<P> {
+    fn eval(&self, objects: &Table, idx: usize) -> TableResult<bool> {
+        let start = Instant::now();
+        let result = self.inner.eval(objects, idx);
+        let dt = start.elapsed();
+        self.evals.fetch_add(1, Ordering::Relaxed);
+        self.nanos
+            .fetch_add(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX), Ordering::Relaxed);
+        result
+    }
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::table_of_floats;
+
+    #[test]
+    fn fn_predicate_evaluates() {
+        let t = table_of_floats(&[("x", &[1.0, -2.0, 3.0])]).unwrap();
+        let p = FnPredicate::new("positive", |t: &Table, i| {
+            Ok(t.floats("x")?[i] > 0.0)
+        });
+        assert!(p.eval(&t, 0).unwrap());
+        assert!(!p.eval(&t, 1).unwrap());
+        assert_eq!(p.name(), "positive");
+    }
+
+    #[test]
+    fn metering_counts_evaluations() {
+        let t = table_of_floats(&[("x", &[1.0, -2.0, 3.0])]).unwrap();
+        let p = Metered::new(FnPredicate::new("pos", |t: &Table, i| {
+            Ok(t.floats("x")?[i] > 0.0)
+        }));
+        for i in 0..3 {
+            let _ = p.eval(&t, i).unwrap();
+        }
+        let stats = p.stats();
+        assert_eq!(stats.evals, 3);
+        p.reset();
+        assert_eq!(p.stats().evals, 0);
+        assert_eq!(p.stats().elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn metering_through_arc() {
+        let t = table_of_floats(&[("x", &[1.0])]).unwrap();
+        let p = Arc::new(Metered::new(FnPredicate::new("any", |_: &Table, _| Ok(true))));
+        let p2 = Arc::clone(&p);
+        assert!(p2.eval(&t, 0).unwrap());
+        assert!(p.eval(&t, 0).unwrap());
+        assert_eq!(p.stats().evals, 2);
+    }
+
+    #[test]
+    fn mean_eval_time_handles_zero() {
+        let s = PredicateStats {
+            evals: 0,
+            elapsed: Duration::ZERO,
+        };
+        assert_eq!(s.mean_eval_time(), Duration::ZERO);
+        let s = PredicateStats {
+            evals: 2,
+            elapsed: Duration::from_nanos(100),
+        };
+        assert_eq!(s.mean_eval_time(), Duration::from_nanos(50));
+    }
+
+    #[test]
+    fn errors_propagate_and_still_count() {
+        let t = table_of_floats(&[("x", &[1.0])]).unwrap();
+        let p = Metered::new(FnPredicate::new("bad", |t: &Table, _| {
+            t.floats("nope").map(|_| true)
+        }));
+        assert!(p.eval(&t, 0).is_err());
+        assert_eq!(p.stats().evals, 1);
+    }
+}

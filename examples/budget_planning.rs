@@ -1,0 +1,70 @@
+//! Budget planning with the design-time quality forecast — the paper's
+//! concluding future-work sketch, implemented.
+//!
+//! LSS's stage-1 design knows, before a single stage-2 label is drawn,
+//! how tight its final interval will be: Eq. (4) evaluated with the
+//! pilot variances and the chosen allocation. This demo sweeps budgets,
+//! prints the *forecast* interval halfwidth next to the *realized*
+//! estimate, and shows how a user would pick the cheapest budget that
+//! meets an accuracy target. The sequential LWS variant then shows the
+//! complementary trick: stop early the moment the running interval is
+//! tight enough.
+//!
+//! ```sh
+//! cargo run --release --example budget_planning
+//! ```
+
+use learning_to_sample::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Sports workload at M selectivity.
+    let scenario = lts_data::sports_scenario(8_000, lts_data::SelectivityLevel::M, 11)?;
+    let problem = &scenario.problem;
+    let truth = scenario.truth as f64;
+    println!("{} (truth = {truth})\n", scenario.describe());
+
+    // Sweep budgets; the forecast is available before stage 2 spends
+    // anything, so a dissatisfied user could abort and re-budget.
+    println!(
+        "{:>7} | {:>17} | {:>9} | {:>18}",
+        "budget", "forecast ±halfwid", "estimate", "realized 95% CI"
+    );
+    let lss = Lss {
+        min_pilots_per_stratum: 3,
+        ..Lss::default()
+    };
+    for budget in [100usize, 200, 400, 800] {
+        let mut rng = StdRng::seed_from_u64(99);
+        let r = lss.estimate(problem, budget, &mut rng)?;
+        let f = r.forecast.expect("LSS always forecasts");
+        println!(
+            "{budget:>7} | {:>17.0} | {:>9.0} | [{:>7.0}, {:>7.0}]",
+            f.predicted_halfwidth,
+            r.count(),
+            r.estimate.interval.lo,
+            r.estimate.interval.hi,
+        );
+    }
+
+    // Sequential LWS: give it a generous budget and a ±10% target; it
+    // stops as soon as the Des Raj running interval is tight enough.
+    println!("\nsequential LWS, target halfwidth 10% of the estimate:");
+    let seq = LwsSequential {
+        target_relative_halfwidth: 0.10,
+        ..LwsSequential::default()
+    };
+    let budget = 800;
+    let mut rng = StdRng::seed_from_u64(7);
+    let r = seq.estimate(problem, budget, &mut rng)?;
+    println!(
+        "  spent {} of {budget} labels → estimate {:.0} ∈ [{:.0}, {:.0}] (truth {truth})",
+        r.evals,
+        r.count(),
+        r.estimate.interval.lo,
+        r.estimate.interval.hi,
+    );
+    for note in &r.notes {
+        println!("  note: {note}");
+    }
+    Ok(())
+}

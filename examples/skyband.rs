@@ -1,0 +1,52 @@
+//! The paper's Sports scenario: how large is the k-skyband of
+//! player-season pitching stats? Compares SRS, SSP, LWS, and LSS at the
+//! same labeling budget over repeated trials.
+//!
+//! ```sh
+//! cargo run --release --example skyband
+//! ```
+
+use learning_to_sample::prelude::*;
+use lts_data::{sports_scenario, SelectivityLevel};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scenario = sports_scenario(10_000, SelectivityLevel::S, 11)?;
+    println!("scenario: {}", scenario.describe());
+
+    let budget = scenario.problem.n() / 50; // 2%
+    let trials = 20;
+    println!("budget {budget} evaluations, {trials} trials per estimator\n");
+
+    let estimators: Vec<(&str, Box<dyn CountEstimator>)> = vec![
+        ("SRS", Box::new(Srs::default())),
+        ("SSP", Box::new(Ssp::default())),
+        ("LWS", Box::new(Lws::default())),
+        ("LSS", Box::new(Lss::default())),
+    ];
+
+    println!(
+        "{:<6} {:>10} {:>10} {:>10} {:>9}",
+        "est", "median", "IQR", "RMSE", "cover%"
+    );
+    for (name, est) in &estimators {
+        let stats = run_trials(
+            &scenario.problem,
+            est.as_ref(),
+            budget,
+            trials,
+            99,
+            Some(scenario.truth as f64),
+        )?;
+        println!(
+            "{:<6} {:>10.1} {:>10.1} {:>10.1} {:>9.0}",
+            name,
+            stats.median(),
+            stats.iqr(),
+            stats.rmse.unwrap_or(f64::NAN),
+            stats.coverage.unwrap_or(f64::NAN) * 100.0
+        );
+    }
+    println!("\ntruth: {}", scenario.truth);
+    println!("expect: LSS and LWS tighter than SSP and SRS.");
+    Ok(())
+}

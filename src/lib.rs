@@ -1,0 +1,102 @@
+//! # learning-to-sample
+//!
+//! A from-scratch Rust implementation of **“Learning to Sample: Counting
+//! with Complex Queries”** (Walenz, Sintos, Roy, Yang — PVLDB 12, 2019).
+//!
+//! The problem: estimate `C(O, q)` — how many objects of a population
+//! satisfy an *expensive* predicate (correlated aggregate subqueries,
+//! self-joins with HAVING, user-defined functions) — using as few
+//! predicate evaluations as possible, **with confidence intervals**.
+//!
+//! The paper's idea: train a cheap classifier on a small labeled sample
+//! and use its confidence score `g : O → [0, 1]` *to design a sampling
+//! scheme* rather than trusting its predictions:
+//!
+//! * **LWS** (learned weighted sampling) draws objects PPS to
+//!   `max(g, ε)` and estimates with the Des Raj ordered estimator;
+//! * **LSS** (learned stratified sampling) orders objects by `g`,
+//!   jointly optimizes stratum boundaries and sample allocation from a
+//!   pilot (algorithms DirSol / LogBdr / DynPgm / DynPgmP, Theorems
+//!   1–4), and runs a stratified estimator.
+//!
+//! Either way the estimates stay unbiased with valid intervals even if
+//! the classifier is garbage — a bad `g` only costs efficiency.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use learning_to_sample::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // A population of 2-d points; q(o) = "fewer than 25 points dominate o".
+//! let xs: Vec<f64> = (0..600).map(|i| f64::from(i % 53)).collect();
+//! let ys: Vec<f64> = (0..600).map(|i| f64::from((i * 7) % 41)).collect();
+//! let table = Arc::new(lts_table::table::table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap());
+//! let q = lts_data::skyband::skyband_fast_predicate(&table, "x", "y", 25).unwrap();
+//! let problem = CountingProblem::new(table, Arc::new(q), &["x", "y"]).unwrap();
+//!
+//! // Estimate with LSS under a budget of 120 predicate evaluations.
+//! let lss = Lss { min_pilots_per_stratum: 2, ..Lss::default() };
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let report = lss.estimate(&problem, 120, &mut rng).unwrap();
+//! assert!(report.evals <= 120);
+//! println!("count ≈ {:.0} ∈ [{:.0}, {:.0}]",
+//!     report.count(), report.estimate.interval.lo, report.estimate.interval.hi);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`lts_core`] | the estimator suite (SRS, SSP, SSN, QLCC, QLAC, LWS, LWS-HT, LSS) |
+//! | [`lts_strata`] | stratification-design algorithms (§4.2, Theorems 1–4) |
+//! | [`lts_sampling`] | SRS / weighted / stratified sampling, Des Raj, Horvitz–Thompson |
+//! | [`lts_learn`] | from-scratch kNN, random forest, MLP, logistic, CV, active learning |
+//! | [`lts_table`] | mini table engine with correlated aggregate subqueries |
+//! | [`lts_stats`] | distributions, confidence intervals, summaries |
+//! | [`lts_data`] | synthetic Sports/Neighbors datasets + the paper's two queries |
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record; `cargo run --release -p lts-bench --bin
+//! repro_all` regenerates every table and figure.
+
+#![warn(missing_docs)]
+
+pub use lts_core as core;
+pub use lts_data as data;
+pub use lts_learn as learn;
+pub use lts_sampling as sampling;
+pub use lts_stats as stats;
+pub use lts_strata as strata;
+pub use lts_table as table;
+
+/// Convenient single-import surface for applications.
+pub mod prelude {
+    pub use lts_core::estimators::{
+        CountEstimator, Lss, LssLayout, Lws, LwsHt, LwsSequential, PilotHandling, PilotSource,
+        Qlac, Qlcc, Srs, Ssn, Ssp,
+    };
+    pub use lts_core::{
+        run_trials, ClassifierSpec, CountingProblem, EstimateReport, LearnPhaseConfig,
+        QualityForecast, TrialStats,
+    };
+    pub use lts_sampling::CountEstimate;
+    pub use lts_stats::{ConfidenceInterval, IntervalKind};
+    pub use lts_strata::{Allocation, DesignAlgorithm, TSelection};
+    pub use lts_table::{
+        parse_condition, Expr, FnPredicate, ObjectPredicate, Table, TableRegistry,
+    };
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_work() {
+        use crate::prelude::*;
+        let _srs = Srs::default();
+        let _lss = Lss::default();
+        let _spec = ClassifierSpec::default();
+    }
+}

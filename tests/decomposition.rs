@@ -1,0 +1,79 @@
+//! Integration of the table engine with the counting framework: the
+//! paper's Q1 → (Q2, Q3) decomposition must agree with the specialized
+//! exact algorithms and with full SQL evaluation.
+
+use lts_data::neighborhood::{exact_neighbors_count, neighbors_sql_predicate};
+use lts_data::skyband::{exact_skyband_count, skyband_sql_predicate};
+use lts_table::table::table_of_floats;
+use lts_table::{distinct_project, CountQuery, Expr};
+use std::sync::Arc;
+
+fn pseudo(n: usize, seed: u64, vals: u64) -> (Vec<f64>, Vec<f64>) {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 11) % vals) as f64
+    };
+    ((0..n).map(|_| next()).collect(), (0..n).map(|_| next()).collect())
+}
+
+#[test]
+fn skyband_sql_equals_specialized_sweep() {
+    let (xs, ys) = pseudo(250, 17, 60);
+    let d = Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap());
+    for k in [1usize, 5, 20] {
+        let q = skyband_sql_predicate(Arc::clone(&d), "x", "y", k as i64);
+        let cq = CountQuery::new(Arc::clone(&d), Arc::new(q));
+        assert_eq!(
+            cq.exact_count().unwrap(),
+            exact_skyband_count(&xs, &ys, k),
+            "k={k}"
+        );
+    }
+}
+
+#[test]
+fn neighbors_sql_equals_specialized_radii() {
+    let (xs, ys) = pseudo(200, 23, 1000);
+    // Spread into a plane.
+    let xs: Vec<f64> = xs.iter().map(|&v| v / 100.0).collect();
+    let ys: Vec<f64> = ys.iter().map(|&v| v / 100.0).collect();
+    let d_table = Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap());
+    for &(d, k) in &[(0.5f64, 3usize), (1.5, 8)] {
+        let q = neighbors_sql_predicate(Arc::clone(&d_table), "x", "y", d, k as i64);
+        let cq = CountQuery::new(Arc::clone(&d_table), Arc::new(q));
+        assert_eq!(
+            cq.exact_count().unwrap(),
+            exact_neighbors_count(&xs, &ys, d, k),
+            "d={d}, k={k}"
+        );
+    }
+}
+
+#[test]
+fn q2_distinct_projection_feeds_q3() {
+    // Duplicate (x, y) groups collapse in Q2; the group count over Q2
+    // differs from the row count over the base table.
+    let xs = [1.0, 1.0, 2.0, 3.0, 3.0, 3.0];
+    let ys = [1.0, 1.0, 2.0, 3.0, 3.0, 3.0];
+    let base = Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap());
+    let objects = Arc::new(distinct_project(&base, &["x", "y"], None).unwrap());
+    assert_eq!(objects.len(), 3);
+    // Q3 over the distinct objects: dominated by < 1 (the skyline).
+    let q = skyband_sql_predicate(Arc::clone(&base), "x", "y", 1);
+    let cq = CountQuery::new(objects, Arc::new(q));
+    // Only (3, 3) is undominated among the distinct groups.
+    assert_eq!(cq.exact_count().unwrap(), 1);
+}
+
+#[test]
+fn theta_l_filter_restricts_the_object_set() {
+    let xs = [1.0, 2.0, 3.0, 4.0];
+    let ys = [4.0, 3.0, 2.0, 1.0];
+    let base = Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap());
+    let theta_l = Expr::col("x").le(Expr::lit(2.0));
+    let objects = distinct_project(&base, &["x", "y"], Some(&theta_l)).unwrap();
+    assert_eq!(objects.len(), 2);
+}

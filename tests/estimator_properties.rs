@@ -1,0 +1,171 @@
+//! Property-based integration tests: estimator unbiasedness and the
+//! Theorem 1–4 approximation guarantees on randomized inputs.
+
+use learning_to_sample::prelude::*;
+use lts_strata::{
+    brute_force, dirsol, dynpgm, dynpgmp, Allocation, DesignParams, PilotIndex, TSelection,
+};
+use lts_table::table::table_of_floats;
+use lts_table::{FnPredicate, Table};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Random pilot over a small population (guaranteed feasible for 3
+/// strata with 2 pilots each).
+fn pilot_strategy() -> impl Strategy<Value = PilotIndex> {
+    (20usize..60, 8usize..16, any::<u64>()).prop_map(|(n, m, seed)| {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let m = m.min(n / 2);
+        let entries: Vec<(usize, bool)> = (0..m)
+            .map(|k| {
+                let pos = k * n / m;
+                let frac = pos as f64 / n as f64;
+                (pos, next() < frac)
+            })
+            .collect();
+        PilotIndex::new(n, entries).unwrap()
+    })
+}
+
+fn small_params() -> DesignParams {
+    DesignParams {
+        n_strata: 3,
+        budget: 3,
+        min_stratum_size: 4,
+        min_pilots_per_stratum: 2,
+        epsilon: 1.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 1 (loose empirical check): DirSol lands within a small
+    /// constant of the brute-force optimum on random pilots.
+    #[test]
+    fn dirsol_near_optimal(pilot in pilot_strategy()) {
+        let p = small_params();
+        if let (Ok(exact), Ok(ds)) = (
+            brute_force(&pilot, &p, Allocation::Neyman),
+            dirsol(&pilot, &p, Allocation::Neyman),
+        ) {
+            prop_assert!(
+                ds.estimated_variance <= 4.0 * exact.estimated_variance.abs() + 1e-6,
+                "dirsol {} vs exact {}",
+                ds.estimated_variance,
+                exact.estimated_variance
+            );
+        }
+    }
+
+    /// Theorem 4: DynPgmP is within factor 2 of the optimum.
+    #[test]
+    fn dynpgmp_within_factor_two(pilot in pilot_strategy()) {
+        let p = small_params();
+        if let (Ok(exact), Ok(dp)) = (
+            brute_force(&pilot, &p, Allocation::Proportional),
+            dynpgmp(&pilot, &p),
+        ) {
+            prop_assert!(
+                dp.estimated_variance <= 2.0 * exact.estimated_variance.abs() + 1e-6,
+                "dynpgmp {} vs exact {}",
+                dp.estimated_variance,
+                exact.estimated_variance
+            );
+        }
+    }
+
+    /// DynPgm with the full T grid stays within the (very loose)
+    /// Theorem-3 envelope of the optimum.
+    #[test]
+    fn dynpgm_within_theorem3_envelope(pilot in pilot_strategy()) {
+        let p = small_params();
+        if let (Ok(exact), Ok(dp)) = (
+            brute_force(&pilot, &p, Allocation::Neyman),
+            dynpgm(&pilot, &p, TSelection::Full),
+        ) {
+            // Theorem 3 factor for H = 3 is (14/3)(10·3 − 9) = 98; we
+            // assert a much tighter empirical bound.
+            prop_assert!(
+                dp.estimated_variance <= 8.0 * exact.estimated_variance.abs() + 1e-6,
+                "dynpgm {} vs exact {}",
+                dp.estimated_variance,
+                exact.estimated_variance
+            );
+        }
+    }
+
+    /// Every design algorithm emits structurally valid cuts.
+    #[test]
+    fn designs_emit_valid_cuts(pilot in pilot_strategy()) {
+        let p = small_params();
+        for strat in [
+            dirsol(&pilot, &p, Allocation::Neyman),
+            dynpgm(&pilot, &p, TSelection::default()),
+            dynpgmp(&pilot, &p),
+        ].into_iter().flatten() {
+            let n = pilot.n_objects();
+            prop_assert_eq!(strat.cuts.len(), 2);
+            let sizes = strat.stratum_sizes(n);
+            prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+            for &s in &sizes {
+                prop_assert!(s >= p.min_stratum_size);
+            }
+        }
+    }
+}
+
+/// Monte-Carlo unbiasedness of the three interval estimators on a tiny
+/// fully-known population (not a proptest: needs many trials).
+#[test]
+fn estimators_unbiased_on_known_population() {
+    let n = 160usize;
+    let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let t = Arc::new(table_of_floats(&[("x", &xs)]).unwrap());
+    // 35% positive with a learnable-but-noisy structure.
+    let q = FnPredicate::new("pattern", move |t: &Table, i| {
+        let x = t.floats("x")?[i];
+        Ok((x * 0.61).sin() > 0.3)
+    });
+    let problem = CountingProblem::new(t, Arc::new(q), &["x"]).unwrap();
+    let truth = problem.exact_count().unwrap() as f64;
+
+    let learn = LearnPhaseConfig {
+        spec: ClassifierSpec::Knn { k: 3 },
+        augment: None,
+        model_seed: 0,
+    };
+    let ests: Vec<(&str, Box<dyn CountEstimator>)> = vec![
+        ("SRS", Box::new(Srs::default())),
+        (
+            "LWS",
+            Box::new(Lws {
+                learn,
+                ..Lws::default()
+            }),
+        ),
+        (
+            "LSS",
+            Box::new(Lss {
+                learn,
+                min_pilots_per_stratum: 2,
+                ..Lss::default()
+            }),
+        ),
+    ];
+    for (name, est) in ests {
+        let stats = run_trials(&problem, est.as_ref(), 48, 400, 31, Some(truth)).unwrap();
+        let mean: f64 =
+            stats.estimates.iter().sum::<f64>() / stats.estimates.len() as f64;
+        assert!(
+            (mean - truth).abs() < truth * 0.12,
+            "{name}: mean {mean} vs truth {truth}"
+        );
+    }
+}
