@@ -97,11 +97,9 @@ fn bench_score_population(c: &mut Criterion) {
         ("gnb", &gnb as &dyn Classifier),
         ("gbm50", &gbm as &dyn Classifier),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new(name, "50k_rows"),
-            &x_pop,
-            |b, x| b.iter(|| model.score_batch(black_box(x)).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new(name, "50k_rows"), &x_pop, |b, x| {
+            b.iter(|| model.score_batch(black_box(x)).unwrap())
+        });
     }
     group.finish();
 }

@@ -14,7 +14,11 @@ use std::hint::black_box;
 fn bench_srs(c: &mut Criterion) {
     let mut group = c.benchmark_group("srs");
     group.sample_size(20);
-    for &(n, pop) in &[(100usize, 100_000usize), (1_000, 100_000), (10_000, 100_000)] {
+    for &(n, pop) in &[
+        (100usize, 100_000usize),
+        (1_000, 100_000),
+        (10_000, 100_000),
+    ] {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("{n}_of_{pop}")),
             &(n, pop),
@@ -30,7 +34,9 @@ fn bench_srs(c: &mut Criterion) {
 fn bench_weighted(c: &mut Criterion) {
     let mut group = c.benchmark_group("weighted_without_replacement");
     group.sample_size(20);
-    let weights: Vec<f64> = (0..100_000).map(|i| 0.05 + (i % 97) as f64 / 97.0).collect();
+    let weights: Vec<f64> = (0..100_000)
+        .map(|i| 0.05 + (i % 97) as f64 / 97.0)
+        .collect();
     for &n in &[100usize, 1_000] {
         group.bench_with_input(BenchmarkId::new("efraimidis_spirakis", n), &n, |b, &n| {
             let mut rng = StdRng::seed_from_u64(2);

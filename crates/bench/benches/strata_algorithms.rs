@@ -7,8 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use lts_strata::{
-    brute_force, dirsol, dynpgm, dynpgmp, logbdr, Allocation, DesignParams, PilotIndex,
-    TSelection,
+    brute_force, dirsol, dynpgm, dynpgmp, logbdr, Allocation, DesignParams, PilotIndex, TSelection,
 };
 use std::hint::black_box;
 
@@ -49,24 +48,18 @@ fn bench_algorithms(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("dirsol_h3", format!("N{n}_m{m}")),
             &p,
-            |b, p| {
-                b.iter(|| dirsol(black_box(p), &params(3, n), Allocation::Neyman).unwrap())
-            },
+            |b, p| b.iter(|| dirsol(black_box(p), &params(3, n), Allocation::Neyman).unwrap()),
         );
         group.bench_with_input(
             BenchmarkId::new("dynpgm_h4_pruned", format!("N{n}_m{m}")),
             &p,
-            |b, p| {
-                b.iter(|| dynpgm(black_box(p), &params(4, n), TSelection::Pruned(6)).unwrap())
-            },
+            |b, p| b.iter(|| dynpgm(black_box(p), &params(4, n), TSelection::Pruned(6)).unwrap()),
         );
         group.bench_with_input(
             BenchmarkId::new("dynpgm_h4_unconstrained", format!("N{n}_m{m}")),
             &p,
             |b, p| {
-                b.iter(|| {
-                    dynpgm(black_box(p), &params(4, n), TSelection::Unconstrained).unwrap()
-                })
+                b.iter(|| dynpgm(black_box(p), &params(4, n), TSelection::Unconstrained).unwrap())
             },
         );
         group.bench_with_input(

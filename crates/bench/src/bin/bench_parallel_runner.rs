@@ -1,0 +1,118 @@
+//! Wall-clock comparison of the parallel trial runner against the
+//! sequential path, on the estimator suite's headline members.
+//!
+//! Asserts bit-identical per-seed estimates between the two modes, then
+//! reports per-estimator sequential/parallel wall times and the speedup
+//! (expect ≥ 2× with ≥ 8 trials on a multi-core host; ≈ 1× on a single
+//! core, where the parallel path degenerates to inline execution).
+//! Emits `BENCH_runner_parallel.json` for trajectory tracking.
+//!
+//! Usage: `cargo run --release -p lts-bench --bin bench_parallel_runner
+//! -- [--trials N] [--scale F] [--seed N] [--out DIR]`
+
+use lts_bench::{BenchRecord, RunConfig, TextTable};
+use lts_core::estimators::{CountEstimator, Lss, Lws, Srs, Ssp};
+use lts_core::{run_trials_with, ClassifierSpec, LearnPhaseConfig, TrialExecution};
+use lts_data::{neighbors_scenario, SelectivityLevel};
+use std::time::Instant;
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    if let Err(e) = run(&cfg) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn run(cfg: &RunConfig) -> lts_core::CoreResult<()> {
+    let trials = cfg.trials.max(8);
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("== parallel trial runner: {trials} trials, {threads} hardware thread(s) ==");
+
+    let n = (8_000.0 * cfg.scale / 0.2) as usize;
+    let scenario = neighbors_scenario(n.max(1_000), SelectivityLevel::S, cfg.seed)?;
+    let problem = &scenario.problem;
+    let budget = (problem.n() / 50).max(60);
+    let learn = LearnPhaseConfig {
+        spec: ClassifierSpec::Knn { k: 5 },
+        augment: None,
+        model_seed: cfg.seed,
+    };
+    let estimators: Vec<(&str, Box<dyn CountEstimator>)> = vec![
+        ("SRS", Box::new(Srs::default())),
+        ("SSP", Box::new(Ssp::default())),
+        (
+            "LWS",
+            Box::new(Lws {
+                learn,
+                ..Lws::default()
+            }),
+        ),
+        (
+            "LSS",
+            Box::new(Lss {
+                learn,
+                ..Lss::default()
+            }),
+        ),
+    ];
+
+    let mut table = TextTable::new(&["estimator", "seq (s)", "par (s)", "speedup", "identical"]);
+    let mut records = Vec::new();
+    for (name, est) in &estimators {
+        let t0 = Instant::now();
+        let seq = run_trials_with(
+            problem,
+            est.as_ref(),
+            budget,
+            trials,
+            cfg.seed,
+            None,
+            TrialExecution::Sequential,
+        )?;
+        let seq_s = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let par = run_trials_with(
+            problem,
+            est.as_ref(),
+            budget,
+            trials,
+            cfg.seed,
+            None,
+            TrialExecution::Parallel,
+        )?;
+        let par_s = t1.elapsed().as_secs_f64();
+
+        let identical = seq.estimates == par.estimates && seq.mean_evals == par.mean_evals;
+        assert!(
+            identical,
+            "{name}: parallel estimates diverged from sequential — determinism bug"
+        );
+        let speedup = seq_s / par_s.max(1e-12);
+        table.row(vec![
+            (*name).to_string(),
+            format!("{seq_s:.3}"),
+            format!("{par_s:.3}"),
+            format!("{speedup:.2}x"),
+            "yes".into(),
+        ]);
+        records.push(BenchRecord {
+            label: (*name).to_string(),
+            cell: format!("{trials} trials @{budget}"),
+            median: speedup,
+            iqr: 0.0,
+            mean_evals: par.mean_evals,
+            wall_seconds: par_s,
+        });
+    }
+    print!("{}", table.render());
+    println!("   (median field of BENCH_runner_parallel.json = seq/par speedup)");
+    if threads > 1 {
+        println!("   expect: speedup ≥ 2x with {threads} threads and {trials} trials.");
+    } else {
+        println!("   single hardware thread: parallel path runs inline; speedup ≈ 1x.");
+    }
+    lts_bench::emit_records_json(&cfg.out_dir, "runner_parallel", "parallel", &records);
+    Ok(())
+}

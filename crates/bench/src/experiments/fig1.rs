@@ -39,22 +39,21 @@ pub fn run(cfg: &RunConfig) -> CoreResult<()> {
     let step = ((100.0 * cfg.scale).round() as usize).max(20);
 
     let mut labeled = sample_without_replacement(&mut rng, initial, n)?;
-    let mut labels = Vec::with_capacity(initial + 2 * step);
-    for &i in &labeled {
-        labels.push(labeler.label(i)?);
-    }
+    let mut labels = labeler.label_batch(&labeled)?;
+    labels.reserve(2 * step);
     let mut model = Knn::new(5)?;
     model.fit(&features.gather(&labeled), &labels)?;
 
     // Held-out evaluation sample (diagnostic only; not budgeted).
     let eval_ids = sample_without_replacement(&mut rng, 2000.min(n / 2), n)?;
-    let mut eval_truth = Vec::with_capacity(eval_ids.len());
-    for &i in &eval_ids {
-        eval_truth.push(labeler.label(i)?);
-    }
+    let eval_truth = labeler.label_batch(&eval_ids)?;
 
     let mut table = TextTable::new(&[
-        "step", "train size", "accuracy%", "uncertain band%", "boundary err%",
+        "step",
+        "train size",
+        "accuracy%",
+        "uncertain band%",
+        "boundary err%",
     ]);
     for step_no in 0..=2 {
         // Evaluate.
@@ -105,9 +104,10 @@ pub fn run(cfg: &RunConfig) -> CoreResult<()> {
         }
         pool.truncate(pool_size);
         let picks = select_uncertain(&model, features, &pool, step)?;
-        for &i in &picks {
+        let pick_labels = labeler.label_batch(&picks)?;
+        for (&i, l) in picks.iter().zip(pick_labels) {
             labeled.push(i);
-            labels.push(labeler.label(i)?);
+            labels.push(l);
         }
         model.fit(&features.gather(&labeled), &labels)?;
     }

@@ -20,6 +20,7 @@ use lts_data::DatasetKind;
 pub fn run(cfg: &RunConfig) -> CoreResult<()> {
     println!("== Figure 2: LWS & LSS vs SRS, SSP, SSN ==");
     let mut table = TextTable::new(&CELL_HEADER);
+    let mut cells = Vec::new();
     for dataset in [DatasetKind::Neighbors, DatasetKind::Sports] {
         for level in FIGURE_LEVELS {
             let scenario = build_scenario(cfg, dataset, level)?;
@@ -37,12 +38,14 @@ pub fn run(cfg: &RunConfig) -> CoreResult<()> {
                         try_cell(&scenario, est.as_ref(), &name, &column, budget, cfg)
                     {
                         table.row(cell_row(&cell));
+                        cells.push(cell);
                     }
                 }
             }
         }
     }
     print!("{}", table.render());
+    crate::json::emit_cells_json(&cfg.out_dir, "fig2", &cells);
     table
         .write_csv(&cfg.out_dir, "fig2")
         .map_err(|e| lts_core::CoreError::InvalidConfig {

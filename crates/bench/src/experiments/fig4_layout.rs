@@ -45,10 +45,10 @@ pub fn run(cfg: &RunConfig) -> CoreResult<()> {
     }
     print!("{}", table.render());
     println!("   expect: optimized ≤ fixed-width < fixed-height IQR, worst gap at XS.");
-    table
-        .write_csv(&cfg.out_dir, "fig4_layout")
-        .map_err(|e| lts_core::CoreError::InvalidConfig {
+    table.write_csv(&cfg.out_dir, "fig4_layout").map_err(|e| {
+        lts_core::CoreError::InvalidConfig {
             message: format!("csv write failed: {e}"),
-        })?;
+        }
+    })?;
     Ok(())
 }

@@ -29,11 +29,7 @@ pub fn run(cfg: &RunConfig) -> CoreResult<()> {
             println!("   {}", scenario.describe());
             let budget = ((scenario.problem.n() as f64 * 0.02) as usize).max(60);
             for strata in [4usize, 9, 25, 49, 100] {
-                let column = format!(
-                    "{}/{} H={strata}",
-                    dataset.label(),
-                    level.label()
-                );
+                let column = format!("{}/{} H={strata}", dataset.label(), level.label());
                 let algo = if strata >= 9 {
                     DesignAlgorithm::DynPgmP
                 } else {
@@ -56,10 +52,10 @@ pub fn run(cfg: &RunConfig) -> CoreResult<()> {
     }
     print!("{}", table.render());
     println!("   expect: more strata helps mildly; LSS IQR below SSP throughout.");
-    table
-        .write_csv(&cfg.out_dir, "fig4_strata")
-        .map_err(|e| lts_core::CoreError::InvalidConfig {
+    table.write_csv(&cfg.out_dir, "fig4_strata").map_err(|e| {
+        lts_core::CoreError::InvalidConfig {
             message: format!("csv write failed: {e}"),
-        })?;
+        }
+    })?;
     Ok(())
 }

@@ -38,9 +38,7 @@ pub fn run(cfg: &RunConfig) -> CoreResult<()> {
                         ..Lss::default()
                     };
                     let label = format!("split {:.0}%", split * 100.0);
-                    if let Some(cell) =
-                        try_cell(&scenario, &est, &label, &column, budget, cfg)
-                    {
+                    if let Some(cell) = try_cell(&scenario, &est, &label, &column, budget, cfg) {
                         table.row(cell_row(&cell));
                     }
                 }

@@ -35,14 +35,9 @@ pub fn run(cfg: &RunConfig) -> CoreResult<()> {
                     },
                     ..Lss::default()
                 };
-                if let Some(cell) = try_cell(
-                    &scenario,
-                    &est,
-                    spec.kind().label(),
-                    &column,
-                    budget,
-                    cfg,
-                ) {
+                if let Some(cell) =
+                    try_cell(&scenario, &est, spec.kind().label(), &column, budget, cfg)
+                {
                     table.row(cell_row(&cell));
                 }
             }

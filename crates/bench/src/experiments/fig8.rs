@@ -47,16 +47,12 @@ pub fn run(cfg: &RunConfig) -> CoreResult<()> {
                     };
                     let cc = Qlcc { learn };
                     let label = format!("CC{aug_label}");
-                    if let Some(cell) =
-                        try_cell(&scenario, &cc, &label, &column, budget, cfg)
-                    {
+                    if let Some(cell) = try_cell(&scenario, &cc, &label, &column, budget, cfg) {
                         table.row(cell_row(&cell));
                     }
                     let ac = Qlac { learn, folds: 5 };
                     let label = format!("AC{aug_label}");
-                    if let Some(cell) =
-                        try_cell(&scenario, &ac, &label, &column, budget, cfg)
-                    {
+                    if let Some(cell) = try_cell(&scenario, &ac, &label, &column, budget, cfg) {
                         table.row(cell_row(&cell));
                     }
                 }

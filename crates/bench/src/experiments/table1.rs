@@ -20,9 +20,7 @@ pub fn run(cfg: &RunConfig) -> CoreResult<()> {
         cfg.sports_rows(),
         cfg.neighbors_rows()
     );
-    let mut table = TextTable::new(&[
-        "dataset", "level", "target%", "achieved%", "count", "param",
-    ]);
+    let mut table = TextTable::new(&["dataset", "level", "target%", "achieved%", "count", "param"]);
     for dataset in [DatasetKind::Sports, DatasetKind::Neighbors] {
         for level in SelectivityLevel::ALL {
             let sc = build_scenario(cfg, dataset, level)?;

@@ -80,7 +80,10 @@ pub fn paper_estimators(seed: u64) -> Vec<(String, Box<dyn CountEstimator>)> {
         model_seed: seed,
     };
     vec![
-        ("SRS".into(), Box::new(Srs::default()) as Box<dyn CountEstimator>),
+        (
+            "SRS".into(),
+            Box::new(Srs::default()) as Box<dyn CountEstimator>,
+        ),
         ("SSP".into(), Box::new(Ssp::default())),
         ("SSN".into(), Box::new(Ssn::default())),
         (
@@ -172,7 +175,11 @@ impl TextTable {
         writeln!(
             f,
             "{}",
-            self.header.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            self.header
+                .iter()
+                .map(|c| esc(c))
+                .collect::<Vec<_>>()
+                .join(",")
         )?;
         for row in &self.rows {
             writeln!(
@@ -210,16 +217,22 @@ pub fn cell_row(cell: &Cell) -> Vec<String> {
         fmt(cell.iqr_pct()),
         fmt(cell.median_rel_err_pct()),
         cell.stats.outliers.to_string(),
-        cell.stats
-            .coverage
-            .map_or("-".into(), |c| fmt(c * 100.0)),
+        cell.stats.coverage.map_or("-".into(), |c| fmt(c * 100.0)),
         fmt(cell.stats.mean_evals),
     ]
 }
 
 /// Header matching [`cell_row`].
 pub const CELL_HEADER: [&str; 10] = [
-    "estimator", "cell", "truth", "median", "IQR", "IQR%", "relerr%", "outliers", "cover%",
+    "estimator",
+    "cell",
+    "truth",
+    "median",
+    "IQR",
+    "IQR%",
+    "relerr%",
+    "outliers",
+    "cover%",
     "evals",
 ];
 

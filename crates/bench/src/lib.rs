@@ -21,6 +21,8 @@
 pub mod cli;
 pub mod experiments;
 pub mod harness;
+pub mod json;
 
 pub use cli::RunConfig;
 pub use harness::{Cell, TextTable};
+pub use json::{emit_cells_json, emit_records_json, write_bench_json, BenchRecord};

@@ -24,6 +24,15 @@ pub enum CoreError {
         /// What needed it.
         reason: String,
     },
+    /// The labeling budget exceeds the population size — a census is
+    /// cheaper than sampling, so the request is almost certainly a
+    /// configuration mistake.
+    BudgetExceedsPopulation {
+        /// Requested budget.
+        budget: usize,
+        /// Population size `N`.
+        population: usize,
+    },
     /// Invalid estimator configuration.
     InvalidConfig {
         /// Description.
@@ -43,9 +52,10 @@ impl fmt::Display for CoreError {
                 budget,
                 required,
                 reason,
-            } => write!(
+            } => write!(f, "budget {budget} too small (need ≥ {required}): {reason}"),
+            CoreError::BudgetExceedsPopulation { budget, population } => write!(
                 f,
-                "budget {budget} too small (need ≥ {required}): {reason}"
+                "budget {budget} exceeds population size {population} (a census is cheaper)"
             ),
             CoreError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
         }
@@ -111,5 +121,11 @@ mod tests {
         };
         assert!(e.to_string().contains('5'));
         assert!(e.to_string().contains("10"));
+        let e = CoreError::BudgetExceedsPopulation {
+            budget: 101,
+            population: 100,
+        };
+        assert!(e.to_string().contains("101"));
+        assert!(e.to_string().contains("census"));
     }
 }

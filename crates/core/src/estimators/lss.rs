@@ -28,8 +28,7 @@ use crate::learnphase::{run_learn_phase, LearnPhaseConfig};
 use crate::problem::{CountingProblem, Labeler};
 use crate::report::{EstimateReport, Phase, PhaseTimer, QualityForecast};
 use lts_sampling::{
-    allocate, draw_stratified, sample_without_replacement, stratified_count_estimate,
-    StratumSample,
+    allocate, draw_stratified, sample_without_replacement, stratified_count_estimate, StratumSample,
 };
 use lts_strata::{
     design, fixed_height_cuts, fixed_width_cuts, Allocation, DesignAlgorithm, DesignParams,
@@ -206,11 +205,12 @@ impl Lss {
             LssLayout::Optimized(algo) => {
                 let h = self.n_strata;
                 let auto_min = ((stage2_budget + 1).min(n_rest / h)).max(1);
-                let min_size = self.min_stratum_size.unwrap_or(auto_min).min(n_rest / h).max(1);
-                let min_pilots = self
-                    .min_pilots_per_stratum
-                    .min(pilot.m() / h)
-                    .max(2);
+                let min_size = self
+                    .min_stratum_size
+                    .unwrap_or(auto_min)
+                    .min(n_rest / h)
+                    .max(1);
+                let min_pilots = self.min_pilots_per_stratum.min(pilot.m() / h).max(2);
                 let params = DesignParams {
                     n_strata: h,
                     budget: stage2_budget,
@@ -219,9 +219,7 @@ impl Lss {
                     epsilon: self.epsilon,
                 };
                 let run = |params: &DesignParams| match algo {
-                    DesignAlgorithm::DynPgm => {
-                        lts_strata::dynpgm(pilot, params, self.t_selection)
-                    }
+                    DesignAlgorithm::DynPgm => lts_strata::dynpgm(pilot, params, self.t_selection),
                     other => design(pilot, params, self.allocation, other),
                 };
                 match run(&params) {
@@ -238,9 +236,7 @@ impl Lss {
                         };
                         match run(&relaxed) {
                             Ok(s) => {
-                                notes.push(
-                                    "design constraints relaxed (pilot too bunched)".into(),
-                                );
+                                notes.push("design constraints relaxed (pilot too bunched)".into());
                                 Ok(s)
                             }
                             Err(_) => {
@@ -299,13 +295,11 @@ impl CountEstimator for Lss {
             return Err(CoreError::BudgetTooSmall {
                 budget,
                 required: train_budget + 3 * h,
-                reason: format!(
-                    "LSS with H = {h} needs ≥ 2H pilot and ≥ H stage-2 labels"
-                ),
+                reason: format!("LSS with H = {h} needs ≥ 2H pilot and ≥ H stage-2 labels"),
             });
         }
 
-        let lm = timer.phase(problem, Phase::Learn, || {
+        let lm = timer.phase(Phase::Learn, || {
             run_learn_phase(problem, &mut labeler, train_budget, &self.learn, rng)
         })?;
 
@@ -318,7 +312,7 @@ impl CountEstimator for Lss {
         // the ordering (empty in Fresh mode).
         let reuse = self.pilot_source == PilotSource::ReuseLearning;
         let (order, sorted_scores, train_positions) =
-            timer.phase(problem, Phase::Phase2, || -> CoreResult<_> {
+            timer.phase(Phase::Phase2, || -> CoreResult<_> {
                 let mut in_train = vec![false; problem.n()];
                 for &i in &lm.labeled {
                     in_train[i] = true;
@@ -353,7 +347,7 @@ impl CountEstimator for Lss {
 
         // --------------------------------------------- stage 1 (design)
         let (pilot_positions, _pilot_index, stratification) =
-            timer.phase(problem, Phase::Design, || -> CoreResult<_> {
+            timer.phase(Phase::Design, || -> CoreResult<_> {
                 // Draw SI uniformly over *positions* of the ordering
                 // (equivalent to uniform over objects). In reuse mode the
                 // S_L positions are excluded from the draw and injected
@@ -363,8 +357,7 @@ impl CountEstimator for Lss {
                     for &pos in &train_positions {
                         is_train[pos] = true;
                     }
-                    let candidates: Vec<usize> =
-                        (0..n_rest).filter(|&p| !is_train[p]).collect();
+                    let candidates: Vec<usize> = (0..n_rest).filter(|&p| !is_train[p]).collect();
                     sample_without_replacement(rng, pilot_budget, candidates.len())?
                         .into_iter()
                         .map(|i| candidates[i])
@@ -373,28 +366,22 @@ impl CountEstimator for Lss {
                     sample_without_replacement(rng, pilot_budget, n_rest)?
                 };
                 positions.extend_from_slice(&train_positions);
-                let mut entries = Vec::with_capacity(positions.len());
-                for &pos in &positions {
-                    // S_L labels are already cached by the labeler, so
-                    // the reused entries cost no extra q evaluations.
-                    let label = labeler.label(order[pos])?;
-                    entries.push((pos, label));
-                }
+                // One batched oracle call for the pilot; S_L labels are
+                // already cached by the labeler, so the reused entries
+                // cost no extra q evaluations.
+                let pilot_objs: Vec<usize> = positions.iter().map(|&pos| order[pos]).collect();
+                let labels = labeler.label_batch(&pilot_objs)?;
+                let entries: Vec<(usize, bool)> = positions.iter().copied().zip(labels).collect();
                 let pilot = PilotIndex::new(n_rest, entries)?;
-                let strat = self.layout_cuts(
-                    &pilot,
-                    &sorted_scores,
-                    n_rest,
-                    stage2_budget,
-                    &mut notes,
-                )?;
+                let strat =
+                    self.layout_cuts(&pilot, &sorted_scores, n_rest, stage2_budget, &mut notes)?;
                 let mut sorted_positions = positions;
                 sorted_positions.sort_unstable();
                 Ok((sorted_positions, pilot, strat))
             })?;
 
         // --------------------------------------------- stage 2 (sample)
-        let estimate = timer.phase(problem, Phase::Phase2, || -> CoreResult<_> {
+        let estimate = timer.phase(Phase::Phase2, || -> CoreResult<_> {
             let sizes = stratification.stratum_sizes(n_rest);
             let n_strata_eff = sizes.len();
 
@@ -423,12 +410,9 @@ impl CountEstimator for Lss {
             // (proportional).
             let mut s_hats = Vec::with_capacity(n_strata_eff);
             for members in &pilot_in {
-                let mut positives = 0usize;
-                for &pos in members.iter() {
-                    if labeler.label(order[pos])? {
-                        positives += 1;
-                    }
-                }
+                // All pilot labels are cached, so this batch is free.
+                let objs: Vec<usize> = members.iter().map(|&pos| order[pos]).collect();
+                let positives = labeler.count_positives(&objs)?;
                 let sample = StratumSample {
                     population: members.len().max(1),
                     sampled: members.len(),
@@ -489,21 +473,13 @@ impl CountEstimator for Lss {
             let mut samples = Vec::with_capacity(n_strata_eff);
             let mut pilot_positives_total = 0usize;
             for (s, drawn) in draws.iter().enumerate() {
-                let mut positives = 0usize;
-                for &pos in drawn {
-                    if labeler.label(order[pos])? {
-                        positives += 1;
-                    }
-                }
-                let pilot_pos = {
-                    let mut c = 0usize;
-                    for &pos in &pilot_in[s] {
-                        if labeler.label(order[pos])? {
-                            c += 1;
-                        }
-                    }
-                    c
-                };
+                // One batched oracle call per stratum's stage-2 draw;
+                // the pilot recount below hits only cached labels.
+                let drawn_objs: Vec<usize> = drawn.iter().map(|&pos| order[pos]).collect();
+                let positives = labeler.count_positives(&drawn_objs)?;
+                let pilot_objs: Vec<usize> =
+                    pilot_in[s].iter().map(|&pos| order[pos]).collect();
+                let pilot_pos = labeler.count_positives(&pilot_objs)?;
                 pilot_positives_total += pilot_pos;
                 let population = match self.pilot_handling {
                     PilotHandling::ExactRemainder => available[s],
@@ -790,7 +766,11 @@ mod tests {
         };
         let mut rng = StdRng::seed_from_u64(7);
         let r = est.estimate(&problem, 120, &mut rng).unwrap();
-        assert!(r.evals <= 120, "reused labels must not cost evals: {}", r.evals);
+        assert!(
+            r.evals <= 120,
+            "reused labels must not cost evals: {}",
+            r.evals
+        );
         assert!((r.count() - truth).abs() < 60.0, "{} vs {truth}", r.count());
     }
 

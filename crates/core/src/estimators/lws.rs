@@ -80,12 +80,12 @@ impl CountEstimator for Lws {
         let mut labeler = Labeler::new(problem);
 
         // Phase 1: learn.
-        let lm = timer.phase(problem, Phase::Learn, || {
+        let lm = timer.phase(Phase::Learn, || {
             run_learn_phase(problem, &mut labeler, train_budget, &self.learn, rng)
         })?;
 
         // Phase 2: score the rest, weight, draw, estimate.
-        let estimate = timer.phase(problem, Phase::Phase2, || -> CoreResult<_> {
+        let estimate = timer.phase(Phase::Phase2, || -> CoreResult<_> {
             let mut in_train = vec![false; problem.n()];
             for &i in &lm.labeled {
                 in_train[i] = true;
@@ -105,10 +105,12 @@ impl CountEstimator for Lws {
                 weights.push(g.max(self.epsilon));
             }
             let draws = weighted_sample_es(rng, &weights, sample_budget)?;
+            // One batched oracle call for the whole phase-2 sample; the
+            // Des Raj pushes then replay the draw order exactly.
+            let objs: Vec<usize> = draws.iter().map(|d| rest[d.index]).collect();
+            let labels = labeler.label_batch(&objs)?;
             let mut desraj = DesRaj::new(rest.len())?;
-            for d in &draws {
-                let obj = rest[d.index];
-                let label = labeler.label(obj)?;
+            for (d, label) in draws.iter().zip(labels) {
                 desraj.push(label, d.initial_probability)?;
             }
             Ok(desraj.count_estimate(problem.level())?)

@@ -88,11 +88,11 @@ impl CountEstimator for LwsHt {
         let mut timer = PhaseTimer::new();
         let mut labeler = Labeler::new(problem);
 
-        let lm = timer.phase(problem, Phase::Learn, || {
+        let lm = timer.phase(Phase::Learn, || {
             run_learn_phase(problem, &mut labeler, train_budget, &self.learn, rng)
         })?;
 
-        let estimate = timer.phase(problem, Phase::Phase2, || -> CoreResult<_> {
+        let estimate = timer.phase(Phase::Phase2, || -> CoreResult<_> {
             let mut in_train = vec![false; problem.n()];
             for &i in &lm.labeled {
                 in_train[i] = true;
@@ -112,11 +112,14 @@ impl CountEstimator for LwsHt {
                 weights.push(g.max(self.epsilon));
             }
             let draws = systematic_pps_sample(rng, &weights, sample_budget)?;
-            let mut pairs = Vec::with_capacity(draws.len());
-            for d in &draws {
-                let label = labeler.label(rest[d.index])?;
-                pairs.push((d.initial_probability, label));
-            }
+            // One batched oracle call for the whole systematic sample.
+            let objs: Vec<usize> = draws.iter().map(|d| rest[d.index]).collect();
+            let labels = labeler.label_batch(&objs)?;
+            let pairs: Vec<(f64, bool)> = draws
+                .iter()
+                .zip(labels)
+                .map(|(d, label)| (d.initial_probability, label))
+                .collect();
             Ok(horvitz_thompson_count(&pairs, problem.level())?)
         })?;
 

@@ -76,8 +76,7 @@ impl CountEstimator for LwsSequential {
             return Err(CoreError::BudgetTooSmall {
                 budget,
                 required: 4,
-                reason: "sequential LWS needs ≥ 2 training and ≥ 2 sampling-phase labels"
-                    .into(),
+                reason: "sequential LWS needs ≥ 2 training and ≥ 2 sampling-phase labels".into(),
             });
         }
         let train_budget = ((budget as f64 * self.train_frac).round() as usize).clamp(2, budget);
@@ -94,11 +93,11 @@ impl CountEstimator for LwsSequential {
         let mut labeler = Labeler::new(problem);
         let mut notes = Vec::new();
 
-        let lm = timer.phase(problem, Phase::Learn, || {
+        let lm = timer.phase(Phase::Learn, || {
             run_learn_phase(problem, &mut labeler, train_budget, &self.learn, rng)
         })?;
 
-        let estimate = timer.phase(problem, Phase::Phase2, || -> CoreResult<_> {
+        let estimate = timer.phase(Phase::Phase2, || -> CoreResult<_> {
             let mut in_train = vec![false; problem.n()];
             for &i in &lm.labeled {
                 in_train[i] = true;
@@ -112,8 +111,14 @@ impl CountEstimator for LwsSequential {
                 weights.push(g.max(self.epsilon));
             }
             // Draw the full plan up front (cheap); label lazily until
-            // the stopping rule fires.
+            // the stopping rule fires. The stopping rule cannot fire
+            // before `min_draws`, so that prefix is labeled as one
+            // batched oracle call; past it the walk stays one-at-a-time
+            // because each label feeds the next stopping decision.
             let plan = weighted_sample_es(rng, &weights, draws_wanted)?;
+            let prefix = self.min_draws.max(2).min(plan.len());
+            let prefix_objs: Vec<usize> = plan[..prefix].iter().map(|d| rest[d.index]).collect();
+            labeler.label_batch(&prefix_objs)?;
             let mut desraj = DesRaj::new(rest.len())?;
             let mut used = 0usize;
             for d in &plan {
@@ -175,11 +180,7 @@ mod tests {
         problem.reset_meter();
         let mut rng = StdRng::seed_from_u64(5);
         let r = seq_knn(0.15).estimate(&problem, 300, &mut rng).unwrap();
-        assert!(
-            r.evals < 300,
-            "should stop early, spent {} of 300",
-            r.evals
-        );
+        assert!(r.evals < 300, "should stop early, spent {} of 300", r.evals);
         assert!((r.count() - truth).abs() / truth < 0.3);
         assert!(!r.notes.is_empty(), "early stop should be noted");
     }

@@ -60,14 +60,36 @@ pub(crate) fn check_budget(problem: &CountingProblem, budget: usize) -> CoreResu
         });
     }
     if budget > problem.n() {
-        return Err(crate::error::CoreError::BudgetTooSmall {
+        return Err(crate::error::CoreError::BudgetExceedsPopulation {
             budget,
-            required: problem.n(),
-            reason: format!(
-                "budget exceeds population size {} (a census is cheaper)",
-                problem.n()
-            ),
+            population: problem.n(),
         });
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check_budget;
+    use crate::error::CoreError;
+    use crate::problem::tests_support::line_problem;
+
+    #[test]
+    fn check_budget_classifies_both_failure_modes() {
+        let problem = line_problem(10, 0.5);
+        assert!(matches!(
+            check_budget(&problem, 0),
+            Err(CoreError::BudgetTooSmall { budget: 0, .. })
+        ));
+        // Over-population is its own variant, not a "too small" error.
+        match check_budget(&problem, 11) {
+            Err(CoreError::BudgetExceedsPopulation { budget, population }) => {
+                assert_eq!(budget, 11);
+                assert_eq!(population, 10);
+            }
+            other => panic!("expected BudgetExceedsPopulation, got {other:?}"),
+        }
+        assert!(check_budget(&problem, 1).is_ok());
+        assert!(check_budget(&problem, 10).is_ok());
+    }
 }

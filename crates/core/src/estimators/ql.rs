@@ -69,10 +69,10 @@ fn run_ql(
     check_budget(problem, budget)?;
     let mut timer = PhaseTimer::new();
     let mut labeler = Labeler::new(problem);
-    let lm = timer.phase(problem, Phase::Learn, || {
+    let lm = timer.phase(Phase::Learn, || {
         run_learn_phase(problem, &mut labeler, budget, learn, rng)
     })?;
-    let observed = timer.phase(problem, Phase::Phase2, || -> CoreResult<usize> {
+    let observed = timer.phase(Phase::Phase2, || -> CoreResult<usize> {
         let features = problem.features();
         let mut in_train = vec![false; problem.n()];
         for &i in &lm.labeled {
@@ -149,11 +149,9 @@ impl CountEstimator for Qlac {
         let folds = self.folds.clamp(2, run.labeled.len().max(2));
         let spec = self.learn.spec;
         let cv_seed = rng.random::<u64>();
-        let rates = run.timer.phase(problem, Phase::Phase2, || {
+        let rates = run.timer.phase(Phase::Phase2, || {
             let x = problem.features().gather(&run.labeled);
-            cross_validated_rates(&x, &run.labels, folds, cv_seed, || {
-                spec.build(cv_seed)
-            })
+            cross_validated_rates(&x, &run.labels, folds, cv_seed, || spec.build(cv_seed))
         })?;
 
         let rest = run.rest_len as f64;
@@ -163,9 +161,8 @@ impl CountEstimator for Qlac {
                 adj.clamp(0.0, rest)
             }
             _ => {
-                notes.push(
-                    "QLAC fell back to classify-and-count: t̂pr − f̂pr ill-conditioned".into(),
-                );
+                notes
+                    .push("QLAC fell back to classify-and-count: t̂pr − f̂pr ill-conditioned".into());
                 run.observed as f64
             }
         };
@@ -205,11 +202,7 @@ mod tests {
         let r = est.estimate(&problem, 60, &mut rng).unwrap();
         assert!(r.evals <= 60);
         assert!(!r.has_interval);
-        assert!(
-            (r.count() - truth).abs() < 30.0,
-            "{} vs {truth}",
-            r.count()
-        );
+        assert!((r.count() - truth).abs() < 30.0, "{} vs {truth}", r.count());
     }
 
     #[test]

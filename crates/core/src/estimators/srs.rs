@@ -30,12 +30,9 @@ impl CountEstimator for Srs {
         check_budget(problem, budget)?;
         let mut timer = PhaseTimer::new();
         let mut labeler = Labeler::new(problem);
-        let estimate = timer.phase(problem, Phase::Phase2, || -> CoreResult<_> {
+        let estimate = timer.phase(Phase::Phase2, || -> CoreResult<_> {
             let draws = sample_without_replacement(rng, budget, problem.n())?;
-            let mut labels = Vec::with_capacity(budget);
-            for &i in &draws {
-                labels.push(labeler.label(i)?);
-            }
+            let labels = labeler.label_batch(&draws)?;
             Ok(srs_count_estimate(
                 &labels,
                 problem.n(),
@@ -71,7 +68,11 @@ mod tests {
         let r = est.estimate(&problem, 100, &mut rng).unwrap();
         assert_eq!(r.evals, 100);
         assert!(problem.predicate_stats().evals <= 100);
-        assert!((r.count() - truth).abs() < 100.0, "{} vs {truth}", r.count());
+        assert!(
+            (r.count() - truth).abs() < 100.0,
+            "{} vs {truth}",
+            r.count()
+        );
         assert!(r.has_interval);
         assert!(r.estimate.interval.lo <= r.estimate.interval.hi);
     }

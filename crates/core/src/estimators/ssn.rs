@@ -69,7 +69,7 @@ impl CountEstimator for Ssn {
             feature_dims: self.feature_dims,
             min_per_stratum: self.min_per_stratum,
         };
-        let strata = timer.phase(problem, Phase::Design, || ssp.build_strata(problem))?;
+        let strata = timer.phase(Phase::Design, || ssp.build_strata(problem))?;
         let h = strata.len();
 
         let pilot_n = ((budget as f64 * self.pilot_frac).round() as usize).max(h.min(budget / 2));
@@ -89,27 +89,26 @@ impl CountEstimator for Ssn {
                 stratum_of[i] = s;
             }
         }
-        let (pilot_members, s_hats) =
-            timer.phase(problem, Phase::Design, || -> CoreResult<_> {
-                let pilot = sample_without_replacement(rng, pilot_n, problem.n())?;
-                let mut members: Vec<Vec<usize>> = vec![Vec::new(); h];
-                for &i in &pilot {
-                    members[stratum_of[i]].push(i);
-                }
-                let mut s_hats = Vec::with_capacity(h);
-                for m in &members {
-                    let positives = labeler.count_positives(m)?;
-                    let sample = StratumSample {
-                        population: m.len().max(1),
-                        sampled: m.len(),
-                        positives,
-                    };
-                    // Smoothed s: avoid starving strata whose pilot
-                    // happened to be homogeneous (footnote-1 rationale).
-                    s_hats.push(sample.s_for_allocation());
-                }
-                Ok((members, s_hats))
-            })?;
+        let (pilot_members, s_hats) = timer.phase(Phase::Design, || -> CoreResult<_> {
+            let pilot = sample_without_replacement(rng, pilot_n, problem.n())?;
+            let mut members: Vec<Vec<usize>> = vec![Vec::new(); h];
+            for &i in &pilot {
+                members[stratum_of[i]].push(i);
+            }
+            let mut s_hats = Vec::with_capacity(h);
+            for m in &members {
+                let positives = labeler.count_positives(m)?;
+                let sample = StratumSample {
+                    population: m.len().max(1),
+                    sampled: m.len(),
+                    positives,
+                };
+                // Smoothed s: avoid starving strata whose pilot
+                // happened to be homogeneous (footnote-1 rationale).
+                s_hats.push(sample.s_for_allocation());
+            }
+            Ok((members, s_hats))
+        })?;
 
         // Stage 2: Neyman allocation over the unlabeled remainder.
         let available: Vec<usize> = strata
@@ -117,49 +116,42 @@ impl CountEstimator for Ssn {
             .zip(&pilot_members)
             .map(|(m, p)| m.len() - p.len())
             .collect();
-        let alloc = timer.phase(problem, Phase::Design, || {
-            neyman_allocation(
-                &available,
-                &s_hats,
-                stage2_budget,
-                self.min_per_stratum,
-            )
+        let alloc = timer.phase(Phase::Design, || {
+            neyman_allocation(&available, &s_hats, stage2_budget, self.min_per_stratum)
         })?;
 
-        let (estimate, pilot_positives) =
-            timer.phase(problem, Phase::Phase2, || -> CoreResult<_> {
-                // Remaining members per stratum (excluding pilots).
-                let mut remainder: Vec<Vec<usize>> = Vec::with_capacity(h);
-                for (members, pilots) in strata.iter().zip(&pilot_members) {
-                    let pset: std::collections::HashSet<usize> =
-                        pilots.iter().copied().collect();
-                    remainder.push(
-                        members
-                            .iter()
-                            .copied()
-                            .filter(|i| !pset.contains(i))
-                            .collect(),
-                    );
-                }
-                let draws = draw_stratified(rng, &remainder, &alloc)?;
-                let mut samples = Vec::with_capacity(h);
-                for (rem, drawn) in remainder.iter().zip(&draws) {
-                    let positives = labeler.count_positives(drawn)?;
-                    samples.push(StratumSample {
-                        population: rem.len(),
-                        sampled: drawn.len(),
-                        positives,
-                    });
-                }
-                let mut pilot_pos = 0usize;
-                for m in &pilot_members {
-                    pilot_pos += labeler.count_positives(m)?; // cached
-                }
-                Ok((
-                    stratified_count_estimate(&samples, problem.level())?,
-                    pilot_pos,
-                ))
-            })?;
+        let (estimate, pilot_positives) = timer.phase(Phase::Phase2, || -> CoreResult<_> {
+            // Remaining members per stratum (excluding pilots).
+            let mut remainder: Vec<Vec<usize>> = Vec::with_capacity(h);
+            for (members, pilots) in strata.iter().zip(&pilot_members) {
+                let pset: std::collections::HashSet<usize> = pilots.iter().copied().collect();
+                remainder.push(
+                    members
+                        .iter()
+                        .copied()
+                        .filter(|i| !pset.contains(i))
+                        .collect(),
+                );
+            }
+            let draws = draw_stratified(rng, &remainder, &alloc)?;
+            let mut samples = Vec::with_capacity(h);
+            for (rem, drawn) in remainder.iter().zip(&draws) {
+                let positives = labeler.count_positives(drawn)?;
+                samples.push(StratumSample {
+                    population: rem.len(),
+                    sampled: drawn.len(),
+                    positives,
+                });
+            }
+            let mut pilot_pos = 0usize;
+            for m in &pilot_members {
+                pilot_pos += labeler.count_positives(m)?; // cached
+            }
+            Ok((
+                stratified_count_estimate(&samples, problem.level())?,
+                pilot_pos,
+            ))
+        })?;
 
         Ok(EstimateReport {
             estimate: estimate.shifted(pilot_positives as f64),

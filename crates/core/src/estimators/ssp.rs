@@ -90,7 +90,7 @@ impl CountEstimator for Ssp {
         let mut timer = PhaseTimer::new();
         let mut labeler = Labeler::new(problem);
 
-        let strata = timer.phase(problem, Phase::Design, || self.build_strata(problem))?;
+        let strata = timer.phase(Phase::Design, || self.build_strata(problem))?;
         if budget < strata.len() * self.min_per_stratum.max(1) {
             return Err(CoreError::BudgetTooSmall {
                 budget,
@@ -99,11 +99,11 @@ impl CountEstimator for Ssp {
             });
         }
         let sizes: Vec<usize> = strata.iter().map(Vec::len).collect();
-        let alloc = timer.phase(problem, Phase::Design, || {
+        let alloc = timer.phase(Phase::Design, || {
             proportional_allocation(&sizes, budget, self.min_per_stratum)
         })?;
 
-        let estimate = timer.phase(problem, Phase::Phase2, || -> CoreResult<_> {
+        let estimate = timer.phase(Phase::Phase2, || -> CoreResult<_> {
             let draws = draw_stratified(rng, &strata, &alloc)?;
             let mut samples = Vec::with_capacity(strata.len());
             for (members, drawn) in strata.iter().zip(&draws) {

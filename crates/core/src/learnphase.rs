@@ -88,10 +88,8 @@ pub fn run_learn_phase(
     initial = initial.max(2);
 
     let mut labeled = sample_without_replacement(rng, initial, n)?;
-    let mut labels = Vec::with_capacity(train_budget);
-    for &i in &labeled {
-        labels.push(labeler.label(i)?);
-    }
+    // One batched oracle call for the whole initial training sample.
+    let mut labels = labeler.label_batch(&labeled)?;
     let model_seed = config.model_seed ^ rng.random::<u64>();
     let mut model = config.spec.build(model_seed);
     let features = problem.features();
@@ -124,9 +122,11 @@ pub fn run_learn_phase(
             if picks.is_empty() {
                 break;
             }
-            for &i in &picks {
+            // Each augmentation step labels its picks as one batch.
+            let pick_labels = labeler.label_batch(&picks)?;
+            for (&i, l) in picks.iter().zip(pick_labels) {
                 labeled.push(i);
-                labels.push(labeler.label(i)?);
+                labels.push(l);
                 reserved -= 1;
             }
             model.fit(&features.gather(&labeled), &labels)?;
@@ -152,9 +152,10 @@ mod tests {
         let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let t = Arc::new(table_of_floats(&[("x", &xs)]).unwrap());
         let half = n as f64 / 2.0;
-        let p: Arc<dyn ObjectPredicate> = Arc::new(FnPredicate::new("gt-half", move |t: &Table, i| {
-            Ok(t.floats("x")?[i] > half)
-        }));
+        let p: Arc<dyn ObjectPredicate> =
+            Arc::new(FnPredicate::new("gt-half", move |t: &Table, i| {
+                Ok(t.floats("x")?[i] > half)
+            }));
         CountingProblem::new(t, p, &["x"]).unwrap()
     }
 

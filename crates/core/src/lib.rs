@@ -41,5 +41,5 @@ pub use feature::features_from_columns;
 pub use learnphase::{LearnPhaseConfig, LearnedModel};
 pub use problem::{CountingProblem, Labeler};
 pub use report::{EstimateReport, PhaseTimings, QualityForecast};
-pub use runner::{run_trials, TrialStats};
+pub use runner::{run_trials, run_trials_with, TrialExecution, TrialStats};
 pub use spec::ClassifierSpec;

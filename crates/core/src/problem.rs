@@ -103,6 +103,20 @@ impl CountingProblem {
         Ok(self.predicate.eval(&self.objects, idx)?)
     }
 
+    /// Evaluate `q` on a batch of objects (metered as one oracle call
+    /// of `idxs.len()` evaluations). Labels align with `idxs`.
+    ///
+    /// This is the raw batched oracle: every index is evaluated, even
+    /// duplicates. Estimators should label through [`Labeler`], which
+    /// dedups so the budget counts **unique** evaluations.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate errors.
+    pub fn label_batch(&self, idxs: &[usize]) -> CoreResult<Vec<bool>> {
+        Ok(self.predicate.eval_batch(&self.objects, idxs)?)
+    }
+
     /// Metering counters for `q`.
     pub fn predicate_stats(&self) -> PredicateStats {
         self.predicate.stats()
@@ -119,13 +133,8 @@ impl CountingProblem {
     ///
     /// Propagates predicate errors.
     pub fn exact_count(&self) -> CoreResult<usize> {
-        let mut c = 0;
-        for i in 0..self.n() {
-            if self.label(i)? {
-                c += 1;
-            }
-        }
-        Ok(c)
+        let all: Vec<usize> = (0..self.n()).collect();
+        Ok(self.label_batch(&all)?.into_iter().filter(|&l| l).count())
     }
 }
 
@@ -160,24 +169,51 @@ impl<'a> Labeler<'a> {
         Ok(l)
     }
 
+    /// Label a batch of objects, returning labels aligned with `idxs`.
+    ///
+    /// Only indices missing from the cache are sent to the oracle, as
+    /// **one deduplicated batch** — so the meter advances by exactly
+    /// the number of *unique, previously unseen* indices, and budget
+    /// accounting stays exact even when phases revisit objects or a
+    /// draw contains repeats.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate errors; on error no labels are cached.
+    pub fn label_batch(&mut self, idxs: &[usize]) -> CoreResult<Vec<bool>> {
+        let mut missing = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for &i in idxs {
+            if !self.cache.contains_key(&i) && seen.insert(i) {
+                missing.push(i);
+            }
+        }
+        if !missing.is_empty() {
+            let labels = self.problem.label_batch(&missing)?;
+            for (&i, l) in missing.iter().zip(labels) {
+                self.cache.insert(i, l);
+            }
+        }
+        Ok(idxs.iter().map(|i| self.cache[i]).collect())
+    }
+
     /// Unique `q` evaluations so far.
     pub fn unique_evals(&self) -> usize {
         self.cache.len()
     }
 
-    /// Count of positives among a set of already-labeled objects.
+    /// Count of positives among a set of objects, labeling any
+    /// not-yet-labeled member as one batched oracle call.
     ///
     /// # Errors
     ///
-    /// Labels any not-yet-labeled member.
+    /// Propagates predicate errors.
     pub fn count_positives(&mut self, indices: &[usize]) -> CoreResult<usize> {
-        let mut c = 0;
-        for &i in indices {
-            if self.label(i)? {
-                c += 1;
-            }
-        }
-        Ok(c)
+        Ok(self
+            .label_batch(indices)?
+            .into_iter()
+            .filter(|&l| l)
+            .count())
     }
 }
 
@@ -253,9 +289,7 @@ mod tests {
     use lts_table::FnPredicate;
 
     fn problem() -> CountingProblem {
-        let t = Arc::new(
-            table_of_floats(&[("v", &[1.0, -1.0, 2.0, -2.0, 3.0])]).unwrap(),
-        );
+        let t = Arc::new(table_of_floats(&[("v", &[1.0, -1.0, 2.0, -2.0, 3.0])]).unwrap());
         let p: Arc<dyn ObjectPredicate> = Arc::new(FnPredicate::new("pos", |t: &Table, i| {
             Ok(t.floats("v")?[i] > 0.0)
         }));
@@ -286,6 +320,50 @@ mod tests {
         assert_eq!(p.predicate_stats().evals, 2); // cache prevented re-eval
         assert_eq!(l.count_positives(&[0, 1, 2]).unwrap(), 2);
         assert_eq!(l.unique_evals(), 3);
+    }
+
+    #[test]
+    fn label_batch_dedups_within_and_across_calls() {
+        let p = problem();
+        p.reset_meter();
+        let mut l = Labeler::new(&p);
+        // Duplicates inside one batch cost one eval each.
+        let labels = l.label_batch(&[0, 1, 0, 1, 2]).unwrap();
+        assert_eq!(labels, vec![true, false, true, false, true]);
+        assert_eq!(l.unique_evals(), 3);
+        assert_eq!(p.predicate_stats().evals, 3);
+        assert_eq!(p.predicate_stats().calls, 1);
+        // Already-cached indices cost nothing; only index 3 is new.
+        let labels = l.label_batch(&[2, 3, 2]).unwrap();
+        assert_eq!(labels, vec![true, false, true]);
+        assert_eq!(l.unique_evals(), 4);
+        assert_eq!(p.predicate_stats().evals, 4);
+        // Batch and single-row labeling agree.
+        let mut fresh = Labeler::new(&p);
+        for i in 0..p.n() {
+            assert_eq!(
+                fresh.label(i).unwrap(),
+                l.label_batch(&[i]).unwrap()[0],
+                "row {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_fully_cached_batches_touch_no_oracle() {
+        let p = problem();
+        p.reset_meter();
+        let mut l = Labeler::new(&p);
+        assert!(l.label_batch(&[]).unwrap().is_empty());
+        assert_eq!(p.predicate_stats().calls, 0);
+        l.label_batch(&[0, 1]).unwrap();
+        let calls = p.predicate_stats().calls;
+        l.label_batch(&[1, 0]).unwrap();
+        assert_eq!(
+            p.predicate_stats().calls,
+            calls,
+            "cache hit must not call q"
+        );
     }
 
     #[test]

@@ -112,17 +112,20 @@ impl PhaseTimer {
 
     /// Run `f` attributed to a phase; label time accumulated inside is
     /// subtracted from the phase and credited to `labeling`.
-    pub(crate) fn phase<T>(
-        &mut self,
-        problem: &crate::problem::CountingProblem,
-        which: Phase,
-        f: impl FnOnce() -> T,
-    ) -> T {
-        let label_before = problem.predicate_stats().elapsed;
+    ///
+    /// Label time is measured with the **thread-local** in-predicate
+    /// clock ([`lts_table::thread_labeling_nanos`]), not the problem's
+    /// shared meter — so attribution stays exact per run even when
+    /// other trials label concurrently on other threads (the parallel
+    /// trial runner).
+    pub(crate) fn phase<T>(&mut self, which: Phase, f: impl FnOnce() -> T) -> T {
+        let label_before = lts_table::thread_labeling_nanos();
         let t0 = std::time::Instant::now();
         let out = f();
         let wall = t0.elapsed();
-        let label_delta = problem.predicate_stats().elapsed - label_before;
+        let label_delta = std::time::Duration::from_nanos(
+            lts_table::thread_labeling_nanos().saturating_sub(label_before),
+        );
         let overhead = wall.saturating_sub(label_delta);
         self.timings.labeling += label_delta;
         match which {

@@ -4,15 +4,43 @@
 //! repeated runs (violin plots summarized by IQR, §5). This runner
 //! executes `trials` independent runs with per-trial seeds and produces
 //! the summary statistics every repro binary prints.
+//!
+//! Trials are independent by construction — trial `t` builds its own
+//! `StdRng::seed_from_u64(base_seed + t)` and its own [`Labeler`] cache
+//! — so [`run_trials`] fans them out across threads. Because each
+//! trial's randomness is fully determined by its seed and results are
+//! collected in trial order, the parallel path is **bit-identical** to
+//! [`TrialExecution::Sequential`] (asserted by tests and the
+//! `bench_parallel_runner` harness).
+//!
+//! [`Labeler`]: crate::problem::Labeler
 
 use crate::error::CoreResult;
 use crate::estimators::CountEstimator;
 use crate::problem::CountingProblem;
-use crate::report::PhaseTimings;
+use crate::report::{EstimateReport, PhaseTimings};
 use lts_stats::Summary;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use std::time::Duration;
+
+/// How [`run_trials_with`] schedules its independent trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrialExecution {
+    /// One trial at a time on the calling thread. Use this for
+    /// uncontended wall-time measurements (e.g. the Figure 3 overhead
+    /// analysis), where concurrent trials competing for cores would
+    /// stretch every duration.
+    Sequential,
+    /// Trials fan out across threads (the default). Estimates, evals,
+    /// coverage, and RMSE are bit-identical to `Sequential`. Per-phase
+    /// attribution stays exact too — labeling time is measured with a
+    /// thread-local in-predicate clock, not the shared meter — but the
+    /// *magnitudes* of timings can stretch under core contention.
+    #[default]
+    Parallel,
+}
 
 /// Summary of repeated estimation trials.
 #[derive(Debug, Clone)]
@@ -47,12 +75,14 @@ impl TrialStats {
     }
 }
 
-/// Run `trials` independent estimates. Each trial uses seed
-/// `base_seed + trial` and resets the problem's predicate meter.
+/// Run `trials` independent estimates in parallel. Each trial uses seed
+/// `base_seed + trial`; the problem's predicate meter is reset once at
+/// the start (it accumulates across all trials — read per-trial unique
+/// evals from the reports, not the shared meter).
 ///
 /// # Errors
 ///
-/// Propagates the first estimator failure.
+/// Propagates the first (in trial order) estimator failure.
 pub fn run_trials(
     problem: &CountingProblem,
     estimator: &dyn CountEstimator,
@@ -61,6 +91,50 @@ pub fn run_trials(
     base_seed: u64,
     truth: Option<f64>,
 ) -> CoreResult<TrialStats> {
+    run_trials_with(
+        problem,
+        estimator,
+        budget,
+        trials,
+        base_seed,
+        truth,
+        TrialExecution::default(),
+    )
+}
+
+/// [`run_trials`] with an explicit execution mode.
+///
+/// # Errors
+///
+/// Propagates the first (in trial order) estimator failure.
+pub fn run_trials_with(
+    problem: &CountingProblem,
+    estimator: &dyn CountEstimator,
+    budget: usize,
+    trials: usize,
+    base_seed: u64,
+    truth: Option<f64>,
+    execution: TrialExecution,
+) -> CoreResult<TrialStats> {
+    problem.reset_meter();
+    let one_trial = |t: usize| -> CoreResult<EstimateReport> {
+        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(t as u64));
+        estimator.estimate(problem, budget, &mut rng)
+    };
+    let reports: Vec<CoreResult<EstimateReport>> = match execution {
+        TrialExecution::Sequential => (0..trials).map(one_trial).collect(),
+        TrialExecution::Parallel => (0..trials).into_par_iter().map(one_trial).collect(),
+    };
+    summarize(reports, estimator.provides_interval(), truth)
+}
+
+/// Fold per-trial reports (in trial order) into [`TrialStats`].
+fn summarize(
+    reports: Vec<CoreResult<EstimateReport>>,
+    interval_ok: bool,
+    truth: Option<f64>,
+) -> CoreResult<TrialStats> {
+    let trials = reports.len();
     let mut estimates = Vec::with_capacity(trials);
     let mut covered = 0usize;
     let mut eval_sum = 0usize;
@@ -70,12 +144,9 @@ pub fn run_trials(
     let mut t_phase2 = Duration::ZERO;
     let mut t_label = Duration::ZERO;
     let mut t_total = Duration::ZERO;
-    let interval_ok = estimator.provides_interval();
 
-    for t in 0..trials {
-        problem.reset_meter();
-        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(t as u64));
-        let report = estimator.estimate(problem, budget, &mut rng)?;
+    for report in reports {
+        let report = report?;
         if let Some(truth) = truth {
             if interval_ok && report.estimate.interval.contains(truth) {
                 covered += 1;
@@ -146,6 +217,49 @@ mod tests {
         assert_eq!(a.estimates, b.estimates);
         let c = run_trials(&problem, &Srs::default(), 40, 10, 8, None).unwrap();
         assert_ne!(a.estimates, c.estimates);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let problem = line_problem(250, 0.35);
+        let truth = problem.exact_count().unwrap() as f64;
+        let est = Srs::default();
+        let seq = run_trials_with(
+            &problem,
+            &est,
+            50,
+            16,
+            99,
+            Some(truth),
+            TrialExecution::Sequential,
+        )
+        .unwrap();
+        let par = run_trials_with(
+            &problem,
+            &est,
+            50,
+            16,
+            99,
+            Some(truth),
+            TrialExecution::Parallel,
+        )
+        .unwrap();
+        // Bit-identical, not approximately equal.
+        assert_eq!(seq.estimates, par.estimates);
+        assert_eq!(seq.coverage, par.coverage);
+        assert_eq!(seq.rmse, par.rmse);
+        assert_eq!(seq.mean_evals, par.mean_evals);
+        assert_eq!(seq.outliers, par.outliers);
+    }
+
+    #[test]
+    fn meter_accumulates_across_trials() {
+        let problem = line_problem(120, 0.5);
+        problem.reset_meter();
+        let stats = run_trials(&problem, &Srs::default(), 30, 4, 3, None).unwrap();
+        assert!((stats.mean_evals - 30.0).abs() < 1e-9);
+        // The shared meter holds the total across all trials.
+        assert_eq!(problem.predicate_stats().evals, 4 * 30);
     }
 
     #[test]

@@ -49,9 +49,7 @@ impl ClassifierSpec {
     /// Instantiate an unfitted classifier with the given seed.
     pub fn build(&self, seed: u64) -> Box<dyn Classifier> {
         match *self {
-            ClassifierSpec::Knn { k } => {
-                Box::new(Knn::new(k.max(1)).expect("k >= 1"))
-            }
+            ClassifierSpec::Knn { k } => Box::new(Knn::new(k.max(1)).expect("k >= 1")),
             ClassifierSpec::RandomForest { n_trees } => {
                 Box::new(RandomForest::with_trees(n_trees.max(1), seed))
             }

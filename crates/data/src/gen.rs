@@ -62,7 +62,9 @@ mod tests {
     #[test]
     fn heavy_tail_is_positive_and_skewed() {
         let mut rng = StdRng::seed_from_u64(3);
-        let xs: Vec<f64> = (0..10_000).map(|_| heavy_tail(&mut rng, 1.0, 1.0)).collect();
+        let xs: Vec<f64> = (0..10_000)
+            .map(|_| heavy_tail(&mut rng, 1.0, 1.0))
+            .collect();
         assert!(xs.iter().all(|&x| x > 0.0));
         let mean = xs.iter().sum::<f64>() / xs.len() as f64;
         let mut sorted = xs.clone();

@@ -109,26 +109,29 @@ pub fn neighbors_fast_predicate(
     let side = ((table.len() as f64).sqrt() as usize).clamp(8, 256);
     let grid = GridIndex::build(&xs, &ys, side, side)?;
     let k = k.max(0);
-    Ok(FnPredicate::new("few-neighbors-fast", move |_t: &Table, i| {
-        let (x, y) = (xs[i], ys[i]);
-        let d2 = d * d;
-        let mut count: i64 = 0;
-        let mut exceeded = false;
-        grid.for_each_candidate_within(x, y, d, |j| {
-            if exceeded {
-                return;
-            }
-            let dx = xs[j] - x;
-            let dy = ys[j] - y;
-            if dx * dx + dy * dy <= d2 {
-                count += 1;
-                if count > k {
-                    exceeded = true;
+    Ok(FnPredicate::new(
+        "few-neighbors-fast",
+        move |_t: &Table, i| {
+            let (x, y) = (xs[i], ys[i]);
+            let d2 = d * d;
+            let mut count: i64 = 0;
+            let mut exceeded = false;
+            grid.for_each_candidate_within(x, y, d, |j| {
+                if exceeded {
+                    return;
                 }
-            }
-        });
-        Ok(!exceeded)
-    }))
+                let dx = xs[j] - x;
+                let dy = ys[j] - y;
+                if dx * dx + dy * dy <= d2 {
+                    count += 1;
+                    if count > k {
+                        exceeded = true;
+                    }
+                }
+            });
+            Ok(!exceeded)
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -145,7 +148,10 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64 * 10.0
         };
-        ((0..n).map(|_| next()).collect(), (0..n).map(|_| next()).collect())
+        (
+            (0..n).map(|_| next()).collect(),
+            (0..n).map(|_| next()).collect(),
+        )
     }
 
     fn brute_count(xs: &[f64], ys: &[f64], d: f64, k: usize) -> usize {

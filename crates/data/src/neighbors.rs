@@ -62,14 +62,49 @@ pub fn neighbors_table(config: &NeighborsConfig) -> TableResult<Table> {
     // density varies by an order of magnitude, which is what makes the
     // few-neighbors selectivity tunable across 2%..87%.
     let clusters = [
-        Cluster { cx: 0.0, cy: 0.0, sd: 0.6, weight: 0.30 },
-        Cluster { cx: 2.5, cy: 1.0, sd: 0.5, weight: 0.22 },
-        Cluster { cx: -1.5, cy: 2.2, sd: 0.7, weight: 0.18 },
-        Cluster { cx: 1.0, cy: -2.0, sd: 0.9, weight: 0.12 },
+        Cluster {
+            cx: 0.0,
+            cy: 0.0,
+            sd: 0.6,
+            weight: 0.30,
+        },
+        Cluster {
+            cx: 2.5,
+            cy: 1.0,
+            sd: 0.5,
+            weight: 0.22,
+        },
+        Cluster {
+            cx: -1.5,
+            cy: 2.2,
+            sd: 0.7,
+            weight: 0.18,
+        },
+        Cluster {
+            cx: 1.0,
+            cy: -2.0,
+            sd: 0.9,
+            weight: 0.12,
+        },
         // Attack-like: sparse, spread out.
-        Cluster { cx: 6.0, cy: 4.0, sd: 2.2, weight: 0.08 },
-        Cluster { cx: -5.0, cy: -4.0, sd: 2.8, weight: 0.06 },
-        Cluster { cx: 8.0, cy: -6.0, sd: 3.5, weight: 0.04 },
+        Cluster {
+            cx: 6.0,
+            cy: 4.0,
+            sd: 2.2,
+            weight: 0.08,
+        },
+        Cluster {
+            cx: -5.0,
+            cy: -4.0,
+            sd: 2.8,
+            weight: 0.06,
+        },
+        Cluster {
+            cx: 8.0,
+            cy: -6.0,
+            sd: 3.5,
+            weight: 0.04,
+        },
     ];
     let total_w: f64 = clusters.iter().map(|c| c.weight).sum();
 

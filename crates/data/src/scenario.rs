@@ -186,11 +186,7 @@ impl Scenario {
 /// # Errors
 ///
 /// Propagates generation or problem-construction errors.
-pub fn sports_scenario(
-    rows: usize,
-    level: SelectivityLevel,
-    seed: u64,
-) -> CoreResult<Scenario> {
+pub fn sports_scenario(rows: usize, level: SelectivityLevel, seed: u64) -> CoreResult<Scenario> {
     let table = Arc::new(sports_table(&SportsConfig { rows, seed })?);
     let xs = table.floats("strikeouts")?.to_vec();
     let ys = table.floats("wins")?.to_vec();
@@ -212,8 +208,7 @@ pub fn sports_scenario(
         "wins",
         k as i64,
     )?);
-    let problem =
-        CountingProblem::new(Arc::clone(&table), predicate, &["strikeouts", "wins"])?;
+    let problem = CountingProblem::new(Arc::clone(&table), predicate, &["strikeouts", "wins"])?;
     Ok(Scenario {
         dataset: DatasetKind::Sports,
         level,
@@ -232,11 +227,7 @@ pub fn sports_scenario(
 /// # Errors
 ///
 /// Propagates generation or problem-construction errors.
-pub fn neighbors_scenario(
-    rows: usize,
-    level: SelectivityLevel,
-    seed: u64,
-) -> CoreResult<Scenario> {
+pub fn neighbors_scenario(rows: usize, level: SelectivityLevel, seed: u64) -> CoreResult<Scenario> {
     let table = Arc::new(neighbors_table(&NeighborsConfig {
         rows,
         features: 41,
@@ -262,8 +253,7 @@ pub fn neighbors_scenario(
         d,
         NEIGHBORS_K as i64,
     )?);
-    let problem =
-        CountingProblem::new(Arc::clone(&table), predicate, &["src_rate", "dst_rate"])?;
+    let problem = CountingProblem::new(Arc::clone(&table), predicate, &["src_rate", "dst_rate"])?;
     Ok(Scenario {
         dataset: DatasetKind::Neighbors,
         level,

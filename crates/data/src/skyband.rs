@@ -186,9 +186,7 @@ mod tests {
             .map(|i| {
                 (0..xs.len())
                     .filter(|&j| {
-                        xs[j] >= xs[i]
-                            && ys[j] >= ys[i]
-                            && (xs[j] > xs[i] || ys[j] > ys[i])
+                        xs[j] >= xs[i] && ys[j] >= ys[i] && (xs[j] > xs[i] || ys[j] > ys[i])
                     })
                     .count()
             })
@@ -203,7 +201,10 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             ((state >> 11) % distinct_vals) as f64
         };
-        ((0..n).map(|_| next()).collect(), (0..n).map(|_| next()).collect())
+        (
+            (0..n).map(|_| next()).collect(),
+            (0..n).map(|_| next()).collect(),
+        )
     }
 
     #[test]

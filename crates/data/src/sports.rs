@@ -87,7 +87,9 @@ pub fn sports_table(config: &SportsConfig) -> TableResult<Table> {
             // Wins scale with innings and skill; relievers win little.
             let win_rate = (0.55 + 0.12 * s).clamp(0.1, 0.85);
             let decisions = innings / 9.0 * 0.75;
-            let w = (decisions * win_rate + 0.8 * randn(&mut rng)).round().clamp(0.0, 27.0);
+            let w = (decisions * win_rate + 0.8 * randn(&mut rng))
+                .round()
+                .clamp(0.0, 27.0);
             let l = (decisions * (1.0 - win_rate) + 0.8 * randn(&mut rng))
                 .round()
                 .clamp(0.0, 25.0);
@@ -180,10 +182,7 @@ mod tests {
         let so = t.floats("strikeouts").unwrap();
         let w = t.floats("wins").unwrap();
         let n = so.len() as f64;
-        let (ms, mw) = (
-            so.iter().sum::<f64>() / n,
-            w.iter().sum::<f64>() / n,
-        );
+        let (ms, mw) = (so.iter().sum::<f64>() / n, w.iter().sum::<f64>() / n);
         let mut cov = 0.0;
         let mut vs = 0.0;
         let mut vw = 0.0;

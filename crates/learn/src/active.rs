@@ -59,9 +59,7 @@ pub fn select_uncertain(
     if take == 0 {
         return Ok(Vec::new());
     }
-    scored.select_nth_unstable_by(take - 1, |a, b| {
-        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
-    });
+    scored.select_nth_unstable_by(take - 1, |a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     scored.truncate(take);
     scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     Ok(scored.into_iter().map(|(_, i)| i).collect())
@@ -145,8 +143,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn line_features(n: usize) -> Matrix {
-        Matrix::from_rows(&(0..n).map(|i| vec![i as f64 / n as f64]).collect::<Vec<_>>())
-            .unwrap()
+        Matrix::from_rows(
+            &(0..n)
+                .map(|i| vec![i as f64 / n as f64])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap()
     }
 
     #[test]
@@ -175,9 +177,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let mut labeled: Vec<usize> = (0..400).step_by(40).collect(); // coarse init
         let mut labels: Vec<bool> = labeled.iter().map(|&i| truth(i)).collect();
-        model
-            .fit(&features.gather(&labeled), &labels)
-            .unwrap();
+        model.fit(&features.gather(&labeled), &labels).unwrap();
         let boundary_err_before: usize = (180..220)
             .filter(|&i| model.predict(features.row(i)).unwrap() != truth(i))
             .count();
@@ -250,10 +250,7 @@ mod tests {
         let features = line_features(10);
         let mut model = Knn::new(3).unwrap();
         model
-            .fit(
-                &features.gather(&[0, 9]),
-                &[false, true],
-            )
+            .fit(&features.gather(&[0, 9]), &[false, true])
             .unwrap();
         assert!(select_uncertain(&model, &features, &[], 5)
             .unwrap()

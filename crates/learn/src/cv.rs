@@ -145,8 +145,8 @@ mod tests {
 
     #[test]
     fn always_positive_classifier_has_unit_rates() {
-        let x = Matrix::from_rows(&(0..20).map(|i| vec![f64::from(i)]).collect::<Vec<_>>())
-            .unwrap();
+        let x =
+            Matrix::from_rows(&(0..20).map(|i| vec![f64::from(i)]).collect::<Vec<_>>()).unwrap();
         let y: Vec<bool> = (0..20).map(|i| i % 2 == 0).collect();
         let rates =
             cross_validated_rates(&x, &y, 4, 0, || Box::new(ConstantScore::new(1.0))).unwrap();
@@ -158,11 +158,10 @@ mod tests {
     #[test]
     fn good_classifier_has_high_tpr_low_fpr() {
         // Separable data: feature > 9.5 ⇒ positive.
-        let x = Matrix::from_rows(&(0..40).map(|i| vec![f64::from(i)]).collect::<Vec<_>>())
-            .unwrap();
+        let x =
+            Matrix::from_rows(&(0..40).map(|i| vec![f64::from(i)]).collect::<Vec<_>>()).unwrap();
         let y: Vec<bool> = (0..40).map(|i| i >= 10).collect();
-        let rates =
-            cross_validated_rates(&x, &y, 5, 3, || Box::new(Knn::new(3).unwrap())).unwrap();
+        let rates = cross_validated_rates(&x, &y, 5, 3, || Box::new(Knn::new(3).unwrap())).unwrap();
         assert!(rates.tpr.unwrap() > 0.85, "tpr {:?}", rates.tpr);
         assert!(rates.fpr.unwrap() < 0.3, "fpr {:?}", rates.fpr);
     }
@@ -171,8 +170,7 @@ mod tests {
     fn length_mismatch_rejected() {
         let x = Matrix::from_rows(&[vec![1.0], vec![2.0]]).unwrap();
         assert!(
-            cross_validated_rates(&x, &[true], 2, 0, || Box::new(ConstantScore::new(0.5)))
-                .is_err()
+            cross_validated_rates(&x, &[true], 2, 0, || Box::new(ConstantScore::new(0.5))).is_err()
         );
     }
 }

@@ -109,7 +109,11 @@ impl Classifier for RandomForest {
             let boot_x = x.gather(&boot_idx);
             let cfg = TreeConfig {
                 max_features: Some(max_features),
-                seed: self.config.seed.wrapping_add(t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                seed: self
+                    .config
+                    .seed
+                    .wrapping_add(t as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 ..self.config.tree
             };
             let mut tree = DecisionTree::new(cfg);

@@ -45,8 +45,15 @@ impl Default for GbmConfig {
 /// [`crate::tree::DecisionTree`]'s layout).
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { value: f64 },
-    Split { feat: usize, thr: f64, left: usize, right: usize },
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feat: usize,
+        thr: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 #[derive(Debug, Clone, Default)]
@@ -60,7 +67,12 @@ impl RegressionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feat, thr, left, right } => {
+                Node::Split {
+                    feat,
+                    thr,
+                    left,
+                    right,
+                } => {
                     node = if row[*feat] <= *thr { *left } else { *right };
                 }
             }
@@ -119,8 +131,7 @@ impl TreeBuilder<'_> {
                 // Maximizing Σ²_L/n_L + Σ²_R/n_R is equivalent to
                 // minimizing within-child variance of the targets.
                 let right_sum = total - left_sum;
-                let score =
-                    left_sum * left_sum / n_l as f64 + right_sum * right_sum / n_r as f64;
+                let score = left_sum * left_sum / n_l as f64 + right_sum * right_sum / n_r as f64;
                 if score > best.map_or(total * total / n as f64 + 1e-12, |(_, _, s)| s) {
                     best = Some((feat, 0.5 * (a + b), score));
                 }
@@ -143,7 +154,12 @@ impl TreeBuilder<'_> {
         }
         let left = self.build(&mut l, depth + 1);
         let right = self.build(&mut r, depth + 1);
-        self.nodes.push(Node::Split { feat, thr, left, right });
+        self.nodes.push(Node::Split {
+            feat,
+            thr,
+            left,
+            right,
+        });
         self.nodes.len() - 1
     }
 }
@@ -245,7 +261,9 @@ impl Classifier for Gbm {
             };
             let mut idx: Vec<usize> = (0..n).collect();
             builder.build(&mut idx, 0);
-            let tree = RegressionTree { nodes: builder.nodes };
+            let tree = RegressionTree {
+                nodes: builder.nodes,
+            };
             for (fi, row) in f.iter_mut().zip(x.iter_rows()) {
                 *fi += self.config.learning_rate * tree.eval(row);
             }

@@ -172,10 +172,7 @@ impl KdTree {
 
 #[inline]
 fn dist2(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(&x, &y)| (x - y) * (x - y))
-        .sum()
+    a.iter().zip(b).map(|(&x, &y)| (x - y) * (x - y)).sum()
 }
 
 #[cfg(test)]
@@ -190,7 +187,9 @@ mod tests {
                 .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
-        let rows: Vec<Vec<f64>> = (0..n).map(|_| (0..d).map(|_| next() * 10.0).collect()).collect();
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..d).map(|_| next() * 10.0).collect())
+            .collect();
         Matrix::from_rows(&rows).unwrap()
     }
 

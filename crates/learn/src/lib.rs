@@ -38,9 +38,9 @@ pub mod kdtree;
 pub mod knn;
 pub mod linear;
 pub mod matrix;
-pub mod nb;
 pub mod metrics;
 pub mod mlp;
+pub mod nb;
 pub mod scaler;
 pub mod tree;
 
@@ -54,8 +54,8 @@ pub use gbm::{Gbm, GbmConfig};
 pub use knn::Knn;
 pub use linear::Logistic;
 pub use matrix::Matrix;
-pub use nb::{GaussianNb, GaussianNbConfig};
 pub use metrics::{accuracy, confusion, ConfusionMatrix};
 pub use mlp::Mlp;
+pub use nb::{GaussianNb, GaussianNbConfig};
 pub use scaler::StandardScaler;
 pub use tree::{DecisionTree, TreeConfig};

@@ -251,12 +251,20 @@ impl Classifier for Mlp {
                     (&mut self.l2, &g2w, &g2b),
                     (&mut self.l3, &g3w, &g3b),
                 ] {
-                    let weights = layer.w.iter_mut().zip(layer.mw.iter_mut()).zip(layer.vw.iter_mut());
+                    let weights = layer
+                        .w
+                        .iter_mut()
+                        .zip(layer.mw.iter_mut())
+                        .zip(layer.vw.iter_mut());
                     for (((w, m), v), &g_raw) in weights.zip(gw.iter()) {
                         let g = g_raw * scale + lambda * *w;
                         adam_step(w, m, v, g, lr, step, b1, b2);
                     }
-                    let biases = layer.b.iter_mut().zip(layer.mb.iter_mut()).zip(layer.vb.iter_mut());
+                    let biases = layer
+                        .b
+                        .iter_mut()
+                        .zip(layer.mb.iter_mut())
+                        .zip(layer.vb.iter_mut());
                     for (((w, m), v), &g_raw) in biases.zip(gb.iter()) {
                         adam_step(w, m, v, g_raw * scale, lr, step, b1, b2);
                     }
@@ -340,10 +348,7 @@ mod tests {
         let mut b = Mlp::with_seed(11);
         a.fit(&x, &y).unwrap();
         b.fit(&x, &y).unwrap();
-        assert_eq!(
-            a.score(&[1.0, 1.0]).unwrap(),
-            b.score(&[1.0, 1.0]).unwrap()
-        );
+        assert_eq!(a.score(&[1.0, 1.0]).unwrap(), b.score(&[1.0, 1.0]).unwrap());
     }
 
     #[test]

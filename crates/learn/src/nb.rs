@@ -106,7 +106,10 @@ impl Classifier for GaussianNb {
         if !(self.config.var_smoothing > 0.0 && self.config.var_smoothing.is_finite()) {
             return Err(LearnError::InvalidParameter {
                 name: "var_smoothing",
-                message: format!("must be a positive finite number, got {}", self.config.var_smoothing),
+                message: format!(
+                    "must be a positive finite number, got {}",
+                    self.config.var_smoothing
+                ),
             });
         }
         self.dims = x.cols();
@@ -236,9 +239,13 @@ mod tests {
 
     #[test]
     fn constant_features_do_not_blow_up() {
-        let x =
-            Matrix::from_rows(&[vec![1.0, 5.0], vec![1.0, 5.0], vec![1.0, 5.0], vec![1.0, 5.0]])
-                .unwrap();
+        let x = Matrix::from_rows(&[
+            vec![1.0, 5.0],
+            vec![1.0, 5.0],
+            vec![1.0, 5.0],
+            vec![1.0, 5.0],
+        ])
+        .unwrap();
         let y = vec![true, false, true, false];
         let mut m = GaussianNb::default();
         m.fit(&x, &y).unwrap();
@@ -277,7 +284,10 @@ mod tests {
         m.fit(&x, &[true, false]).unwrap();
         assert!(matches!(
             m.score(&[1.0]),
-            Err(LearnError::DimensionMismatch { expected: 2, found: 1 })
+            Err(LearnError::DimensionMismatch {
+                expected: 2,
+                found: 1
+            })
         ));
         let mut bad = GaussianNb::new(GaussianNbConfig { var_smoothing: 0.0 });
         assert!(bad.fit(&x, &[true, false]).is_err());

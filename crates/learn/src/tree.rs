@@ -42,8 +42,15 @@ impl Default for TreeConfig {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { p: f64 },
-    Split { feat: usize, thr: f64, left: usize, right: usize },
+    Leaf {
+        p: f64,
+    },
+    Split {
+        feat: usize,
+        thr: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// A fitted CART decision tree.

@@ -210,12 +210,7 @@ mod tests {
             for d in draws {
                 dr.push(labels[d.index], d.initial_probability).unwrap();
             }
-            if dr
-                .count_estimate(0.95)
-                .unwrap()
-                .interval
-                .contains(truth)
-            {
+            if dr.count_estimate(0.95).unwrap().interval.contains(truth) {
                 covered += 1;
             }
         }

@@ -18,10 +18,7 @@ use rand::{Rng, RngExt};
 /// # Errors
 ///
 /// Returns an error if any probability is outside `[0, 1]` or not finite.
-pub fn poisson_sample<R: Rng + ?Sized>(
-    rng: &mut R,
-    probs: &[f64],
-) -> SamplingResult<Vec<usize>> {
+pub fn poisson_sample<R: Rng + ?Sized>(rng: &mut R, probs: &[f64]) -> SamplingResult<Vec<usize>> {
     for &p in probs {
         if !p.is_finite() || !(0.0..=1.0).contains(&p) {
             return Err(SamplingError::InvalidProbability { value: p });
@@ -100,8 +97,7 @@ mod tests {
         let mut sum = 0.0;
         for _ in 0..trials {
             let s = poisson_sample(&mut rng, &probs).unwrap();
-            let pairs: Vec<(f64, bool)> =
-                s.iter().map(|&i| (probs[i], labels[i])).collect();
+            let pairs: Vec<(f64, bool)> = s.iter().map(|&i| (probs[i], labels[i])).collect();
             sum += horvitz_thompson_count(&pairs, 0.95).unwrap().count;
         }
         let mean = sum / trials as f64;

@@ -37,4 +37,6 @@ pub use stratified::{
     allocate, draw_stratified, group_by_stratum, neyman_allocation, proportional_allocation,
     stratified_count_estimate, StratumSample,
 };
-pub use weighted::{systematic_pps_sample, weighted_sample_es, weighted_sample_fenwick, WeightedDraw};
+pub use weighted::{
+    systematic_pps_sample, weighted_sample_es, weighted_sample_fenwick, WeightedDraw,
+};

@@ -121,10 +121,7 @@ pub fn allocate(
     while remaining > 0 {
         // Effective weights of open strata; if all zero, fall back to
         // remaining room so the budget can always be placed.
-        let mut wsum: f64 = (0..h)
-            .filter(|&i| open[i])
-            .map(|i| weights[i])
-            .sum();
+        let mut wsum: f64 = (0..h).filter(|&i| open[i]).map(|i| weights[i]).sum();
         let use_room_fallback = wsum <= 0.0;
         if use_room_fallback {
             wsum = (0..h)

@@ -228,8 +228,7 @@ pub fn systematic_pps_sample<R: Rng + ?Sized>(
     // Float rounding can drop the final tick; top up from unselected
     // objects (probability-negligible path, keeps the size exact).
     if out.len() < n {
-        let chosen: std::collections::HashSet<usize> =
-            out.iter().map(|d| d.index).collect();
+        let chosen: std::collections::HashSet<usize> = out.iter().map(|d| d.index).collect();
         for &i in &rest {
             if out.len() == n {
                 break;

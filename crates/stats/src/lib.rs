@@ -30,4 +30,6 @@ pub use interval::{
 };
 pub use normal::{norm_cdf, norm_pdf, norm_quantile, z_critical};
 pub use student::{t_cdf, t_critical, t_pdf, t_quantile};
-pub use summary::{iqr, mean, median, quantile_type7, quartiles, sample_variance, RunningStats, Summary};
+pub use summary::{
+    iqr, mean, median, quantile_type7, quartiles, sample_variance, RunningStats, Summary,
+};

@@ -18,9 +18,8 @@ pub fn t_pdf(x: f64, df: f64) -> StatsResult<f64> {
     if !df.is_finite() || df <= 0.0 {
         return Err(StatsError::InvalidDegreesOfFreedom { value: df });
     }
-    let ln_coef = ln_gamma((df + 1.0) / 2.0)
-        - ln_gamma(df / 2.0)
-        - 0.5 * (df * std::f64::consts::PI).ln();
+    let ln_coef =
+        ln_gamma((df + 1.0) / 2.0) - ln_gamma(df / 2.0) - 0.5 * (df * std::f64::consts::PI).ln();
     Ok((ln_coef - (df + 1.0) / 2.0 * (1.0 + x * x / df).ln()).exp())
 }
 

@@ -1,8 +1,8 @@
 //! Property-based tests for the statistical kernels.
 
 use lts_stats::{
-    norm_cdf, norm_quantile, quantile_type7, t_cdf, t_quantile, wald_proportion,
-    wilson_proportion, IntervalKind, RunningStats, Summary,
+    norm_cdf, norm_quantile, quantile_type7, t_cdf, t_quantile, wald_proportion, wilson_proportion,
+    IntervalKind, RunningStats, Summary,
 };
 use proptest::prelude::*;
 

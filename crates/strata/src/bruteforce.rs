@@ -61,16 +61,7 @@ fn search(
     let lo = min_cut.max(params.min_stratum_size.max(1) * (depth + 1));
     for c in lo..=max_cut {
         cuts[depth] = c;
-        search(
-            pilot,
-            params,
-            allocation,
-            n,
-            depth + 1,
-            c + 1,
-            cuts,
-            best,
-        );
+        search(pilot, params, allocation, n, depth + 1, c + 1, cuts, best);
     }
 }
 

@@ -199,12 +199,7 @@ mod tests {
     fn params_validation() {
         let ok = DesignParams::default();
         assert!(ok.validate().is_ok());
-        assert!(DesignParams {
-            n_strata: 1,
-            ..ok
-        }
-        .validate()
-        .is_err());
+        assert!(DesignParams { n_strata: 1, ..ok }.validate().is_err());
         assert!(DesignParams { budget: 0, ..ok }.validate().is_err());
         assert!(DesignParams {
             min_pilots_per_stratum: 1,
@@ -218,21 +213,12 @@ mod tests {
         }
         .validate()
         .is_err());
-        assert!(DesignParams {
-            epsilon: 0.0,
-            ..ok
-        }
-        .validate()
-        .is_err());
+        assert!(DesignParams { epsilon: 0.0, ..ok }.validate().is_err());
     }
 
     #[test]
     fn feasibility_checks() {
-        let pilot = PilotIndex::new(
-            100,
-            (0..10).map(|i| (i * 10, i % 2 == 0)).collect(),
-        )
-        .unwrap();
+        let pilot = PilotIndex::new(100, (0..10).map(|i| (i * 10, i % 2 == 0)).collect()).unwrap();
         let params = DesignParams {
             n_strata: 2,
             min_pilots_per_stratum: 5,

@@ -227,10 +227,7 @@ fn try_candidate(
             }
             let cuts = vec![n1, nn - n3];
             if let Some(v) = evaluate_cuts(pilot, &cuts, params, allocation) {
-                if best
-                    .as_ref()
-                    .is_none_or(|b| v < b.estimated_variance)
-                {
+                if best.as_ref().is_none_or(|b| v < b.estimated_variance) {
                     *best = Some(Stratification {
                         cuts,
                         estimated_variance: v,
@@ -302,7 +299,9 @@ mod tests {
             let ds = dirsol(&pilot, &p, Allocation::Neyman).unwrap();
             let nu = p.min_stratum_size as f64;
             let n = p.budget as f64;
-            let factor = 1.0 + 2.0 / nu + 2.0 / (nu - n).abs().max(1.0)
+            let factor = 1.0
+                + 2.0 / nu
+                + 2.0 / (nu - n).abs().max(1.0)
                 + 4.0 / (nu * (nu - n).abs().max(1.0));
             // Variances can be ~0 at the optimum; compare with an
             // absolute slack as well.

@@ -453,8 +453,7 @@ mod tests {
     }
 
     #[test]
-    fn pruned_t_is_no_worse_than_unconstrained(
-    ) {
+    fn pruned_t_is_no_worse_than_unconstrained() {
         let pilot = pilot_random(300, 24, 21);
         let p = params(4);
         let pruned = dynpgm(&pilot, &p, TSelection::Pruned(6)).unwrap();

@@ -25,9 +25,7 @@ pub fn fixed_height_cuts(n_objects: usize, n_strata: usize) -> StrataResult<Vec<
             message: format!("{n_strata} strata over {n_objects} objects"),
         });
     }
-    Ok((1..n_strata)
-        .map(|h| h * n_objects / n_strata)
-        .collect())
+    Ok((1..n_strata).map(|h| h * n_objects / n_strata).collect())
 }
 
 /// Equal score-width cuts over a population sorted ascending by score.

@@ -62,16 +62,7 @@ pub fn logbdr(
     params.check_feasible(pilot)?;
     let mut best: Option<Stratification> = None;
     let mut cuts: Vec<usize> = Vec::with_capacity(params.n_strata - 1);
-    recurse(
-        pilot,
-        params,
-        allocation,
-        1,
-        0,
-        0,
-        &mut cuts,
-        &mut best,
-    );
+    recurse(pilot, params, allocation, 1, 0, 0, &mut cuts, &mut best);
     best.ok_or_else(|| StrataError::Infeasible {
         message: "LogBdr found no feasible stratification".into(),
     })
@@ -124,16 +115,7 @@ fn recurse(
                 break;
             }
             cuts.push(c);
-            recurse(
-                pilot,
-                params,
-                allocation,
-                depth + 1,
-                k,
-                c,
-                cuts,
-                best,
-            );
+            recurse(pilot, params, allocation, depth + 1, k, c, cuts, best);
             cuts.pop();
         }
     }
@@ -174,11 +156,7 @@ mod tests {
 
     #[test]
     fn candidates_are_powers_of_two_offsets() {
-        let pilot = PilotIndex::new(
-            100,
-            vec![(10, true), (40, false), (80, true)],
-        )
-        .unwrap();
+        let pilot = PilotIndex::new(100, vec![(10, true), (40, false), (80, true)]).unwrap();
         // Between pilot 1 (pos 10 → ı = 11) and pilot 2 (pos 40):
         // candidates 11, 12, 13, 15, 19, 27, plus 40.
         let c = boundary_candidates(&pilot, 1, 1.0);
@@ -220,8 +198,7 @@ mod tests {
     }
 
     #[test]
-    fn epsilon_tradeoff_never_improves_beyond_fine_grid(
-    ) {
+    fn epsilon_tradeoff_never_improves_beyond_fine_grid() {
         let pilot = pilot_random(60, 12, 13);
         let p_fine = DesignParams {
             epsilon: 0.25,

@@ -86,9 +86,7 @@ pub fn evaluate_cuts(
     let stats = stratum_stats(pilot, cuts, params)?;
     Some(match allocation {
         Allocation::Neyman => neyman_variance(&stats, params.budget),
-        Allocation::Proportional => {
-            proportional_variance(&stats, params.budget, pilot.n_objects())
-        }
+        Allocation::Proportional => proportional_variance(&stats, params.budget, pilot.n_objects()),
     })
 }
 
@@ -99,9 +97,7 @@ mod tests {
     fn pilot_alternating(n_objects: usize, m: usize) -> PilotIndex {
         // Pilots evenly spread; labels: first half negative, second half
         // positive (a "good classifier ordering").
-        let entries: Vec<(usize, bool)> = (0..m)
-            .map(|k| (k * n_objects / m, k >= m / 2))
-            .collect();
+        let entries: Vec<(usize, bool)> = (0..m).map(|k| (k * n_objects / m, k >= m / 2)).collect();
         PilotIndex::new(n_objects, entries).unwrap()
     }
 
@@ -156,12 +152,8 @@ mod tests {
         let pilot = pilot_alternating(100, 10);
         let p = params();
         let stats = stratum_stats(&pilot, &[30], &p).unwrap();
-        let want: f64 = stats
-            .iter()
-            .map(|st| st.size as f64 * st.s2)
-            .sum::<f64>()
-            * (100.0 - 10.0)
-            / 10.0;
+        let want: f64 =
+            stats.iter().map(|st| st.size as f64 * st.s2).sum::<f64>() * (100.0 - 10.0) / 10.0;
         let got = proportional_variance(&stats, 10, 100);
         assert!((got - want).abs() < 1e-12);
     }
@@ -180,10 +172,9 @@ mod tests {
         for cuts in [[100usize, 200], [50, 150], [90, 260]] {
             if let Some(stats) = stratum_stats(&pilot, &cuts, &p) {
                 let ney = neyman_variance(&stats, p.budget);
-                let prop = proportional_variance(&stats, p.budget, 300)
-                    - 0.0; // same units
-                // prop = (N-n)/n Σ N s²; ney = (ΣNs)²/n − Σ N s².
-                // Cauchy–Schwarz: (Σ N_h s_h)² ≤ N · Σ N_h s_h².
+                let prop = proportional_variance(&stats, p.budget, 300) - 0.0; // same units
+                                                                               // prop = (N-n)/n Σ N s²; ney = (ΣNs)²/n − Σ N s².
+                                                                               // Cauchy–Schwarz: (Σ N_h s_h)² ≤ N · Σ N_h s_h².
                 assert!(ney <= prop + 1e-9, "ney {ney} vs prop {prop}");
             }
         }

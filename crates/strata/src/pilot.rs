@@ -143,11 +143,7 @@ fn key_less(a: (f64, usize), b: (f64, usize)) -> bool {
 /// within the `(score, id)`-ordered population, sorted ascending.
 pub fn pilot_positions_argsort(scores: &[f64], pilot_ids: &[usize]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[a]
-            .total_cmp(&scores[b])
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]).then(a.cmp(&b)));
     let mut rank = vec![0usize; scores.len()];
     for (pos, &id) in order.iter().enumerate() {
         rank[id] = pos;
@@ -194,11 +190,8 @@ mod tests {
 
     #[test]
     fn gamma_and_positions() {
-        let p = PilotIndex::new(
-            100,
-            vec![(10, true), (5, false), (50, true), (80, false)],
-        )
-        .unwrap();
+        let p =
+            PilotIndex::new(100, vec![(10, true), (5, false), (50, true), (80, false)]).unwrap();
         assert_eq!(p.m(), 4);
         assert_eq!(p.positions(), &[5, 10, 50, 80]);
         assert_eq!(p.gamma(0), 0);
@@ -216,11 +209,7 @@ mod tests {
     fn s2_matches_bernoulli_sample_variance() {
         // Pilots: labels T,F,T,T → s² over all 4 = sample variance of
         // {1,0,1,1} = 0.25 (unbiased: Σ(x-x̄)²/(n-1) = (3·(0.25)²+(0.75)²)/3 = 0.25).
-        let p = PilotIndex::new(
-            10,
-            vec![(0, true), (1, false), (2, true), (3, true)],
-        )
-        .unwrap();
+        let p = PilotIndex::new(10, vec![(0, true), (1, false), (2, true), (3, true)]).unwrap();
         let s2 = p.s2_for_pilot_range(0, 4).unwrap();
         assert!((s2 - 0.25).abs() < 1e-12);
         // Homogeneous range → 0.
@@ -232,11 +221,8 @@ mod tests {
 
     #[test]
     fn s2_for_cut_range_uses_positions() {
-        let p = PilotIndex::new(
-            100,
-            vec![(10, true), (20, false), (30, true), (90, false)],
-        )
-        .unwrap();
+        let p =
+            PilotIndex::new(100, vec![(10, true), (20, false), (30, true), (90, false)]).unwrap();
         let (cnt, s2) = p.s2_for_cut_range(0, 35);
         assert_eq!(cnt, 3);
         let expect = (2.0f64 / 2.0) * (1.0 - 2.0 / 3.0);

@@ -1,8 +1,8 @@
 //! Property-based tests for the stratification substrate.
 
 use lts_strata::{
-    evaluate_cuts, fixed_height_cuts, pilot_positions_argsort, pilot_positions_bucket,
-    Allocation, DesignParams, PilotIndex,
+    evaluate_cuts, fixed_height_cuts, pilot_positions_argsort, pilot_positions_bucket, Allocation,
+    DesignParams, PilotIndex,
 };
 use proptest::prelude::*;
 

@@ -98,15 +98,11 @@ pub fn read_csv_str(input: &str, options: CsvOptions) -> TableResult<Table> {
 /// Same as [`read_csv_str`], plus I/O failures (surfaced as
 /// [`TableError::InvalidExpression`] with the OS message — the table
 /// engine has no dedicated I/O error variant and CSV is its only I/O).
-pub fn read_csv_path(
-    path: impl AsRef<std::path::Path>,
-    options: CsvOptions,
-) -> TableResult<Table> {
-    let text = std::fs::read_to_string(path.as_ref()).map_err(|e| {
-        TableError::InvalidExpression {
+pub fn read_csv_path(path: impl AsRef<std::path::Path>, options: CsvOptions) -> TableResult<Table> {
+    let text =
+        std::fs::read_to_string(path.as_ref()).map_err(|e| TableError::InvalidExpression {
             message: format!("reading {}: {e}", path.as_ref().display()),
-        }
-    })?;
+        })?;
     read_csv_str(&text, options)
 }
 
@@ -345,7 +341,10 @@ mod tests {
         let t = read_csv_str("x,y\n1,\n2,3\n", CsvOptions::default()).unwrap();
         assert_eq!(t.schema().fields()[0].data_type, DataType::Int);
         assert_eq!(t.schema().fields()[1].data_type, DataType::Str);
-        assert_eq!(t.column_by_name("y").unwrap().get(0).unwrap(), Value::str(""));
+        assert_eq!(
+            t.column_by_name("y").unwrap().get(0).unwrap(),
+            Value::str("")
+        );
     }
 
     #[test]
@@ -356,7 +355,10 @@ mod tests {
         ));
         assert!(matches!(
             read_csv_str("a,b\n1\n", CsvOptions::default()),
-            Err(TableError::LengthMismatch { expected: 2, found: 1 })
+            Err(TableError::LengthMismatch {
+                expected: 2,
+                found: 1
+            })
         ));
         assert!(matches!(
             read_csv_str("a\n\"unterminated\n", CsvOptions::default()),

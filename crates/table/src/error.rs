@@ -80,10 +80,15 @@ impl fmt::Display for TableError {
                 write!(f, "type mismatch: expected {expected}, found {found}")
             }
             TableError::LengthMismatch { expected, found } => {
-                write!(f, "column length mismatch: expected {expected}, found {found}")
+                write!(
+                    f,
+                    "column length mismatch: expected {expected}, found {found}"
+                )
             }
             TableError::DuplicateColumn { name } => write!(f, "duplicate column `{name}`"),
-            TableError::NoOuterRow => write!(f, "expression references outer row but none is bound"),
+            TableError::NoOuterRow => {
+                write!(f, "expression references outer row but none is bound")
+            }
             TableError::Arithmetic { message } => write!(f, "arithmetic error: {message}"),
             TableError::InvalidExpression { message } => write!(f, "invalid expression: {message}"),
             TableError::Parse { position, message } => {

@@ -476,9 +476,12 @@ fn eval_subquery(sq: &AggSubquery, ctx: RowCtx<'_>) -> TableResult<Value> {
         }
         count += 1;
         if !matches!(sq.func, AggFunc::Count) {
-            let arg = sq.arg.as_ref().ok_or_else(|| TableError::InvalidExpression {
-                message: format!("{:?} requires an argument expression", sq.func),
-            })?;
+            let arg = sq
+                .arg
+                .as_ref()
+                .ok_or_else(|| TableError::InvalidExpression {
+                    message: format!("{:?} requires an argument expression", sq.func),
+                })?;
             let v = arg.eval(ictx)?.as_f64()?;
             sum += v;
             min = min.min(v);
@@ -650,10 +653,7 @@ mod tests {
             .gt(Expr::lit(10.0))
             .or(Expr::col("y").eq(Expr::lit(30.0)));
         assert_eq!(e.eval(ctx).unwrap(), Value::Bool(true));
-        assert_eq!(
-            Expr::lit(true).not().eval(ctx).unwrap(),
-            Value::Bool(false)
-        );
+        assert_eq!(Expr::lit(true).not().eval(ctx).unwrap(), Value::Bool(false));
     }
 
     #[test]
@@ -684,10 +684,7 @@ mod tests {
     fn scalar_functions() {
         let table = t();
         let ctx = RowCtx::top(&table, 0);
-        assert_eq!(
-            Expr::lit(9.0).sqrt().eval(ctx).unwrap(),
-            Value::Float(3.0)
-        );
+        assert_eq!(Expr::lit(9.0).sqrt().eval(ctx).unwrap(), Value::Float(3.0));
         assert_eq!(
             Expr::lit(2.0).power(Expr::lit(10.0)).eval(ctx).unwrap(),
             Value::Float(1024.0)
@@ -713,10 +710,7 @@ mod tests {
     fn correlated_count_subquery() {
         // For each row o, count rows with x >= o.x  → 3, 2, 1.
         let table = Arc::new(t());
-        let sub = Expr::count_where(
-            Arc::clone(&table),
-            Expr::col("x").ge(Expr::outer("x")),
-        );
+        let sub = Expr::count_where(Arc::clone(&table), Expr::col("x").ge(Expr::outer("x")));
         for (row, want) in [(0usize, 3i64), (1, 2), (2, 1)] {
             let got = sub.eval(RowCtx::top(&table, row)).unwrap();
             assert_eq!(got, Value::Int(want), "row {row}");
@@ -754,12 +748,7 @@ mod tests {
         );
         // Empty aggregate: AVG/MIN/MAX are NULL, SUM is 0, COUNT is 0.
         let empty = |func, arg: Option<Expr>| {
-            Expr::subquery(
-                Arc::clone(&table),
-                Some(Expr::lit(false)),
-                func,
-                arg,
-            )
+            Expr::subquery(Arc::clone(&table), Some(Expr::lit(false)), func, arg)
         };
         assert_eq!(
             empty(AggFunc::Count, None).eval(ctx).unwrap(),
@@ -776,9 +765,8 @@ mod tests {
     #[test]
     fn example1_distance_predicate_shape() {
         // SQRT(POWER(o.x - x, 2) + POWER(o.y - y, 2)) <= d, few-neighbors.
-        let pts = Arc::new(
-            table_of_floats(&[("x", &[0.0, 1.0, 5.0]), ("y", &[0.0, 0.0, 0.0])]).unwrap(),
-        );
+        let pts =
+            Arc::new(table_of_floats(&[("x", &[0.0, 1.0, 5.0]), ("y", &[0.0, 0.0, 0.0])]).unwrap());
         let dist = Expr::outer("x")
             .sub(Expr::col("x"))
             .power(Expr::lit(2.0))

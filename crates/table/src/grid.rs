@@ -178,7 +178,9 @@ mod tests {
         let mut ys = Vec::new();
         let mut state = 42u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 11) as f64 / (1u64 << 53) as f64
         };
         for _ in 0..300 {

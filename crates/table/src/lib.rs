@@ -44,7 +44,7 @@ pub use error::{TableError, TableResult};
 pub use expr::{AggFunc, AggSubquery, BinaryOp, CmpOp, Expr, Func, RowCtx, UnaryOp};
 pub use grid::GridIndex;
 pub use parser::{parse_condition, TableRegistry};
-pub use predicate::{FnPredicate, Metered, ObjectPredicate, PredicateStats};
+pub use predicate::{thread_labeling_nanos, FnPredicate, Metered, ObjectPredicate, PredicateStats};
 pub use query::{distinct_project, AggThresholdPredicate, CountQuery, ExprPredicate};
 pub use schema::{Field, Schema};
 pub use table::{table_of_floats, Table, TableBuilder};

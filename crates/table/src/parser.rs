@@ -87,7 +87,10 @@ pub fn parse_condition(input: &str, registry: &TableRegistry) -> TableResult<Exp
     };
     let expr = p.expr()?;
     if let Some(tok) = p.peek() {
-        return Err(err_at(tok.pos, format!("unexpected trailing `{}`", tok.text())));
+        return Err(err_at(
+            tok.pos,
+            format!("unexpected trailing `{}`", tok.text()),
+        ));
     }
     Ok(expr)
 }
@@ -148,7 +151,10 @@ fn tokenize(input: &str) -> TableResult<Vec<Token>> {
                     '/' => "/",
                     _ => "=",
                 };
-                out.push(Token { tok: Tok::Sym(sym), pos: i });
+                out.push(Token {
+                    tok: Tok::Sym(sym),
+                    pos: i,
+                });
                 i += 1;
             }
             '<' => {
@@ -157,7 +163,10 @@ fn tokenize(input: &str) -> TableResult<Vec<Token>> {
                     Some('>') => ("<>", 2),
                     _ => ("<", 1),
                 };
-                out.push(Token { tok: Tok::Sym(sym), pos: i });
+                out.push(Token {
+                    tok: Tok::Sym(sym),
+                    pos: i,
+                });
                 i += w;
             }
             '>' => {
@@ -165,12 +174,18 @@ fn tokenize(input: &str) -> TableResult<Vec<Token>> {
                     Some('=') => (">=", 2),
                     _ => (">", 1),
                 };
-                out.push(Token { tok: Tok::Sym(sym), pos: i });
+                out.push(Token {
+                    tok: Tok::Sym(sym),
+                    pos: i,
+                });
                 i += w;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    out.push(Token { tok: Tok::Sym("<>"), pos: i });
+                    out.push(Token {
+                        tok: Tok::Sym("<>"),
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(err_at(i, "expected `!=`"));
@@ -199,7 +214,10 @@ fn tokenize(input: &str) -> TableResult<Vec<Token>> {
                         }
                     }
                 }
-                out.push(Token { tok: Tok::Str(s), pos: start });
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    pos: start,
+                });
             }
             '0'..='9' | '.' => {
                 let start = i;
@@ -218,7 +236,10 @@ fn tokenize(input: &str) -> TableResult<Vec<Token>> {
                 let n: f64 = text
                     .parse()
                     .map_err(|_| err_at(start, format!("invalid number `{text}`")))?;
-                out.push(Token { tok: Tok::Number(n), pos: start });
+                out.push(Token {
+                    tok: Tok::Number(n),
+                    pos: start,
+                });
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -244,7 +265,10 @@ fn tokenize(input: &str) -> TableResult<Vec<Token>> {
                     ident.push('.');
                     ident.push_str(&input[col_start..i]);
                 }
-                out.push(Token { tok: Tok::Ident(ident), pos: start });
+                out.push(Token {
+                    tok: Tok::Ident(ident),
+                    pos: start,
+                });
             }
             other => return Err(err_at(i, format!("unexpected character `{other}`"))),
         }
@@ -283,8 +307,14 @@ impl Parser<'_> {
     fn expect_sym(&mut self, sym: &str) -> TableResult<()> {
         match self.next() {
             Some(t) if t.tok == Tok::Sym(match_sym(sym)) => Ok(()),
-            Some(t) => Err(err_at(t.pos, format!("expected `{sym}`, found `{}`", t.text()))),
-            None => Err(err_at(self.end_pos(), format!("expected `{sym}`, found end of input"))),
+            Some(t) => Err(err_at(
+                t.pos,
+                format!("expected `{sym}`, found `{}`", t.text()),
+            )),
+            None => Err(err_at(
+                self.end_pos(),
+                format!("expected `{sym}`, found end of input"),
+            )),
         }
     }
 
@@ -359,7 +389,9 @@ impl Parser<'_> {
     fn cmp_expr(&mut self) -> TableResult<Expr> {
         let lhs = self.add_expr()?;
         let op = match self.peek() {
-            Some(Token { tok: Tok::Sym(s), .. }) => match *s {
+            Some(Token {
+                tok: Tok::Sym(s), ..
+            }) => match *s {
                 "=" => Some("="),
                 "<>" => Some("<>"),
                 "<" => Some("<"),
@@ -500,7 +532,10 @@ impl Parser<'_> {
             return Err(err_at(self.end_pos(), "expected aggregate after SELECT"));
         };
         let Tok::Ident(agg_name) = &tok.tok else {
-            return Err(err_at(tok.pos, format!("expected aggregate, found `{}`", tok.text())));
+            return Err(err_at(
+                tok.pos,
+                format!("expected aggregate, found `{}`", tok.text()),
+            ));
         };
         let func = if agg_name.eq_ignore_ascii_case("COUNT") {
             AggFunc::Count
@@ -532,7 +567,10 @@ impl Parser<'_> {
             return Err(err_at(self.end_pos(), "expected table name after FROM"));
         };
         let Tok::Ident(table_name) = &tok.tok else {
-            return Err(err_at(tok.pos, format!("expected table name, found `{}`", tok.text())));
+            return Err(err_at(
+                tok.pos,
+                format!("expected table name, found `{}`", tok.text()),
+            ));
         };
         let Some(table) = self.registry.resolve(table_name) else {
             return Err(err_at(
@@ -651,9 +689,7 @@ mod tests {
         let ys = t.floats("y").unwrap();
         for i in 0..t.len() {
             let dominators = (0..t.len())
-                .filter(|&j| {
-                    xs[j] >= xs[i] && ys[j] >= ys[i] && (xs[j] > xs[i] || ys[j] > ys[i])
-                })
+                .filter(|&j| xs[j] >= xs[i] && ys[j] >= ys[i] && (xs[j] > xs[i] || ys[j] > ys[i]))
                 .count();
             let want = dominators < 2;
             let ctx = RowCtx {
@@ -750,11 +786,7 @@ mod tests {
     fn case_insensitive_keywords_and_whitespace() {
         let t = points();
         let reg = TableRegistry::new().register("D", Arc::clone(&t));
-        let e = parse_condition(
-            "( select count(*) from d where x >= o.x ) >= 1",
-            &reg,
-        )
-        .unwrap();
+        let e = parse_condition("( select count(*) from d where x >= o.x ) >= 1", &reg).unwrap();
         let ctx = RowCtx {
             table: &t,
             row: 4,

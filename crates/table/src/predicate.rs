@@ -9,9 +9,27 @@
 
 use crate::error::TableResult;
 use crate::table::Table;
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+thread_local! {
+    static THREAD_LABEL_NANOS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Nanoseconds the **current thread** has spent inside metered
+/// predicates (monotone, never reset).
+///
+/// Phase timers diff this around a closure to attribute labeling time
+/// to the work that ran *on this thread* — exact even when other
+/// threads label concurrently against the same shared [`Metered`]
+/// (whose global counters would cross-charge). A predicate that spawns
+/// its own worker threads internally under-reports here; the global
+/// [`Metered::stats`] elapsed time still captures it.
+pub fn thread_labeling_nanos() -> u64 {
+    THREAD_LABEL_NANOS.with(Cell::get)
+}
 
 /// A Boolean predicate over rows of an object table: `q : O → {0, 1}`.
 pub trait ObjectPredicate: Send + Sync {
@@ -23,6 +41,22 @@ pub trait ObjectPredicate: Send + Sync {
     /// mismatches, …).
     fn eval(&self, objects: &Table, idx: usize) -> TableResult<bool>;
 
+    /// Evaluate `q` on a batch of objects, returning labels aligned
+    /// with `idxs`.
+    ///
+    /// The default implementation loops over [`eval`](Self::eval);
+    /// predicates with amortizable per-call setup (plan caching, shared
+    /// scans, SIMD/accelerator batches) should override it. Batching is
+    /// the labeling pipeline's unit of work: estimators hand whole
+    /// sample draws to the oracle instead of row-at-a-time calls.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first row's evaluation error.
+    fn eval_batch(&self, objects: &Table, idxs: &[usize]) -> TableResult<Vec<bool>> {
+        idxs.iter().map(|&i| self.eval(objects, i)).collect()
+    }
+
     /// Human-readable name for reports.
     fn name(&self) -> &str {
         "predicate"
@@ -32,6 +66,9 @@ pub trait ObjectPredicate: Send + Sync {
 impl<P: ObjectPredicate + ?Sized> ObjectPredicate for Arc<P> {
     fn eval(&self, objects: &Table, idx: usize) -> TableResult<bool> {
         (**self).eval(objects, idx)
+    }
+    fn eval_batch(&self, objects: &Table, idxs: &[usize]) -> TableResult<Vec<bool>> {
+        (**self).eval_batch(objects, idxs)
     }
     fn name(&self) -> &str {
         (**self).name()
@@ -74,6 +111,10 @@ where
 pub struct PredicateStats {
     /// Number of `q` evaluations performed.
     pub evals: u64,
+    /// Number of oracle calls that carried those evaluations (a batch
+    /// of any size counts once; single-row `eval` counts once). The
+    /// ratio `evals / calls` is the achieved batching factor.
+    pub calls: u64,
     /// Cumulative wall time spent inside `q`.
     pub elapsed: Duration,
 }
@@ -84,7 +125,20 @@ impl PredicateStats {
         if self.evals == 0 {
             Duration::ZERO
         } else {
-            self.elapsed / u32::try_from(self.evals.min(u64::from(u32::MAX))).unwrap_or(u32::MAX)
+            // Divide in nanosecond space: `Duration / u32` would clamp
+            // eval counts above u32::MAX and lose sub-divisor nanos.
+            let nanos = self.elapsed.as_nanos() / u128::from(self.evals);
+            Duration::from_nanos(u64::try_from(nanos).unwrap_or(u64::MAX))
+        }
+    }
+
+    /// Mean evaluations per oracle call (the batching factor; zero when
+    /// nothing ran).
+    pub fn batching_factor(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.evals as f64 / self.calls as f64
         }
     }
 }
@@ -95,6 +149,7 @@ impl PredicateStats {
 /// be used across an entire estimation pipeline.
 pub struct Metered<P: ?Sized> {
     evals: AtomicU64,
+    calls: AtomicU64,
     nanos: AtomicU64,
     inner: P,
 }
@@ -104,6 +159,7 @@ impl<P: ObjectPredicate> Metered<P> {
     pub fn new(inner: P) -> Self {
         Self {
             evals: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
             nanos: AtomicU64::new(0),
             inner,
         }
@@ -120,6 +176,7 @@ impl<P: ObjectPredicate + ?Sized> Metered<P> {
     pub fn stats(&self) -> PredicateStats {
         PredicateStats {
             evals: self.evals.load(Ordering::Relaxed),
+            calls: self.calls.load(Ordering::Relaxed),
             elapsed: Duration::from_nanos(self.nanos.load(Ordering::Relaxed)),
         }
     }
@@ -127,7 +184,20 @@ impl<P: ObjectPredicate + ?Sized> Metered<P> {
     /// Reset the counters to zero.
     pub fn reset(&self) {
         self.evals.store(0, Ordering::Relaxed);
+        self.calls.store(0, Ordering::Relaxed);
         self.nanos.store(0, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn record(&self, evals: u64, dt: Duration) {
+        // Single fetch_add per counter: counts stay exact under
+        // concurrent single-row and batch evaluations (each batch
+        // contributes its length exactly once, atomically).
+        self.evals.fetch_add(evals, Ordering::Relaxed);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let nanos = u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX);
+        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+        THREAD_LABEL_NANOS.with(|c| c.set(c.get().saturating_add(nanos)));
     }
 }
 
@@ -135,10 +205,22 @@ impl<P: ObjectPredicate + ?Sized> ObjectPredicate for Metered<P> {
     fn eval(&self, objects: &Table, idx: usize) -> TableResult<bool> {
         let start = Instant::now();
         let result = self.inner.eval(objects, idx);
-        let dt = start.elapsed();
-        self.evals.fetch_add(1, Ordering::Relaxed);
-        self.nanos
-            .fetch_add(u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX), Ordering::Relaxed);
+        self.record(1, start.elapsed());
+        result
+    }
+    fn eval_batch(&self, objects: &Table, idxs: &[usize]) -> TableResult<Vec<bool>> {
+        if idxs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let start = Instant::now();
+        let result = self.inner.eval_batch(objects, idxs);
+        // An errored batch is charged in full even though the inner
+        // implementation may have stopped at the first failing row: the
+        // meter cannot observe how far a batch got, and its
+        // budget-enforcement role prefers an upper bound over
+        // under-counting. Estimation aborts on error, so the
+        // overcharge never skews a completed run's statistics.
+        self.record(idxs.len() as u64, start.elapsed());
         result
     }
     fn name(&self) -> &str {
@@ -154,9 +236,7 @@ mod tests {
     #[test]
     fn fn_predicate_evaluates() {
         let t = table_of_floats(&[("x", &[1.0, -2.0, 3.0])]).unwrap();
-        let p = FnPredicate::new("positive", |t: &Table, i| {
-            Ok(t.floats("x")?[i] > 0.0)
-        });
+        let p = FnPredicate::new("positive", |t: &Table, i| Ok(t.floats("x")?[i] > 0.0));
         assert!(p.eval(&t, 0).unwrap());
         assert!(!p.eval(&t, 1).unwrap());
         assert_eq!(p.name(), "positive");
@@ -181,7 +261,9 @@ mod tests {
     #[test]
     fn metering_through_arc() {
         let t = table_of_floats(&[("x", &[1.0])]).unwrap();
-        let p = Arc::new(Metered::new(FnPredicate::new("any", |_: &Table, _| Ok(true))));
+        let p = Arc::new(Metered::new(FnPredicate::new("any", |_: &Table, _| {
+            Ok(true)
+        })));
         let p2 = Arc::clone(&p);
         assert!(p2.eval(&t, 0).unwrap());
         assert!(p.eval(&t, 0).unwrap());
@@ -192,14 +274,73 @@ mod tests {
     fn mean_eval_time_handles_zero() {
         let s = PredicateStats {
             evals: 0,
+            calls: 0,
             elapsed: Duration::ZERO,
         };
         assert_eq!(s.mean_eval_time(), Duration::ZERO);
+        assert_eq!(s.batching_factor(), 0.0);
         let s = PredicateStats {
             evals: 2,
+            calls: 1,
             elapsed: Duration::from_nanos(100),
         };
         assert_eq!(s.mean_eval_time(), Duration::from_nanos(50));
+        assert_eq!(s.batching_factor(), 2.0);
+    }
+
+    #[test]
+    fn mean_eval_time_no_u32_clamp() {
+        // Eval counts above u32::MAX used to be clamped, inflating the
+        // mean; nanosecond arithmetic divides exactly.
+        let evals = u64::from(u32::MAX) + 5;
+        let s = PredicateStats {
+            evals,
+            calls: 1,
+            elapsed: Duration::from_nanos(evals * 3),
+        };
+        assert_eq!(s.mean_eval_time(), Duration::from_nanos(3));
+    }
+
+    #[test]
+    fn batch_eval_matches_rows_and_counts_once_per_row() {
+        let t = table_of_floats(&[("x", &[1.0, -2.0, 3.0, -4.0])]).unwrap();
+        let p = Metered::new(FnPredicate::new("pos", |t: &Table, i| {
+            Ok(t.floats("x")?[i] > 0.0)
+        }));
+        let idxs = [3, 0, 2, 0];
+        let batch = p.eval_batch(&t, &idxs).unwrap();
+        let rows: Vec<bool> = idxs
+            .iter()
+            .map(|&i| p.inner().eval(&t, i).unwrap())
+            .collect();
+        assert_eq!(batch, rows);
+        let stats = p.stats();
+        // The metered batch charged exactly idxs.len() evals in 1 call.
+        assert_eq!(stats.evals, 4);
+        assert_eq!(stats.calls, 1);
+    }
+
+    #[test]
+    fn concurrent_batches_keep_counters_exact() {
+        let xs: Vec<f64> = (0..256).map(|i| f64::from(i) - 128.0).collect();
+        let t = table_of_floats(&[("x", &xs)]).unwrap();
+        let p = Arc::new(Metered::new(FnPredicate::new("pos", |t: &Table, i| {
+            Ok(t.floats("x")?[i] > 0.0)
+        })));
+        std::thread::scope(|s| {
+            for k in 0..8 {
+                let p = Arc::clone(&p);
+                let t = &t;
+                s.spawn(move || {
+                    let idxs: Vec<usize> = (0..32).map(|j| (k * 32 + j) % 256).collect();
+                    p.eval_batch(t, &idxs).unwrap();
+                    p.eval(t, k).unwrap();
+                });
+            }
+        });
+        let stats = p.stats();
+        assert_eq!(stats.evals, 8 * 32 + 8);
+        assert_eq!(stats.calls, 16);
     }
 
     #[test]

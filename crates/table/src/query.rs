@@ -264,12 +264,8 @@ mod tests {
         let t = points();
         let out = distinct_project(&t, &["x", "y"], None).unwrap();
         assert_eq!(out.len(), 4); // (2,3) appears twice
-        let filtered = distinct_project(
-            &t,
-            &["x"],
-            Some(&Expr::col("y").ge(Expr::lit(3.0))),
-        )
-        .unwrap();
+        let filtered =
+            distinct_project(&t, &["x"], Some(&Expr::col("y").ge(Expr::lit(3.0)))).unwrap();
         // y >= 3 keeps rows 0,1,4 with x = 1,2,2 → distinct {1,2}.
         assert_eq!(filtered.len(), 2);
         assert!(distinct_project(&t, &["nope"], None).is_err());
@@ -311,8 +307,7 @@ mod tests {
                     .gt(Expr::outer("x"))
                     .or(Expr::col("y").gt(Expr::outer("y"))),
             );
-        let q2 =
-            AggThresholdPredicate::count("skyband", Arc::clone(&d2), dominate2, CmpOp::Lt, 1);
+        let q2 = AggThresholdPredicate::count("skyband", Arc::clone(&d2), dominate2, CmpOp::Lt, 1);
         let cq2 = CountQuery::new(Arc::clone(&d2), Arc::new(q2));
         // (1,1) is dominated by (2,3),(3,2),(1,4)... count >= 1 → excluded.
         assert_eq!(cq2.exact_count().unwrap(), 4);

@@ -310,9 +310,7 @@ mod tests {
         let schema = Schema::from_pairs(&[("a", DataType::Int)]).unwrap();
         let mut b = TableBuilder::new(schema);
         assert!(b.push_row(vec![]).is_err());
-        assert!(b
-            .push_row(vec![Value::Int(1), Value::Int(2)])
-            .is_err());
+        assert!(b.push_row(vec![Value::Int(1), Value::Int(2)]).is_err());
         assert!(b.push_row(vec![Value::Float(0.5)]).is_err());
     }
 
@@ -325,11 +323,7 @@ mod tests {
         assert!(Table::new(schema.clone(), vec![Column::Float(vec![1.0])]).is_err());
         // Ragged lengths.
         let schema2 = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Int)]).unwrap();
-        assert!(Table::new(
-            schema2,
-            vec![Column::Int(vec![1]), Column::Int(vec![1, 2])]
-        )
-        .is_err());
+        assert!(Table::new(schema2, vec![Column::Int(vec![1]), Column::Int(vec![1, 2])]).is_err());
         // Valid.
         assert!(Table::new(schema, vec![Column::Int(vec![1, 2])]).is_ok());
     }

@@ -91,6 +91,31 @@ proptest! {
         }
     }
 
+    /// Batched predicate evaluation agrees with per-row evaluation for
+    /// arbitrary index multisets (order, duplicates, repeats), and the
+    /// meter charges exactly `idxs.len()` evals per batch.
+    #[test]
+    fn eval_batch_agrees_with_eval(
+        xs in proptest::collection::vec(-10.0f64..10.0, 1..50),
+        picks in proptest::collection::vec(0usize..1000, 0..64),
+        threshold in -10.0f64..10.0,
+    ) {
+        use lts_table::{FnPredicate, Metered, ObjectPredicate};
+        let t = table_of_floats(&[("x", &xs)]).unwrap();
+        let idxs: Vec<usize> = picks.iter().map(|&p| p % xs.len()).collect();
+        let p = Metered::new(FnPredicate::new("gt", move |t: &lts_table::Table, i| {
+            Ok(t.floats("x")?[i] > threshold)
+        }));
+        let batch = p.eval_batch(&t, &idxs).unwrap();
+        prop_assert_eq!(batch.len(), idxs.len());
+        let stats = p.stats();
+        prop_assert_eq!(stats.evals, idxs.len() as u64);
+        prop_assert_eq!(stats.calls, u64::from(!idxs.is_empty()));
+        for (k, &i) in idxs.iter().enumerate() {
+            prop_assert_eq!(batch[k], p.eval(&t, i).unwrap(), "index {}", i);
+        }
+    }
+
     /// Kleene logic: AND/OR with NULL behave per SQL.
     #[test]
     fn kleene_truth_table(a in any::<Option<bool>>(), b in any::<Option<bool>>()) {
@@ -150,10 +175,8 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             inner.clone().prop_map(|a| a.not()),
             inner.clone().prop_map(|a| a.neg()),
             inner.clone().prop_map(|a| a.abs()),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Call(
-                lts_table::Func::Power,
-                vec![a, b]
-            )),
+            (inner.clone(), inner)
+                .prop_map(|(a, b)| Expr::Call(lts_table::Func::Power, vec![a, b])),
         ]
     })
 }

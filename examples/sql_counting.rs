@@ -82,6 +82,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.evals
     );
     let exact = problem.exact_count()?;
-    println!("exact COUNT(Q1):           {exact}  ({} q-evals)", objects.len());
+    println!(
+        "exact COUNT(Q1):           {exact}  ({} q-evals)",
+        objects.len()
+    );
     Ok(())
 }

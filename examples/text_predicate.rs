@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Population: a CSV file if given, else 3 000 clustered 2-d points.
     let d = if let Some(path) = args.get(3) {
-        Arc::new(lts_table::read_csv_path(path, lts_table::CsvOptions::default())?)
+        Arc::new(lts_table::read_csv_path(
+            path,
+            lts_table::CsvOptions::default(),
+        )?)
     } else {
         let n = 3_000usize;
         let mut state = 77u64;
@@ -43,11 +46,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut xs = Vec::with_capacity(n);
         let mut ys = Vec::with_capacity(n);
         for _ in 0..n {
-            let (cx, cy) = if uniform() < 0.5 { (30.0, 30.0) } else { (70.0, 65.0) };
+            let (cx, cy) = if uniform() < 0.5 {
+                (30.0, 30.0)
+            } else {
+                (70.0, 65.0)
+            };
             xs.push((cx + (uniform() - 0.5) * 55.0).clamp(0.0, 100.0));
             ys.push((cy + (uniform() - 0.5) * 55.0).clamp(0.0, 100.0));
         }
-        Arc::new(lts_table::table::table_of_floats(&[("x", &xs), ("y", &ys)])?)
+        Arc::new(lts_table::table::table_of_floats(&[
+            ("x", &xs),
+            ("y", &ys),
+        ])?)
     };
     let n = d.len();
 
@@ -76,7 +86,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("SRS", Box::new(Srs::default())),
         ("SSP", Box::new(Ssp::default())),
         ("QLCC", Box::new(Qlcc { learn })),
-        ("LWS", Box::new(Lws { learn, ..Lws::default() })),
+        (
+            "LWS",
+            Box::new(Lws {
+                learn,
+                ..Lws::default()
+            }),
+        ),
         (
             "LSS",
             Box::new(Lss {
@@ -87,18 +103,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
 
-    println!("{:>5} | {:>9} | {:>22} | evals", "est", "count", "95% interval");
+    println!(
+        "{:>5} | {:>9} | {:>22} | evals",
+        "est", "count", "95% interval"
+    );
     for (name, est) in estimators {
         let mut rng = StdRng::seed_from_u64(2_024);
         problem.reset_meter();
         match est.estimate(&problem, budget, &mut rng) {
             Ok(r) => {
                 let interval = if r.has_interval {
-                    format!("[{:>8.0}, {:>8.0}]", r.estimate.interval.lo, r.estimate.interval.hi)
+                    format!(
+                        "[{:>8.0}, {:>8.0}]",
+                        r.estimate.interval.lo, r.estimate.interval.hi
+                    )
                 } else {
                     "(point estimate only)".to_string()
                 };
-                println!("{name:>5} | {:>9.0} | {interval:>22} | {:>5}", r.count(), r.evals);
+                println!(
+                    "{name:>5} | {:>9.0} | {interval:>22} | {:>5}",
+                    r.count(),
+                    r.evals
+                );
             }
             Err(e) => println!("{name:>5} | failed: {e}"),
         }

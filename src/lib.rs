@@ -77,8 +77,8 @@ pub mod prelude {
         Qlac, Qlcc, Srs, Ssn, Ssp,
     };
     pub use lts_core::{
-        run_trials, ClassifierSpec, CountingProblem, EstimateReport, LearnPhaseConfig,
-        QualityForecast, TrialStats,
+        run_trials, run_trials_with, ClassifierSpec, CountingProblem, EstimateReport,
+        LearnPhaseConfig, QualityForecast, TrialExecution, TrialStats,
     };
     pub use lts_sampling::CountEstimate;
     pub use lts_stats::{ConfidenceInterval, IntervalKind};

@@ -46,8 +46,7 @@ fn wald_interval_covers_at_nominal_rate() {
         let mut rng = StdRng::seed_from_u64(1_000 + t);
         let idx = sample_without_replacement(&mut rng, n, labels.len()).unwrap();
         let sample: Vec<bool> = idx.iter().map(|&i| labels[i]).collect();
-        let est =
-            srs_count_estimate(&sample, labels.len(), LEVEL, IntervalKind::Wald).unwrap();
+        let est = srs_count_estimate(&sample, labels.len(), LEVEL, IntervalKind::Wald).unwrap();
         if est.interval.contains(truth) {
             covered += 1;
         }
@@ -74,8 +73,7 @@ fn wilson_interval_covers_at_extreme_selectivity() {
         let sample: Vec<bool> = idx.iter().map(|&i| labels[i]).collect();
         let wilson =
             srs_count_estimate(&sample, labels.len(), LEVEL, IntervalKind::Wilson).unwrap();
-        let wald =
-            srs_count_estimate(&sample, labels.len(), LEVEL, IntervalKind::Wald).unwrap();
+        let wald = srs_count_estimate(&sample, labels.len(), LEVEL, IntervalKind::Wald).unwrap();
         wilson_cov += u64::from(wilson.interval.contains(truth));
         wald_cov += u64::from(wald.interval.contains(truth));
     }

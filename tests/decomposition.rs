@@ -16,7 +16,10 @@ fn pseudo(n: usize, seed: u64, vals: u64) -> (Vec<f64>, Vec<f64>) {
             .wrapping_add(1442695040888963407);
         ((state >> 11) % vals) as f64
     };
-    ((0..n).map(|_| next()).collect(), (0..n).map(|_| next()).collect())
+    (
+        (0..n).map(|_| next()).collect(),
+        (0..n).map(|_| next()).collect(),
+    )
 }
 
 #[test]

@@ -97,8 +97,7 @@ fn interval_estimators_cover_the_truth() {
         if !est.provides_interval() {
             continue;
         }
-        let stats = run_trials(&scenario.problem, est.as_ref(), 150, 20, 77, Some(truth))
-            .unwrap();
+        let stats = run_trials(&scenario.problem, est.as_ref(), 150, 20, 77, Some(truth)).unwrap();
         let coverage = stats.coverage.unwrap();
         assert!(
             coverage >= 0.7,
@@ -124,10 +123,8 @@ fn lss_beats_srs_iqr_on_the_paper_workload() {
         ..Lss::default()
     };
     let srs = Srs::default();
-    let lss_stats =
-        run_trials(&scenario.problem, &lss, budget, trials, 123, Some(truth)).unwrap();
-    let srs_stats =
-        run_trials(&scenario.problem, &srs, budget, trials, 123, Some(truth)).unwrap();
+    let lss_stats = run_trials(&scenario.problem, &lss, budget, trials, 123, Some(truth)).unwrap();
+    let srs_stats = run_trials(&scenario.problem, &srs, budget, trials, 123, Some(truth)).unwrap();
     assert!(
         lss_stats.iqr() < srs_stats.iqr(),
         "LSS IQR {} should beat SRS IQR {}",

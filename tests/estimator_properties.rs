@@ -161,8 +161,7 @@ fn estimators_unbiased_on_known_population() {
     ];
     for (name, est) in ests {
         let stats = run_trials(&problem, est.as_ref(), 48, 400, 31, Some(truth)).unwrap();
-        let mean: f64 =
-            stats.estimates.iter().sum::<f64>() / stats.estimates.len() as f64;
+        let mean: f64 = stats.estimates.iter().sum::<f64>() / stats.estimates.len() as f64;
         assert!(
             (mean - truth).abs() < truth * 0.12,
             "{name}: mean {mean} vs truth {truth}"

@@ -1,0 +1,71 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+use std::ops::Range;
+
+/// A length specification: a fixed size or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a random length in the size range.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let span = (self.size.hi - self.size.lo) as u64;
+        let len = self.size.lo + rng.below(span.max(1)) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A strategy generating vectors of `element` values with length drawn
+/// from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_respect_range_and_fixed_size() {
+        let mut rng = TestRng::new(2);
+        let s = vec(0u8..10, 3usize..7);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+        let fixed = vec(0u8..10, 4usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 4);
+    }
+}

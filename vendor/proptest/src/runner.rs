@@ -1,0 +1,94 @@
+//! The case loop behind the [`crate::proptest!`] macro.
+
+use crate::rng::TestRng;
+use crate::test_runner::ProptestConfig;
+use crate::TestCaseError;
+
+/// Deterministic per-test seed: FNV-1a over the test name, XORed with
+/// `PROPTEST_SEED` when set (for reproducing an alternate universe).
+pub fn case_seed(test_name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => h ^ s.parse::<u64>().unwrap_or(0),
+        Err(_) => h,
+    }
+}
+
+/// Run one property until `cfg.cases` cases are accepted.
+///
+/// # Panics
+///
+/// Panics (failing the enclosing `#[test]`) on the first failing case,
+/// reporting the case number and seed, or if too many cases are
+/// rejected by `prop_assume!`.
+pub fn run_property<F>(test_name: &str, cfg: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let seed = case_seed(test_name);
+    let mut accepted: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u64 = 0;
+    while accepted < cfg.cases {
+        let case_seed = seed ^ attempt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::new(case_seed);
+        attempt += 1;
+        match body(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= cfg.max_global_rejects,
+                    "{test_name}: too many prop_assume! rejections \
+                     ({rejected} rejects for {accepted} accepted cases)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case #{accepted} failed (attempt seed {case_seed:#x}): {msg}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run_property("t", &ProptestConfig::with_cases(10), |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    fn rejects_do_not_count() {
+        let mut total = 0;
+        let mut accepted = 0;
+        run_property("t2", &ProptestConfig::with_cases(5), |rng| {
+            total += 1;
+            if rng.next_u64() & 1 == 0 {
+                return Err(TestCaseError::reject("coin"));
+            }
+            accepted += 1;
+            Ok(())
+        });
+        assert_eq!(accepted, 5);
+        assert!(total > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn failures_panic() {
+        run_property("t3", &ProptestConfig::with_cases(5), |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+}

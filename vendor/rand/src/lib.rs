@@ -1,0 +1,214 @@
+//! Vendored, dependency-free stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace ships
+//! a minimal implementation of exactly the `rand` 0.10-style surface the
+//! code uses: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], the
+//! [`Rng`] core trait, the [`RngExt`] extension trait
+//! (`random`/`random_range`), and [`seq::SliceRandom::shuffle`].
+//!
+//! `StdRng` is xoshiro256++ seeded via SplitMix64 — a high-quality,
+//! deterministic generator. It is **not** the cryptographic ChaCha12 of
+//! the real crate; nothing in this workspace needs cryptographic
+//! randomness, only seeded reproducibility.
+
+#![warn(missing_docs)]
+
+pub mod rngs;
+pub mod seq;
+
+/// A source of uniformly distributed random 64-bit words.
+///
+/// This is the object-safe core trait; the ergonomic sampling methods
+/// live on [`RngExt`], which is blanket-implemented for every `Rng`.
+pub trait Rng {
+    /// The next uniformly distributed 64-bit word.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next uniformly distributed 32-bit word.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type.
+    type Seed;
+
+    /// Construct from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64`, expanding it with SplitMix64 — the same
+    /// convention as the real `rand` crate's `seed_from_u64`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from their full domain
+/// (`[0, 1)` for floats).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges a value can be drawn uniformly from.
+pub trait SampleRange<T> {
+    /// Draw one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Unbiased-enough bounded draw via Lemire's widening multiply.
+#[inline]
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = self.end.wrapping_sub(self.start) as u64;
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = hi.wrapping_sub(lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Ergonomic sampling methods, blanket-implemented for every [`Rng`].
+///
+/// Mirrors the `rand` 0.10 naming (`random`, `random_range`).
+pub trait RngExt: Rng {
+    /// A uniform draw over `T`'s full domain (`[0, 1)` for floats).
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform draw from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn random_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_draws_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let k = r.random_range(0usize..10);
+            seen[k] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1_000 {
+            let k = r.random_range(3usize..=5);
+            assert!((3..=5).contains(&k));
+        }
+    }
+
+    #[test]
+    fn range_mean_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| r.random_range(0u64..1000)).sum();
+        let mean = sum as f64 / n as f64;
+        assert!((mean - 499.5).abs() < 5.0, "mean {mean}");
+    }
+}

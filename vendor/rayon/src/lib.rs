@@ -1,0 +1,176 @@
+//! Vendored, dependency-free stand-in for `rayon`.
+//!
+//! Implements the slice of the rayon API this workspace uses —
+//! `into_par_iter().map(f).collect::<Vec<_>>()` over `Vec<T>` and
+//! `Range<usize>` — on top of `std::thread::scope`. Work is distributed
+//! by an atomic next-index counter (dynamic scheduling, so uneven item
+//! costs balance), and results are written back by index, so `collect`
+//! preserves input order exactly: a parallel map is **bit-identical**
+//! to its sequential equivalent whenever `f` is a pure function of the
+//! item.
+//!
+//! Thread count: `RAYON_NUM_THREADS` if set, else
+//! `std::thread::available_parallelism()`. With one thread (or one
+//! item) execution is inline with zero thread overhead.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One-stop import mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParIter, ParallelMap};
+}
+
+/// Number of worker threads the pool will use.
+pub fn current_num_threads() -> usize {
+    if let Ok(s) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = s.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Conversion into a parallel iterator (the entry point of the API).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+    /// Convert into the concrete parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+/// A materialized parallel iterator over owned items.
+pub struct ParIter<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Map each item through `f` in parallel (lazily — runs at
+    /// [`ParallelMap::collect`]).
+    pub fn map<U, F>(self, f: F) -> ParallelMap<T, U, F>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParallelMap {
+            items: self.items,
+            f,
+            _out: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A pending parallel map; executes on [`ParallelMap::collect`].
+pub struct ParallelMap<T: Send, U: Send, F: Fn(T) -> U + Sync> {
+    items: Vec<T>,
+    f: F,
+    _out: std::marker::PhantomData<fn() -> U>,
+}
+
+impl<T: Send, U: Send, F: Fn(T) -> U + Sync> ParallelMap<T, U, F> {
+    /// Execute the map and collect results **in input order**.
+    pub fn collect<C: From<Vec<U>>>(self) -> C {
+        C::from(self.run())
+    }
+
+    fn run(self) -> Vec<U> {
+        let n = self.items.len();
+        let threads = current_num_threads().min(n);
+        if threads <= 1 {
+            return self.items.into_iter().map(&self.f).collect();
+        }
+        // Items and result slots behind per-index mutexes; workers pull
+        // the next index from a shared atomic counter (dynamic
+        // scheduling balances uneven per-item cost), compute outside
+        // any lock, and write back by index so order is preserved.
+        let items: Vec<Mutex<Option<T>>> = self
+            .items
+            .into_iter()
+            .map(|t| Mutex::new(Some(t)))
+            .collect();
+        let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let f = &self.f;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = items[i]
+                        .lock()
+                        .expect("item lock")
+                        .take()
+                        .expect("item taken once");
+                    let out = f(item);
+                    *results[i].lock().expect("result lock") = Some(out);
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result lock")
+                    .expect("every index computed")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_par_iter_matches_sequential() {
+        let par: Vec<String> = (0..64).into_par_iter().map(|i| format!("{i}")).collect();
+        let seq: Vec<String> = (0..64).map(|i| format!("{i}")).collect();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn uses_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let _: Vec<()> = (0..64)
+            .into_par_iter()
+            .map(|_| {
+                ids.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let distinct = ids.lock().unwrap().len();
+        assert!(distinct >= 1);
+        if super::current_num_threads() > 1 {
+            assert!(distinct > 1, "expected multiple worker threads");
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as
+//! forward-looking annotations — nothing serializes through serde yet
+//! (JSON emitted by the bench harness is hand-formatted). With no
+//! network access to fetch the real crate, these derives expand to
+//! nothing, keeping the annotations compiling until the real dependency
+//! can be restored, at which point this shim is deleted from
+//! `[patch]`/workspace config and the code is untouched.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
