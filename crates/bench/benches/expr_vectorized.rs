@@ -1,0 +1,126 @@
+//! Row-wise vs vectorized expression evaluation (the ISSUE-2 tentpole).
+//!
+//! Every pair of benchmarks below evaluates the *same* expression over
+//! the *same* table through the two engines:
+//!
+//! * `row_wise/…` — `Expr::eval_bool` interpreted per row (schema
+//!   lookup + `Value` boxing + dynamic dispatch per AST node per row);
+//! * `vectorized/…` — `lts_table::vector::eval_bool_columnar`, typed
+//!   column-at-a-time kernels.
+//!
+//! The acceptance bar is ≥ 3× throughput for a numeric comparison
+//! predicate over a 1M-row table; the setup asserts the two paths are
+//! label-identical before timing anything.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lts_table::table::table_of_floats;
+use lts_table::vector::eval_bool_columnar;
+use lts_table::{AggThresholdPredicate, CmpOp, Expr, ObjectPredicate, RowCtx, Table};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const ROWS: usize = 1_000_000;
+
+fn million_row_table() -> Table {
+    let xs: Vec<f64> = (0..ROWS).map(|i| (i % 1013) as f64 / 1013.0).collect();
+    let ys: Vec<f64> = (0..ROWS).map(|i| (i % 733) as f64 / 733.0).collect();
+    table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap()
+}
+
+fn row_wise_mask(e: &Expr, t: &Table) -> Vec<bool> {
+    (0..t.len())
+        .map(|i| e.eval_bool(RowCtx::top(t, i)).unwrap())
+        .collect()
+}
+
+fn bench_pair(c: &mut Criterion, group: &str, t: &Table, e: &Expr) {
+    // Correctness gate: identical labels before any timing.
+    assert_eq!(
+        row_wise_mask(e, t),
+        eval_bool_columnar(e, t, None).unwrap(),
+        "{group}: engines disagree"
+    );
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function("row_wise", |b| b.iter(|| row_wise_mask(black_box(e), t)));
+    g.bench_function("vectorized", |b| {
+        b.iter(|| eval_bool_columnar(black_box(e), t, None).unwrap())
+    });
+    g.finish();
+}
+
+/// The acceptance-criterion case: one numeric comparison over 1M rows.
+fn bench_numeric_cmp(c: &mut Criterion) {
+    let t = million_row_table();
+    bench_pair(
+        c,
+        "expr_1m_numeric_cmp",
+        &t,
+        &Expr::col("x").gt(Expr::lit(0.5)),
+    );
+}
+
+/// Compound mask: comparisons combined with AND (mask combination vs
+/// per-row short-circuit).
+fn bench_compound_mask(c: &mut Criterion) {
+    let t = million_row_table();
+    let e = Expr::col("x")
+        .gt(Expr::lit(0.25))
+        .and(Expr::col("y").le(Expr::lit(0.75)));
+    bench_pair(c, "expr_1m_compound_and", &t, &e);
+}
+
+/// Arithmetic feeding a comparison: `x * 2 + y < 1.2`.
+fn bench_arith_cmp(c: &mut Criterion) {
+    let t = million_row_table();
+    let e = Expr::col("x")
+        .mul(Expr::lit(2.0))
+        .add(Expr::col("y"))
+        .lt(Expr::lit(1.2));
+    bench_pair(c, "expr_1m_arith_cmp", &t, &e);
+}
+
+/// The SQL-form correlated-subquery predicate (skyband): interpreted
+/// nested loop (`eval` per object) vs one vectorized inner scan per
+/// object (`eval_batch`). Small N — the row-wise path is quadratic in
+/// interpreted row visits.
+fn bench_subquery_predicate(c: &mut Criterion) {
+    let n = 1_500usize;
+    let xs: Vec<f64> = (0..n).map(|i| (i % 89) as f64).collect();
+    let ys: Vec<f64> = (0..n).map(|i| ((i * 7) % 97) as f64).collect();
+    let t = Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap());
+    let dominate = Expr::col("x")
+        .ge(Expr::outer("x"))
+        .and(Expr::col("y").ge(Expr::outer("y")))
+        .and(
+            Expr::col("x")
+                .gt(Expr::outer("x"))
+                .or(Expr::col("y").gt(Expr::outer("y"))),
+        );
+    let q = AggThresholdPredicate::count("skyband", Arc::clone(&t), dominate, CmpOp::Lt, 8);
+    let all: Vec<usize> = (0..n).collect();
+    let row: Vec<bool> = all.iter().map(|&i| q.eval(&t, i).unwrap()).collect();
+    assert_eq!(row, q.eval_batch(&t, &all).unwrap(), "engines disagree");
+    let mut g = c.benchmark_group("sql_subquery_skyband_1500");
+    g.sample_size(10);
+    g.bench_function("row_wise", |b| {
+        b.iter(|| -> Vec<bool> {
+            all.iter()
+                .map(|&i| q.eval(black_box(&t), i).unwrap())
+                .collect()
+        })
+    });
+    g.bench_function("vectorized_batch", |b| {
+        b.iter(|| q.eval_batch(black_box(&t), &all).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_numeric_cmp,
+    bench_compound_mask,
+    bench_arith_cmp,
+    bench_subquery_predicate
+);
+criterion_main!(benches);

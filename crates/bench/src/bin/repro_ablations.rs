@@ -1,4 +1,4 @@
-//! Regenerates the implementation-decision ablations (DESIGN.md §5).
+//! Regenerates the implementation-decision ablations (ARCHITECTURE.md "Implementation decisions").
 fn main() {
     let cfg = lts_bench::RunConfig::from_env();
     if let Err(e) = lts_bench::experiments::ablations::run(&cfg) {

@@ -1,4 +1,4 @@
-//! Ablations for the implementation decisions DESIGN.md documents:
+//! Ablations for the implementation decisions ARCHITECTURE.md documents:
 //!
 //! * **A1 — pilot handling**: exact-remainder (decision 2) vs the
 //!   paper's textbook composition;

@@ -4,7 +4,7 @@
 //! SSP grids the two surrogate attributes (2×2 … 10×10); LSS stratifies
 //! the score ordering with the same stratum count. For `H ≥ 9` LSS uses
 //! the separable DynPgmP design with post-hoc Neyman allocation
-//! (DESIGN.md decision 4). Cells whose scaled-down budget cannot support
+//! (ARCHITECTURE.md decision 4). Cells whose scaled-down budget cannot support
 //! `H` strata are skipped with a notice.
 
 use super::{build_scenario, try_cell, FIGURE_LEVELS};

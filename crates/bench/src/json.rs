@@ -4,6 +4,8 @@
 //! output directory: one record per estimator/cell with the median,
 //! IQR, mean unique evals, and mean wall time. Future PRs diff these
 //! files to track the perf trajectory without re-parsing stdout tables.
+//! The full schema (fields, units, execution-mode caveats) is
+//! documented in `docs/benchmarks.md` at the repository root.
 //!
 //! The JSON is hand-formatted (the workspace's serde is a no-op shim;
 //! the schema here is flat enough that formatting beats a dependency).

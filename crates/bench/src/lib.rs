@@ -15,6 +15,11 @@
 //! Violin plots are summarized as median / IQR / outlier counts — the
 //! paper's own comparison metric (§5: "we commonly use interquartile
 //! range").
+//!
+//! Runs also drop machine-readable `BENCH_<name>.json` perf artifacts
+//! (module [`json`]); the schema — fields, units, and the
+//! execution-mode caveats for comparing wall times — is documented in
+//! `docs/benchmarks.md` at the repository root.
 
 #![warn(missing_docs)]
 

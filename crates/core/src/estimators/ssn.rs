@@ -6,7 +6,7 @@
 //! (`n_h ∝ N_h·S_h`) with the footnote-1 rebalancing. Pilot labels are
 //! exact, so the final estimate counts them exactly and estimates only
 //! the un-labeled remainder of each stratum (keeping the estimator
-//! unbiased; see DESIGN.md decision 2).
+//! unbiased; see ARCHITECTURE.md decision 2).
 
 use super::{check_budget, CountEstimator};
 use crate::error::{CoreError, CoreResult};

@@ -11,6 +11,12 @@ use lts_table::Table;
 /// Build an `N × d` feature matrix from the named numeric columns of an
 /// object table (ints and bools coerce to floats).
 ///
+/// The fill is columnar: each column materializes once
+/// ([`lts_table::Column::to_f64_vec`]) and is scattered into the
+/// row-major matrix buffer in a tight strided loop — no per-row
+/// validation or `Value` boxing, matching the vectorized scan
+/// philosophy of `lts_table::vector`.
+///
 /// # Errors
 ///
 /// Returns an error for unknown or non-numeric columns, or an empty
@@ -26,15 +32,14 @@ pub fn features_from_columns(table: &Table, columns: &[&str]) -> CoreResult<Matr
         .map(|c| Ok(table.column_by_name(c)?.to_f64_vec()?))
         .collect::<CoreResult<_>>()?;
     let n = table.len();
-    let mut m = Matrix::empty(columns.len());
-    let mut row = vec![0.0; columns.len()];
-    for i in 0..n {
-        for (j, col) in cols.iter().enumerate() {
-            row[j] = col[i];
+    let d = columns.len();
+    let mut data = vec![0.0; n * d];
+    for (j, col) in cols.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            data[i * d + j] = v;
         }
-        m.push_row(&row).map_err(CoreError::Learn)?;
     }
-    Ok(m)
+    Matrix::from_flat(data, n, d).map_err(CoreError::Learn)
 }
 
 #[cfg(test)]

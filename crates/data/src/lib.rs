@@ -2,7 +2,7 @@
 //!
 //! The paper uses two real datasets we cannot redistribute, so this
 //! crate generates **synthetic equivalents** whose joint distributions
-//! exercise the same code paths (see DESIGN.md §3 for the substitution
+//! exercise the same code paths (see ARCHITECTURE.md "Synthetic datasets" for the substitution
 //! rationale):
 //!
 //! * [`sports`] — MLB-pitching-like player-season statistics (~47k rows

@@ -6,7 +6,9 @@
 //!
 //! * [`neighbors_sql_predicate`] — the paper's
 //!   `SQRT(POWER(o.x−x,2)+POWER(o.y−y,2)) <= d … COUNT(*) <= k`
-//!   correlated subquery (nested-loop, expensive, faithful);
+//!   correlated subquery (row-wise `eval` is the faithful interpreted
+//!   nested loop; batched `eval_batch` runs one *vectorized* inner scan
+//!   per object through `lts_table::vector`);
 //! * [`neighbors_fast_predicate`] — grid-accelerated count with early
 //!   exit past `k` (semantically identical).
 //!
@@ -205,6 +207,21 @@ mod tests {
                     "d={d}, k={k}, i={i}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn sql_batch_path_agrees_with_row_path() {
+        // The batched oracle call goes through the vectorized engine;
+        // it must label exactly like row-at-a-time evaluation, for
+        // arbitrary index multisets.
+        let (xs, ys) = pseudo(80, 5);
+        let t = Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap());
+        let sql = neighbors_sql_predicate(Arc::clone(&t), "x", "y", 0.9, 4);
+        let idxs: Vec<usize> = (0..t.len()).chain([3, 3, 0]).collect();
+        let batch = sql.eval_batch(&t, &idxs).unwrap();
+        for (k, &i) in idxs.iter().enumerate() {
+            assert_eq!(batch[k], sql.eval(&t, i).unwrap(), "index {i}");
         }
     }
 

@@ -5,8 +5,9 @@
 //! forms are provided:
 //!
 //! * [`skyband_sql_predicate`] — the literal correlated aggregate
-//!   subquery from the paper, evaluated by nested-loop scan (expensive,
-//!   faithful);
+//!   subquery from the paper (row-wise `eval` is the faithful
+//!   interpreted nested loop; batched `eval_batch` runs one
+//!   *vectorized* inner scan per object through `lts_table::vector`);
 //! * [`skyband_fast_predicate`] — a compiled closure with early exit at
 //!   `k` dominators (semantically identical, used where experiment
 //!   throughput matters).
@@ -273,5 +274,23 @@ mod tests {
     fn empty_input() {
         assert!(dominator_counts(&[], &[]).is_empty());
         assert_eq!(exact_skyband_count(&[], &[], 3), 0);
+    }
+
+    #[test]
+    fn sql_batch_path_agrees_with_row_path_and_truth() {
+        // The batched oracle call goes through the vectorized engine;
+        // it must label exactly like row-at-a-time evaluation and match
+        // the Fenwick-sweep ground truth.
+        let (xs, ys) = pseudo(90, 3, 25);
+        let t = Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap());
+        let k = 3i64;
+        let sql = skyband_sql_predicate(Arc::clone(&t), "x", "y", k);
+        let all: Vec<usize> = (0..t.len()).collect();
+        let batch = sql.eval_batch(&t, &all).unwrap();
+        for (i, &label) in batch.iter().enumerate() {
+            assert_eq!(label, sql.eval(&t, i).unwrap(), "i={i}");
+        }
+        let count = batch.iter().filter(|&&b| b).count();
+        assert_eq!(count, exact_skyband_count(&xs, &ys, k as usize));
     }
 }

@@ -16,6 +16,33 @@
 //! One level of correlation is supported (`Expr::Outer` refers to the row
 //! the predicate is being evaluated for), which covers every query shape
 //! in the paper (Examples 1 and 2 and the general Q3 form).
+//!
+//! # Three-valued logic, NULL, and errors
+//!
+//! Columns are dense (never NULL), so `Value::Null` arises only *during*
+//! evaluation. The engine distinguishes **NULL results** from **errors**,
+//! and both the row-wise evaluator here and the vectorized engine in
+//! [`crate::vector`] enforce the same rules (asserted by property tests):
+//!
+//! * **NULL sources** — a `NULL` literal, division by zero (SQL style:
+//!   `x / 0` is `NULL`, not an error), and NULL propagation: any
+//!   arithmetic, comparison, or scalar function applied to a NULL
+//!   operand yields NULL, and `AVG`/`MIN`/`MAX` over an empty set are
+//!   NULL.
+//! * **Kleene AND/OR** — `FALSE AND NULL = FALSE`, `TRUE OR NULL =
+//!   TRUE`, otherwise NULL stays NULL; `NOT NULL = NULL`.
+//! * **Predicates** — [`Expr::eval_bool`] maps a NULL result to `false`
+//!   (SQL `WHERE` semantics), so NULL never silently counts an object.
+//! * **Errors, not NULL** — unknown columns, type mismatches (e.g.
+//!   comparing a string to a float, or a NaN comparison), integer
+//!   overflow (including `-i64::MIN` and `ABS(i64::MIN)`), wrong
+//!   function arity, and an unbound outer row are hard errors.
+//! * **Short-circuit shadowing** — `AND` evaluates its left operand
+//!   first; where it is `FALSE`, the right operand is *not* evaluated,
+//!   so an error the right side would raise is shadowed (symmetrically
+//!   for `OR`/`TRUE`, and a NULL `POWER` base shadows its exponent).
+//!   The vectorized engine evaluates both sides eagerly but masks
+//!   per-row errors to reproduce exactly this behaviour.
 
 use crate::error::{TableError, TableResult};
 use crate::table::Table;
@@ -315,23 +342,29 @@ impl Expr {
     }
 }
 
-fn eval_unary(op: UnaryOp, v: Value) -> TableResult<Value> {
+/// Apply a unary operator to an already-evaluated value. Shared by the
+/// row-wise evaluator and the vectorized kernels in [`crate::vector`],
+/// so the two paths cannot drift.
+pub(crate) fn eval_unary(op: UnaryOp, v: Value) -> TableResult<Value> {
     match op {
         UnaryOp::Not => Ok(match v {
             Value::Null => Value::Null,
             other => Value::Bool(!other.as_bool()?),
         }),
-        UnaryOp::Neg => Ok(match v {
-            Value::Null => Value::Null,
-            Value::Int(i) => Value::Int(-i),
-            Value::Float(x) => Value::Float(-x),
-            other => {
-                return Err(TableError::TypeMismatch {
-                    expected: "numeric",
-                    found: format!("{other:?}"),
-                })
-            }
-        }),
+        UnaryOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => i
+                .checked_neg()
+                .map(Value::Int)
+                .ok_or(TableError::Arithmetic {
+                    message: "integer overflow",
+                }),
+            Value::Float(x) => Ok(Value::Float(-x)),
+            other => Err(TableError::TypeMismatch {
+                expected: "numeric",
+                found: format!("{other:?}"),
+            }),
+        },
     }
 }
 
@@ -358,6 +391,19 @@ fn eval_binary(op: BinaryOp, l: &Expr, r: &Expr, ctx: RowCtx<'_>) -> TableResult
     }
     let lv = l.eval(ctx)?;
     let rv = r.eval(ctx)?;
+    apply_binary(op, lv, rv)
+}
+
+/// Apply a non-short-circuiting binary operator to two already-evaluated
+/// values (for `AND`/`OR` this is the no-short-circuit Kleene tail).
+/// Shared by the row-wise evaluator and the vectorized kernels in
+/// [`crate::vector`], so the two paths cannot drift.
+pub(crate) fn apply_binary(op: BinaryOp, lv: Value, rv: Value) -> TableResult<Value> {
+    match op {
+        BinaryOp::And => return kleene_and(lv, rv),
+        BinaryOp::Or => return kleene_or(lv, rv),
+        _ => {}
+    }
     if lv.is_null() || rv.is_null() {
         return Ok(Value::Null);
     }
@@ -401,7 +447,7 @@ fn eval_binary(op: BinaryOp, l: &Expr, r: &Expr, ctx: RowCtx<'_>) -> TableResult
     }
 }
 
-fn kleene_and(l: Value, r: Value) -> TableResult<Value> {
+pub(crate) fn kleene_and(l: Value, r: Value) -> TableResult<Value> {
     Ok(match (bool3(&l)?, bool3(&r)?) {
         (Some(false), _) | (_, Some(false)) => Value::Bool(false),
         (Some(true), Some(true)) => Value::Bool(true),
@@ -409,7 +455,7 @@ fn kleene_and(l: Value, r: Value) -> TableResult<Value> {
     })
 }
 
-fn kleene_or(l: Value, r: Value) -> TableResult<Value> {
+pub(crate) fn kleene_or(l: Value, r: Value) -> TableResult<Value> {
     Ok(match (bool3(&l)?, bool3(&r)?) {
         (Some(true), _) | (_, Some(true)) => Value::Bool(true),
         (Some(false), Some(false)) => Value::Bool(false),
@@ -440,10 +486,15 @@ fn eval_call(f: Func, args: &[Expr], ctx: RowCtx<'_>) -> TableResult<Value> {
     }
     match f {
         Func::Sqrt => Ok(Value::Float(a.as_f64()?.sqrt())),
-        Func::Abs => Ok(match a {
-            Value::Int(i) => Value::Int(i.abs()),
-            other => Value::Float(other.as_f64()?.abs()),
-        }),
+        Func::Abs => match a {
+            Value::Int(i) => i
+                .checked_abs()
+                .map(Value::Int)
+                .ok_or(TableError::Arithmetic {
+                    message: "integer overflow",
+                }),
+            other => Ok(Value::Float(other.as_f64()?.abs())),
+        },
         Func::Power => {
             let b = args[1].eval(ctx)?;
             if b.is_null() {
@@ -628,6 +679,26 @@ mod tests {
         // Overflow is an error, not a wrap.
         let e = Expr::lit(i64::MAX).add(Expr::lit(1i64));
         assert!(e.eval(RowCtx::top(&table, 0)).is_err());
+    }
+
+    #[test]
+    fn negation_and_abs_overflow_are_errors() {
+        // -i64::MIN and ABS(i64::MIN) don't fit in i64; they must be
+        // arithmetic errors, not panics or silent wraps.
+        let table = t();
+        let ctx = RowCtx::top(&table, 0);
+        assert!(matches!(
+            Expr::lit(i64::MIN).neg().eval(ctx),
+            Err(TableError::Arithmetic { .. })
+        ));
+        assert!(matches!(
+            Expr::lit(i64::MIN).abs().eval(ctx),
+            Err(TableError::Arithmetic { .. })
+        ));
+        assert_eq!(
+            Expr::lit(i64::MIN + 1).neg().eval(ctx).unwrap(),
+            Value::Int(i64::MAX)
+        );
     }
 
     #[test]

@@ -13,6 +13,10 @@
 //!   the paper argues a generic system falls back to,
 //! * the Q1 → (Q2, Q3) decomposition ([`query`]): distinct projection for
 //!   the object set and an aggregate-threshold predicate,
+//! * a vectorized, column-at-a-time expression engine ([`vector`]) that
+//!   evaluates an `Expr` over a whole table (or a selection vector) in
+//!   typed branch-free kernels, result-identical to the row-wise
+//!   interpreter — the fast path behind every batched predicate scan,
 //! * instrumented predicates ([`predicate::Metered`]) that meter the
 //!   number and wall time of expensive `q` evaluations — the budget
 //!   currency of every estimator in the paper,
@@ -37,6 +41,7 @@ pub mod query;
 pub mod schema;
 pub mod table;
 pub mod value;
+pub mod vector;
 
 pub use column::Column;
 pub use csv::{read_csv_path, read_csv_str, write_csv_string, CsvOptions};
@@ -49,3 +54,4 @@ pub use query::{distinct_project, AggThresholdPredicate, CountQuery, ExprPredica
 pub use schema::{Field, Schema};
 pub use table::{table_of_floats, Table, TableBuilder};
 pub use value::{DataType, Value};
+pub use vector::{eval_bool_columnar, eval_columnar, Batch};

@@ -26,7 +26,8 @@ use std::sync::Arc;
 /// Q2: `SELECT DISTINCT cols FROM table WHERE filter`.
 ///
 /// Rows are emitted in first-occurrence order, so the result is
-/// deterministic.
+/// deterministic. The filter is evaluated as one vectorized pass over
+/// the table ([`crate::vector`]); only surviving rows are materialized.
 ///
 /// # Errors
 ///
@@ -41,10 +42,14 @@ pub fn distinct_project(table: &Table, cols: &[&str], filter: Option<&Expr>) -> 
         .map(|&i| table.schema().field(i).cloned())
         .collect::<TableResult<Vec<_>>>()?;
     let mut builder = TableBuilder::new(crate::schema::Schema::new(fields)?);
+    let mask = match filter {
+        Some(f) => Some(crate::vector::eval_bool_columnar(f, table, None)?),
+        None => None,
+    };
     let mut seen = HashSet::new();
     for row in 0..table.len() {
-        if let Some(f) = filter {
-            if !f.eval_bool(RowCtx::top(table, row))? {
+        if let Some(m) = &mask {
+            if !m[row] {
                 continue;
             }
         }
@@ -86,6 +91,13 @@ impl ExprPredicate {
 impl ObjectPredicate for ExprPredicate {
     fn eval(&self, objects: &Table, idx: usize) -> TableResult<bool> {
         self.expr.eval_bool(RowCtx::top(objects, idx))
+    }
+    /// Batched evaluation through the vectorized engine
+    /// ([`crate::vector`]): one typed column-at-a-time pass over the
+    /// selected rows instead of `idxs.len()` interpreted evaluations.
+    /// Result- and error-identical to the per-row default.
+    fn eval_batch(&self, objects: &Table, idxs: &[usize]) -> TableResult<Vec<bool>> {
+        crate::vector::eval_bool_columnar(&self.expr, objects, Some(idxs))
     }
     fn name(&self) -> &str {
         &self.name
@@ -173,19 +185,42 @@ impl AggThresholdPredicate {
     }
 }
 
-impl ObjectPredicate for AggThresholdPredicate {
-    fn eval(&self, objects: &Table, idx: usize) -> TableResult<bool> {
-        let sub = crate::expr::AggSubquery {
+impl AggThresholdPredicate {
+    fn as_subquery(&self) -> crate::expr::AggSubquery {
+        crate::expr::AggSubquery {
             table: Arc::clone(&self.inner),
             filter: Some(self.filter.clone()),
             func: self.func,
             arg: self.arg.clone(),
-        };
-        let agg = Expr::Subquery(Box::new(sub)).eval(RowCtx::top(objects, idx))?;
-        match agg.sql_cmp(&self.threshold) {
-            Some(ord) => Ok(self.cmp.test(ord)),
-            None => Ok(false), // NULL aggregate fails the HAVING clause.
         }
+    }
+
+    fn test_aggregate(&self, agg: &Value) -> bool {
+        match agg.sql_cmp(&self.threshold) {
+            Some(ord) => self.cmp.test(ord),
+            None => false, // NULL aggregate fails the HAVING clause.
+        }
+    }
+}
+
+impl ObjectPredicate for AggThresholdPredicate {
+    fn eval(&self, objects: &Table, idx: usize) -> TableResult<bool> {
+        let sub = self.as_subquery();
+        let agg = Expr::Subquery(Box::new(sub)).eval(RowCtx::top(objects, idx))?;
+        Ok(self.test_aggregate(&agg))
+    }
+    /// Batched evaluation: each object's aggregate runs as one
+    /// *vectorized* scan of the inner table ([`crate::vector`]) instead
+    /// of the interpreted nested loop, which is where exact ground
+    /// truth for SQL-form predicates spends all of its time.
+    fn eval_batch(&self, objects: &Table, idxs: &[usize]) -> TableResult<Vec<bool>> {
+        let sub = self.as_subquery();
+        idxs.iter()
+            .map(|&i| {
+                let agg = crate::vector::subquery_value(&sub, objects, i)?;
+                Ok(self.test_aggregate(&agg))
+            })
+            .collect()
     }
     fn name(&self) -> &str {
         &self.name
@@ -215,20 +250,23 @@ impl CountQuery {
 
     /// The exact count `C(O, q)` by evaluating `q` on every object.
     ///
-    /// This is the expensive brute-force path; it exists for ground truth
-    /// and for tiny test populations.
+    /// This is the brute-force ground-truth path. It runs as **one
+    /// batched oracle call** over the whole population, so predicates
+    /// with a vectorized [`ObjectPredicate::eval_batch`] (expression
+    /// predicates, aggregate-threshold predicates) scan column-at-a-time
+    /// instead of interpreting row by row.
     ///
     /// # Errors
     ///
     /// Propagates predicate evaluation errors.
     pub fn exact_count(&self) -> TableResult<usize> {
-        let mut count = 0;
-        for idx in 0..self.objects.len() {
-            if self.predicate.eval(&self.objects, idx)? {
-                count += 1;
-            }
-        }
-        Ok(count)
+        let all: Vec<usize> = (0..self.objects.len()).collect();
+        Ok(self
+            .predicate
+            .eval_batch(&self.objects, &all)?
+            .into_iter()
+            .filter(|&l| l)
+            .count())
     }
 
     /// Evaluate `q` on a single object.

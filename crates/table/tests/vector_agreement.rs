@@ -1,0 +1,213 @@
+//! Property tests: the vectorized engine (`lts_table::vector`) must be
+//! **result-identical** to row-wise `Expr::eval` — per row, on values
+//! *and* on which rows error (including div-by-zero NULLs, integer
+//! overflow, type mismatches, and errors shadowed by AND/OR
+//! short-circuiting).
+
+use lts_table::vector::{eval_bool_columnar, eval_columnar};
+use lts_table::{
+    AggFunc, DataType, Expr, Field, RowCtx, Schema, Table, TableBuilder, TableResult, Value,
+};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+// ---------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------
+
+/// A random table over a mixed schema: two float columns (with zeros to
+/// exercise div-by-zero NULLs), two int columns (with extremes to
+/// exercise checked arithmetic), a bool column, and a string column.
+fn arb_table() -> impl Strategy<Value = Table> {
+    let float_val = prop_oneof![
+        4 => -4.0f64..4.0,
+        1 => Just(0.0f64),
+        1 => Just(-1.5f64),
+    ];
+    let int_val = prop_oneof![
+        4 => -5i64..5,
+        1 => Just(i64::MAX),
+        1 => Just(i64::MIN),
+    ];
+    let str_val = prop_oneof![Just("apple"), Just("banana"), Just("cherry"), Just(""),];
+    proptest::collection::vec(
+        (
+            float_val.clone(),
+            float_val,
+            int_val.clone(),
+            int_val,
+            any::<bool>(),
+            str_val,
+        ),
+        1..24,
+    )
+    .prop_map(|rows| {
+        let schema = Schema::new(vec![
+            Field::new("f", DataType::Float),
+            Field::new("g", DataType::Float),
+            Field::new("i", DataType::Int),
+            Field::new("j", DataType::Int),
+            Field::new("b", DataType::Bool),
+            Field::new("s", DataType::Str),
+        ])
+        .unwrap();
+        let mut b = TableBuilder::new(schema);
+        for (f, g, i, j, bl, s) in rows {
+            b.push_row(vec![
+                Value::Float(f),
+                Value::Float(g),
+                Value::Int(i),
+                Value::Int(j),
+                Value::Bool(bl),
+                Value::str(s),
+            ])
+            .unwrap();
+        }
+        b.finish().unwrap()
+    })
+}
+
+/// A random expression over the generated schema — all operators, all
+/// type combinations (including deliberately ill-typed subtrees, NULL
+/// literals, and unknown columns so the error paths are exercised).
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        3 => prop_oneof![
+            Just("f"), Just("g"), Just("i"), Just("j"), Just("b"), Just("s"),
+        ].prop_map(Expr::col),
+        1 => Just(Expr::col("missing")), // unknown column → error path
+        2 => (-4.0f64..4.0).prop_map(Expr::lit),
+        1 => Just(Expr::lit(0.0f64)),
+        1 => prop_oneof![-5i64..5, Just(i64::MAX), Just(i64::MIN)].prop_map(Expr::lit),
+        1 => any::<bool>().prop_map(Expr::lit),
+        1 => Just(Expr::Literal(Value::Null)),
+        1 => prop_oneof![Just("apple"), Just("pear")].prop_map(Expr::lit),
+    ];
+    leaf.prop_recursive(3, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.mul(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.div(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.eq(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.ne(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.lt(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.le(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.gt(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.ge(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.clone().prop_map(|a| a.not()),
+            inner.clone().prop_map(|a| a.neg()),
+            inner.clone().prop_map(|a| a.abs()),
+            inner.clone().prop_map(|a| a.sqrt()),
+            (inner.clone(), inner).prop_map(|(a, b)| a.power(b)),
+        ]
+    })
+}
+
+// ---------------------------------------------------------------------
+// Comparison helpers
+// ---------------------------------------------------------------------
+
+/// Structural result equality. `Value`'s own `PartialEq` is SQL
+/// equality (NULL ≠ NULL, 1 == 1.0), which is wrong for checking that
+/// two evaluators produced the *same* result.
+fn same_result(a: &TableResult<Value>, b: &TableResult<Value>) -> bool {
+    match (a, b) {
+        (Ok(Value::Null), Ok(Value::Null)) => true,
+        (Ok(Value::Float(x)), Ok(Value::Float(y))) => (x.is_nan() && y.is_nan()) || x == y,
+        (Ok(x), Ok(y)) => format!("{x:?}") == format!("{y:?}"),
+        (Err(x), Err(y)) => x == y,
+        _ => false,
+    }
+}
+
+fn assert_rows_agree(e: &Expr, table: &Table) -> Result<(), TestCaseError> {
+    let batch = eval_columnar(e, table, None);
+    prop_assert_eq!(batch.len(), table.len());
+    for row in 0..table.len() {
+        let rw = e.eval(RowCtx::top(table, row));
+        let vc = batch.value_at(row);
+        prop_assert!(
+            same_result(&rw, &vc),
+            "row {}: `{}`\n  row-wise:   {:?}\n  vectorized: {:?}",
+            row,
+            e,
+            rw,
+            vc
+        );
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Properties
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Full-table agreement: every row's value *and* every row's error.
+    #[test]
+    fn vectorized_agrees_with_row_wise(table in arb_table(), e in arb_expr()) {
+        assert_rows_agree(&e, &table)?;
+    }
+
+    /// Selection-vector agreement, including duplicates and
+    /// out-of-range row ids, against a literal per-row loop — and the
+    /// boolean collapse propagates exactly the first error in order.
+    #[test]
+    fn selection_and_bool_collapse_agree(
+        table in arb_table(),
+        e in arb_expr(),
+        picks in proptest::collection::vec(0usize..40, 0..32),
+    ) {
+        let idxs: Vec<usize> = picks; // may exceed table.len() → error rows
+        let batch = eval_columnar(&e, &table, Some(&idxs));
+        prop_assert_eq!(batch.len(), idxs.len());
+        for (k, &i) in idxs.iter().enumerate() {
+            // Out-of-range ids error per row through column access on
+            // both paths.
+            let rw = e.eval(RowCtx::top(&table, i));
+            let vc = batch.value_at(k);
+            prop_assert!(
+                same_result(&rw, &vc),
+                "pick {} (row {}): `{}`\n  row-wise:   {:?}\n  vectorized: {:?}",
+                k, i, e, rw, vc
+            );
+        }
+        // eval_bool_columnar ≡ the default ObjectPredicate::eval_batch
+        // loop (first error in index order, NULL → false).
+        let row_wise: TableResult<Vec<bool>> = idxs
+            .iter()
+            .map(|&i| e.eval_bool(RowCtx::top(&table, i)))
+            .collect();
+        let vectorized = eval_bool_columnar(&e, &table, Some(&idxs));
+        prop_assert_eq!(&vectorized, &row_wise, "`{}`", e);
+    }
+
+    /// Correlated aggregate subqueries: the vectorized inner scan must
+    /// agree with the interpreted nested loop for every aggregate
+    /// function, filter shape, and error case.
+    #[test]
+    fn subquery_vectorization_agrees(
+        table in arb_table(),
+        filter in arb_expr(),
+        func in prop_oneof![
+            Just(AggFunc::Count),
+            Just(AggFunc::Sum),
+            Just(AggFunc::Avg),
+            Just(AggFunc::Min),
+            Just(AggFunc::Max),
+        ],
+        with_arg in any::<bool>(),
+        k in -3i64..6,
+    ) {
+        let shared = Arc::new(table);
+        let arg = if with_arg { Some(Expr::col("f").add(Expr::col("i"))) } else { None };
+        let sub = Expr::subquery(Arc::clone(&shared), Some(filter), func, arg);
+        let e = sub.ge(Expr::lit(k));
+        assert_rows_agree(&e, &shared)?;
+    }
+}

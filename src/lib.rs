@@ -24,41 +24,73 @@
 //!
 //! ## Quick start
 //!
+//! A compact version of `examples/quickstart.rs` (run that with
+//! `cargo run --release --example quickstart`); this block runs as a
+//! doctest, so `cargo test` exercises the documented API end to end:
+//!
 //! ```
 //! use learning_to_sample::prelude::*;
 //! use std::sync::Arc;
 //!
-//! // A population of 2-d points; q(o) = "fewer than 25 points dominate o".
-//! let xs: Vec<f64> = (0..600).map(|i| f64::from(i % 53)).collect();
-//! let ys: Vec<f64> = (0..600).map(|i| f64::from((i * 7) % 41)).collect();
-//! let table = Arc::new(lts_table::table::table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap());
-//! let q = lts_data::skyband::skyband_fast_predicate(&table, "x", "y", 25).unwrap();
-//! let problem = CountingProblem::new(table, Arc::new(q), &["x", "y"]).unwrap();
+//! // A population of 2-d points with pseudo-random structure.
+//! let n = 2_000usize;
+//! let mut state = 42u64;
+//! let mut next = move || {
+//!     state = state
+//!         .wrapping_mul(6364136223846793005)
+//!         .wrapping_add(1442695040888963407);
+//!     (state >> 11) as f64 / (1u64 << 53) as f64
+//! };
+//! let xs: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+//! let ys: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+//! let table = Arc::new(lts_table::table_of_floats(&[("x", &xs), ("y", &ys)])?);
 //!
-//! // Estimate with LSS under a budget of 120 predicate evaluations.
+//! // The expensive predicate q (the paper's Example 1): "at most 12
+//! // points within distance 0.5". Honest evaluation scans neighbours.
+//! let q = lts_data::neighborhood::neighbors_fast_predicate(&table, "x", "y", 0.5, 12)?;
+//! let problem = CountingProblem::new(Arc::clone(&table), Arc::new(q), &["x", "y"])?;
+//!
+//! // Ground truth for reference (normally too expensive to compute).
+//! let truth = lts_data::neighborhood::exact_neighbors_count(&xs, &ys, 0.5, 12);
+//! problem.reset_meter();
+//!
+//! // Learned stratified sampling under a 5% labeling budget.
+//! let budget = n / 20;
 //! let lss = Lss { min_pilots_per_stratum: 2, ..Lss::default() };
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
-//! let report = lss.estimate(&problem, 120, &mut rng).unwrap();
-//! assert!(report.evals <= 120);
-//! println!("count ≈ {:.0} ∈ [{:.0}, {:.0}]",
-//!     report.count(), report.estimate.interval.lo, report.estimate.interval.hi);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let report = lss.estimate(&problem, budget, &mut rng)?;
+//!
+//! // The budget is respected (in unique q evaluations) and the
+//! // estimate comes with a confidence interval around it.
+//! assert!(report.evals <= budget);
+//! assert!(report.estimate.interval.lo <= report.count());
+//! assert!(report.count() <= report.estimate.interval.hi);
+//! println!(
+//!     "true {truth}, estimate {:.0} ∈ [{:.0}, {:.0}]",
+//!     report.count(), report.estimate.interval.lo, report.estimate.interval.hi,
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!
 //! ## Crate map
 //!
 //! | Crate | Contents |
 //! |---|---|
-//! | [`lts_core`] | the estimator suite (SRS, SSP, SSN, QLCC, QLAC, LWS, LWS-HT, LSS) |
+//! | [`lts_core`] | the estimator suite (SRS, SSP, SSN, QLCC, QLAC, LWS, LWS-HT, LWS-SEQ, LSS), the batched labeling pipeline, the parallel trial runner |
 //! | [`lts_strata`] | stratification-design algorithms (§4.2, Theorems 1–4) |
 //! | [`lts_sampling`] | SRS / weighted / stratified sampling, Des Raj, Horvitz–Thompson |
 //! | [`lts_learn`] | from-scratch kNN, random forest, MLP, logistic, CV, active learning |
-//! | [`lts_table`] | mini table engine with correlated aggregate subqueries |
+//! | [`lts_table`] | mini table engine: correlated aggregate subqueries, metered predicates, vectorized kernels ([`lts_table::vector`]) |
 //! | [`lts_stats`] | distributions, confidence intervals, summaries |
 //! | [`lts_data`] | synthetic Sports/Neighbors datasets + the paper's two queries |
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record; `cargo run --release -p lts-bench --bin
-//! repro_all` regenerates every table and figure.
+//! (`lts-bench`, not re-exported here, holds a repro binary per paper
+//! table/figure plus criterion benches and `BENCH_*.json` artifacts.)
+//!
+//! See `ARCHITECTURE.md` for the crate dataflow, the labeling pipeline,
+//! and implementation decisions; `docs/benchmarks.md` for the perf
+//! artifact schema. `cargo run --release -p lts-bench --bin repro_all`
+//! regenerates every table and figure.
 
 #![warn(missing_docs)]
 

@@ -28,6 +28,7 @@ pub mod prelude {
     pub use crate::{
         prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
     };
+    pub use crate::{TestCaseError, TestCaseResult};
 }
 
 /// Why a generated case did not pass.
@@ -122,6 +123,11 @@ macro_rules! prop_assume {
 /// Uniform choice among strategies with the same value type.
 #[macro_export]
 macro_rules! prop_oneof {
+    ($($w:expr => $s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($w, $crate::strategy::Strategy::boxed($s))),+
+        ])
+    };
     ($($s:expr),+ $(,)?) => {
         $crate::strategy::Union::new(vec![
             $($crate::strategy::Strategy::boxed($s)),+

@@ -150,32 +150,57 @@ where
     }
 }
 
-/// Uniform choice among same-typed strategies ([`crate::prop_oneof!`]).
+/// Choice among same-typed strategies ([`crate::prop_oneof!`]),
+/// uniform or weighted.
 pub struct Union<T> {
-    options: Vec<BoxedStrategy<T>>,
+    options: Vec<(u32, BoxedStrategy<T>)>,
+    total_weight: u64,
 }
 
 impl<T> Clone for Union<T> {
     fn clone(&self) -> Self {
         Union {
             options: self.options.clone(),
+            total_weight: self.total_weight,
         }
     }
 }
 
 impl<T> Union<T> {
-    /// Build from the option list (must be non-empty).
+    /// Build from the option list (must be non-empty), uniform weights.
     pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        Self::new_weighted(options.into_iter().map(|s| (1, s)).collect())
+    }
+
+    /// Build from `(weight, option)` pairs (must be non-empty, with a
+    /// positive total weight) — the `w => strategy` form of
+    /// [`crate::prop_oneof!`].
+    pub fn new_weighted(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         assert!(!options.is_empty(), "prop_oneof! needs at least one option");
-        Union { options }
+        let total_weight = options.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(
+            total_weight > 0,
+            "prop_oneof! needs a positive total weight"
+        );
+        Union {
+            options,
+            total_weight,
+        }
     }
 }
 
 impl<T> Strategy for Union<T> {
     type Value = T;
     fn generate(&self, rng: &mut TestRng) -> T {
-        let k = rng.below(self.options.len() as u64) as usize;
-        self.options[k].generate(rng)
+        let mut k = rng.below(self.total_weight);
+        for (w, s) in &self.options {
+            let w = u64::from(*w);
+            if k < w {
+                return s.generate(rng);
+            }
+            k -= w;
+        }
+        unreachable!("weights sum to total_weight")
     }
 }
 
