@@ -1,0 +1,148 @@
+//! Wall-clock comparison of the partitioned parallel scan executor
+//! against the single-pass vectorized scan, plus the determinism check
+//! CI relies on.
+//!
+//! Builds a large two-column table, evaluates three predicates (a
+//! numeric comparison, a compound mask, and an arithmetic-fed
+//! comparison) serially and at several partition counts, and:
+//!
+//! * **asserts** the selected-row count is bit-identical at every
+//!   partition count (the determinism contract of
+//!   `lts_table::partition`);
+//! * reports per-configuration wall times and the speedup of the best
+//!   ≥ 4-partition run over the serial scan (expect ≥ 2× on a ≥
+//!   4-thread host; ≈ 1× on a single hardware thread, where the
+//!   executor degenerates to the inline serial scan);
+//! * emits `BENCH_partitioned_scan.json` whose estimate fields
+//!   (`median` = selected-row count, `mean_evals` = rows scanned) are
+//!   thread-count-independent — CI runs this binary under
+//!   `RAYON_NUM_THREADS=1` and default threads and diffs everything
+//!   but the wall times.
+//!
+//! Usage: `cargo run --release -p lts-bench --bin bench_partitioned_scan
+//! -- [--scale F] [--out DIR]` (rows ≈ 1M at `--scale 1.0`).
+
+use lts_bench::{BenchRecord, RunConfig, TextTable};
+use lts_table::partition::PartitionedTable;
+use lts_table::table::table_of_floats;
+use lts_table::vector::eval_bool_columnar;
+use lts_table::{Expr, Table};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn build_table(rows: usize) -> Arc<Table> {
+    let xs: Vec<f64> = (0..rows).map(|i| (i % 1013) as f64 / 1013.0).collect();
+    let ys: Vec<f64> = (0..rows).map(|i| (i % 733) as f64 / 733.0).collect();
+    Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).expect("valid columns"))
+}
+
+fn predicates() -> Vec<(&'static str, Expr)> {
+    vec![
+        ("numeric_cmp", Expr::col("x").gt(Expr::lit(0.5))),
+        (
+            "compound_and",
+            Expr::col("x")
+                .gt(Expr::lit(0.25))
+                .and(Expr::col("y").le(Expr::lit(0.75))),
+        ),
+        (
+            "arith_cmp",
+            Expr::col("x")
+                .mul(Expr::lit(2.0))
+                .add(Expr::col("y"))
+                .lt(Expr::lit(1.2)),
+        ),
+    ]
+}
+
+/// Best-of-3 wall time for `f`.
+fn time_best<F: FnMut() -> usize>(mut f: F) -> (usize, f64) {
+    let mut best = f64::INFINITY;
+    let mut value = 0usize;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        value = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (value, best)
+}
+
+fn main() {
+    let cfg = RunConfig::from_env();
+    let rows = ((1_000_000.0 * cfg.scale) as usize).max(50_000);
+    let threads = rayon::current_num_threads();
+    println!("== partitioned scan: {rows} rows, {threads} rayon thread(s) ==");
+
+    let table = build_table(rows);
+    let partition_counts = [1usize, 2, 4, 8];
+    let mut records = Vec::new();
+    let mut out = TextTable::new(&["predicate", "config", "count", "wall (s)", "speedup"]);
+    let mut worst_speedup_at_4 = f64::INFINITY;
+
+    for (name, expr) in predicates() {
+        let (serial_count, serial_s) = time_best(|| {
+            eval_bool_columnar(&expr, &table, None)
+                .expect("predicate evaluates")
+                .into_iter()
+                .filter(|&l| l)
+                .count()
+        });
+        out.row(vec![
+            name.into(),
+            "serial".into(),
+            serial_count.to_string(),
+            format!("{serial_s:.4}"),
+            "1.00x".into(),
+        ]);
+        records.push(BenchRecord {
+            label: name.into(),
+            cell: "serial".into(),
+            median: serial_count as f64,
+            iqr: 0.0,
+            mean_evals: rows as f64,
+            wall_seconds: serial_s,
+        });
+
+        for parts in partition_counts {
+            let pt = PartitionedTable::new(Arc::clone(&table), parts);
+            let (count, par_s) = time_best(|| pt.par_count(&expr).expect("predicate evaluates"));
+            assert_eq!(
+                count, serial_count,
+                "{name}: count diverged at {parts} partitions — determinism bug"
+            );
+            let speedup = serial_s / par_s.max(1e-12);
+            if parts >= 4 {
+                worst_speedup_at_4 = worst_speedup_at_4.min(speedup);
+            }
+            out.row(vec![
+                name.into(),
+                format!("p{parts}"),
+                count.to_string(),
+                format!("{par_s:.4}"),
+                format!("{speedup:.2}x"),
+            ]);
+            records.push(BenchRecord {
+                label: name.into(),
+                cell: format!("p{parts}"),
+                median: count as f64,
+                iqr: 0.0,
+                mean_evals: rows as f64,
+                wall_seconds: par_s,
+            });
+        }
+    }
+
+    print!("{}", out.render());
+    println!("   (median field of BENCH_partitioned_scan.json = selected-row count; identical across partition AND thread counts)");
+    if threads >= 4 {
+        println!(
+            "   worst ≥4-partition speedup: {worst_speedup_at_4:.2}x (expect ≥ 2x with {threads} threads)"
+        );
+    } else {
+        println!(
+            "   {threads} rayon thread(s): parallel path runs (near-)inline; speedup ≈ 1x. \
+             Set RAYON_NUM_THREADS≥4 on a multi-core host for the ≥2x demonstration."
+        );
+    }
+    lts_bench::emit_records_json(&cfg.out_dir, "partitioned_scan", "parallel", &records);
+}

@@ -2,13 +2,30 @@
 //! prefix-sum search.
 //!
 //! Backbone of the draw-by-draw weighted sampler: drawing an object and
-//! removing it from the pool are both `O(log N)`.
+//! removing it from the pool are both cheap (`O(log² N)` per update,
+//! `O(log N)` per search).
+//!
+//! # Exact updates (no float drift)
+//!
+//! A classic Fenwick update propagates a *delta* up the tree
+//! (`tree[idx] += delta`). Over floats that accumulates residue:
+//! removing a leaf by adding `-w` leaves each touched node at
+//! `(x + w) - w`, which is generally `≠ x`, so after many removals
+//! `total()` drifts away from the true remaining weight and a
+//! prefix-sum search can land on an already-zeroed leaf. This
+//! implementation instead **recomputes** every node on the update path
+//! from its children, in the same summation order the initial build
+//! uses. The invariant (asserted by property tests): after *any*
+//! sequence of `add`/`zero`/`set`, the tree is **bit-identical** to
+//! `Fenwick::new` called on the current weights — node values depend
+//! only on the current weights, never on the update history. Removed
+//! leaves therefore contribute exactly `0.0`, not a rounding residue.
 
 /// Fenwick tree over `f64` weights.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fenwick {
     tree: Vec<f64>,
-    /// Current weight per leaf (kept for exact removal).
+    /// Current weight per leaf (kept for exact recomputation).
     weights: Vec<f64>,
 }
 
@@ -16,12 +33,16 @@ impl Fenwick {
     /// Build a tree from initial weights.
     pub fn new(weights: &[f64]) -> Self {
         let n = weights.len();
+        // Canonical bottom-up build: seed each node with its own leaf,
+        // then fold children into parents in ascending index order.
+        // `recompute` reproduces exactly this summation order, which is
+        // what makes incremental updates bit-identical to a rebuild.
         let mut tree = vec![0.0; n + 1];
-        for (i, &w) in weights.iter().enumerate() {
-            let mut idx = i + 1;
-            while idx <= n {
-                tree[idx] += w;
-                idx += idx & idx.wrapping_neg();
+        tree[1..].copy_from_slice(weights);
+        for idx in 1..=n {
+            let parent = idx + (idx & idx.wrapping_neg());
+            if parent <= n {
+                tree[parent] += tree[idx];
             }
         }
         Self {
@@ -61,28 +82,58 @@ impl Fenwick {
         sum
     }
 
-    /// Add `delta` to leaf `i` (may be negative).
-    pub fn add(&mut self, i: usize, delta: f64) {
-        self.weights[i] += delta;
+    /// Recompute node `idx` from its leaf and child nodes, in the
+    /// canonical build order (leaf first, then children by ascending
+    /// index). Keeps every node a pure function of the current weights.
+    fn recompute(&mut self, idx: usize) {
+        let lowbit = idx & idx.wrapping_neg();
+        let mut sum = self.weights[idx - 1];
+        let mut sub = lowbit >> 1;
+        while sub > 0 {
+            sum += self.tree[idx - sub];
+            sub >>= 1;
+        }
+        self.tree[idx] = sum;
+    }
+
+    /// Set leaf `i` to exactly `w`, recomputing the affected path (no
+    /// delta propagation, no float residue).
+    pub fn set(&mut self, i: usize, w: f64) {
+        self.weights[i] = w;
         let n = self.weights.len();
         let mut idx = i + 1;
         while idx <= n {
-            self.tree[idx] += delta;
+            self.recompute(idx);
             idx += idx & idx.wrapping_neg();
         }
     }
 
-    /// Set leaf `i` to zero (removing it from the pool).
+    /// Add `delta` to leaf `i` (may be negative). Exact: equivalent to
+    /// [`Fenwick::set`] with `weights[i] + delta`.
+    pub fn add(&mut self, i: usize, delta: f64) {
+        self.set(i, self.weights[i] + delta);
+    }
+
+    /// Set leaf `i` to zero (removing it from the pool). The leaf's
+    /// entire contribution vanishes exactly — repeated zero/re-add
+    /// cycles leave no residue anywhere in the tree.
     pub fn zero(&mut self, i: usize) {
-        let w = self.weights[i];
-        if w != 0.0 {
-            self.add(i, -w);
-            self.weights[i] = 0.0;
+        if self.weights[i] != 0.0 {
+            self.set(i, 0.0);
         }
     }
 
+    /// The largest-index leaf with positive weight, if any. The
+    /// fallback target when a caller's `target` hit the total exactly
+    /// through float rounding.
+    pub fn last_positive(&self) -> Option<usize> {
+        (0..self.weights.len())
+            .rev()
+            .find(|&j| self.weights[j] > 0.0)
+    }
+
     /// Find the smallest index `i` such that `prefix_sum(i + 1) > target`
-    /// where `0 <= target < total()`. Skips zero-weight leaves.
+    /// where `0 <= target < total()`. Never returns a zero-weight leaf.
     ///
     /// Returns `None` if the total weight is zero or `target` is out of
     /// range.
@@ -118,7 +169,7 @@ impl Fenwick {
         } else {
             // All remaining weight was rounding error; fall back to the
             // last positive-weight leaf.
-            (0..n).rev().find(|&j| self.weights[j] > 0.0)
+            self.last_positive()
         }
     }
 }
@@ -166,6 +217,7 @@ mod tests {
         f.zero(0);
         f.zero(2);
         assert_eq!(f.search(0.0), None);
+        assert_eq!(f.last_positive(), None);
     }
 
     #[test]
@@ -176,6 +228,7 @@ mod tests {
         f.add(0, 2.0);
         assert_eq!(f.search(1.9), Some(0));
         assert_eq!(f.search(2.1), Some(1));
+        assert_eq!(f.last_positive(), Some(1));
     }
 
     #[test]
@@ -184,6 +237,7 @@ mod tests {
         assert!(f.is_empty());
         assert_eq!(f.search(0.0), None);
         assert_eq!(f.total(), 0.0);
+        assert_eq!(f.last_positive(), None);
     }
 
     #[test]
@@ -198,6 +252,139 @@ mod tests {
             for (i, &wi) in w.iter().enumerate() {
                 assert_eq!(f.search(acc), Some(i), "n={n}, i={i}");
                 acc += wi;
+            }
+        }
+    }
+
+    /// Deterministic splitmix-style generator for test sequences.
+    fn mix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn updates_are_bit_identical_to_rebuild() {
+        // The drift regression: with delta-propagated removal,
+        // `(x + w) - w` residue accumulates in internal nodes, so the
+        // incrementally-updated tree diverges from a fresh build on the
+        // same weights. Exact recomputation keeps them bit-identical —
+        // even with adversarially mixed magnitudes.
+        for n in [1usize, 2, 5, 13, 64, 100] {
+            let mut state = 0xABCD ^ n as u64;
+            let mut weights: Vec<f64> = (0..n)
+                .map(|_| match mix(&mut state) % 4 {
+                    0 => 0.1,
+                    1 => 1e15,
+                    2 => 1e-7,
+                    _ => (mix(&mut state) % 1000) as f64 / 3.0,
+                })
+                .collect();
+            let mut f = Fenwick::new(&weights);
+            for _ in 0..400 {
+                let i = (mix(&mut state) as usize) % n;
+                match mix(&mut state) % 3 {
+                    0 => {
+                        f.zero(i);
+                        weights[i] = 0.0;
+                    }
+                    1 => {
+                        let w = (mix(&mut state) % 100) as f64 * 0.1;
+                        f.set(i, w);
+                        weights[i] = w;
+                    }
+                    _ => {
+                        let d = (mix(&mut state) % 100) as f64 * 0.01 - 0.3;
+                        f.add(i, d);
+                        weights[i] += d;
+                    }
+                }
+                let fresh = Fenwick::new(&weights);
+                assert_eq!(
+                    f.total().to_bits(),
+                    fresh.total().to_bits(),
+                    "n={n}: total drifted from rebuild"
+                );
+                for k in 0..=n {
+                    assert_eq!(
+                        f.prefix_sum(k).to_bits(),
+                        fresh.prefix_sum(k).to_bits(),
+                        "n={n}, k={k}: prefix sum drifted from rebuild"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_zero_readd_leaves_no_residue() {
+        // The sampler's exact pattern: draw (zero a leaf), sometimes
+        // re-add. With huge co-resident weights the old delta removal
+        // drifted; now the total must equal the rebuild total exactly.
+        let mut f = Fenwick::new(&[1e16, 0.1, 0.1, 0.1]);
+        for _ in 0..10_000 {
+            f.zero(1);
+            f.add(1, 0.1);
+        }
+        let fresh = Fenwick::new(&[1e16, 0.1, 0.1, 0.1]);
+        assert_eq!(f.total().to_bits(), fresh.total().to_bits());
+        f.zero(0);
+        // With the elephant gone, the small weights are exactly what a
+        // fresh small-weight tree holds — zero contribution left over.
+        let small = Fenwick::new(&[0.0, 0.1, 0.1, 0.1]);
+        assert_eq!(f.total().to_bits(), small.total().to_bits());
+    }
+
+    #[test]
+    fn random_ops_total_exact_and_search_skips_zeroed() {
+        // Dyadic weights (multiples of 1/64, bounded) make every
+        // partial sum exactly representable, so `total()` must equal
+        // the naive Σ weights *exactly*, in any order — and search must
+        // agree with a naive cumulative scan, never landing on a
+        // zeroed leaf.
+        for n in [1usize, 3, 17, 50] {
+            let mut state = 0x5EED ^ (n as u64) << 8;
+            let mut weights: Vec<f64> = (0..n)
+                .map(|_| (mix(&mut state) % 512) as f64 / 64.0)
+                .collect();
+            let mut f = Fenwick::new(&weights);
+            for _ in 0..300 {
+                let i = (mix(&mut state) as usize) % n;
+                if mix(&mut state).is_multiple_of(2) {
+                    f.zero(i);
+                    weights[i] = 0.0;
+                } else {
+                    let w = (mix(&mut state) % 512) as f64 / 64.0;
+                    f.set(i, w);
+                    weights[i] = w;
+                }
+                let naive: f64 = weights.iter().sum();
+                assert_eq!(f.total().to_bits(), naive.to_bits(), "n={n}: inexact total");
+                if naive > 0.0 {
+                    // A handful of random targets in [0, total).
+                    for _ in 0..8 {
+                        let t = (mix(&mut state) % 1024) as f64 / 1024.0 * naive;
+                        if t >= naive {
+                            continue;
+                        }
+                        let got = f.search(t).expect("target < total must hit");
+                        assert!(f.weight(got) > 0.0, "landed on zeroed leaf {got}");
+                        // Naive reference: first leaf whose cumsum > t.
+                        let mut acc = 0.0;
+                        let want = weights
+                            .iter()
+                            .position(|&w| {
+                                acc += w;
+                                acc > t
+                            })
+                            .expect("t < Σ weights");
+                        assert_eq!(got, want, "n={n}, t={t}");
+                    }
+                } else {
+                    assert_eq!(f.search(0.0), None);
+                }
             }
         }
     }

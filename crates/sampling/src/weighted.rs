@@ -84,8 +84,13 @@ pub fn weighted_sample_fenwick<R: Rng + ?Sized>(
         let remaining = tree.total();
         debug_assert!(remaining > 0.0);
         let target = rng.random::<f64>() * remaining;
+        // `u * remaining` can round up to exactly `remaining` (u is
+        // `< 1` but the product's nearest representable may be the
+        // total itself), pushing `target` out of `search`'s domain;
+        // the draw then belongs to the topmost surviving leaf.
         let idx = tree
             .search(target)
+            .or_else(|| tree.last_positive())
             .expect("positive remaining weight guarantees a hit");
         out.push(WeightedDraw {
             index: idx,
@@ -205,10 +210,15 @@ pub fn systematic_pps_sample<R: Rng + ?Sized>(
     // Systematic pass over the randomized remainder: cumulate
     // π_i = budget·w_i/Σw (all < 1 now) and select where the cumsum
     // crosses u + k for k = 0..budget.
+    //
+    // The Fisher–Yates index is drawn with the integer-range draw
+    // (Lemire widening multiply), never `(random::<f64>() * n) as
+    // usize`: the float product can round up to `n` (an out-of-range
+    // index), and clamping it back double-weights the top element.
     rest.sort_unstable();
     for k in (1..rest.len()).rev() {
-        let j = (rng.random::<f64>() * (k + 1) as f64) as usize;
-        rest.swap(k, j.min(k));
+        let j = rng.random_range(0..=k);
+        rest.swap(k, j);
     }
     let total: f64 = rest.iter().map(|&i| weights[i]).sum();
     let u: f64 = rng.random::<f64>();
@@ -443,6 +453,73 @@ mod tests {
         for x in &d {
             assert!((x.initial_probability - 1.0 / 3.0).abs() < 1e-12);
         }
+    }
+
+    /// Adversarial generator pinned to the RNG's maximum output:
+    /// `random::<f64>()` returns the largest representable value below
+    /// 1, the boundary where `(random * n) as usize` draws go wrong.
+    struct MaxRng;
+
+    impl rand::Rng for MaxRng {
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    /// Counterpart pinned to the minimum output.
+    struct MinRng;
+
+    impl rand::Rng for MinRng {
+        fn next_u64(&mut self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn boundary_regression_range_draw_pins_index_bounds() {
+        // This module used to draw shuffle indices as
+        // `(rng.random::<f64>() * (k + 1) as f64) as usize`, clamped
+        // with `.min(k)`. With unit draws built from fewer mantissa
+        // bits than the index width (e.g. the real-rand-style
+        // `u64 / 2⁶⁴` mapping, where `random()` rounds to exactly 1.0),
+        // the product reaches `k + 1` and the clamp double-weights the
+        // top element; even without the clamp firing, the float-scale
+        // mapping is not exactly uniform. The integer-range draw
+        // (Lemire widening multiply) has neither failure mode. Pin its
+        // boundary behavior: the extreme RNG outputs map exactly to the
+        // extreme indices and never escape the range.
+        for k in [1usize, 7, 1024, (3usize << 51) - 1, usize::MAX - 1] {
+            assert_eq!(MaxRng.random_range(0..=k), k, "top index, in range");
+            assert_eq!(MinRng.random_range(0..=k), 0, "bottom index");
+        }
+        assert_eq!(MaxRng.random_range(0..5usize), 4);
+        assert_eq!(MinRng.random_range(0..5usize), 0);
+        // The unit draw itself stays below 1 in this workspace's shim —
+        // the fix must hold even for generators where it does not.
+        assert!(MaxRng.random::<f64>() < 1.0);
+    }
+
+    #[test]
+    fn boundary_regression_samplers_survive_max_rng() {
+        // All three samplers must stay panic-free and in-range when
+        // every draw sits on the upper boundary.
+        let w = [0.5, 1.0, 2.0, 0.25, 4.0];
+        let d = systematic_pps_sample(&mut MaxRng, &w, 3).unwrap();
+        assert_eq!(d.len(), 3);
+        let distinct: HashSet<usize> = d.iter().map(|x| x.index).collect();
+        assert_eq!(distinct.len(), 3);
+        for x in &d {
+            assert!(x.index < w.len());
+        }
+        // Fenwick draw-by-draw: `u * remaining` rounds up to the total
+        // here; the draw must fall back to the last surviving leaf
+        // instead of panicking.
+        let d = weighted_sample_fenwick(&mut MaxRng, &w, w.len()).unwrap();
+        let idx: HashSet<usize> = d.iter().map(|x| x.index).collect();
+        assert_eq!(idx.len(), w.len());
+        // Efraimidis–Spirakis path as well (keys degenerate but valid).
+        let d = weighted_sample_es(&mut MaxRng, &w, 2).unwrap();
+        assert_eq!(d.len(), 2);
     }
 
     #[test]

@@ -35,6 +35,51 @@ proptest! {
         }
     }
 
+    /// Adds and zeros in random order ⇒ `total()` equals `Σ weights`
+    /// exactly, and `search` never returns a zeroed leaf. Weights are
+    /// dyadic (multiples of 1/64, bounded) so every partial sum is
+    /// exactly representable and "exactly" means bitwise — the old
+    /// delta-propagated removal accumulated residue and failed both
+    /// clauses.
+    #[test]
+    fn fenwick_adds_zeros_total_exact_and_search_skips_zeroed(
+        init in proptest::collection::vec(0u32..512, 1..60),
+        ops in proptest::collection::vec((any::<u32>(), 0u32..512, any::<bool>()), 0..120),
+        probes in proptest::collection::vec(0.0f64..1.0, 4),
+    ) {
+        let mut weights: Vec<f64> = init.iter().map(|&k| f64::from(k) / 64.0).collect();
+        let n = weights.len();
+        let mut f = Fenwick::new(&weights);
+        for &(slot, val, is_zero) in &ops {
+            let i = slot as usize % n;
+            if is_zero {
+                f.zero(i);
+                weights[i] = 0.0;
+            } else {
+                // Random-order add of an exactly-representable delta.
+                let delta = f64::from(val) / 64.0 - weights[i];
+                f.add(i, delta);
+                weights[i] = f64::from(val) / 64.0;
+            }
+            let naive: f64 = weights.iter().sum();
+            prop_assert_eq!(f.total().to_bits(), naive.to_bits(), "total drifted");
+        }
+        let total: f64 = weights.iter().sum();
+        for &p in &probes {
+            let t = p * total;
+            if t < total {
+                let got = f.search(t).expect("in-range target must hit");
+                prop_assert!(f.weight(got) > 0.0, "search landed on a zeroed leaf");
+                // And it is the leaf a naive cumulative scan finds.
+                let mut acc = 0.0;
+                let want = weights.iter().position(|&w| { acc += w; acc > t });
+                prop_assert_eq!(Some(got), want);
+            } else {
+                prop_assert_eq!(f.search(t), None);
+            }
+        }
+    }
+
     #[test]
     fn weighted_draws_are_distinct_positive_weight_objects(
         seed in any::<u64>(),

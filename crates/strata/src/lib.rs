@@ -16,7 +16,12 @@
 //!   DP with approximation ratio 2 (Theorem 4);
 //! * [`fixed`] — the fixed-width / fixed-height baselines of §5.4.1;
 //! * [`bruteforce`] — exact enumeration over all cut positions, the
-//!   reference oracle the property tests compare against.
+//!   reference oracle the property tests compare against;
+//! * [`partitioned`] — partition-aligned stratification: the pilot
+//!   bucket pass run per partition in parallel (bit-identical to the
+//!   serial pass), per-partition pilot sets merged into one global
+//!   [`PilotIndex`], and design cuts snapped to partition boundaries so
+//!   strata are unions of whole partitions.
 //!
 //! The shared vocabulary lives in [`pilot`] (the prefix-sum index `Γ` and
 //! the `O(N log m)` bucket pass that locates pilot positions without
@@ -32,6 +37,7 @@ pub mod error;
 pub mod fixed;
 pub mod logbdr;
 pub mod objective;
+pub mod partitioned;
 pub mod pilot;
 
 pub use bruteforce::brute_force;
@@ -42,4 +48,7 @@ pub use error::{StrataError, StrataResult};
 pub use fixed::{fixed_height_cuts, fixed_width_cuts};
 pub use logbdr::logbdr;
 pub use objective::{evaluate_cuts, neyman_variance, proportional_variance, StratumStat};
+pub use partitioned::{
+    align_cuts_to_partitions, merge_partition_pilots, pilot_positions_bucket_partitioned,
+};
 pub use pilot::{pilot_positions_argsort, pilot_positions_bucket, PilotIndex};

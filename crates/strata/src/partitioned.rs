@@ -1,0 +1,318 @@
+//! Partition-aligned stratification: build per-partition, merge
+//! globally.
+//!
+//! The partitioned scan engine (`lts_table::partition`) splits a
+//! population into contiguous row-range partitions and labels them in
+//! parallel. This module is the stratification-side counterpart:
+//!
+//! * [`pilot_positions_bucket_partitioned`] runs the paper's
+//!   `O(N log m)` bucket pass **per partition in parallel** and merges
+//!   the integer histograms — bit-identical to the serial
+//!   [`crate::pilot::pilot_positions_bucket`] (counts are integers, so
+//!   no merge-order effects exist);
+//! * [`merge_partition_pilots`] assembles a global [`PilotIndex`] from
+//!   per-partition pilot `(local position, label)` sets, offsetting
+//!   each by its partition start — so pilots can be located (and
+//!   labeled) partition-by-partition, each worker touching only its
+//!   own row range;
+//! * [`align_cuts_to_partitions`] snaps a stratification's cuts to the
+//!   nearest partition boundaries, producing strata that are unions of
+//!   whole partitions — second-stage scans of such strata run as
+//!   whole-partition scans with no sub-range bookkeeping.
+//!
+//! Everything here is deterministic for fixed inputs: partition counts
+//! and thread counts never change any output (asserted by the tests).
+
+use crate::error::{StrataError, StrataResult};
+use crate::pilot::PilotIndex;
+use rayon::prelude::*;
+
+/// Contiguous row-range bounds for `n` items split into `parts`
+/// near-equal partitions (`bounds[p]..bounds[p + 1]` is partition `p`).
+/// Mirrors `lts_table::partition::partition_bounds` — duplicated here
+/// because `lts-strata` is a substrate crate with no table dependency.
+pub fn partition_bounds(n: usize, parts: usize) -> Vec<usize> {
+    let parts = parts.max(1);
+    (0..=parts)
+        .map(|p| ((p as u128 * n as u128) / parts as u128) as usize)
+        .collect()
+}
+
+/// The paper's bucket pass for pilot positions, partition-parallel.
+///
+/// Splits the population into `n_partitions` contiguous ranges, counts
+/// each range's objects into the `m + 1` pilot-key buckets in parallel,
+/// sums the per-partition histograms, and prefix-sums the merged
+/// histogram — **bit-identical** to
+/// [`crate::pilot::pilot_positions_bucket`] for every partition count
+/// (bucket counts are integers; addition is associative).
+pub fn pilot_positions_bucket_partitioned(
+    scores: &[f64],
+    pilot_ids: &[usize],
+    n_partitions: usize,
+) -> Vec<usize> {
+    let m = pilot_ids.len();
+    // Sorted pilot keys, exactly as the serial pass builds them.
+    let mut pkeys: Vec<(f64, usize)> = pilot_ids.iter().map(|&id| (scores[id], id)).collect();
+    pkeys.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+    let bounds = partition_bounds(scores.len(), n_partitions);
+    let histograms: Vec<Vec<usize>> = bounds
+        .windows(2)
+        .map(|w| (w[0], w[1]))
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|(lo, hi)| {
+            let mut cnt = vec![0usize; m + 1];
+            for (id, &s) in scores.iter().enumerate().take(hi).skip(lo) {
+                let key = (s, id);
+                let r = pkeys.partition_point(|&pk| !key_less(key, pk));
+                cnt[r] += 1;
+            }
+            cnt
+        })
+        .collect();
+
+    // Merge: integer sums, order-independent.
+    let mut cnt = vec![0usize; m + 1];
+    for h in &histograms {
+        for (slot, &c) in cnt.iter_mut().zip(h) {
+            *slot += c;
+        }
+    }
+    let mut positions = Vec::with_capacity(m);
+    let mut below = 0usize;
+    for &c in cnt.iter().take(m) {
+        below += c;
+        positions.push(below);
+    }
+    positions
+}
+
+/// Composite `(score, id)` ordering — the same total order as
+/// `crate::pilot`.
+#[inline]
+fn key_less(a: (f64, usize), b: (f64, usize)) -> bool {
+    match a.0.total_cmp(&b.0) {
+        std::cmp::Ordering::Less => true,
+        std::cmp::Ordering::Greater => false,
+        std::cmp::Ordering::Equal => a.1 < b.1,
+    }
+}
+
+/// Build one global [`PilotIndex`] from per-partition pilot sets.
+///
+/// `bounds` are the partition bounds over the score-ordered population
+/// (`bounds[p]..bounds[p + 1]` is partition `p`); `per_partition[p]`
+/// holds that partition's pilots as `(position local to the partition,
+/// label)`. Local positions are offset by the partition start and the
+/// union is indexed globally — equal to building the `PilotIndex`
+/// directly from the globalized pairs.
+///
+/// # Errors
+///
+/// Returns an error when the bounds are malformed, a local position
+/// falls outside its partition, the merged pilot set is empty, or
+/// (through [`PilotIndex::new`]) positions collide.
+pub fn merge_partition_pilots(
+    bounds: &[usize],
+    per_partition: &[Vec<(usize, bool)>],
+) -> StrataResult<PilotIndex> {
+    if bounds.len() < 2 || bounds[0] != 0 || bounds.windows(2).any(|w| w[0] > w[1]) {
+        return Err(StrataError::InvalidPilot {
+            message: format!("malformed partition bounds {bounds:?}"),
+        });
+    }
+    if per_partition.len() != bounds.len() - 1 {
+        return Err(StrataError::InvalidPilot {
+            message: format!(
+                "{} partitions of pilots but {} bound ranges",
+                per_partition.len(),
+                bounds.len() - 1
+            ),
+        });
+    }
+    let n_objects = *bounds.last().expect("len >= 2");
+    let mut entries = Vec::new();
+    for (p, locals) in per_partition.iter().enumerate() {
+        let (lo, hi) = (bounds[p], bounds[p + 1]);
+        for &(local, label) in locals {
+            if local >= hi - lo {
+                return Err(StrataError::InvalidPilot {
+                    message: format!(
+                        "local pilot position {local} outside partition {p} (size {})",
+                        hi - lo
+                    ),
+                });
+            }
+            entries.push((lo + local, label));
+        }
+    }
+    PilotIndex::new(n_objects, entries)
+}
+
+/// Snap stratification cuts to the nearest partition boundaries.
+///
+/// The result is strictly increasing, interior (`0 < cut < N`), and a
+/// subset of `bounds` — every stratum becomes a union of whole
+/// partitions, so a second-stage pass over a stratum is a
+/// whole-partition parallel scan. Input cuts may arrive in any order.
+/// Ties between two equidistant boundaries resolve downward
+/// (deterministic). Cuts that collapse onto the same boundary, or onto
+/// `0`/`N`, are dropped, so the returned vector may be shorter than
+/// `cuts` (fewer, coarser strata — the caller decides whether that
+/// trade is acceptable).
+///
+/// # Errors
+///
+/// Returns an error for malformed bounds.
+pub fn align_cuts_to_partitions(cuts: &[usize], bounds: &[usize]) -> StrataResult<Vec<usize>> {
+    if bounds.len() < 2 || bounds[0] != 0 || bounds.windows(2).any(|w| w[0] > w[1]) {
+        return Err(StrataError::InvalidPilot {
+            message: format!("malformed partition bounds {bounds:?}"),
+        });
+    }
+    let n = *bounds.last().expect("len >= 2");
+    let mut aligned: Vec<usize> = Vec::with_capacity(cuts.len());
+    for &cut in cuts {
+        // Nearest boundary; equidistant resolves to the lower one.
+        let i = bounds.partition_point(|&b| b < cut);
+        let snapped = if i == 0 {
+            bounds[0]
+        } else if i == bounds.len() {
+            n
+        } else {
+            let (lo, hi) = (bounds[i - 1], bounds[i]);
+            if cut - lo <= hi - cut {
+                lo
+            } else {
+                hi
+            }
+        };
+        if snapped > 0 && snapped < n {
+            aligned.push(snapped);
+        }
+    }
+    // Snapping is not order-preserving for unsorted (or near-boundary)
+    // inputs; sort and dedupe so the postcondition holds regardless.
+    aligned.sort_unstable();
+    aligned.dedup();
+    Ok(aligned)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pilot::{pilot_positions_argsort, pilot_positions_bucket};
+
+    fn scores(n: usize) -> Vec<f64> {
+        let mut state = 99u64;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) % 97) as f64 / 97.0 // ties included
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partitioned_bucket_matches_serial_for_all_counts() {
+        let s = scores(700);
+        let pilot_ids: Vec<usize> = (0..700).step_by(11).collect();
+        let serial = pilot_positions_bucket(&s, &pilot_ids);
+        assert_eq!(serial, pilot_positions_argsort(&s, &pilot_ids));
+        for parts in [1, 2, 3, 7, 64, 700, 1000] {
+            assert_eq!(
+                pilot_positions_bucket_partitioned(&s, &pilot_ids, parts),
+                serial,
+                "parts={parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_pilots_equal_direct_construction() {
+        let bounds = vec![0, 40, 60, 100];
+        let per_partition = vec![
+            vec![(5, true), (0, false), (39, true)],
+            vec![(10, false)],
+            vec![(0, true), (39, false)],
+        ];
+        let merged = merge_partition_pilots(&bounds, &per_partition).unwrap();
+        let direct = PilotIndex::new(
+            100,
+            vec![
+                (5, true),
+                (0, false),
+                (39, true),
+                (50, false),
+                (60, true),
+                (99, false),
+            ],
+        )
+        .unwrap();
+        assert_eq!(merged, direct);
+    }
+
+    #[test]
+    fn merge_validates_inputs() {
+        // Local position outside its partition.
+        assert!(merge_partition_pilots(&[0, 10, 20], &[vec![(10, true)], vec![]]).is_err());
+        // Wrong number of partitions.
+        assert!(merge_partition_pilots(&[0, 10], &[vec![], vec![]]).is_err());
+        // Malformed bounds.
+        assert!(merge_partition_pilots(&[5, 10], &[vec![(0, true)]]).is_err());
+        assert!(merge_partition_pilots(&[0, 10, 5], &[vec![], vec![]]).is_err());
+        // Empty union.
+        assert!(merge_partition_pilots(&[0, 10, 20], &[vec![], vec![]]).is_err());
+    }
+
+    #[test]
+    fn aligned_cuts_are_partition_boundaries() {
+        let bounds = vec![0, 25, 50, 75, 100];
+        // 30 → 25 (nearest), 60 → 50, 90 → 100 (nearest) which is not
+        // interior → dropped; 80 → 75 stays.
+        let cuts = align_cuts_to_partitions(&[30, 60, 90], &bounds).unwrap();
+        assert_eq!(cuts, vec![25, 50]);
+        let cuts = align_cuts_to_partitions(&[30, 60, 80], &bounds).unwrap();
+        assert_eq!(cuts, vec![25, 50, 75]);
+        for c in &cuts {
+            assert!(bounds.contains(c));
+        }
+        // Equidistant snaps down: 37 is 12 from 25 and 13 from 50;
+        // 38 is 13 from 25, 12 from 50.
+        assert_eq!(align_cuts_to_partitions(&[37], &bounds).unwrap(), vec![25]);
+        assert_eq!(align_cuts_to_partitions(&[38], &bounds).unwrap(), vec![50]);
+        // Collapsing cuts dedupe; edge cuts drop.
+        assert_eq!(
+            align_cuts_to_partitions(&[26, 27, 2, 99], &bounds).unwrap(),
+            vec![25]
+        );
+        // Unsorted input still yields strictly increasing output.
+        assert_eq!(
+            align_cuts_to_partitions(&[60, 30, 27], &bounds).unwrap(),
+            vec![25, 50]
+        );
+        assert!(align_cuts_to_partitions(&[], &bounds).unwrap().is_empty());
+        assert!(align_cuts_to_partitions(&[10], &[0, 10, 5]).is_err());
+    }
+
+    #[test]
+    fn aligned_cuts_partition_strata_into_whole_partitions() {
+        // A stratification whose cuts came from any design algorithm,
+        // snapped so each stratum is a union of whole partitions.
+        let bounds = partition_bounds(1000, 8);
+        let cuts = align_cuts_to_partitions(&[130, 400, 877], &bounds).unwrap();
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+        for c in &cuts {
+            assert!(bounds.contains(c), "cut {c} not a partition boundary");
+        }
+        let s = crate::design::Stratification {
+            cuts: cuts.clone(),
+            estimated_variance: 0.0,
+        };
+        assert_eq!(s.stratum_sizes(1000).iter().sum::<usize>(), 1000);
+    }
+}

@@ -8,10 +8,12 @@
 //! out, so populations round-trip through files.
 //!
 //! Supported: quoted fields with `""` escapes, embedded delimiters and
-//! newlines inside quotes, a configurable delimiter, CRLF input, and
-//! blank lines (skipped). Deliberately not supported (columns are
-//! dense, §`column`): nullable fields — an empty field forces its
-//! column to `Str`.
+//! newlines inside quotes, a configurable delimiter, CRLF input, lone
+//! CR as a record terminator (classic-Mac files; a stray CR mid-line
+//! splits the record instead of silently gluing fields), and blank
+//! lines (skipped). Deliberately not supported (columns are dense,
+//! §`column`): nullable fields — an empty field forces its column to
+//! `Str`.
 
 use crate::column::Column;
 use crate::error::{TableError, TableResult};
@@ -200,7 +202,22 @@ fn parse_records(input: &str, delimiter: char) -> TableResult<Vec<Vec<String>>> 
                 record.push(std::mem::take(&mut field));
                 any = true;
             }
-            '\r' => { /* swallow; LF ends the record */ }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    // CRLF: swallow the CR; the LF ends the record.
+                } else {
+                    // A lone CR (classic-Mac line ending or a stray
+                    // CR mid-line) terminates the record. Swallowing
+                    // it silently — the old behavior — glued the
+                    // surrounding fields together: `a\rb` parsed as
+                    // `ab` with no error.
+                    if any || !field.is_empty() || !record.is_empty() {
+                        record.push(std::mem::take(&mut field));
+                        records.push(std::mem::take(&mut record));
+                        any = false;
+                    }
+                }
+            }
             '\n' => {
                 if any || !field.is_empty() || !record.is_empty() {
                     record.push(std::mem::take(&mut field));
@@ -344,6 +361,89 @@ mod tests {
         assert_eq!(
             t.column_by_name("y").unwrap().get(0).unwrap(),
             Value::str("")
+        );
+    }
+
+    #[test]
+    fn trailing_crlf_adds_no_phantom_record() {
+        // File ends in CRLF; a trailing CRLF-only "line" is skipped.
+        let t = read_csv_str("x,y\r\n1,2\r\n", CsvOptions::default()).unwrap();
+        assert_eq!(t.len(), 1);
+        let t = read_csv_str("x,y\r\n1,2\r\n\r\n", CsvOptions::default()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.column_by_name("y").unwrap().as_ints().unwrap(), &[2]);
+    }
+
+    #[test]
+    fn blank_line_only_input_is_empty_not_a_panic() {
+        for input in ["\n", "\n\n\n", "\r\n\r\n", "\r", "\r\r"] {
+            assert!(
+                matches!(
+                    read_csv_str(input, CsvOptions::default()),
+                    Err(TableError::Empty)
+                ),
+                "input {input:?} must parse as empty"
+            );
+        }
+    }
+
+    #[test]
+    fn lone_quote_at_eof_is_a_parse_error_not_a_panic() {
+        for input in ["x\n\"", "x\n1\n\"", "\"", "a,b\n1,\"unclosed"] {
+            let got = read_csv_str(input, CsvOptions::default());
+            assert!(
+                matches!(got, Err(TableError::Parse { .. })),
+                "input {input:?}: expected parse error, got {got:?}"
+            );
+        }
+        // A *closed* quote at EOF is a field, not an error (it then
+        // fails loudly on record width, not silently).
+        assert!(matches!(
+            read_csv_str("a,b\n\"\"", CsvOptions::default()),
+            Err(TableError::LengthMismatch {
+                expected: 2,
+                found: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn delimiter_in_unquoted_last_field_errors_loudly() {
+        // `1,x,y` under an `a,b` header is a ragged record — a typed
+        // error, never a silent drop or merge of the extra field.
+        assert!(matches!(
+            read_csv_str("a,b\n1,x,y\n", CsvOptions::default()),
+            Err(TableError::LengthMismatch {
+                expected: 2,
+                found: 3
+            })
+        ));
+        // Quoting the delimiter keeps it in the field.
+        let t = read_csv_str("a,b\n1,\"x,y\"\n", CsvOptions::default()).unwrap();
+        assert_eq!(
+            t.column_by_name("b").unwrap().get(0).unwrap(),
+            Value::str("x,y")
+        );
+    }
+
+    #[test]
+    fn lone_cr_terminates_the_record() {
+        // Classic-Mac line endings parse as records…
+        let t = read_csv_str("x\r1\r2\r", CsvOptions::default()).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.column_by_name("x").unwrap().as_ints().unwrap(), &[1, 2]);
+        // …and a stray CR mid-line splits the record (surfacing as a
+        // ragged-record error) instead of silently gluing `1` and `2`
+        // into `12`.
+        assert!(matches!(
+            read_csv_str("a,b\n1\r2,3\n", CsvOptions::default()),
+            Err(TableError::LengthMismatch { .. })
+        ));
+        // Quoted CRs are data, not terminators.
+        let t = read_csv_str("a\n\"line1\rline2\"\n", CsvOptions::default()).unwrap();
+        assert_eq!(
+            t.column_by_name("a").unwrap().get(0).unwrap(),
+            Value::str("line1\rline2")
         );
     }
 

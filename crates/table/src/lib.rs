@@ -14,9 +14,14 @@
 //! * the Q1 → (Q2, Q3) decomposition ([`query`]): distinct projection for
 //!   the object set and an aggregate-threshold predicate,
 //! * a vectorized, column-at-a-time expression engine ([`vector`]) that
-//!   evaluates an `Expr` over a whole table (or a selection vector) in
-//!   typed branch-free kernels, result-identical to the row-wise
-//!   interpreter — the fast path behind every batched predicate scan,
+//!   evaluates an `Expr` over a whole table (or a row range, or a
+//!   selection vector) in typed branch-free kernels, result-identical
+//!   to the row-wise interpreter — the fast path behind every batched
+//!   predicate scan,
+//! * a partitioned table layer with a parallel scan executor
+//!   ([`partition`]): zero-copy row-range partitions over `Arc`-shared
+//!   columns, driven in parallel with results bit-identical to the
+//!   serial scan at every partition and thread count,
 //! * instrumented predicates ([`predicate::Metered`]) that meter the
 //!   number and wall time of expensive `q` evaluations — the budget
 //!   currency of every estimator in the paper,
@@ -36,6 +41,7 @@ pub mod error;
 pub mod expr;
 pub mod grid;
 pub mod parser;
+pub mod partition;
 pub mod predicate;
 pub mod query;
 pub mod schema;
@@ -49,9 +55,10 @@ pub use error::{TableError, TableResult};
 pub use expr::{AggFunc, AggSubquery, BinaryOp, CmpOp, Expr, Func, RowCtx, UnaryOp};
 pub use grid::GridIndex;
 pub use parser::{parse_condition, TableRegistry};
+pub use partition::{par_eval_bool_ids, partition_bounds, PartitionedTable};
 pub use predicate::{thread_labeling_nanos, FnPredicate, Metered, ObjectPredicate, PredicateStats};
 pub use query::{distinct_project, AggThresholdPredicate, CountQuery, ExprPredicate};
 pub use schema::{Field, Schema};
 pub use table::{table_of_floats, Table, TableBuilder};
 pub use value::{DataType, Value};
-pub use vector::{eval_bool_columnar, eval_columnar, Batch};
+pub use vector::{eval_bool_columnar, eval_columnar, eval_columnar_sel, Batch, RowSel};

@@ -1,0 +1,416 @@
+//! Partitioned tables and the parallel scan executor.
+//!
+//! Every scan in this workspace used to be one serial pass over one
+//! monolithic [`Table`]. This module splits a table into `N` contiguous
+//! row-range **partitions** — zero-copy: partitions share the table's
+//! column storage through an [`Arc`] and each holds only a row range —
+//! and drives the vectorized kernels of [`crate::vector`] over the
+//! partitions in parallel (via the vendored rayon shim). It is the
+//! substrate for partition-parallel predicate evaluation (the
+//! `eval_batch` of [`crate::query::ExprPredicate`],
+//! [`crate::query::CountQuery::exact_count`]) and for partition-aligned
+//! stratification in `lts_strata`.
+//!
+//! # Determinism contract
+//!
+//! A partitioned scan is **bit-identical** to the single-partition
+//! serial scan, for every partition count and every thread count:
+//!
+//! * each row's value/NULL/error is computed by the same per-row-pure
+//!   kernels regardless of which partition evaluates it;
+//! * per-partition results are merged back **in partition order**, so
+//!   the concatenated output equals the serial output element for
+//!   element, and the error surfaced by a boolean collapse is the first
+//!   failing row *in row order* — exactly the serial semantics;
+//! * nothing here consumes randomness, so estimators built on top
+//!   produce per-seed bit-identical estimates at any partition/thread
+//!   count (the same guarantee the parallel trial runner established).
+//!
+//! The contract is enforced by property tests over random schemas,
+//! expressions, and partition counts (`tests/vector_agreement.rs`) and
+//! by a CI step diffing `BENCH_partitioned_scan.json` estimate fields
+//! between `RAYON_NUM_THREADS=1` and default-thread runs.
+
+use crate::error::{TableError, TableResult};
+use crate::expr::Expr;
+use crate::table::Table;
+use crate::vector::{eval_bool_columnar, eval_columnar_sel, Batch, RowSel};
+use rayon::prelude::*;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Below this many rows per chunk, a cheap (subquery-free) expression
+/// scan is not worth a worker thread.
+pub const MIN_PARTITION_ROWS: usize = 4096;
+
+/// Contiguous row-range bounds for an `n_rows` table split into
+/// `n_partitions` near-equal parts: `bounds[p]..bounds[p + 1]` is
+/// partition `p`, `bounds[0] == 0`, `bounds[n_partitions] == n_rows`.
+/// Sizes differ by at most one row; the split depends only on
+/// `(n_rows, n_partitions)`, never on thread count.
+pub fn partition_bounds(n_rows: usize, n_partitions: usize) -> Vec<usize> {
+    let parts = n_partitions.max(1);
+    (0..=parts)
+        .map(|p| ((p as u128 * n_rows as u128) / parts as u128) as usize)
+        .collect()
+}
+
+/// A [`Table`] split into contiguous row-range partitions that share
+/// the table's column storage (`Arc`, zero-copy).
+#[derive(Debug, Clone)]
+pub struct PartitionedTable {
+    table: Arc<Table>,
+    bounds: Vec<usize>,
+}
+
+impl PartitionedTable {
+    /// Split `table` into `n_partitions` near-equal row ranges
+    /// (clamped to at least 1; empty tables get one empty partition).
+    pub fn new(table: Arc<Table>, n_partitions: usize) -> Self {
+        let bounds = partition_bounds(table.len(), n_partitions);
+        Self { table, bounds }
+    }
+
+    /// Split `table` by a machine-derived heuristic: one partition per
+    /// worker thread, but never fewer than [`MIN_PARTITION_ROWS`] rows
+    /// per partition. **Note:** the partition count (and therefore any
+    /// per-partition artifact layout) depends on the host; for
+    /// bit-reproducible artifacts across hosts, fix the count with
+    /// [`PartitionedTable::new`] (scan *results* are identical either
+    /// way — see the module's determinism contract).
+    pub fn auto(table: Arc<Table>) -> Self {
+        let parts = (table.len() / MIN_PARTITION_ROWS).clamp(1, rayon::current_num_threads());
+        Self::new(table, parts)
+    }
+
+    /// Build from explicit bounds (`bounds[0] == 0`, ascending, last
+    /// element `== table.len()`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the bounds are not a monotone cover of
+    /// `0..table.len()`.
+    pub fn from_bounds(table: Arc<Table>, bounds: Vec<usize>) -> TableResult<Self> {
+        let ok = bounds.len() >= 2
+            && bounds[0] == 0
+            && *bounds.last().expect("len >= 2") == table.len()
+            && bounds.windows(2).all(|w| w[0] <= w[1]);
+        if !ok {
+            return Err(TableError::InvalidExpression {
+                message: format!(
+                    "partition bounds {bounds:?} do not cover 0..{}",
+                    table.len()
+                ),
+            });
+        }
+        Ok(Self { table, bounds })
+    }
+
+    /// The shared underlying table.
+    pub fn table(&self) -> &Arc<Table> {
+        &self.table
+    }
+
+    /// Number of partitions.
+    pub fn n_partitions(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The partition bounds (`n_partitions() + 1` entries).
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// Row range of partition `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `p >= n_partitions()`.
+    pub fn range(&self, p: usize) -> Range<usize> {
+        self.bounds[p]..self.bounds[p + 1]
+    }
+
+    /// Total rows across all partitions (= the table's length).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Whether the underlying table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Evaluate `expr` over every partition in parallel, returning one
+    /// [`Batch`] per partition, in partition order. Row `k` of
+    /// partition `p` is table row `self.range(p).start + k`.
+    ///
+    /// Each partition scan borrows its column sub-slices zero-copy
+    /// ([`RowSel::Range`]) and runs the same branch-free kernels as a
+    /// whole-table scan.
+    pub fn par_eval_batches(&self, expr: &Expr) -> Vec<Batch<'_>> {
+        let table: &Table = &self.table;
+        (0..self.n_partitions())
+            .into_par_iter()
+            .map(|p| {
+                let r = self.range(p);
+                eval_columnar_sel(
+                    expr,
+                    table,
+                    RowSel::Range {
+                        start: r.start,
+                        end: r.end,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    /// Evaluate `expr` as a predicate over the whole table via the
+    /// parallel partition scan: the concatenated labels are
+    /// element-identical to
+    /// [`eval_bool_columnar`]`(expr, table, None)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing row's error, in row order (partitions
+    /// are merged in order, so this matches the serial scan exactly).
+    pub fn par_eval_bool(&self, expr: &Expr) -> TableResult<Vec<bool>> {
+        let mut out = Vec::with_capacity(self.len());
+        for batch in self.par_eval_batches(expr) {
+            out.extend(batch.truthy()?);
+        }
+        Ok(out)
+    }
+
+    /// Count the rows satisfying `expr`, scanning partitions in
+    /// parallel. Identical (value and error) to counting the serial
+    /// scan's labels.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing row's error, in row order.
+    pub fn par_count(&self, expr: &Expr) -> TableResult<usize> {
+        let mut total = 0usize;
+        for batch in self.par_eval_batches(expr) {
+            total += batch.truthy()?.into_iter().filter(|&l| l).count();
+        }
+        Ok(total)
+    }
+}
+
+/// Does the expression contain a correlated aggregate subquery
+/// anywhere? Subquery rows cost a full inner-table scan each, so even
+/// small batches are worth parallelizing.
+fn has_subquery(expr: &Expr) -> bool {
+    match expr {
+        Expr::Subquery(_) => true,
+        Expr::Literal(_) | Expr::Column(_) | Expr::Outer(_) => false,
+        Expr::Unary(_, e) => has_subquery(e),
+        Expr::Binary(_, l, r) => has_subquery(l) || has_subquery(r),
+        Expr::Call(_, args) => args.iter().any(has_subquery),
+    }
+}
+
+/// `Some(start..end)` when `ids` is exactly the contiguous ascending
+/// run `start, start+1, …, end-1`. Runs whose end would overflow
+/// `usize` (only possible with out-of-range ids) are not runs.
+fn contiguous_run(ids: &[usize]) -> Option<Range<usize>> {
+    let &first = ids.first()?;
+    let end = first.checked_add(ids.len())?;
+    for (k, &i) in ids.iter().enumerate() {
+        if i != first + k {
+            return None;
+        }
+    }
+    Some(first..end)
+}
+
+/// Evaluate `expr` as a predicate over the listed row ids with
+/// partition-parallel chunking: the id list is split into contiguous
+/// chunks, each chunk is evaluated by a worker (contiguous ascending
+/// runs — e.g. a full-population scan — take the zero-copy
+/// [`RowSel::Range`] path), and results are merged back in chunk
+/// order. Element- and error-identical to
+/// [`eval_bool_columnar`]`(expr, table, Some(idxs))` for every thread
+/// count.
+///
+/// # Errors
+///
+/// Returns the first failing row's error, in id order.
+pub fn par_eval_bool_ids(expr: &Expr, table: &Table, idxs: &[usize]) -> TableResult<Vec<bool>> {
+    let threads = rayon::current_num_threads();
+    // Subquery-free expressions are cheap per row: only chunk when
+    // every worker gets a full quantum. Subquery rows are each a full
+    // inner scan, so tiny batches already amortize a thread.
+    let min_chunk = if has_subquery(expr) {
+        8
+    } else {
+        MIN_PARTITION_ROWS
+    };
+    let n_chunks = threads.min(idxs.len() / min_chunk);
+    if threads <= 1 || n_chunks <= 1 {
+        return eval_bool_columnar(expr, table, Some(idxs));
+    }
+    let bounds = partition_bounds(idxs.len(), n_chunks);
+    let chunks: Vec<&[usize]> = bounds.windows(2).map(|w| &idxs[w[0]..w[1]]).collect();
+    let results: Vec<TableResult<Vec<bool>>> = chunks
+        .into_par_iter()
+        .map(|chunk| {
+            let sel = match contiguous_run(chunk) {
+                Some(r) => RowSel::Range {
+                    start: r.start,
+                    end: r.end,
+                },
+                None => RowSel::Ids(chunk),
+            };
+            eval_columnar_sel(expr, table, sel).truthy()
+        })
+        .collect();
+    let mut out = Vec::with_capacity(idxs.len());
+    for r in results {
+        out.extend(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::table_of_floats;
+    use crate::value::Value;
+
+    fn t(n: usize) -> Arc<Table> {
+        let xs: Vec<f64> = (0..n).map(|i| (i % 101) as f64 / 101.0).collect();
+        let ys: Vec<f64> = (0..n).map(|i| (i % 53) as f64 / 53.0).collect();
+        Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap())
+    }
+
+    #[test]
+    fn bounds_cover_and_balance() {
+        assert_eq!(partition_bounds(10, 3), vec![0, 3, 6, 10]);
+        assert_eq!(partition_bounds(4, 4), vec![0, 1, 2, 3, 4]);
+        assert_eq!(partition_bounds(0, 2), vec![0, 0, 0]);
+        assert_eq!(partition_bounds(5, 1), vec![0, 5]);
+        // Clamped: zero partitions behaves as one.
+        assert_eq!(partition_bounds(5, 0), vec![0, 5]);
+        // Near-equal: sizes differ by at most 1.
+        let b = partition_bounds(1000, 7);
+        let sizes: Vec<usize> = b.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn partitioned_scan_matches_serial_for_all_counts() {
+        let table = t(997); // deliberately not a multiple of anything
+        let e = Expr::col("x")
+            .gt(Expr::lit(0.25))
+            .and(Expr::col("y").le(Expr::lit(0.75)));
+        let serial = eval_bool_columnar(&e, &table, None).unwrap();
+        for parts in [1, 2, 3, 4, 7, 16, 997, 2000] {
+            let pt = PartitionedTable::new(Arc::clone(&table), parts);
+            assert_eq!(pt.par_eval_bool(&e).unwrap(), serial, "parts={parts}");
+            assert_eq!(
+                pt.par_count(&e).unwrap(),
+                serial.iter().filter(|&&l| l).count()
+            );
+        }
+    }
+
+    #[test]
+    fn batches_expose_partition_local_rows() {
+        let table = t(100);
+        let pt = PartitionedTable::new(Arc::clone(&table), 3);
+        assert_eq!(pt.n_partitions(), 3);
+        let e = Expr::col("x").mul(Expr::lit(2.0));
+        let batches = pt.par_eval_batches(&e);
+        assert_eq!(batches.len(), 3);
+        for (p, b) in batches.iter().enumerate() {
+            let r = pt.range(p);
+            assert_eq!(b.len(), r.len());
+            for k in 0..b.len() {
+                let want = table.floats("x").unwrap()[r.start + k] * 2.0;
+                assert_eq!(b.value_at(k).unwrap(), Value::Float(want));
+            }
+        }
+    }
+
+    #[test]
+    fn error_surfaces_first_in_row_order() {
+        // NaN comparison errors on specific rows; the partitioned scan
+        // must surface the same first error as the serial scan.
+        let xs = [1.0, f64::NAN, 3.0, f64::NAN, 5.0];
+        let table = Arc::new(table_of_floats(&[("x", &xs)]).unwrap());
+        let e = Expr::col("x").lt(Expr::lit(2.0));
+        let serial = eval_bool_columnar(&e, &table, None);
+        for parts in [1, 2, 5] {
+            let pt = PartitionedTable::new(Arc::clone(&table), parts);
+            assert_eq!(pt.par_eval_bool(&e), serial, "parts={parts}");
+            assert_eq!(pt.par_count(&e).unwrap_err(), serial.clone().unwrap_err());
+        }
+    }
+
+    #[test]
+    fn par_eval_bool_ids_matches_serial() {
+        let table = t(20_000);
+        let e = Expr::col("x").gt(Expr::lit(0.5));
+        // Full-population contiguous scan (the exact_count shape).
+        let all: Vec<usize> = (0..table.len()).collect();
+        assert_eq!(
+            par_eval_bool_ids(&e, &table, &all).unwrap(),
+            eval_bool_columnar(&e, &table, Some(&all)).unwrap()
+        );
+        // Scattered ids with duplicates and an out-of-range id.
+        let mut ids: Vec<usize> = (0..12_000).map(|i| (i * 7919) % 20_000).collect();
+        ids.push(3);
+        ids.push(usize::MAX); // out of range → error must match serial
+        assert_eq!(
+            par_eval_bool_ids(&e, &table, &ids),
+            eval_bool_columnar(&e, &table, Some(&ids))
+        );
+    }
+
+    #[test]
+    fn from_bounds_validates() {
+        let table = t(10);
+        assert!(PartitionedTable::from_bounds(Arc::clone(&table), vec![0, 4, 10]).is_ok());
+        assert!(PartitionedTable::from_bounds(Arc::clone(&table), vec![0, 11]).is_err());
+        assert!(PartitionedTable::from_bounds(Arc::clone(&table), vec![1, 10]).is_err());
+        assert!(PartitionedTable::from_bounds(Arc::clone(&table), vec![0, 7, 4, 10]).is_err());
+        assert!(PartitionedTable::from_bounds(Arc::clone(&table), vec![0]).is_err());
+    }
+
+    #[test]
+    fn auto_respects_minimum_rows() {
+        let small = PartitionedTable::auto(t(100));
+        assert_eq!(small.n_partitions(), 1);
+        let big = PartitionedTable::auto(t(MIN_PARTITION_ROWS * 64));
+        assert!(big.n_partitions() >= 1);
+        assert!(big.n_partitions() <= rayon::current_num_threads());
+    }
+
+    #[test]
+    fn empty_table_scans_cleanly() {
+        let table = Arc::new(table_of_floats(&[("x", &[])]).unwrap());
+        let pt = PartitionedTable::new(Arc::clone(&table), 4);
+        let e = Expr::col("x").gt(Expr::lit(0.0));
+        assert!(pt.par_eval_bool(&e).unwrap().is_empty());
+        assert_eq!(pt.par_count(&e).unwrap(), 0);
+    }
+
+    #[test]
+    fn contiguous_run_detection() {
+        assert_eq!(contiguous_run(&[5, 6, 7]), Some(5..8));
+        assert_eq!(contiguous_run(&[5]), Some(5..6));
+        assert_eq!(contiguous_run(&[]), None);
+        assert_eq!(contiguous_run(&[5, 7]), None);
+        assert_eq!(contiguous_run(&[5, 5]), None);
+        assert_eq!(contiguous_run(&[5, 4]), None);
+        // A run ending past usize::MAX is not a run (no overflow).
+        assert_eq!(contiguous_run(&[usize::MAX]), None);
+        assert_eq!(contiguous_run(&[usize::MAX - 1, usize::MAX]), None);
+        assert_eq!(
+            contiguous_run(&[usize::MAX - 1]),
+            Some(usize::MAX - 1..usize::MAX)
+        );
+    }
+}

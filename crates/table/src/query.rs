@@ -93,11 +93,14 @@ impl ObjectPredicate for ExprPredicate {
         self.expr.eval_bool(RowCtx::top(objects, idx))
     }
     /// Batched evaluation through the vectorized engine
-    /// ([`crate::vector`]): one typed column-at-a-time pass over the
-    /// selected rows instead of `idxs.len()` interpreted evaluations.
-    /// Result- and error-identical to the per-row default.
+    /// ([`crate::vector`]), partition-parallel for large batches
+    /// ([`crate::partition::par_eval_bool_ids`]): the id list is split
+    /// into contiguous chunks scanned by parallel workers (contiguous
+    /// runs — e.g. a full-population scan — borrow column sub-slices
+    /// zero-copy) and merged back in order. Result- and error-identical
+    /// to the per-row default at every thread count.
     fn eval_batch(&self, objects: &Table, idxs: &[usize]) -> TableResult<Vec<bool>> {
-        crate::vector::eval_bool_columnar(&self.expr, objects, Some(idxs))
+        crate::partition::par_eval_bool_ids(&self.expr, objects, idxs)
     }
     fn name(&self) -> &str {
         &self.name
@@ -212,15 +215,37 @@ impl ObjectPredicate for AggThresholdPredicate {
     /// Batched evaluation: each object's aggregate runs as one
     /// *vectorized* scan of the inner table ([`crate::vector`]) instead
     /// of the interpreted nested loop, which is where exact ground
-    /// truth for SQL-form predicates spends all of its time.
+    /// truth for SQL-form predicates spends all of its time — and the
+    /// objects are partitioned across parallel workers when the batch
+    /// carries enough inner-scan work to amortize them. Chunks merge
+    /// back in id order, so results (and the first surfaced error) are
+    /// identical to the sequential loop at every thread count.
     fn eval_batch(&self, objects: &Table, idxs: &[usize]) -> TableResult<Vec<bool>> {
+        use rayon::prelude::*;
         let sub = self.as_subquery();
-        idxs.iter()
-            .map(|&i| {
-                let agg = crate::vector::subquery_value(&sub, objects, i)?;
-                Ok(self.test_aggregate(&agg))
-            })
-            .collect()
+        let eval_one = |i: usize| -> TableResult<bool> {
+            let agg = crate::vector::subquery_value(&sub, objects, i)?;
+            Ok(self.test_aggregate(&agg))
+        };
+        let threads = rayon::current_num_threads();
+        // Each object costs a full inner scan; parallelize once the
+        // total scanned-row volume clears a small quantum.
+        let work = idxs.len().saturating_mul(self.inner.len().max(1));
+        if threads <= 1 || idxs.len() < 2 || work < 1 << 13 {
+            return idxs.iter().map(|&i| eval_one(i)).collect();
+        }
+        let n_chunks = threads.min(idxs.len());
+        let bounds = crate::partition::partition_bounds(idxs.len(), n_chunks);
+        let chunks: Vec<&[usize]> = bounds.windows(2).map(|w| &idxs[w[0]..w[1]]).collect();
+        let results: Vec<TableResult<Vec<bool>>> = chunks
+            .into_par_iter()
+            .map(|chunk| chunk.iter().map(|&i| eval_one(i)).collect())
+            .collect();
+        let mut out = Vec::with_capacity(idxs.len());
+        for r in results {
+            out.extend(r?);
+        }
+        Ok(out)
     }
     fn name(&self) -> &str {
         &self.name
@@ -254,7 +279,10 @@ impl CountQuery {
     /// batched oracle call** over the whole population, so predicates
     /// with a vectorized [`ObjectPredicate::eval_batch`] (expression
     /// predicates, aggregate-threshold predicates) scan column-at-a-time
-    /// instead of interpreting row by row.
+    /// instead of interpreting row by row — and, through the
+    /// partition-parallel batch paths, across every worker thread. The
+    /// count is identical at every thread count (see
+    /// [`crate::partition`]'s determinism contract).
     ///
     /// # Errors
     ///

@@ -347,6 +347,42 @@ impl<'a> Batch<'a> {
 // Public API
 // ---------------------------------------------------------------------
 
+/// Which rows of a table a columnar evaluation covers.
+///
+/// [`RowSel::Range`] is the partitioned-scan fast path: a contiguous
+/// row range borrows column storage by sub-slicing (zero-copy), so a
+/// per-partition scan runs the same branch-free kernels as a whole
+/// table without a gather. [`RowSel::Ids`] is the general selection
+/// vector (duplicates allowed, out-of-range ids become per-row errors).
+#[derive(Debug, Clone, Copy)]
+pub enum RowSel<'a> {
+    /// Every row of the table, in row order.
+    All,
+    /// The contiguous rows `start..end`, in row order. An empty or
+    /// inverted range evaluates zero rows; rows past the end of the
+    /// table become per-row errors, like out-of-range ids.
+    Range {
+        /// First row (inclusive).
+        start: usize,
+        /// One past the last row.
+        end: usize,
+    },
+    /// Explicit row ids, in the given order.
+    Ids(&'a [usize]),
+}
+
+impl RowSel<'_> {
+    /// Number of rows the selection covers on a table of `table_len`
+    /// rows.
+    pub fn len(&self, table_len: usize) -> usize {
+        match self {
+            RowSel::All => table_len,
+            RowSel::Range { start, end } => end.saturating_sub(*start),
+            RowSel::Ids(ids) => ids.len(),
+        }
+    }
+}
+
 /// Evaluate `expr` over `table` column-at-a-time.
 ///
 /// With `rows = None` the whole table is evaluated in row order; with
@@ -360,10 +396,18 @@ impl<'a> Batch<'a> {
 /// Whole-table column references are zero-copy: the returned [`Batch`]
 /// borrows column storage from `table` where it can.
 pub fn eval_columnar<'a>(expr: &Expr, table: &'a Table, rows: Option<&'a [usize]>) -> Batch<'a> {
+    eval_columnar_sel(expr, table, rows.map_or(RowSel::All, RowSel::Ids))
+}
+
+/// Evaluate `expr` over the rows selected by `sel` — the generalized
+/// entry point behind [`eval_columnar`]. Contiguous ranges
+/// ([`RowSel::Range`]) borrow column storage zero-copy, which is what
+/// the partitioned scan executor ([`crate::partition`]) is built on.
+pub fn eval_columnar_sel<'a>(expr: &Expr, table: &'a Table, sel: RowSel<'a>) -> Batch<'a> {
     let ctx = VecCtx {
         table,
-        sel: rows,
-        len: rows.map_or(table.len(), <[usize]>::len),
+        sel,
+        len: sel.len(table.len()),
         outer: None,
     };
     eval_vec(expr, &ctx)
@@ -387,6 +431,19 @@ pub fn eval_bool_columnar(
     eval_columnar(expr, table, rows).truthy()
 }
 
+/// [`eval_bool_columnar`] over a generalized [`RowSel`].
+///
+/// # Errors
+///
+/// Returns the first failing row's error, in selection order.
+pub fn eval_bool_columnar_sel(
+    expr: &Expr,
+    table: &Table,
+    sel: RowSel<'_>,
+) -> TableResult<Vec<bool>> {
+    eval_columnar_sel(expr, table, sel).truthy()
+}
+
 /// Evaluate a correlated aggregate subquery for one outer row using a
 /// vectorized scan of the inner table. Result-identical to the
 /// interpreted nested loop in `expr.rs`, including error order.
@@ -399,7 +456,7 @@ pub(crate) fn subquery_value(
     let n = inner.len();
     let ictx = VecCtx {
         table: inner,
-        sel: None,
+        sel: RowSel::All,
         len: n,
         outer: Some((outer_table, outer_row)),
     };
@@ -468,11 +525,11 @@ pub(crate) fn subquery_value(
 // Evaluation
 // ---------------------------------------------------------------------
 
-/// Batch evaluation context: a table, an optional selection vector, and
-/// an optional outer row (inside correlated subqueries).
+/// Batch evaluation context: a table, a row selection, and an optional
+/// outer row (inside correlated subqueries).
 struct VecCtx<'a> {
     table: &'a Table,
-    sel: Option<&'a [usize]>,
+    sel: RowSel<'a>,
     len: usize,
     outer: Option<(&'a Table, usize)>,
 }
@@ -480,7 +537,11 @@ struct VecCtx<'a> {
 impl VecCtx<'_> {
     #[inline]
     fn row_at(&self, k: usize) -> usize {
-        self.sel.map_or(k, |s| s[k])
+        match self.sel {
+            RowSel::All => k,
+            RowSel::Range { start, .. } => start + k,
+            RowSel::Ids(s) => s[k],
+        }
     }
 }
 
@@ -521,12 +582,13 @@ fn eval_vec<'a>(expr: &Expr, ctx: &VecCtx<'a>) -> Batch<'a> {
 }
 
 /// Gather a storage column into a batch (zero-copy borrow for full
-/// scans, indexed gather for selection vectors; out-of-range ids become
-/// per-row errors, as row-wise `Column::get` would have produced).
+/// scans and in-bounds contiguous ranges, indexed gather for selection
+/// vectors; out-of-range ids become per-row errors, as row-wise
+/// `Column::get` would have produced).
 fn gather<'a>(col: &'a Column, ctx: &VecCtx<'a>) -> Batch<'a> {
     let len = ctx.len;
     match ctx.sel {
-        None => {
+        RowSel::All => {
             let data = match col {
                 Column::Bool(v) => Data::Bool(Cow::Borrowed(v.as_slice())),
                 Column::Int(v) => Data::Int(Cow::Borrowed(v.as_slice())),
@@ -540,7 +602,48 @@ fn gather<'a>(col: &'a Column, ctx: &VecCtx<'a>) -> Batch<'a> {
                 errs: Errs::None,
             }
         }
-        Some(sel) => {
+        RowSel::Range { start, end } if start <= end && end <= col.len() => {
+            // In-bounds contiguous range: borrow the sub-slice directly
+            // — the zero-copy partition fast path.
+            let data = match col {
+                Column::Bool(v) => Data::Bool(Cow::Borrowed(&v[start..end])),
+                Column::Int(v) => Data::Int(Cow::Borrowed(&v[start..end])),
+                Column::Float(v) => Data::Float(Cow::Borrowed(&v[start..end])),
+                Column::Str(v) => Data::Str(Cow::Borrowed(&v[start..end])),
+            };
+            Batch {
+                len,
+                data,
+                nulls: None,
+                errs: Errs::None,
+            }
+        }
+        RowSel::Range { start, end } => {
+            // Range extends past the column: per-row errors for the
+            // out-of-range tail, exactly like an id gather would give.
+            let ids: Vec<usize> = (start..end.max(start)).collect();
+            let ctx2 = VecCtx {
+                table: ctx.table,
+                sel: RowSel::Ids(&ids),
+                len: ids.len(),
+                outer: ctx.outer,
+            };
+            let b = gather(col, &ctx2);
+            // Re-own any borrowed data (`ids` dies with this frame).
+            Batch {
+                len: b.len,
+                data: match b.data {
+                    Data::Scalar(v) => Data::Scalar(v),
+                    Data::Bool(v) => Data::Bool(Cow::Owned(v.into_owned())),
+                    Data::Int(v) => Data::Int(Cow::Owned(v.into_owned())),
+                    Data::Float(v) => Data::Float(Cow::Owned(v.into_owned())),
+                    Data::Str(v) => Data::Str(Cow::Owned(v.into_owned())),
+                },
+                nulls: b.nulls,
+                errs: b.errs,
+            }
+        }
+        RowSel::Ids(sel) => {
             fn sel_gather<T: Clone>(v: &[T], sel: &[usize], placeholder: T) -> (Vec<T>, Errs) {
                 let mut out = Vec::with_capacity(sel.len());
                 let mut errs: Option<Vec<Option<TableError>>> = None;

@@ -2,8 +2,11 @@
 //! **result-identical** to row-wise `Expr::eval` — per row, on values
 //! *and* on which rows error (including div-by-zero NULLs, integer
 //! overflow, type mismatches, and errors shadowed by AND/OR
-//! short-circuiting).
+//! short-circuiting) — and the partitioned parallel scan
+//! (`lts_table::partition`) must agree row-for-row with both, for
+//! every partition count.
 
+use lts_table::partition::{par_eval_bool_ids, PartitionedTable};
 use lts_table::vector::{eval_bool_columnar, eval_columnar};
 use lts_table::{
     AggFunc, DataType, Expr, Field, RowCtx, Schema, Table, TableBuilder, TableResult, Value,
@@ -185,6 +188,64 @@ proptest! {
             .collect();
         let vectorized = eval_bool_columnar(&e, &table, Some(&idxs));
         prop_assert_eq!(&vectorized, &row_wise, "`{}`", e);
+    }
+
+    /// The partitioned parallel scan agrees row-for-row — values, NULL
+    /// rows, and error rows — with both the single-partition vectorized
+    /// path and the interpreted evaluator, for every partition count
+    /// (including degenerate ones: more partitions than rows).
+    #[test]
+    fn partitioned_scan_agrees_with_serial_and_interpreted(
+        table in arb_table(),
+        e in arb_expr(),
+        parts in 1usize..9,
+    ) {
+        let shared = Arc::new(table);
+        let serial = eval_columnar(&e, &shared, None);
+        let pt = PartitionedTable::new(Arc::clone(&shared), parts);
+        prop_assert_eq!(pt.n_partitions(), parts);
+        let batches = pt.par_eval_batches(&e);
+        let mut row = 0usize;
+        for (p, batch) in batches.iter().enumerate() {
+            let range = pt.range(p);
+            prop_assert_eq!(batch.len(), range.len(), "partition {} length", p);
+            for k in 0..batch.len() {
+                let rw = e.eval(RowCtx::top(&shared, row));
+                let vc = serial.value_at(row);
+                let pc = batch.value_at(k);
+                prop_assert!(
+                    same_result(&rw, &pc),
+                    "parts {} partition {} local row {} (global {}): `{}`\n  row-wise:    {:?}\n  partitioned: {:?}",
+                    parts, p, k, row, e, rw, pc
+                );
+                prop_assert!(
+                    same_result(&vc, &pc),
+                    "parts {} global row {}: `{}`\n  serial:      {:?}\n  partitioned: {:?}",
+                    parts, row, e, vc, pc
+                );
+                row += 1;
+            }
+        }
+        prop_assert_eq!(row, shared.len(), "partitions must cover every row exactly once");
+        // Boolean collapse: identical labels and identical first error.
+        let serial_bool = eval_bool_columnar(&e, &shared, None);
+        prop_assert_eq!(&pt.par_eval_bool(&e), &serial_bool, "`{}`", e);
+        // Count: identical value and identical error.
+        let serial_count = serial_bool.map(|m| m.iter().filter(|&&l| l).count());
+        prop_assert_eq!(pt.par_count(&e), serial_count, "`{}`", e);
+    }
+
+    /// The chunked id-list scan (the `ExprPredicate::eval_batch` fast
+    /// path) agrees with the serial selection-vector scan for random id
+    /// lists — duplicates and out-of-range ids included.
+    #[test]
+    fn partitioned_id_scan_agrees_with_serial(
+        table in arb_table(),
+        e in arb_expr(),
+        picks in proptest::collection::vec(0usize..40, 0..48),
+    ) {
+        let serial = eval_bool_columnar(&e, &table, Some(&picks));
+        prop_assert_eq!(par_eval_bool_ids(&e, &table, &picks), serial, "`{}`", e);
     }
 
     /// Correlated aggregate subqueries: the vectorized inner scan must

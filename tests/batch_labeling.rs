@@ -104,6 +104,36 @@ proptest! {
     }
 }
 
+/// The oracle's internal partition-parallelism (an `ExprPredicate`
+/// batch fans out across worker threads and chunks since PR 3) must
+/// change neither the labels nor the meter's exact unique-evaluation
+/// accounting — one oracle call per batch, `evals` advanced by the
+/// deduped request size.
+#[test]
+fn partition_parallel_oracle_keeps_labels_and_meter_exact() {
+    let n = 40_000; // large enough to cross the parallel chunking threshold
+    let xs: Vec<f64> = (0..n).map(|i| (i % 1013) as f64 / 1013.0).collect();
+    let t = Arc::new(table_of_floats(&[("x", &xs)]).unwrap());
+    let p: Arc<dyn ObjectPredicate> = Arc::new(lts_table::ExprPredicate::new(
+        "x>half",
+        lts_table::Expr::col("x").gt(lts_table::Expr::lit(0.5)),
+    ));
+    let problem = CountingProblem::new(t, p, &["x"]).unwrap();
+    let mut labeler = Labeler::new(&problem);
+    // Duplicate-heavy request covering most of the population.
+    let idxs: Vec<usize> = (0..60_000).map(|i| (i * 7) % n).collect();
+    let labels = labeler.label_batch(&idxs).unwrap();
+    assert_eq!(labels.len(), idxs.len());
+    for (k, &i) in idxs.iter().enumerate() {
+        assert_eq!(labels[k], xs[i] > 0.5, "row {i}");
+    }
+    let unique: HashSet<usize> = idxs.iter().copied().collect();
+    assert_eq!(labeler.unique_evals(), unique.len());
+    let stats = problem.predicate_stats();
+    assert_eq!(stats.evals, unique.len() as u64, "meter must stay exact");
+    assert_eq!(stats.calls, 1, "one oracle call per labeler batch");
+}
+
 /// Every estimator stays within its unique-label budget, verified via
 /// the shared `Metered` counters across a parallel multi-trial run.
 #[test]
