@@ -1,0 +1,123 @@
+//! Per-row score loop vs the shared batched scoring pipeline (the
+//! ISSUE-4 tentpole).
+//!
+//! Every benchmark scores the *same* 100k-row population with the
+//! *same* fitted proxy:
+//!
+//! * `per_row` — the loop the learned estimators ran before the
+//!   refactor: one dynamic `score` call per object;
+//! * `batch/pN` — `ScoredPopulation::score_members_partitioned` with
+//!   `N` member-range partitions driven by the rayon shim over the
+//!   model's vectorized `score_batch`;
+//! * `score+order` — the full pipeline including the stable
+//!   `(score, id)` sort.
+//!
+//! The setup asserts batch scores are bit-identical to the per-row loop
+//! at every partition count before timing anything.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lts_core::{CountingProblem, ScoredPopulation};
+use lts_learn::{Classifier, Knn, Mlp, RandomForest};
+use lts_table::table::table_of_floats;
+use lts_table::{FnPredicate, ObjectPredicate, Table};
+use std::hint::black_box;
+use std::sync::Arc;
+
+const ROWS: usize = 100_000;
+const PARTITIONS: [usize; 3] = [1, 4, 8];
+
+fn population() -> CountingProblem {
+    let xs: Vec<f64> = (0..ROWS).map(|i| (i % 1013) as f64 / 1013.0).collect();
+    let ys: Vec<f64> = (0..ROWS).map(|i| (i % 733) as f64 / 733.0).collect();
+    let table = Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap());
+    let q: Arc<dyn ObjectPredicate> = Arc::new(FnPredicate::new("band", |t: &Table, i| {
+        Ok(t.floats("x")?[i] + 0.3 * t.floats("y")?[i] < 0.8)
+    }));
+    CountingProblem::new(table, q, &["x", "y"]).unwrap()
+}
+
+fn fitted<M: Classifier>(problem: &CountingProblem, model: &mut M) {
+    let ids: Vec<usize> = (0..problem.n()).step_by(400).collect();
+    let labels: Vec<bool> = ids.iter().map(|&i| problem.label(i).unwrap()).collect();
+    model
+        .fit(&problem.features().gather(&ids), &labels)
+        .unwrap();
+}
+
+fn bench_model(c: &mut Criterion, group: &str, problem: &CountingProblem, model: &dyn Classifier) {
+    let members: Vec<usize> = (0..problem.n()).collect();
+    // Determinism gate: bit-identical scores at every partition count.
+    let features = problem.features();
+    let per_row: Vec<f64> = (0..problem.n())
+        .map(|i| model.score(features.row(i)).unwrap())
+        .collect();
+    for parts in PARTITIONS {
+        let sp =
+            ScoredPopulation::score_members_partitioned(problem, model, members.clone(), parts)
+                .unwrap();
+        assert!(
+            sp.scores()
+                .iter()
+                .zip(&per_row)
+                .all(|(b, r)| b.to_bits() == r.to_bits()),
+            "{group}: batch scores diverged at {parts} partitions"
+        );
+    }
+
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    g.bench_function("per_row", |b| {
+        b.iter(|| {
+            let mut scores = Vec::with_capacity(problem.n());
+            for i in 0..problem.n() {
+                scores.push(model.score(black_box(features.row(i))).unwrap());
+            }
+            scores
+        })
+    });
+    for parts in PARTITIONS {
+        g.bench_function(format!("batch/p{parts}"), |b| {
+            b.iter(|| {
+                ScoredPopulation::score_members_partitioned(
+                    problem,
+                    black_box(model),
+                    members.clone(),
+                    parts,
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.bench_function("score+order", |b| {
+        b.iter(|| {
+            ScoredPopulation::score_members(problem, black_box(model), members.clone())
+                .unwrap()
+                .into_ordered()
+        })
+    });
+    g.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let problem = population();
+    let mut model = RandomForest::with_trees(50, 7);
+    fitted(&problem, &mut model);
+    bench_model(c, "score_100k_forest", &problem, &model);
+}
+
+fn bench_mlp(c: &mut Criterion) {
+    let problem = population();
+    let mut model = Mlp::with_seed(7);
+    fitted(&problem, &mut model);
+    bench_model(c, "score_100k_mlp", &problem, &model);
+}
+
+fn bench_knn(c: &mut Criterion) {
+    let problem = population();
+    let mut model = Knn::new(5).unwrap();
+    fitted(&problem, &mut model);
+    bench_model(c, "score_100k_knn", &problem, &model);
+}
+
+criterion_group!(benches, bench_forest, bench_mlp, bench_knn);
+criterion_main!(benches);

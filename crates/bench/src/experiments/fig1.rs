@@ -56,13 +56,14 @@ pub fn run(cfg: &RunConfig) -> CoreResult<()> {
         "boundary err%",
     ]);
     for step_no in 0..=2 {
-        // Evaluate.
+        // Evaluate — one vectorized batch score over the gathered
+        // evaluation rows instead of a per-row loop.
         let mut correct = 0usize;
         let mut uncertain = 0usize;
         let mut band_err = 0usize;
         let mut band_total = 0usize;
-        for (&i, &truth) in eval_ids.iter().zip(&eval_truth) {
-            let g = model.score(features.row(i))?;
+        let eval_scores = model.score_batch(&features.gather(&eval_ids))?;
+        for (&g, &truth) in eval_scores.iter().zip(&eval_truth) {
             if (g >= 0.5) == truth {
                 correct += 1;
             }
@@ -142,18 +143,24 @@ fn dump_heatmap(
         min_y = min_y.min(row[1]);
         max_y = max_y.max(row[1]);
     }
-    let mut table = TextTable::new(&["x", "y", "g"]);
+    // Score the whole grid as one batch through the vectorized kernel.
+    let mut grid_rows = Vec::with_capacity(GRID * GRID);
     for iy in 0..GRID {
         for ix in 0..GRID {
             let x = min_x + (max_x - min_x) * (ix as f64 + 0.5) / GRID as f64;
             let y = min_y + (max_y - min_y) * (iy as f64 + 0.5) / GRID as f64;
-            let g = model.score(&[x, y])?;
-            table.row(vec![
-                format!("{x:.4}"),
-                format!("{y:.4}"),
-                format!("{g:.4}"),
-            ]);
+            grid_rows.push(vec![x, y]);
         }
+    }
+    let grid_matrix = lts_learn::Matrix::from_rows(&grid_rows)?;
+    let scores = model.score_batch(&grid_matrix)?;
+    let mut table = TextTable::new(&["x", "y", "g"]);
+    for (row, &g) in grid_rows.iter().zip(&scores) {
+        table.row(vec![
+            format!("{:.4}", row[0]),
+            format!("{:.4}", row[1]),
+            format!("{g:.4}"),
+        ]);
     }
     table
         .write_csv(&cfg.out_dir, &format!("fig1_step{step}"))

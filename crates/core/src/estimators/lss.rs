@@ -27,6 +27,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::learnphase::{run_learn_phase, LearnPhaseConfig};
 use crate::problem::{CountingProblem, Labeler};
 use crate::report::{EstimateReport, Phase, PhaseTimer, QualityForecast};
+use crate::scoring::ScoredPopulation;
 use lts_sampling::{
     allocate, draw_stratified, sample_without_replacement, stratified_count_estimate, StratumSample,
 };
@@ -309,33 +310,25 @@ impl CountEstimator for Lss {
         // paper's description); with ReuseLearning it covers all of O so
         // the S_L labels can serve as design pilots at their own
         // positions. `train_positions` are the positions of S_L within
-        // the ordering (empty in Fresh mode).
+        // the ordering (empty in Fresh mode). Scoring and ordering run
+        // through the shared pipeline: partition-parallel batch scoring,
+        // then the stable (score, id) total order.
         let reuse = self.pilot_source == PilotSource::ReuseLearning;
-        let (order, sorted_scores, train_positions) =
-            timer.phase(Phase::Phase2, || -> CoreResult<_> {
-                let mut in_train = vec![false; problem.n()];
-                for &i in &lm.labeled {
-                    in_train[i] = true;
-                }
-                let features = problem.features();
-                let mut scored: Vec<(f64, usize)> = Vec::with_capacity(problem.n());
-                for (i, &trained) in in_train.iter().enumerate() {
-                    if reuse || !trained {
-                        scored.push((lm.model.score(features.row(i))?, i));
-                    }
-                }
-                scored.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-                let order: Vec<usize> = scored.iter().map(|&(_, i)| i).collect();
-                let scores: Vec<f64> = scored.iter().map(|&(s, _)| s).collect();
-                let train_positions: Vec<usize> = order
-                    .iter()
-                    .enumerate()
-                    .filter(|&(_, &obj)| in_train[obj])
-                    .map(|(pos, _)| pos)
-                    .collect();
-                Ok((order, scores, train_positions))
-            })?;
-        let n_rest = order.len();
+        let (ordered, train_positions) = timer.phase(Phase::Phase2, || -> CoreResult<_> {
+            let scored = if reuse {
+                ScoredPopulation::score_all(problem, lm.model.as_ref())?
+            } else {
+                ScoredPopulation::score_rest(problem, lm.model.as_ref(), &lm.labeled)?
+            };
+            let ordered = scored.into_ordered();
+            let mut in_train = vec![false; problem.n()];
+            for &i in &lm.labeled {
+                in_train[i] = true;
+            }
+            let train_positions = ordered.positions_marked(&in_train);
+            Ok((ordered, train_positions))
+        })?;
+        let n_rest = ordered.n();
         let n_drawable = n_rest - train_positions.len();
         if pilot_budget + stage2_budget > n_drawable {
             return Err(CoreError::BudgetTooSmall {
@@ -369,14 +362,22 @@ impl CountEstimator for Lss {
                 // One batched oracle call for the pilot; S_L labels are
                 // already cached by the labeler, so the reused entries
                 // cost no extra q evaluations.
-                let pilot_objs: Vec<usize> = positions.iter().map(|&pos| order[pos]).collect();
+                let pilot_objs = ordered.objects_at(&positions);
                 let labels = labeler.label_batch(&pilot_objs)?;
                 let entries: Vec<(usize, bool)> = positions.iter().copied().zip(labels).collect();
-                let pilot = PilotIndex::new(n_rest, entries)?;
-                let strat =
-                    self.layout_cuts(&pilot, &sorted_scores, n_rest, stage2_budget, &mut notes)?;
-                let mut sorted_positions = positions;
-                sorted_positions.sort_unstable();
+                // Partition-aligned pilot assembly (per-partition
+                // splits merged by `merge_partition_pilots`),
+                // bit-identical to direct PilotIndex construction from
+                // the drawn positions.
+                let pilot = ordered.pilot_index(&entries)?;
+                let strat = self.layout_cuts(
+                    &pilot,
+                    ordered.sorted_scores(),
+                    n_rest,
+                    stage2_budget,
+                    &mut notes,
+                )?;
+                let sorted_positions = pilot.positions().to_vec();
                 Ok((sorted_positions, pilot, strat))
             })?;
 
@@ -411,7 +412,7 @@ impl CountEstimator for Lss {
             let mut s_hats = Vec::with_capacity(n_strata_eff);
             for members in &pilot_in {
                 // All pilot labels are cached, so this batch is free.
-                let objs: Vec<usize> = members.iter().map(|&pos| order[pos]).collect();
+                let objs = ordered.objects_at(members);
                 let positives = labeler.count_positives(&objs)?;
                 let sample = StratumSample {
                     population: members.len().max(1),
@@ -475,10 +476,9 @@ impl CountEstimator for Lss {
             for (s, drawn) in draws.iter().enumerate() {
                 // One batched oracle call per stratum's stage-2 draw;
                 // the pilot recount below hits only cached labels.
-                let drawn_objs: Vec<usize> = drawn.iter().map(|&pos| order[pos]).collect();
+                let drawn_objs = ordered.objects_at(drawn);
                 let positives = labeler.count_positives(&drawn_objs)?;
-                let pilot_objs: Vec<usize> =
-                    pilot_in[s].iter().map(|&pos| order[pos]).collect();
+                let pilot_objs = ordered.objects_at(&pilot_in[s]);
                 let pilot_pos = labeler.count_positives(&pilot_objs)?;
                 pilot_positives_total += pilot_pos;
                 let population = match self.pilot_handling {

@@ -12,6 +12,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::learnphase::{run_learn_phase, LearnPhaseConfig};
 use crate::problem::{CountingProblem, Labeler};
 use crate::report::{EstimateReport, Phase, PhaseTimer};
+use crate::scoring::ScoredPopulation;
 use lts_sampling::{weighted_sample_es, DesRaj};
 use rand::rngs::StdRng;
 
@@ -84,32 +85,24 @@ impl CountEstimator for Lws {
             run_learn_phase(problem, &mut labeler, train_budget, &self.learn, rng)
         })?;
 
-        // Phase 2: score the rest, weight, draw, estimate.
+        // Phase 2: score the rest through the shared pipeline
+        // (partition-parallel batch scoring), weight, draw, estimate.
         let estimate = timer.phase(Phase::Phase2, || -> CoreResult<_> {
-            let mut in_train = vec![false; problem.n()];
-            for &i in &lm.labeled {
-                in_train[i] = true;
-            }
-            let rest: Vec<usize> = (0..problem.n()).filter(|&i| !in_train[i]).collect();
-            if rest.len() < sample_budget {
+            let scored = ScoredPopulation::score_rest(problem, lm.model.as_ref(), &lm.labeled)?;
+            if scored.len() < sample_budget {
                 return Err(CoreError::BudgetTooSmall {
                     budget,
                     required: lm.labeled.len() + sample_budget,
                     reason: "sampling budget exceeds remaining objects".into(),
                 });
             }
-            let features = problem.features();
-            let mut weights = Vec::with_capacity(rest.len());
-            for &i in &rest {
-                let g = lm.model.score(features.row(i))?;
-                weights.push(g.max(self.epsilon));
-            }
+            let weights = scored.weights(self.epsilon);
             let draws = weighted_sample_es(rng, &weights, sample_budget)?;
             // One batched oracle call for the whole phase-2 sample; the
             // Des Raj pushes then replay the draw order exactly.
-            let objs: Vec<usize> = draws.iter().map(|d| rest[d.index]).collect();
+            let objs: Vec<usize> = draws.iter().map(|d| scored.members()[d.index]).collect();
             let labels = labeler.label_batch(&objs)?;
-            let mut desraj = DesRaj::new(rest.len())?;
+            let mut desraj = DesRaj::new(scored.len())?;
             for (d, label) in draws.iter().zip(labels) {
                 desraj.push(label, d.initial_probability)?;
             }

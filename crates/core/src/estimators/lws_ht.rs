@@ -21,6 +21,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::learnphase::{run_learn_phase, LearnPhaseConfig};
 use crate::problem::{CountingProblem, Labeler};
 use crate::report::{EstimateReport, Phase, PhaseTimer};
+use crate::scoring::ScoredPopulation;
 use lts_sampling::{horvitz_thompson_count, systematic_pps_sample};
 use rand::rngs::StdRng;
 
@@ -93,27 +94,20 @@ impl CountEstimator for LwsHt {
         })?;
 
         let estimate = timer.phase(Phase::Phase2, || -> CoreResult<_> {
-            let mut in_train = vec![false; problem.n()];
-            for &i in &lm.labeled {
-                in_train[i] = true;
-            }
-            let rest: Vec<usize> = (0..problem.n()).filter(|&i| !in_train[i]).collect();
-            if rest.len() < sample_budget {
+            // Shared scoring pipeline: partition-parallel batch scores
+            // over O \ S_L, then the ε-floored PPS weights.
+            let scored = ScoredPopulation::score_rest(problem, lm.model.as_ref(), &lm.labeled)?;
+            if scored.len() < sample_budget {
                 return Err(CoreError::BudgetTooSmall {
                     budget,
                     required: lm.labeled.len() + sample_budget,
                     reason: "sampling budget exceeds remaining objects".into(),
                 });
             }
-            let features = problem.features();
-            let mut weights = Vec::with_capacity(rest.len());
-            for &i in &rest {
-                let g = lm.model.score(features.row(i))?;
-                weights.push(g.max(self.epsilon));
-            }
+            let weights = scored.weights(self.epsilon);
             let draws = systematic_pps_sample(rng, &weights, sample_budget)?;
             // One batched oracle call for the whole systematic sample.
-            let objs: Vec<usize> = draws.iter().map(|d| rest[d.index]).collect();
+            let objs: Vec<usize> = draws.iter().map(|d| scored.members()[d.index]).collect();
             let labels = labeler.label_batch(&objs)?;
             let pairs: Vec<(f64, bool)> = draws
                 .iter()

@@ -13,6 +13,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::learnphase::{run_learn_phase, LearnPhaseConfig};
 use crate::problem::{CountingProblem, Labeler};
 use crate::report::{EstimateReport, Phase, PhaseTimer};
+use crate::scoring::ScoredPopulation;
 use lts_sampling::{weighted_sample_es, DesRaj};
 use rand::rngs::StdRng;
 
@@ -98,18 +99,11 @@ impl CountEstimator for LwsSequential {
         })?;
 
         let estimate = timer.phase(Phase::Phase2, || -> CoreResult<_> {
-            let mut in_train = vec![false; problem.n()];
-            for &i in &lm.labeled {
-                in_train[i] = true;
-            }
-            let rest: Vec<usize> = (0..problem.n()).filter(|&i| !in_train[i]).collect();
-            let draws_wanted = max_draws.min(rest.len());
-            let features = problem.features();
-            let mut weights = Vec::with_capacity(rest.len());
-            for &i in &rest {
-                let g = lm.model.score(features.row(i))?;
-                weights.push(g.max(self.epsilon));
-            }
+            // Shared scoring pipeline over O \ S_L, then ε-floored
+            // weights for the sequential PPS walk.
+            let scored = ScoredPopulation::score_rest(problem, lm.model.as_ref(), &lm.labeled)?;
+            let draws_wanted = max_draws.min(scored.len());
+            let weights = scored.weights(self.epsilon);
             // Draw the full plan up front (cheap); label lazily until
             // the stopping rule fires. The stopping rule cannot fire
             // before `min_draws`, so that prefix is labeled as one
@@ -117,12 +111,15 @@ impl CountEstimator for LwsSequential {
             // because each label feeds the next stopping decision.
             let plan = weighted_sample_es(rng, &weights, draws_wanted)?;
             let prefix = self.min_draws.max(2).min(plan.len());
-            let prefix_objs: Vec<usize> = plan[..prefix].iter().map(|d| rest[d.index]).collect();
+            let prefix_objs: Vec<usize> = plan[..prefix]
+                .iter()
+                .map(|d| scored.members()[d.index])
+                .collect();
             labeler.label_batch(&prefix_objs)?;
-            let mut desraj = DesRaj::new(rest.len())?;
+            let mut desraj = DesRaj::new(scored.len())?;
             let mut used = 0usize;
             for d in &plan {
-                let label = labeler.label(rest[d.index])?;
+                let label = labeler.label(scored.members()[d.index])?;
                 desraj.push(label, d.initial_probability)?;
                 used += 1;
                 if used >= self.min_draws.max(2) {

@@ -15,6 +15,7 @@ use crate::error::CoreResult;
 use crate::learnphase::{run_learn_phase, LearnPhaseConfig};
 use crate::problem::{CountingProblem, Labeler};
 use crate::report::{EstimateReport, Phase, PhaseTimer};
+use crate::scoring::ScoredPopulation;
 use lts_learn::cross_validated_rates;
 use lts_sampling::CountEstimate;
 use rand::rngs::StdRng;
@@ -73,18 +74,10 @@ fn run_ql(
         run_learn_phase(problem, &mut labeler, budget, learn, rng)
     })?;
     let observed = timer.phase(Phase::Phase2, || -> CoreResult<usize> {
-        let features = problem.features();
-        let mut in_train = vec![false; problem.n()];
-        for &i in &lm.labeled {
-            in_train[i] = true;
-        }
-        let mut count = 0usize;
-        for (i, &trained) in in_train.iter().enumerate() {
-            if !trained && lm.model.predict(features.row(i))? {
-                count += 1;
-            }
-        }
-        Ok(count)
+        // Shared scoring pipeline over the test set O \ S; "predicted
+        // positive" is score ≥ 0.5, exactly the per-row `predict`.
+        let scored = ScoredPopulation::score_rest(problem, lm.model.as_ref(), &lm.labeled)?;
+        Ok(scored.count_at_least(0.5))
     })?;
     let rest_len = problem.n() - lm.labeled.len();
     Ok(QlRun {

@@ -63,7 +63,8 @@ impl CountEstimator for Ssn {
         let mut timer = PhaseTimer::new();
         let mut labeler = Labeler::new(problem);
 
-        // Reuse SSP's surrogate-grid construction.
+        // Reuse SSP's surrogate-grid construction (which itself runs
+        // through the shared columnar pipeline in `crate::scoring`).
         let ssp = super::Ssp {
             grid: self.grid,
             feature_dims: self.feature_dims,

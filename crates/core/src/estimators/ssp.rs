@@ -9,10 +9,10 @@ use super::{check_budget, CountEstimator};
 use crate::error::{CoreError, CoreResult};
 use crate::problem::{CountingProblem, Labeler};
 use crate::report::{EstimateReport, Phase, PhaseTimer};
+use crate::scoring::surrogate_grid_strata;
 use lts_sampling::{
     draw_stratified, proportional_allocation, stratified_count_estimate, StratumSample,
 };
-use lts_table::GridIndex;
 use rand::rngs::StdRng;
 
 /// Stratified sampling with proportional allocation over a
@@ -53,25 +53,11 @@ impl Ssp {
     }
 
     /// Build the surrogate strata: grid-cell member lists, empty cells
-    /// dropped.
+    /// dropped. Delegates to the shared scoring pipeline's
+    /// column-at-a-time surrogate projection
+    /// ([`crate::scoring::surrogate_grid_strata`]).
     pub(crate) fn build_strata(&self, problem: &CountingProblem) -> CoreResult<Vec<Vec<usize>>> {
-        let features = problem.features();
-        let d = features.cols();
-        let (dx, dy) = self.feature_dims;
-        if dx >= d || dy >= d {
-            return Err(CoreError::InvalidConfig {
-                message: format!(
-                    "feature_dims ({dx}, {dy}) out of range for {d} feature column(s)"
-                ),
-            });
-        }
-        let xs: Vec<f64> = features.iter_rows().map(|r| r[dx]).collect();
-        let ys: Vec<f64> = features.iter_rows().map(|r| r[dy]).collect();
-        let grid = GridIndex::build(&xs, &ys, self.grid.0.max(1), self.grid.1.max(1))?;
-        let assignments = grid.assignments();
-        let mut strata = lts_sampling::group_by_stratum(&assignments, grid.num_cells());
-        strata.retain(|s| !s.is_empty());
-        Ok(strata)
+        surrogate_grid_strata(problem, self.grid, self.feature_dims)
     }
 }
 

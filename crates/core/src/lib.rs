@@ -18,8 +18,13 @@
 //!
 //! The learning phase (SRS + classifier training + optional
 //! uncertainty-sampling augmentation, §3.2) is shared by QL/LWS/LSS and
-//! lives in [`learnphase`]. Every estimator reports phase timings
-//! compatible with the paper's Figure-3 overhead breakdown.
+//! lives in [`learnphase`]. The proxy-scoring hot path every learned
+//! estimator then runs — features → vectorized batch score → stable
+//! `(score, id)` order → partition-aligned design pilot — is the shared
+//! [`scoring`] pipeline ([`scoring::ScoredPopulation`]), scored
+//! partition-parallel and bit-identical at every partition and thread
+//! count. Every estimator reports phase timings compatible with the
+//! paper's Figure-3 overhead breakdown.
 
 #![warn(missing_docs)]
 
@@ -30,6 +35,7 @@ pub mod learnphase;
 pub mod problem;
 pub mod report;
 pub mod runner;
+pub mod scoring;
 pub mod spec;
 
 pub use error::{CoreError, CoreResult};
@@ -42,4 +48,5 @@ pub use learnphase::{LearnPhaseConfig, LearnedModel};
 pub use problem::{CountingProblem, Labeler};
 pub use report::{EstimateReport, PhaseTimings, QualityForecast};
 pub use runner::{run_trials, run_trials_with, TrialExecution, TrialStats};
+pub use scoring::{feature_column, surrogate_grid_strata, OrderedPopulation, ScoredPopulation};
 pub use spec::ClassifierSpec;

@@ -1,0 +1,488 @@
+//! The shared proxy-scoring pipeline: features → batch score → stable
+//! order → partition-aligned design.
+//!
+//! Every learned estimator shares one structural hot path: score each
+//! object of a population with the proxy `g`, optionally order the
+//! population by score, then design a sampling scheme over that order
+//! (paper §3.2–§4.2). Before this module each estimator re-implemented
+//! the path as a private per-row loop (`model.score(features.row(i))`
+//! over all `N` objects); now they all consume:
+//!
+//! * [`ScoredPopulation`] — a member set (ascending object ids) scored
+//!   **partition-parallel**: the member list is split into contiguous
+//!   ranges by the same [`partition_bounds`] arithmetic that
+//!   `lts_table::partition::PartitionedTable` uses for row ranges, each
+//!   range is gathered and scored with the model's *vectorized*
+//!   [`Classifier::score_batch`], and per-partition score vectors are
+//!   concatenated **in partition order**. Because every `score_batch`
+//!   implementation is per-row pure and bit-identical to per-row
+//!   [`Classifier::score`], the result is independent of partition and
+//!   thread count — the same determinism contract as the partitioned
+//!   scan engine.
+//! * [`OrderedPopulation`] — the `(score, id)` **stable total order**
+//!   over a scored population (LSS's ordering), with helpers to map
+//!   positions back to objects and to assemble the stage-1 design
+//!   pilot **partition-aligned**: labeled positions split by partition
+//!   bounds and merged through `lts_strata`'s
+//!   `merge_partition_pilots`. (Callers that hold raw scores but no
+//!   ordering locate pilots with
+//!   [`lts_strata::pilot_index_from_scores`] instead — the parallel
+//!   bucket pass, `O(N log m)` with no population sort.)
+//! * [`surrogate_grid_strata`] — the §3.1 surrogate-attribute grid used
+//!   by SSP/SSN, built from **column-at-a-time** feature extraction
+//!   instead of per-row feature walks.
+//!
+//! # Determinism contract
+//!
+//! For a fixed problem and model, every artifact of this module —
+//! scores, weights, ordering, pilot index — is bit-identical at every
+//! partition count and every `RAYON_NUM_THREADS`. Ties in the ordering
+//! are broken by ascending object id, so the order is a *total* order
+//! and downstream position-indexed sampling is unambiguous. This is
+//! asserted by `crates/core/tests/scoring_determinism.rs` and by the CI
+//! diff of `BENCH_score_pipeline.json` between 1-thread and
+//! default-thread runs.
+
+use crate::error::{CoreError, CoreResult};
+use crate::problem::CountingProblem;
+use lts_learn::Classifier;
+use lts_strata::PilotIndex;
+use lts_table::partition::partition_bounds;
+use rayon::prelude::*;
+
+/// Below this many members, a scoring chunk is not worth a worker
+/// thread (model inference is far costlier per row than a column scan,
+/// so the threshold sits well under the scan engine's
+/// `MIN_PARTITION_ROWS`).
+pub const MIN_SCORE_ROWS: usize = 256;
+
+/// Deterministic-result partition count heuristic: one partition per
+/// worker, never fewer than [`MIN_SCORE_ROWS`] members each. The count
+/// varies with the host, the *scores do not* (see the module's
+/// determinism contract).
+fn auto_partitions(n_members: usize) -> usize {
+    (n_members / MIN_SCORE_ROWS).clamp(1, rayon::current_num_threads())
+}
+
+/// A population subset scored by a proxy classifier `g`.
+///
+/// `members` are ascending object ids; `scores[k] = g(members[k])`.
+#[derive(Debug, Clone)]
+pub struct ScoredPopulation {
+    members: Vec<usize>,
+    scores: Vec<f64>,
+}
+
+impl ScoredPopulation {
+    /// Score an explicit member set (must be strictly ascending object
+    /// ids into the problem's population), partition-parallel with an
+    /// automatic partition count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unsorted/out-of-range members or scoring
+    /// failures.
+    pub fn score_members(
+        problem: &CountingProblem,
+        model: &dyn Classifier,
+        members: Vec<usize>,
+    ) -> CoreResult<Self> {
+        let parts = auto_partitions(members.len());
+        Self::score_members_partitioned(problem, model, members, parts)
+    }
+
+    /// [`ScoredPopulation::score_members`] with an explicit partition
+    /// count — the scores are bit-identical for every count; the knob
+    /// exists for the determinism tests and the scoring benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unsorted/out-of-range members or scoring
+    /// failures.
+    pub fn score_members_partitioned(
+        problem: &CountingProblem,
+        model: &dyn Classifier,
+        members: Vec<usize>,
+        n_partitions: usize,
+    ) -> CoreResult<Self> {
+        let n = problem.n();
+        if members.windows(2).any(|w| w[0] >= w[1]) || members.last().is_some_and(|&m| m >= n) {
+            return Err(CoreError::InvalidConfig {
+                message: "scored members must be strictly ascending object ids".into(),
+            });
+        }
+        let features = problem.features();
+        // Contiguous member ranges, mirroring PartitionedTable's
+        // row-range arithmetic; each worker gathers and batch-scores
+        // only its own range, results concatenate in partition order.
+        let bounds = partition_bounds(members.len(), n_partitions.max(1));
+        let ranges: Vec<(usize, usize)> = bounds.windows(2).map(|w| (w[0], w[1])).collect();
+        let chunks: Vec<lts_learn::LearnResult<Vec<f64>>> = ranges
+            .into_par_iter()
+            .map(|(lo, hi)| model.score_batch(&features.gather(&members[lo..hi])))
+            .collect();
+        let mut scores = Vec::with_capacity(members.len());
+        for chunk in chunks {
+            scores.extend(chunk?);
+        }
+        Ok(Self { members, scores })
+    }
+
+    /// Score the whole population `O`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring failures.
+    pub fn score_all(problem: &CountingProblem, model: &dyn Classifier) -> CoreResult<Self> {
+        Self::score_members(problem, model, (0..problem.n()).collect())
+    }
+
+    /// Score `O \ exclude` (the "rest" population every phase-2 draw
+    /// operates on; `exclude` is typically the learning sample `S_L`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scoring failures.
+    pub fn score_rest(
+        problem: &CountingProblem,
+        model: &dyn Classifier,
+        exclude: &[usize],
+    ) -> CoreResult<Self> {
+        let n = problem.n();
+        let mut excluded = vec![false; n];
+        for &i in exclude {
+            if i >= n {
+                return Err(CoreError::InvalidConfig {
+                    message: format!("excluded id {i} out of range (N = {n})"),
+                });
+            }
+            excluded[i] = true;
+        }
+        let members: Vec<usize> = (0..n).filter(|&i| !excluded[i]).collect();
+        Self::score_members(problem, model, members)
+    }
+
+    /// Number of scored members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether no members were scored.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The member object ids (ascending).
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Scores aligned with [`ScoredPopulation::members`].
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// PPS sampling weights `max(g(o), floor)` aligned with members —
+    /// the LWS family's weight vector (the ε floor keeps an
+    /// overconfident classifier from starving negatives).
+    pub fn weights(&self, floor: f64) -> Vec<f64> {
+        self.scores.iter().map(|&g| g.max(floor)).collect()
+    }
+
+    /// Count of members whose score clears `threshold` (the
+    /// quantification-learning "predicted positive" count at 0.5).
+    pub fn count_at_least(&self, threshold: f64) -> usize {
+        self.scores.iter().filter(|&&g| g >= threshold).count()
+    }
+
+    /// Consume into the `(score, id)`-ordered population.
+    pub fn into_ordered(self) -> OrderedPopulation {
+        OrderedPopulation::new(self)
+    }
+}
+
+/// A scored population arranged in the stable `(score, id)` total
+/// order — LSS's score ordering (§4.2).
+///
+/// Position `p` holds the object with the `p`-th smallest composite key
+/// `(g(o), o)`. Ties on `g` break by ascending object id, so the order
+/// (and everything derived from it: pilot positions, strata membership,
+/// stage-2 draws) is identical at every partition and thread count.
+#[derive(Debug, Clone)]
+pub struct OrderedPopulation {
+    /// position → object id.
+    order: Vec<usize>,
+    /// Scores sorted to match `order`.
+    sorted_scores: Vec<f64>,
+}
+
+impl OrderedPopulation {
+    fn new(sp: ScoredPopulation) -> Self {
+        let mut idx: Vec<usize> = (0..sp.members.len()).collect();
+        // Stable sort by the composite key; `members` is ascending, so
+        // local-index ties equal object-id ties.
+        idx.sort_by(|&a, &b| sp.scores[a].total_cmp(&sp.scores[b]).then(a.cmp(&b)));
+        let order: Vec<usize> = idx.iter().map(|&k| sp.members[k]).collect();
+        let sorted_scores: Vec<f64> = idx.iter().map(|&k| sp.scores[k]).collect();
+        Self {
+            order,
+            sorted_scores,
+        }
+    }
+
+    /// Population size `N'`.
+    pub fn n(&self) -> usize {
+        self.order.len()
+    }
+
+    /// position → object id, for the whole ordering.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// Scores in order (ascending by the composite key).
+    pub fn sorted_scores(&self) -> &[f64] {
+        &self.sorted_scores
+    }
+
+    /// Object id at a position of the ordering.
+    pub fn object_at(&self, position: usize) -> usize {
+        self.order[position]
+    }
+
+    /// Object ids for a batch of positions (aligned with `positions`).
+    pub fn objects_at(&self, positions: &[usize]) -> Vec<usize> {
+        positions.iter().map(|&p| self.order[p]).collect()
+    }
+
+    /// Positions (ascending) whose object is marked in `mask` (indexed
+    /// by object id) — e.g. the positions of `S_L` inside the ordering.
+    pub fn positions_marked(&self, mask: &[bool]) -> Vec<usize> {
+        self.order
+            .iter()
+            .enumerate()
+            .filter(|&(_, &obj)| mask[obj])
+            .map(|(pos, _)| pos)
+            .collect()
+    }
+
+    /// Assemble the stage-1 design pilot **partition-aligned**: the
+    /// labeled `(position, label)` entries are split by the same
+    /// partition-bound arithmetic the scoring pass uses and merged into
+    /// one global [`PilotIndex`] by `lts_strata`'s
+    /// `merge_partition_pilots` — bit-identical to constructing the
+    /// index directly from `entries`, for every partition count. (When
+    /// positions are *not* already known — raw scores, no ordering —
+    /// use [`lts_strata::pilot_index_from_scores`], the parallel bucket
+    /// pass, instead.)
+    ///
+    /// `entries` are `(position, label)` pairs over this ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty/duplicate/out-of-range pilots.
+    pub fn pilot_index(&self, entries: &[(usize, bool)]) -> CoreResult<PilotIndex> {
+        let n = self.order.len();
+        let bounds = partition_bounds(n, auto_partitions(n));
+        Ok(lts_strata::pilot_index_from_positions(&bounds, entries)?)
+    }
+}
+
+/// Extract feature column `dim` **column-at-a-time** from the problem's
+/// feature matrix (one strided pass over the row-major buffer; no
+/// per-row slicing).
+///
+/// # Errors
+///
+/// Returns an error when `dim` is out of range.
+pub fn feature_column(problem: &CountingProblem, dim: usize) -> CoreResult<Vec<f64>> {
+    let features = problem.features();
+    if dim >= features.cols() {
+        return Err(CoreError::InvalidConfig {
+            message: format!(
+                "feature dim {dim} out of range for {} feature column(s)",
+                features.cols()
+            ),
+        });
+    }
+    Ok(features.column(dim))
+}
+
+/// Build the §3.1 surrogate-attribute strata: a `grid.0 × grid.1` grid
+/// over feature columns `dims`, empty cells dropped. Shared by SSP and
+/// SSN (their only "scoring" step — the surrogate projection — now runs
+/// through the columnar pipeline).
+///
+/// # Errors
+///
+/// Returns an error for out-of-range feature dims or degenerate grids.
+pub fn surrogate_grid_strata(
+    problem: &CountingProblem,
+    grid: (usize, usize),
+    dims: (usize, usize),
+) -> CoreResult<Vec<Vec<usize>>> {
+    let d = problem.features().cols();
+    let (dx, dy) = dims;
+    if dx >= d || dy >= d {
+        return Err(CoreError::InvalidConfig {
+            message: format!("feature_dims ({dx}, {dy}) out of range for {d} feature column(s)"),
+        });
+    }
+    let xs = feature_column(problem, dx)?;
+    let ys = feature_column(problem, dy)?;
+    let grid = lts_table::GridIndex::build(&xs, &ys, grid.0.max(1), grid.1.max(1))?;
+    let assignments = grid.assignments();
+    let mut strata = lts_sampling::group_by_stratum(&assignments, grid.num_cells());
+    strata.retain(|s| !s.is_empty());
+    Ok(strata)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::tests_support::line_problem;
+    use lts_learn::{ConstantScore, Knn};
+
+    fn fitted_knn(problem: &CountingProblem) -> Knn {
+        let mut model = Knn::new(3).expect("k > 0");
+        let ids: Vec<usize> = (0..problem.n()).step_by(7).collect();
+        let labels: Vec<bool> = ids.iter().map(|&i| problem.label(i).unwrap()).collect();
+        model
+            .fit(&problem.features().gather(&ids), &labels)
+            .unwrap();
+        model
+    }
+
+    #[test]
+    fn scores_match_per_row_loop_at_every_partition_count() {
+        let problem = line_problem(230, 0.4);
+        let model = fitted_knn(&problem);
+        let members: Vec<usize> = (0..230).filter(|i| i % 3 != 0).collect();
+        let per_row: Vec<f64> = members
+            .iter()
+            .map(|&i| model.score(problem.features().row(i)).unwrap())
+            .collect();
+        for parts in [1usize, 2, 3, 8, 64, 500] {
+            let sp = ScoredPopulation::score_members_partitioned(
+                &problem,
+                &model,
+                members.clone(),
+                parts,
+            )
+            .unwrap();
+            assert_eq!(sp.scores(), per_row.as_slice(), "parts={parts}");
+            assert_eq!(sp.members(), members.as_slice());
+        }
+    }
+
+    #[test]
+    fn score_rest_excludes_and_score_all_covers() {
+        let problem = line_problem(60, 0.5);
+        let model = fitted_knn(&problem);
+        let exclude = vec![0usize, 10, 59];
+        let sp = ScoredPopulation::score_rest(&problem, &model, &exclude).unwrap();
+        assert_eq!(sp.len(), 57);
+        assert!(!exclude.iter().any(|e| sp.members().contains(e)));
+        // Out-of-range exclusions error instead of panicking.
+        assert!(ScoredPopulation::score_rest(&problem, &model, &[60]).is_err());
+        let all = ScoredPopulation::score_all(&problem, &model).unwrap();
+        assert_eq!(all.len(), 60);
+        assert!(!all.is_empty());
+    }
+
+    #[test]
+    fn weights_apply_floor_and_counts_threshold() {
+        let problem = line_problem(40, 0.5);
+        let model = fitted_knn(&problem);
+        let sp = ScoredPopulation::score_all(&problem, &model).unwrap();
+        let w = sp.weights(0.25);
+        assert!(w.iter().all(|&v| v >= 0.25));
+        assert_eq!(
+            w.iter().zip(sp.scores()).filter(|(w, s)| *w > *s).count(),
+            sp.scores().iter().filter(|&&s| s < 0.25).count()
+        );
+        assert_eq!(
+            sp.count_at_least(0.5),
+            sp.scores().iter().filter(|&&s| s >= 0.5).count()
+        );
+    }
+
+    #[test]
+    fn ordering_is_stable_by_score_then_id() {
+        // All scores tie → the order must be ascending object id.
+        let problem = line_problem(50, 0.5);
+        let model = ConstantScore::new(0.5);
+        let ordered = ScoredPopulation::score_all(&problem, &model)
+            .unwrap()
+            .into_ordered();
+        let want: Vec<usize> = (0..50).collect();
+        assert_eq!(ordered.order(), want.as_slice());
+        assert_eq!(ordered.n(), 50);
+        assert_eq!(ordered.object_at(7), 7);
+        // And a real model's ordering is sorted by (score, id).
+        let model = fitted_knn(&problem);
+        let ordered = ScoredPopulation::score_all(&problem, &model)
+            .unwrap()
+            .into_ordered();
+        for p in 1..ordered.n() {
+            let (s0, s1) = (ordered.sorted_scores()[p - 1], ordered.sorted_scores()[p]);
+            assert!(
+                s0 < s1 || (s0 == s1 && ordered.object_at(p - 1) < ordered.object_at(p)),
+                "order not (score, id)-sorted at {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn positions_marked_finds_members() {
+        let problem = line_problem(30, 0.5);
+        let ordered = ScoredPopulation::score_all(&problem, &ConstantScore::new(0.1))
+            .unwrap()
+            .into_ordered();
+        let mut mask = vec![false; 30];
+        mask[3] = true;
+        mask[29] = true;
+        assert_eq!(ordered.positions_marked(&mask), vec![3, 29]);
+    }
+
+    #[test]
+    fn pilot_index_matches_direct_construction() {
+        let problem = line_problem(120, 0.4);
+        let model = fitted_knn(&problem);
+        let ordered = ScoredPopulation::score_all(&problem, &model)
+            .unwrap()
+            .into_ordered();
+        let entries: Vec<(usize, bool)> = (0..120).step_by(11).map(|p| (p, p % 2 == 0)).collect();
+        let via_pass = ordered.pilot_index(&entries).unwrap();
+        let direct = PilotIndex::new(120, entries.clone()).unwrap();
+        assert_eq!(via_pass, direct);
+        // Out-of-range position is rejected.
+        assert!(ordered.pilot_index(&[(120, true)]).is_err());
+    }
+
+    #[test]
+    fn member_validation() {
+        let problem = line_problem(20, 0.5);
+        let model = ConstantScore::new(0.5);
+        for bad in [vec![3usize, 3], vec![5, 2], vec![19, 20]] {
+            assert!(
+                ScoredPopulation::score_members(&problem, &model, bad.clone()).is_err(),
+                "{bad:?} accepted"
+            );
+        }
+        let empty = ScoredPopulation::score_members(&problem, &model, Vec::new()).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn surrogate_grid_strata_cover_population() {
+        let problem = line_problem(100, 0.5);
+        let strata = surrogate_grid_strata(&problem, (4, 1), (0, 0)).unwrap();
+        let total: usize = strata.iter().map(Vec::len).sum();
+        assert_eq!(total, 100);
+        assert!(strata.iter().all(|s| !s.is_empty()));
+        assert!(surrogate_grid_strata(&problem, (2, 2), (0, 5)).is_err());
+        assert!(feature_column(&problem, 9).is_err());
+        assert_eq!(feature_column(&problem, 0).unwrap().len(), 100);
+    }
+}

@@ -1,0 +1,25 @@
+//! Shared fixture for the scoring integration tests.
+
+use lts_core::CountingProblem;
+use lts_table::table::table_of_floats;
+use lts_table::{FnPredicate, ObjectPredicate, Table};
+use std::sync::Arc;
+
+/// A 2-d problem with pseudo-random features and a linear-band
+/// predicate (deterministic, no RNG).
+pub fn band_problem(n: usize, seed: u64) -> CountingProblem {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let xs: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+    let ys: Vec<f64> = (0..n).map(|_| next() * 10.0).collect();
+    let table = Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap());
+    let q: Arc<dyn ObjectPredicate> = Arc::new(FnPredicate::new("band", |t: &Table, i| {
+        Ok(t.floats("x")?[i] + 0.3 * t.floats("y")?[i] < 6.0)
+    }));
+    CountingProblem::new(table, q, &["x", "y"]).unwrap()
+}

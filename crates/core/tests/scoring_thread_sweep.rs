@@ -1,0 +1,70 @@
+//! The golden thread-count sweep, isolated in its **own test binary**:
+//! it mutates the process-wide `RAYON_NUM_THREADS`, which would race
+//! with sibling tests (and silently defeat a pinned-thread CI leg) if
+//! it shared a binary with them. Here the only other code running is
+//! this sweep itself, and the incoming value is restored afterwards.
+
+mod common;
+
+use common::band_problem;
+use lts_core::estimators::{CountEstimator, Lss, Lws, Qlcc};
+use lts_core::{run_trials_with, ClassifierSpec, LearnPhaseConfig, TrialExecution};
+
+/// Per-seed estimates from the learned estimators are bit-identical
+/// under 1 thread, many threads, and the host default, in both
+/// sequential and parallel trial execution. (No hardcoded golden
+/// floats: the cross-configuration equality *is* the contract;
+/// absolute values are pinned by the estimator test suites.)
+#[test]
+fn run_trials_estimates_identical_across_thread_counts() {
+    let problem = band_problem(500, 7);
+    let truth = problem.exact_count().unwrap() as f64;
+    let learn = LearnPhaseConfig {
+        spec: ClassifierSpec::Knn { k: 3 },
+        ..LearnPhaseConfig::default()
+    };
+    let estimators: Vec<Box<dyn CountEstimator>> = vec![
+        Box::new(Lss {
+            learn,
+            min_pilots_per_stratum: 2,
+            ..Lss::default()
+        }),
+        Box::new(Lws {
+            learn,
+            ..Lws::default()
+        }),
+        Box::new(Qlcc { learn }),
+    ];
+    let incoming = std::env::var("RAYON_NUM_THREADS").ok();
+    for est in &estimators {
+        let mut runs: Vec<Vec<u64>> = Vec::new();
+        for threads in ["1", "5", ""] {
+            // The rayon shim reads the var per call, so each sweep leg
+            // genuinely runs at the requested worker count.
+            if threads.is_empty() {
+                std::env::remove_var("RAYON_NUM_THREADS");
+            } else {
+                std::env::set_var("RAYON_NUM_THREADS", threads);
+            }
+            for execution in [TrialExecution::Sequential, TrialExecution::Parallel] {
+                let stats =
+                    run_trials_with(&problem, est.as_ref(), 90, 8, 42, Some(truth), execution)
+                        .unwrap();
+                runs.push(stats.estimates.iter().map(|e| e.to_bits()).collect());
+            }
+        }
+        for run in &runs[1..] {
+            assert_eq!(
+                run,
+                &runs[0],
+                "{}: estimates diverged across thread counts / execution modes",
+                est.name()
+            );
+        }
+    }
+    // Restore the environment the harness launched us with.
+    match incoming {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+}

@@ -50,11 +50,14 @@ pub fn select_uncertain(
     candidates: &[usize],
     count: usize,
 ) -> LearnResult<Vec<usize>> {
-    let mut scored: Vec<(f64, usize)> = Vec::with_capacity(candidates.len());
-    for &i in candidates {
-        let g = model.score(features.row(i))?;
-        scored.push(((g - 0.5).abs(), i));
-    }
+    // One vectorized batch score over the gathered candidate rows
+    // (bit-identical to scoring each row individually).
+    let scores = model.score_batch(&features.gather(candidates))?;
+    let mut scored: Vec<(f64, usize)> = scores
+        .into_iter()
+        .zip(candidates.iter().copied())
+        .map(|(g, i)| ((g - 0.5).abs(), i))
+        .collect();
     let take = count.min(scored.len());
     if take == 0 {
         return Ok(Vec::new());

@@ -38,6 +38,23 @@ pub trait Classifier: Send + Sync {
 
     /// Scores for every row of a matrix.
     ///
+    /// The default maps [`Classifier::score`] over the rows. Every
+    /// model in this crate overrides it with a vectorized batch kernel
+    /// (fused scaling, reused buffers, per-tree accumulation, batched
+    /// kd-tree queries) under one contract, enforced by
+    /// `tests/score_batch_agreement.rs`:
+    ///
+    /// * **bit-identical** to the per-row path — same values (to the
+    ///   bit, including NaN propagation) and same first error;
+    /// * **per-row pure** — row `i`'s score depends only on row `i`, so
+    ///   any partition of the rows scored independently and
+    ///   concatenated in order equals the single batch (the property
+    ///   the partition-parallel scoring pipeline in `lts-core` builds
+    ///   on);
+    /// * an **empty matrix yields an empty vector** without touching
+    ///   the model (the default loop never calls `score`, so overrides
+    ///   must not error on empty input either — even unfitted).
+    ///
     /// # Errors
     ///
     /// Same conditions as [`Classifier::score`].

@@ -148,6 +148,23 @@ impl Matrix {
     pub fn iter_rows(&self) -> impl Iterator<Item = &[f64]> + '_ {
         (0..self.rows).map(move |i| self.row(i))
     }
+
+    /// Copy out column `j` in one strided pass (column-at-a-time
+    /// extraction for the scoring pipeline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= cols()`.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        assert!(j < self.cols, "column {j} out of range ({})", self.cols);
+        self.data
+            .get(j..)
+            .unwrap_or(&[]) // no rows: data is shorter than j
+            .iter()
+            .step_by(self.cols)
+            .copied()
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -206,6 +223,21 @@ mod tests {
     fn row_out_of_range_panics() {
         let m = Matrix::empty(2);
         let _ = m.row(0);
+    }
+
+    #[test]
+    fn column_extracts_strided_values() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        assert_eq!(m.column(0), vec![1.0, 3.0, 5.0]);
+        assert_eq!(m.column(1), vec![2.0, 4.0, 6.0]);
+        assert!(Matrix::empty(2).column(1).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn column_out_of_range_panics() {
+        let m = Matrix::from_rows(&[vec![1.0]]).unwrap();
+        let _ = m.column(1);
     }
 
     #[test]

@@ -77,6 +77,30 @@ impl StandardScaler {
             .collect())
     }
 
+    /// Standardize one row into a reusable buffer — the allocation-free
+    /// variant batch scoring kernels loop over. Element-for-element the
+    /// same arithmetic as [`StandardScaler::transform_row`], so results
+    /// are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on dimension mismatch.
+    pub fn transform_row_into(&self, row: &[f64], out: &mut Vec<f64>) -> LearnResult<()> {
+        if row.len() != self.means.len() {
+            return Err(LearnError::DimensionMismatch {
+                expected: self.means.len(),
+                found: row.len(),
+            });
+        }
+        out.clear();
+        out.extend(
+            row.iter()
+                .zip(self.means.iter().zip(&self.stds))
+                .map(|(&x, (&m, &s))| (x - m) / s),
+        );
+        Ok(())
+    }
+
     /// Standardize a whole matrix.
     ///
     /// # Errors
@@ -121,6 +145,18 @@ mod tests {
         let s = StandardScaler::fit(&x).unwrap();
         let t = s.transform_row(&[7.0]).unwrap();
         assert_eq!(t, vec![0.0]);
+    }
+
+    #[test]
+    fn transform_row_into_matches_transform_row() {
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]]).unwrap();
+        let s = StandardScaler::fit(&x).unwrap();
+        let mut buf = Vec::new();
+        for row in x.iter_rows() {
+            s.transform_row_into(row, &mut buf).unwrap();
+            assert_eq!(buf, s.transform_row(row).unwrap());
+        }
+        assert!(s.transform_row_into(&[1.0], &mut buf).is_err());
     }
 
     #[test]

@@ -78,6 +78,26 @@ impl DecisionTree {
         self.nodes.len()
     }
 
+    /// Leaf probability for a row without the per-call fitted/dimension
+    /// checks — the batch-traversal kernel the forest accumulates over
+    /// (callers validate once per batch).
+    pub(crate) fn score_unchecked(&self, row: &[f64]) -> f64 {
+        let mut node = self.nodes.len() - 1; // root is last
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { p } => return *p,
+                Node::Split {
+                    feat,
+                    thr,
+                    left,
+                    right,
+                } => {
+                    node = if row[*feat] <= *thr { *left } else { *right };
+                }
+            }
+        }
+    }
+
     fn build(
         &mut self,
         x: &Matrix,
@@ -193,20 +213,25 @@ impl Classifier for DecisionTree {
                 found: row.len(),
             });
         }
-        let mut node = self.nodes.len() - 1; // root is last
-        loop {
-            match &self.nodes[node] {
-                Node::Leaf { p } => return Ok(*p),
-                Node::Split {
-                    feat,
-                    thr,
-                    left,
-                    right,
-                } => {
-                    node = if row[*feat] <= *thr { *left } else { *right };
-                }
-            }
+        Ok(self.score_unchecked(row))
+    }
+
+    /// Batch traversal: validity checked once, then the unchecked
+    /// traversal per row (identical node walk → bit-identical scores).
+    fn score_batch(&self, x: &Matrix) -> LearnResult<Vec<f64>> {
+        if x.is_empty() {
+            return Ok(Vec::new());
         }
+        if !self.fitted {
+            return Err(LearnError::NotFitted);
+        }
+        if x.cols() != self.dims {
+            return Err(LearnError::DimensionMismatch {
+                expected: self.dims,
+                found: x.cols(),
+            });
+        }
+        Ok(x.iter_rows().map(|row| self.score_unchecked(row)).collect())
     }
 
     fn name(&self) -> &'static str {

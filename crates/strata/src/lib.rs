@@ -26,6 +26,17 @@
 //! The shared vocabulary lives in [`pilot`] (the prefix-sum index `Γ` and
 //! the `O(N log m)` bucket pass that locates pilot positions without
 //! sorting the population) and [`objective`] (equations (5) and (6)).
+//!
+//! **Production pilot paths.** The estimator suite in `lts-core`
+//! assembles its design pilots partition-aligned through
+//! [`merge_partition_pilots`] (positions are known from the score
+//! ordering). Callers that hold raw scores but *no* ordering locate
+//! pilots with [`pilot_index_from_scores`] (parallel bucket pass +
+//! merge, `O(N log m)` with no population sort — benchmarked against
+//! the argsort in `bench_score_pipeline`) or the one-call
+//! [`design_from_scores`]. The serial [`pilot_positions_bucket`] and
+//! the argsort [`pilot_positions_argsort`] are kept as test oracles;
+//! the proptests pin every path to identical positions, ties included.
 
 #![warn(missing_docs)]
 
@@ -41,7 +52,9 @@ pub mod partitioned;
 pub mod pilot;
 
 pub use bruteforce::brute_force;
-pub use design::{design, Allocation, DesignAlgorithm, DesignParams, Stratification};
+pub use design::{
+    design, design_from_scores, Allocation, DesignAlgorithm, DesignParams, Stratification,
+};
 pub use dirsol::dirsol;
 pub use dynpgm::{dynpgm, dynpgmp, TSelection};
 pub use error::{StrataError, StrataResult};
@@ -49,6 +62,7 @@ pub use fixed::{fixed_height_cuts, fixed_width_cuts};
 pub use logbdr::logbdr;
 pub use objective::{evaluate_cuts, neyman_variance, proportional_variance, StratumStat};
 pub use partitioned::{
-    align_cuts_to_partitions, merge_partition_pilots, pilot_positions_bucket_partitioned,
+    align_cuts_to_partitions, merge_partition_pilots, pilot_index_from_positions,
+    pilot_index_from_scores, pilot_positions_bucket_partitioned,
 };
 pub use pilot::{pilot_positions_argsort, pilot_positions_bucket, PilotIndex};

@@ -151,6 +151,86 @@ pub fn merge_partition_pilots(
     PilotIndex::new(n_objects, entries)
 }
 
+/// Build a [`PilotIndex`] from id-keyed scores and labeled pilots via
+/// the **partition-aligned pilot pass** — the production path of the
+/// stratification design (the serial
+/// [`crate::pilot::pilot_positions_bucket`] remains only as the test
+/// oracle).
+///
+/// `scores[i]` is the proxy score of object `i` of the (local)
+/// population; `pilots` are `(object id, label)` pairs. Pilot positions
+/// within the `(score, id)` ordering are located by
+/// [`pilot_positions_bucket_partitioned`] (parallel integer-histogram
+/// bucket pass, merge-order independent), assigned to their containing
+/// partitions, and assembled by [`merge_partition_pilots`] — for every
+/// partition count the result is **bit-identical** to constructing the
+/// index from argsort positions directly.
+///
+/// # Errors
+///
+/// Returns an error for empty, duplicate, or out-of-range pilots.
+pub fn pilot_index_from_scores(
+    scores: &[f64],
+    pilots: &[(usize, bool)],
+    n_partitions: usize,
+) -> StrataResult<PilotIndex> {
+    if let Some(&(id, _)) = pilots.iter().find(|&&(id, _)| id >= scores.len()) {
+        return Err(StrataError::InvalidPilot {
+            message: format!("pilot id {id} out of range (N = {})", scores.len()),
+        });
+    }
+    let ids: Vec<usize> = pilots.iter().map(|&(id, _)| id).collect();
+    let positions = pilot_positions_bucket_partitioned(scores, &ids, n_partitions);
+    // Positions come back aligned with the sorted pilot keys; sort the
+    // labeled pilots by the same composite key to pair them up.
+    let mut sorted_pilots = pilots.to_vec();
+    sorted_pilots.sort_by(|a, b| scores[a.0].total_cmp(&scores[b.0]).then(a.0.cmp(&b.0)));
+    let bounds = partition_bounds(scores.len(), n_partitions);
+    let entries: Vec<(usize, bool)> = positions
+        .iter()
+        .zip(&sorted_pilots)
+        .map(|(&pos, &(_, label))| (pos, label))
+        .collect();
+    pilot_index_from_positions(&bounds, &entries)
+}
+
+/// Assemble a [`PilotIndex`] from already-known global `(position,
+/// label)` entries, **partition-aligned**: entries are split by their
+/// containing partition of `bounds` and merged with
+/// [`merge_partition_pilots`] — equal to building the index directly
+/// from `entries`, for every bounds layout. This is the production
+/// pilot path when positions are already known from a score ordering
+/// (`lts-core`'s `OrderedPopulation::pilot_index`).
+///
+/// # Errors
+///
+/// Returns an error for malformed bounds or empty/duplicate/
+/// out-of-range pilot positions.
+pub fn pilot_index_from_positions(
+    bounds: &[usize],
+    entries: &[(usize, bool)],
+) -> StrataResult<PilotIndex> {
+    if bounds.len() < 2 || bounds[0] != 0 || bounds.windows(2).any(|w| w[0] > w[1]) {
+        return Err(StrataError::InvalidPilot {
+            message: format!("malformed partition bounds {bounds:?}"),
+        });
+    }
+    let n = *bounds.last().expect("len >= 2");
+    let mut per_partition = vec![Vec::new(); bounds.len() - 1];
+    for &(pos, label) in entries {
+        if pos >= n {
+            return Err(StrataError::InvalidPilot {
+                message: format!("pilot position {pos} out of range (N = {n})"),
+            });
+        }
+        // Containing partition: the last bound ≤ pos (duplicate bounds
+        // from empty partitions resolve to the non-empty one).
+        let p = bounds.partition_point(|&b| b <= pos) - 1;
+        per_partition[p].push((pos - bounds[p], label));
+    }
+    merge_partition_pilots(bounds, &per_partition)
+}
+
 /// Snap stratification cuts to the nearest partition boundaries.
 ///
 /// The result is strictly increasing, interior (`0 < cut < N`), and a
@@ -230,6 +310,104 @@ mod tests {
                 "parts={parts}"
             );
         }
+    }
+
+    /// Regression for the tie-handling audit: on populations dominated
+    /// by duplicate scores the bucket pass, the argsort oracle, and the
+    /// partitioned pass must all agree exactly — pilot positions are
+    /// the `(score, id)` ranks, never score-only ranks. (The audit
+    /// found no disagreement; this pins the behaviour.)
+    #[test]
+    fn tied_scores_locate_pilots_by_id_rank() {
+        // All scores equal: position of pilot `id` must be exactly `id`.
+        let s = vec![0.5f64; 200];
+        let pilot_ids: Vec<usize> = vec![0, 1, 57, 58, 59, 198, 199];
+        let serial = pilot_positions_bucket(&s, &pilot_ids);
+        assert_eq!(serial, pilot_ids, "all-tied scores order by id");
+        assert_eq!(serial, pilot_positions_argsort(&s, &pilot_ids));
+        for parts in [1, 2, 3, 16, 200, 777] {
+            assert_eq!(
+                pilot_positions_bucket_partitioned(&s, &pilot_ids, parts),
+                serial,
+                "parts={parts}"
+            );
+        }
+
+        // Two-valued scores: ranks are (score, id)-lexicographic.
+        let s: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.2 } else { 0.8 })
+            .collect();
+        let pilot_ids: Vec<usize> = vec![0, 1, 2, 3, 96, 97, 98, 99];
+        let serial = pilot_positions_bucket(&s, &pilot_ids);
+        assert_eq!(serial, pilot_positions_argsort(&s, &pilot_ids));
+        // Even ids fill positions 0..50 by id order; odd ids 50..100.
+        assert_eq!(serial, vec![0, 1, 48, 49, 50, 51, 98, 99]);
+        for parts in [1, 5, 13, 100] {
+            assert_eq!(
+                pilot_positions_bucket_partitioned(&s, &pilot_ids, parts),
+                serial,
+                "parts={parts}"
+            );
+        }
+    }
+
+    #[test]
+    fn pilot_index_from_scores_matches_direct_construction() {
+        let s = scores(400);
+        let pilots: Vec<(usize, bool)> = (0..400).step_by(13).map(|id| (id, id % 3 == 0)).collect();
+        // Oracle: argsort positions paired with the same labels.
+        let ids: Vec<usize> = pilots.iter().map(|&(id, _)| id).collect();
+        let positions = pilot_positions_argsort(&s, &ids);
+        let mut sorted = pilots.clone();
+        sorted.sort_by(|a, b| s[a.0].total_cmp(&s[b.0]).then(a.0.cmp(&b.0)));
+        let direct = PilotIndex::new(
+            400,
+            positions
+                .iter()
+                .zip(&sorted)
+                .map(|(&p, &(_, l))| (p, l))
+                .collect(),
+        )
+        .unwrap();
+        for parts in [1usize, 2, 7, 64, 400, 1000] {
+            let merged = pilot_index_from_scores(&s, &pilots, parts).unwrap();
+            assert_eq!(merged, direct, "parts={parts}");
+        }
+        // Duplicate-score population too.
+        let tied = vec![0.25f64; 50];
+        let pilots: Vec<(usize, bool)> = vec![(3, true), (40, false), (41, true)];
+        for parts in [1usize, 4, 50] {
+            let merged = pilot_index_from_scores(&tied, &pilots, parts).unwrap();
+            assert_eq!(merged.positions(), &[3, 40, 41], "parts={parts}");
+            assert!(merged.label(0) && !merged.label(1) && merged.label(2));
+        }
+    }
+
+    #[test]
+    fn pilot_index_from_positions_matches_direct_construction() {
+        let entries: Vec<(usize, bool)> = vec![(3, true), (40, false), (41, true), (99, false)];
+        let direct = PilotIndex::new(100, entries.clone()).unwrap();
+        for parts in [1usize, 2, 7, 100] {
+            let bounds = partition_bounds(100, parts);
+            let merged = pilot_index_from_positions(&bounds, &entries).unwrap();
+            assert_eq!(merged, direct, "parts={parts}");
+        }
+        // Validation: malformed bounds, out-of-range position, empty.
+        assert!(pilot_index_from_positions(&[5, 10], &entries).is_err());
+        assert!(pilot_index_from_positions(&[0, 10, 5], &entries).is_err());
+        assert!(pilot_index_from_positions(&[0, 50], &[(50, true)]).is_err());
+        assert!(pilot_index_from_positions(&[0, 50], &[]).is_err());
+    }
+
+    #[test]
+    fn pilot_index_from_scores_validates() {
+        let s = vec![0.1, 0.2, 0.3];
+        // Empty pilots.
+        assert!(pilot_index_from_scores(&s, &[], 2).is_err());
+        // Out-of-range id.
+        assert!(pilot_index_from_scores(&s, &[(3, true)], 2).is_err());
+        // Duplicate id → colliding positions.
+        assert!(pilot_index_from_scores(&s, &[(1, true), (1, false)], 2).is_err());
     }
 
     #[test]

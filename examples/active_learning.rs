@@ -84,11 +84,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         model.fit(&x, &y)?;
 
         // Population-wide accuracy and the size of the uncertain band —
-        // the quantities Figure 1's heat maps visualize.
+        // the quantities Figure 1's heat maps visualize. Scored through
+        // the shared pipeline (vectorized batch kernel), not a per-row
+        // score loop.
+        let scores = ScoredPopulation::score_all(&problem, &model)?;
         let mut correct = 0usize;
         let mut uncertain = 0usize;
-        for (i, &label) in truth.iter().enumerate() {
-            let g = model.score(features.row(i))?;
+        for (&g, &label) in scores.scores().iter().zip(&truth) {
             if (g >= 0.5) == label {
                 correct += 1;
             }

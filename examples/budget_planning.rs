@@ -46,6 +46,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    // A peek inside the planner: the shared scoring pipeline every
+    // learned estimator runs. Train the proxy on a small labeled
+    // sample, batch-score the whole population partition-parallel, and
+    // order it by (score, id) — the ordering LSS designs its strata
+    // over. The score deciles show how much of the population the proxy
+    // already separates confidently (cheap strata) versus leaves
+    // uncertain (where the design concentrates budget).
+    println!("\nscoring pipeline: population ordered by the learned proxy g");
+    let train_ids: Vec<usize> = (0..problem.n()).step_by(problem.n() / 200).collect();
+    let train_labels: Vec<bool> = train_ids
+        .iter()
+        .map(|&i| problem.label(i))
+        .collect::<Result<_, _>>()?;
+    let mut proxy = ClassifierSpec::default().build(3);
+    proxy.fit(&problem.features().gather(&train_ids), &train_labels)?;
+    let ordered = ScoredPopulation::score_all(problem, proxy.as_ref())?.into_ordered();
+    let deciles: Vec<String> = (0..=10)
+        .map(|d| {
+            let pos = (d * (ordered.n() - 1)) / 10;
+            format!("{:.2}", ordered.sorted_scores()[pos])
+        })
+        .collect();
+    println!("  g deciles over the ordering: {}", deciles.join(" "));
+
     // Sequential LWS: give it a generous budget and a ±10% target; it
     // stops as soon as the Des Raj running interval is tight enough.
     println!("\nsequential LWS, target halfwidth 10% of the estimate:");

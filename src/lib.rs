@@ -110,7 +110,8 @@ pub mod prelude {
     };
     pub use lts_core::{
         run_trials, run_trials_with, ClassifierSpec, CountingProblem, EstimateReport,
-        LearnPhaseConfig, QualityForecast, TrialExecution, TrialStats,
+        LearnPhaseConfig, OrderedPopulation, QualityForecast, ScoredPopulation, TrialExecution,
+        TrialStats,
     };
     pub use lts_sampling::CountEstimate;
     pub use lts_stats::{ConfidenceInterval, IntervalKind};
