@@ -1,0 +1,228 @@
+//! Closed-loop load generator for the `lts-serve` counting service.
+//!
+//! Measures the system **as a service** rather than a kernel: a Sports
+//! population is registered, a small working set of skyband-style
+//! queries is submitted repeatedly (the paper's amortization scenario —
+//! the same complex count query asked again and again), and the run
+//! records, per query:
+//!
+//! * the **cold** start (train + order + pilot + design + stage 2);
+//! * **warm** repeats (`fresh` requests: new independent estimates
+//!   resumed from the model store, stage-2 labels only);
+//! * **cached** repeats (exact re-asks answered from the result
+//!   cache, zero oracle evaluations).
+//!
+//! `BENCH_serve.json` rows (schema in `docs/benchmarks.md`):
+//! `label` = serving mode, `cell` = query, `median` = the count
+//! estimate (per-mode medians over repeats), `mean_evals` = mean fresh
+//! oracle evaluations per request, `wall_seconds` = mean request
+//! latency. Three summary rows carry the service-level metrics:
+//! `cache_hit_rate`, `evals_saved_factor` (cold ÷ warm oracle
+//! evaluations — the acceptance bar is ≥ 5), and `oracle_evals_saved`.
+//!
+//! Everything except the wall times is a pure function of the seed:
+//! CI runs this binary under `RAYON_NUM_THREADS=1` and default threads
+//! and diffs the artifacts with wall times masked.
+//!
+//! Usage: `cargo run --release -p lts-bench --bin bench_serve --
+//! [--scale F] [--trials N] [--seed S] [--out DIR]`
+//! (rows ≈ 8 000 at `--scale 1.0`; `--trials` = warm/cached repeats
+//! per query).
+
+use lts_bench::{emit_records_json, BenchRecord, RunConfig, TextTable};
+use lts_serve::{Request, Response, Service, ServiceConfig, Target};
+use std::time::Instant;
+
+struct ModeAgg {
+    estimates: Vec<f64>,
+    evals: u64,
+    requests: u64,
+    wall_seconds: f64,
+}
+
+impl ModeAgg {
+    fn new() -> Self {
+        Self {
+            estimates: Vec::new(),
+            evals: 0,
+            requests: 0,
+            wall_seconds: 0.0,
+        }
+    }
+
+    fn push(&mut self, r: &Response, wall: f64) {
+        self.estimates.push(r.estimate);
+        self.evals += r.evals as u64;
+        self.requests += 1;
+        self.wall_seconds += wall;
+    }
+
+    fn record(&self, label: &str, cell: &str) -> BenchRecord {
+        let mut sorted = self.estimates.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = if sorted.is_empty() {
+            f64::NAN
+        } else {
+            sorted[sorted.len() / 2]
+        };
+        let iqr = if sorted.len() >= 4 {
+            sorted[(3 * sorted.len()) / 4] - sorted[sorted.len() / 4]
+        } else {
+            0.0
+        };
+        let n = self.requests.max(1) as f64;
+        BenchRecord {
+            label: label.to_string(),
+            cell: cell.to_string(),
+            median,
+            iqr,
+            mean_evals: self.evals as f64 / n,
+            wall_seconds: self.wall_seconds / n,
+        }
+    }
+}
+
+fn main() {
+    let config = match RunConfig::parse(std::env::args()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let rows = ((8_000.0 * config.scale) as usize).max(1_000);
+    let repeats = config.trials.max(2);
+
+    let scenario = lts_data::sports_scenario(rows, lts_data::SelectivityLevel::M, config.seed)
+        .expect("sports scenario");
+    let k = match scenario.param {
+        lts_data::QueryParam::K(k) => k,
+        lts_data::QueryParam::D(_) => unreachable!("sports calibrates k"),
+    };
+    let mut service = Service::new(ServiceConfig {
+        seed: config.seed,
+        ..ServiceConfig::default()
+    });
+    service
+        .register_dataset("sports", scenario.table, &["strikeouts", "wins"])
+        .expect("register dataset");
+
+    // The working set: the calibrated skyband query (a correlated
+    // aggregate subquery — the paper's Example 2) plus two cheap-filter
+    // variants, as a mixed interactive workload.
+    let skyband = format!(
+        "(SELECT COUNT(*) FROM sports WHERE strikeouts >= o.strikeouts AND \
+         wins >= o.wins AND (strikeouts > o.strikeouts OR wins > o.wins)) < {k}"
+    );
+    let queries: Vec<(&str, String, Target)> = vec![
+        ("skyband", skyband, Target::Budget((rows / 20).max(120))),
+        (
+            "strikeouts_band",
+            "strikeouts >= 60 AND strikeouts < 180".to_string(),
+            Target::Budget((rows / 25).max(100)),
+        ),
+        (
+            "wins_or_tail",
+            "wins > 14 OR strikeouts > 200".to_string(),
+            Target::Budget((rows / 25).max(100)),
+        ),
+    ];
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut table = TextTable::new(&["query", "mode", "median est", "mean evals", "mean ms"]);
+    let mut next_id = 0u64;
+    let mut id = || {
+        next_id += 1;
+        next_id
+    };
+    let (mut total_cold_evals, mut total_warm_evals) = (0u64, 0.0f64);
+
+    for (name, condition, target) in &queries {
+        let mut cold = ModeAgg::new();
+        let mut warm = ModeAgg::new();
+        let mut cached = ModeAgg::new();
+        let run = |service: &mut Service, rid: u64, fresh: bool| -> (Response, f64) {
+            let t0 = Instant::now();
+            let r = service.run(Request {
+                id: rid,
+                dataset: "sports".into(),
+                condition: condition.clone(),
+                target: *target,
+                fresh,
+            });
+            let wall = t0.elapsed().as_secs_f64();
+            assert!(r.ok, "{name}: {:?}", r.error);
+            (r, wall)
+        };
+        // Cold start: first sighting of the query.
+        let (r, wall) = run(&mut service, id(), false);
+        assert_eq!(r.served, "cold", "{name} first request must be cold");
+        cold.push(&r, wall);
+        // Warm repeats: independent fresh estimates from the stored
+        // model + design.
+        for _ in 0..repeats {
+            let (r, wall) = run(&mut service, id(), true);
+            assert_eq!(r.served, "warm", "{name} fresh repeat must be warm");
+            warm.push(&r, wall);
+        }
+        // Cached repeats: exact re-asks.
+        for _ in 0..repeats {
+            let (r, wall) = run(&mut service, id(), false);
+            assert_eq!(r.served, "cached", "{name} re-ask must hit the cache");
+            assert_eq!(r.evals, 0);
+            cached.push(&r, wall);
+        }
+        total_cold_evals += cold.evals;
+        // Mean warm evals per request, in f64: integer truncation here
+        // would understate the denominator of the saved factor.
+        total_warm_evals += warm.evals as f64 / warm.requests.max(1) as f64;
+        for (mode, agg) in [("cold", &cold), ("warm", &warm), ("cached", &cached)] {
+            let rec = agg.record(mode, name);
+            table.row(vec![
+                (*name).to_string(),
+                mode.to_string(),
+                format!("{:.0}", rec.median),
+                format!("{:.1}", rec.mean_evals),
+                format!("{:.2}", rec.wall_seconds * 1e3),
+            ]);
+            records.push(rec);
+        }
+    }
+
+    // Service-level metrics. `evals_saved_factor` compares one cold
+    // start against one warm resume, summed over the working set — the
+    // ≥ 5× acceptance bar of the serving layer.
+    let stats = service.stats();
+    let hit_rate = stats.cached as f64 / (stats.cached + stats.cold + stats.warm).max(1) as f64;
+    let saved_factor = total_cold_evals as f64 / total_warm_evals.max(1.0);
+    assert!(
+        saved_factor >= 5.0,
+        "warm path must save >= 5x oracle evals, got {saved_factor:.2} \
+         (cold {total_cold_evals}, warm-per-request {total_warm_evals})"
+    );
+    let summary = |label: &str, value: f64, evals: f64| BenchRecord {
+        label: label.to_string(),
+        cell: "service".to_string(),
+        median: value,
+        iqr: 0.0,
+        mean_evals: evals,
+        wall_seconds: 0.0,
+    };
+    records.push(summary("cache_hit_rate", hit_rate, f64::NAN));
+    records.push(summary("evals_saved_factor", saved_factor, f64::NAN));
+    records.push(summary(
+        "oracle_evals_saved",
+        stats.oracle_evals_saved as f64,
+        stats.oracle_evals as f64,
+    ));
+
+    println!("serve load generator: {rows} rows, {repeats} repeats per mode\n");
+    print!("{}", table.render());
+    println!(
+        "\ncache hit rate {:.1}%  ·  warm saves {saved_factor:.1}x oracle evals  ·  \
+         {} oracle evals avoided by the result cache",
+        hit_rate * 100.0,
+        stats.oracle_evals_saved
+    );
+    emit_records_json(&config.out_dir, "serve", "sequential", &records);
+}

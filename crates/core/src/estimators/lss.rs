@@ -27,7 +27,7 @@ use crate::error::{CoreError, CoreResult};
 use crate::learnphase::{run_learn_phase, LearnPhaseConfig};
 use crate::problem::{CountingProblem, Labeler};
 use crate::report::{EstimateReport, Phase, PhaseTimer, QualityForecast};
-use crate::scoring::ScoredPopulation;
+use crate::scoring::{OrderedPopulation, ScoredPopulation};
 use lts_sampling::{
     allocate, draw_stratified, sample_without_replacement, stratified_count_estimate, StratumSample,
 };
@@ -143,8 +143,19 @@ impl Default for Lss {
     }
 }
 
+/// The labeling-budget split of one LSS run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LssBudgetSplit {
+    /// Labels spent training the proxy classifier.
+    pub train: usize,
+    /// Labels spent on the stage-1 design pilot `SI`.
+    pub pilot: usize,
+    /// Labels spent on the stage-2 stratified draw.
+    pub stage2: usize,
+}
+
 impl Lss {
-    fn validate(&self) -> CoreResult<()> {
+    pub(crate) fn validate(&self) -> CoreResult<()> {
         if !(0.0..1.0).contains(&self.train_frac) || self.train_frac <= 0.0 {
             return Err(CoreError::InvalidConfig {
                 message: format!("train_frac must be in (0, 1), got {}", self.train_frac),
@@ -172,9 +183,49 @@ impl Lss {
         Ok(())
     }
 
+    /// Split a total labeling budget into the train / pilot / stage-2
+    /// shares this configuration implies (the arithmetic both the
+    /// one-shot [`CountEstimator::estimate`] path and the warm-start
+    /// [`Lss::prepare`] path use).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BudgetTooSmall`] when any phase would
+    /// starve.
+    pub fn budget_split(&self, budget: usize) -> CoreResult<LssBudgetSplit> {
+        let h = self.n_strata;
+        if budget < 2 + 3 * h {
+            return Err(CoreError::BudgetTooSmall {
+                budget,
+                required: 2 + 3 * h,
+                reason: format!(
+                    "LSS with H = {h} needs ≥ 2 training, ≥ 2H pilot, and ≥ H stage-2 labels"
+                ),
+            });
+        }
+        let train = ((budget as f64 * self.train_frac).round() as usize).clamp(2, budget);
+        let sampling_budget = budget - train;
+        let pilot = ((sampling_budget as f64 * self.pilot_frac).round() as usize)
+            .max(2 * h) // need ≥ 2 pilots per stratum to estimate variance
+            .min(sampling_budget.saturating_sub(h));
+        let stage2 = sampling_budget.saturating_sub(pilot);
+        if pilot < 2 * h || stage2 < h {
+            return Err(CoreError::BudgetTooSmall {
+                budget,
+                required: train + 3 * h,
+                reason: format!("LSS with H = {h} needs ≥ 2H pilot and ≥ H stage-2 labels"),
+            });
+        }
+        Ok(LssBudgetSplit {
+            train,
+            pilot,
+            stage2,
+        })
+    }
+
     /// Choose the stratification for the ordered rest population.
     #[allow(clippy::too_many_arguments)]
-    fn layout_cuts(
+    pub(crate) fn layout_cuts(
         &self,
         pilot: &PilotIndex,
         sorted_scores: &[f64],
@@ -276,29 +327,8 @@ impl CountEstimator for Lss {
         let mut labeler = Labeler::new(problem);
 
         // ------------------------------------------------------ phase 1
-        let h = self.n_strata;
-        if budget < 2 + 3 * h {
-            return Err(CoreError::BudgetTooSmall {
-                budget,
-                required: 2 + 3 * h,
-                reason: format!(
-                    "LSS with H = {h} needs ≥ 2 training, ≥ 2H pilot, and ≥ H stage-2 labels"
-                ),
-            });
-        }
-        let train_budget = ((budget as f64 * self.train_frac).round() as usize).clamp(2, budget);
-        let sampling_budget = budget - train_budget;
-        let pilot_budget = ((sampling_budget as f64 * self.pilot_frac).round() as usize)
-            .max(2 * h) // need ≥ 2 pilots per stratum to estimate variance
-            .min(sampling_budget.saturating_sub(h));
-        let stage2_budget = sampling_budget.saturating_sub(pilot_budget);
-        if pilot_budget < 2 * h || stage2_budget < h {
-            return Err(CoreError::BudgetTooSmall {
-                budget,
-                required: train_budget + 3 * h,
-                reason: format!("LSS with H = {h} needs ≥ 2H pilot and ≥ H stage-2 labels"),
-            });
-        }
+        let split = self.budget_split(budget)?;
+        let (train_budget, pilot_budget, stage2_budget) = (split.train, split.pilot, split.stage2);
 
         let lm = timer.phase(Phase::Learn, || {
             run_learn_phase(problem, &mut labeler, train_budget, &self.learn, rng)
@@ -383,125 +413,27 @@ impl CountEstimator for Lss {
 
         // --------------------------------------------- stage 2 (sample)
         let estimate = timer.phase(Phase::Phase2, || -> CoreResult<_> {
-            let sizes = stratification.stratum_sizes(n_rest);
-            let n_strata_eff = sizes.len();
-
-            // Pilot members per stratum (exact labels known).
-            let mut pilot_in = vec![Vec::<usize>::new(); n_strata_eff];
-            for &pos in &pilot_positions {
-                pilot_in[stratification.stratum_of(pos)].push(pos);
-            }
-
-            // Remaining members (positions) per stratum.
-            let mut remainder: Vec<Vec<usize>> = Vec::with_capacity(n_strata_eff);
-            {
-                let mut pilot_set = vec![false; n_rest];
-                for &pos in &pilot_positions {
-                    pilot_set[pos] = true;
-                }
-                let mut start = 0usize;
-                for &size in &sizes {
-                    let end = start + size;
-                    remainder.push((start..end).filter(|&p| !pilot_set[p]).collect());
-                    start = end;
-                }
-            }
-
-            // Allocation weights from pilot s_h (Neyman) or sizes
-            // (proportional).
-            let mut s_hats = Vec::with_capacity(n_strata_eff);
-            for members in &pilot_in {
-                // All pilot labels are cached, so this batch is free.
-                let objs = ordered.objects_at(members);
-                let positives = labeler.count_positives(&objs)?;
-                let sample = StratumSample {
-                    population: members.len().max(1),
-                    sampled: members.len(),
-                    positives,
-                };
-                // Laplace-smoothed s for allocation: a homogeneous pilot
-                // must not starve a stratum of stage-2 samples.
-                s_hats.push(sample.s_for_allocation());
-            }
-            let available: Vec<usize> = remainder.iter().map(Vec::len).collect();
-            let weights: Vec<f64> = match self.allocation {
-                Allocation::Neyman => sizes
-                    .iter()
-                    .zip(&s_hats)
-                    .map(|(&n_h, &s)| n_h as f64 * s)
-                    .collect(),
-                Allocation::Proportional => sizes.iter().map(|&n_h| n_h as f64).collect(),
-            };
-            let min_per = 1usize;
-            let alloc = allocate(&weights, &available, stage2_budget, min_per)?;
-
-            // Design-time quality forecast (the conclusion's future-work
-            // sketch): Eq. (4) evaluated with the pilot s_h and the
-            // *chosen* allocation, before any stage-2 label is drawn.
-            // Populations match what stage 2 will estimate over.
-            let forecast = {
-                let mut var = 0.0;
-                for (s, &n_h) in alloc.iter().enumerate() {
-                    let pop = match self.pilot_handling {
-                        PilotHandling::ExactRemainder => available[s],
-                        PilotHandling::Textbook => sizes[s],
-                    } as f64;
-                    let s2 = s_hats[s] * s_hats[s];
-                    if n_h > 0 && pop > 0.0 {
-                        // Per-stratum variance of the count with the
-                        // finite-population correction.
-                        let fpc = (pop - n_h as f64) / pop.max(1.0);
-                        var += pop * pop * s2 / n_h as f64 * fpc;
-                    }
-                }
-                let se = var.max(0.0).sqrt();
-                let z = lts_stats::z_critical(problem.level()).unwrap_or(1.96);
-                QualityForecast {
-                    predicted_se: se,
-                    predicted_halfwidth: z * se,
-                    stage2_samples: alloc.iter().sum(),
-                }
-            };
-            if std::env::var_os("LSS_DEBUG").is_some() {
-                eprintln!(
-                    "LSS debug: sizes={sizes:?} pilots={:?} s_hats={s_hats:?} alloc={alloc:?} cuts={:?}",
-                    pilot_in.iter().map(Vec::len).collect::<Vec<_>>(),
-                    stratification.cuts,
-                );
-            }
-
-            let draws = draw_stratified(rng, &remainder, &alloc)?;
-            let mut samples = Vec::with_capacity(n_strata_eff);
-            let mut pilot_positives_total = 0usize;
-            for (s, drawn) in draws.iter().enumerate() {
-                // One batched oracle call per stratum's stage-2 draw;
-                // the pilot recount below hits only cached labels.
-                let drawn_objs = ordered.objects_at(drawn);
-                let positives = labeler.count_positives(&drawn_objs)?;
-                let pilot_objs = ordered.objects_at(&pilot_in[s]);
-                let pilot_pos = labeler.count_positives(&pilot_objs)?;
-                pilot_positives_total += pilot_pos;
-                let population = match self.pilot_handling {
-                    PilotHandling::ExactRemainder => available[s],
-                    PilotHandling::Textbook => sizes[s],
-                };
-                samples.push(StratumSample {
-                    population,
-                    sampled: drawn.len(),
-                    positives,
-                });
-            }
-            let base = stratified_count_estimate(&samples, problem.level())?;
+            let outcome = stage2_estimate(
+                self,
+                &ordered,
+                &pilot_positions,
+                &stratification,
+                stage2_budget,
+                problem.level(),
+                &mut labeler,
+                rng,
+            )?;
             // In reuse mode the S_L positions are members of the pilot,
-            // so their positives are already inside pilot_positives_total.
+            // so their positives are already inside the outcome's pilot
+            // positives.
             let shift = match (self.pilot_handling, reuse) {
-                (PilotHandling::ExactRemainder, true) => pilot_positives_total as f64,
+                (PilotHandling::ExactRemainder, true) => outcome.pilot_positives as f64,
                 (PilotHandling::ExactRemainder, false) => {
-                    (lm.positives() + pilot_positives_total) as f64
+                    (lm.positives() + outcome.pilot_positives) as f64
                 }
                 (PilotHandling::Textbook, _) => lm.positives() as f64,
             };
-            Ok((base.shifted(shift), forecast))
+            Ok((outcome.base.shifted(shift), outcome.forecast))
         })?;
         let (estimate, forecast) = estimate;
 
@@ -515,6 +447,151 @@ impl CountEstimator for Lss {
             forecast: Some(forecast),
         })
     }
+}
+
+/// The product of one stage-2 run, before the exact-count shift.
+pub(crate) struct Stage2Outcome {
+    /// Stratified estimate of the strata populations (remainders under
+    /// `ExactRemainder`, full sizes under `Textbook`), unshifted.
+    pub(crate) base: lts_sampling::CountEstimate,
+    /// Design-time quality forecast (Eq. 4 with pilot deviations and
+    /// the chosen allocation).
+    pub(crate) forecast: QualityForecast,
+    /// Exact positives among the pilot members.
+    pub(crate) pilot_positives: usize,
+}
+
+/// LSS stage 2, shared by the one-shot estimate path and the warm-start
+/// resume path: allocate the stage-2 budget over the designed strata
+/// from the pilot variances, draw, label, and run the stratified
+/// estimator. All pilot labels must already be in the labeler's cache
+/// (they are after stage 1, or after a warm-start preload), so only the
+/// fresh stage-2 draws touch the oracle.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn stage2_estimate(
+    lss: &Lss,
+    ordered: &OrderedPopulation,
+    pilot_positions: &[usize],
+    stratification: &Stratification,
+    stage2_budget: usize,
+    level: f64,
+    labeler: &mut Labeler<'_>,
+    rng: &mut StdRng,
+) -> CoreResult<Stage2Outcome> {
+    let n_rest = ordered.n();
+    let sizes = stratification.stratum_sizes(n_rest);
+    let n_strata_eff = sizes.len();
+
+    // Pilot members per stratum (exact labels known).
+    let mut pilot_in = vec![Vec::<usize>::new(); n_strata_eff];
+    for &pos in pilot_positions {
+        pilot_in[stratification.stratum_of(pos)].push(pos);
+    }
+
+    // Remaining members (positions) per stratum.
+    let mut remainder: Vec<Vec<usize>> = Vec::with_capacity(n_strata_eff);
+    {
+        let mut pilot_set = vec![false; n_rest];
+        for &pos in pilot_positions {
+            pilot_set[pos] = true;
+        }
+        let mut start = 0usize;
+        for &size in &sizes {
+            let end = start + size;
+            remainder.push((start..end).filter(|&p| !pilot_set[p]).collect());
+            start = end;
+        }
+    }
+
+    // Allocation weights from pilot s_h (Neyman) or sizes
+    // (proportional).
+    let mut s_hats = Vec::with_capacity(n_strata_eff);
+    for members in &pilot_in {
+        // All pilot labels are cached, so this batch is free.
+        let objs = ordered.objects_at(members);
+        let positives = labeler.count_positives(&objs)?;
+        let sample = StratumSample {
+            population: members.len().max(1),
+            sampled: members.len(),
+            positives,
+        };
+        // Laplace-smoothed s for allocation: a homogeneous pilot
+        // must not starve a stratum of stage-2 samples.
+        s_hats.push(sample.s_for_allocation());
+    }
+    let available: Vec<usize> = remainder.iter().map(Vec::len).collect();
+    let weights: Vec<f64> = match lss.allocation {
+        Allocation::Neyman => sizes
+            .iter()
+            .zip(&s_hats)
+            .map(|(&n_h, &s)| n_h as f64 * s)
+            .collect(),
+        Allocation::Proportional => sizes.iter().map(|&n_h| n_h as f64).collect(),
+    };
+    let min_per = 1usize;
+    let alloc = allocate(&weights, &available, stage2_budget, min_per)?;
+
+    // Design-time quality forecast (the conclusion's future-work
+    // sketch): Eq. (4) evaluated with the pilot s_h and the
+    // *chosen* allocation, before any stage-2 label is drawn.
+    // Populations match what stage 2 will estimate over.
+    let forecast = {
+        let mut var = 0.0;
+        for (s, &n_h) in alloc.iter().enumerate() {
+            let pop = match lss.pilot_handling {
+                PilotHandling::ExactRemainder => available[s],
+                PilotHandling::Textbook => sizes[s],
+            } as f64;
+            let s2 = s_hats[s] * s_hats[s];
+            if n_h > 0 && pop > 0.0 {
+                // Per-stratum variance of the count with the
+                // finite-population correction.
+                let fpc = (pop - n_h as f64) / pop.max(1.0);
+                var += pop * pop * s2 / n_h as f64 * fpc;
+            }
+        }
+        let se = var.max(0.0).sqrt();
+        let z = lts_stats::z_critical(level).unwrap_or(1.96);
+        QualityForecast {
+            predicted_se: se,
+            predicted_halfwidth: z * se,
+            stage2_samples: alloc.iter().sum(),
+        }
+    };
+    if std::env::var_os("LSS_DEBUG").is_some() {
+        eprintln!(
+            "LSS debug: sizes={sizes:?} pilots={:?} s_hats={s_hats:?} alloc={alloc:?} cuts={:?}",
+            pilot_in.iter().map(Vec::len).collect::<Vec<_>>(),
+            stratification.cuts,
+        );
+    }
+
+    let draws = draw_stratified(rng, &remainder, &alloc)?;
+    let mut samples = Vec::with_capacity(n_strata_eff);
+    let mut pilot_positives = 0usize;
+    for (s, drawn) in draws.iter().enumerate() {
+        // One batched oracle call per stratum's stage-2 draw;
+        // the pilot recount below hits only cached labels.
+        let drawn_objs = ordered.objects_at(drawn);
+        let positives = labeler.count_positives(&drawn_objs)?;
+        let pilot_objs = ordered.objects_at(&pilot_in[s]);
+        pilot_positives += labeler.count_positives(&pilot_objs)?;
+        let population = match lss.pilot_handling {
+            PilotHandling::ExactRemainder => available[s],
+            PilotHandling::Textbook => sizes[s],
+        };
+        samples.push(StratumSample {
+            population,
+            sampled: drawn.len(),
+            positives,
+        });
+    }
+    let base = stratified_count_estimate(&samples, level)?;
+    Ok(Stage2Outcome {
+        base,
+        forecast,
+        pilot_positives,
+    })
 }
 
 #[cfg(test)]

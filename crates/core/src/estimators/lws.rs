@@ -38,18 +38,8 @@ impl Default for Lws {
     }
 }
 
-impl CountEstimator for Lws {
-    fn name(&self) -> &'static str {
-        "LWS"
-    }
-
-    fn estimate(
-        &self,
-        problem: &CountingProblem,
-        budget: usize,
-        rng: &mut StdRng,
-    ) -> CoreResult<EstimateReport> {
-        check_budget(problem, budget)?;
+impl Lws {
+    pub(crate) fn validate(&self) -> CoreResult<()> {
         if !(0.0..1.0).contains(&self.train_frac) || self.train_frac <= 0.0 {
             return Err(CoreError::InvalidConfig {
                 message: format!("train_frac must be in (0, 1), got {}", self.train_frac),
@@ -60,6 +50,18 @@ impl CountEstimator for Lws {
                 message: format!("epsilon must be in (0, 1], got {}", self.epsilon),
             });
         }
+        Ok(())
+    }
+
+    /// Split a total labeling budget into (training, sampling) shares —
+    /// the arithmetic shared by the one-shot estimate path and the
+    /// warm-start [`Lws::prepare`] path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BudgetTooSmall`] when either phase would
+    /// starve.
+    pub fn budget_split(&self, budget: usize) -> CoreResult<(usize, usize)> {
         if budget < 4 {
             return Err(CoreError::BudgetTooSmall {
                 budget,
@@ -76,6 +78,58 @@ impl CountEstimator for Lws {
                 reason: "LWS needs at least 2 sampling-phase labels".into(),
             });
         }
+        Ok((train_budget, sample_budget))
+    }
+}
+
+/// LWS phase 2, shared by the one-shot estimate path and the warm-start
+/// resume path: weight the scored rest population by `max(g, ε)`, draw
+/// `sample_budget` objects PPS without replacement, label them as one
+/// batch, and run the Des Raj ordered estimator (unshifted — callers
+/// add the exact positives of the training sample).
+pub(crate) fn lws_phase2(
+    lws: &Lws,
+    scored: &crate::scoring::ScoredPopulation,
+    sample_budget: usize,
+    labeled_len: usize,
+    level: f64,
+    labeler: &mut Labeler<'_>,
+    rng: &mut StdRng,
+) -> CoreResult<lts_sampling::CountEstimate> {
+    if scored.len() < sample_budget {
+        return Err(CoreError::BudgetTooSmall {
+            budget: labeled_len + sample_budget,
+            required: labeled_len + sample_budget,
+            reason: "sampling budget exceeds remaining objects".into(),
+        });
+    }
+    let weights = scored.weights(lws.epsilon);
+    let draws = weighted_sample_es(rng, &weights, sample_budget)?;
+    // One batched oracle call for the whole phase-2 sample; the
+    // Des Raj pushes then replay the draw order exactly.
+    let objs: Vec<usize> = draws.iter().map(|d| scored.members()[d.index]).collect();
+    let labels = labeler.label_batch(&objs)?;
+    let mut desraj = DesRaj::new(scored.len())?;
+    for (d, label) in draws.iter().zip(labels) {
+        desraj.push(label, d.initial_probability)?;
+    }
+    Ok(desraj.count_estimate(level)?)
+}
+
+impl CountEstimator for Lws {
+    fn name(&self) -> &'static str {
+        "LWS"
+    }
+
+    fn estimate(
+        &self,
+        problem: &CountingProblem,
+        budget: usize,
+        rng: &mut StdRng,
+    ) -> CoreResult<EstimateReport> {
+        check_budget(problem, budget)?;
+        self.validate()?;
+        let (train_budget, sample_budget) = self.budget_split(budget)?;
 
         let mut timer = PhaseTimer::new();
         let mut labeler = Labeler::new(problem);
@@ -89,24 +143,15 @@ impl CountEstimator for Lws {
         // (partition-parallel batch scoring), weight, draw, estimate.
         let estimate = timer.phase(Phase::Phase2, || -> CoreResult<_> {
             let scored = ScoredPopulation::score_rest(problem, lm.model.as_ref(), &lm.labeled)?;
-            if scored.len() < sample_budget {
-                return Err(CoreError::BudgetTooSmall {
-                    budget,
-                    required: lm.labeled.len() + sample_budget,
-                    reason: "sampling budget exceeds remaining objects".into(),
-                });
-            }
-            let weights = scored.weights(self.epsilon);
-            let draws = weighted_sample_es(rng, &weights, sample_budget)?;
-            // One batched oracle call for the whole phase-2 sample; the
-            // Des Raj pushes then replay the draw order exactly.
-            let objs: Vec<usize> = draws.iter().map(|d| scored.members()[d.index]).collect();
-            let labels = labeler.label_batch(&objs)?;
-            let mut desraj = DesRaj::new(scored.len())?;
-            for (d, label) in draws.iter().zip(labels) {
-                desraj.push(label, d.initial_probability)?;
-            }
-            Ok(desraj.count_estimate(problem.level())?)
+            lws_phase2(
+                self,
+                &scored,
+                sample_budget,
+                lm.labeled.len(),
+                problem.level(),
+                &mut labeler,
+                rng,
+            )
         })?;
 
         Ok(EstimateReport {

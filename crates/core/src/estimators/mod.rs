@@ -1,7 +1,7 @@
 //! The estimator suite behind one trait.
 
-mod lss;
-mod lws;
+pub(crate) mod lss;
+pub(crate) mod lws;
 mod lws_ht;
 mod lws_seq;
 mod ql;
@@ -9,7 +9,7 @@ mod srs;
 mod ssn;
 mod ssp;
 
-pub use lss::{Lss, LssLayout, PilotHandling, PilotSource};
+pub use lss::{Lss, LssBudgetSplit, LssLayout, PilotHandling, PilotSource};
 pub use lws::Lws;
 pub use lws_ht::LwsHt;
 pub use lws_seq::LwsSequential;

@@ -33,6 +33,13 @@ pub struct LearnedModel {
     pub labeled: Vec<usize>,
     /// Labels aligned with `labeled`.
     pub labels: Vec<bool>,
+    /// The **effective** seed the classifier was built with
+    /// (`config.model_seed` mixed with the run rng). Every model family
+    /// re-seeds from its construction seed on each `fit`, so
+    /// `spec.build(model_seed)` + one fit on (`labeled`, `labels`)
+    /// rebuilds this classifier bit-identically — the property the
+    /// serving layer's model snapshots rely on.
+    pub model_seed: u64,
 }
 
 impl LearnedModel {
@@ -137,6 +144,7 @@ pub fn run_learn_phase(
         model,
         labeled,
         labels,
+        model_seed,
     })
 }
 

@@ -37,6 +37,7 @@ pub mod report;
 pub mod runner;
 pub mod scoring;
 pub mod spec;
+pub mod warm;
 
 pub use error::{CoreError, CoreResult};
 pub use estimators::{
@@ -50,3 +51,4 @@ pub use report::{EstimateReport, PhaseTimings, QualityForecast};
 pub use runner::{run_trials, run_trials_with, TrialExecution, TrialStats};
 pub use scoring::{feature_column, surrogate_grid_strata, OrderedPopulation, ScoredPopulation};
 pub use spec::ClassifierSpec;
+pub use warm::{fnv1a, mix_seed, LssWarm, LwsWarm, ModelSnapshot, TrainedProxy};

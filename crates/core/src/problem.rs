@@ -144,6 +144,9 @@ impl CountingProblem {
 pub struct Labeler<'a> {
     problem: &'a CountingProblem,
     cache: HashMap<usize, bool>,
+    /// Labels injected via [`Labeler::preload`] — known before the run
+    /// started (warm starts), so they never count as evaluations.
+    preloaded: usize,
 }
 
 impl<'a> Labeler<'a> {
@@ -152,6 +155,22 @@ impl<'a> Labeler<'a> {
         Self {
             problem,
             cache: HashMap::new(),
+            preloaded: 0,
+        }
+    }
+
+    /// Seed the cache with labels already known from a previous run
+    /// (e.g. a warm start resuming from a stored training sample and
+    /// design pilot). Preloaded labels cost nothing: they are excluded
+    /// from [`Labeler::unique_evals`] and never reach the oracle.
+    /// Indices already cached are ignored.
+    pub fn preload(&mut self, idxs: &[usize], labels: &[bool]) {
+        debug_assert_eq!(idxs.len(), labels.len());
+        for (&i, &l) in idxs.iter().zip(labels) {
+            if let std::collections::hash_map::Entry::Vacant(e) = self.cache.entry(i) {
+                e.insert(l);
+                self.preloaded += 1;
+            }
         }
     }
 
@@ -197,9 +216,10 @@ impl<'a> Labeler<'a> {
         Ok(idxs.iter().map(|i| self.cache[i]).collect())
     }
 
-    /// Unique `q` evaluations so far.
+    /// Unique `q` evaluations so far (fresh oracle work only —
+    /// preloaded labels are excluded).
     pub fn unique_evals(&self) -> usize {
-        self.cache.len()
+        self.cache.len() - self.preloaded
     }
 
     /// Count of positives among a set of objects, labeling any
@@ -364,6 +384,26 @@ mod tests {
             calls,
             "cache hit must not call q"
         );
+    }
+
+    #[test]
+    fn preloaded_labels_cost_nothing() {
+        let p = problem();
+        p.reset_meter();
+        let mut l = Labeler::new(&p);
+        l.preload(&[0, 1], &[true, false]);
+        assert_eq!(l.unique_evals(), 0, "preloads are not evals");
+        // Labeling preloaded ids is answered from the cache.
+        assert_eq!(l.label_batch(&[0, 1]).unwrap(), vec![true, false]);
+        assert_eq!(p.predicate_stats().calls, 0);
+        // Fresh ids still hit the oracle and count.
+        assert!(l.label(2).unwrap());
+        assert_eq!(l.unique_evals(), 1);
+        assert_eq!(p.predicate_stats().evals, 1);
+        // Preloading an already-known id is a no-op (no double count).
+        l.preload(&[2], &[false]);
+        assert!(l.label(2).unwrap(), "existing label wins over preload");
+        assert_eq!(l.unique_evals(), 1);
     }
 
     #[test]

@@ -1,0 +1,786 @@
+//! Warm-start support: snapshottable, resumable estimator state.
+//!
+//! A one-shot [`CountEstimator::estimate`](crate::CountEstimator) run
+//! spends most of its labeling budget and wall time on assets that are
+//! *reusable across runs of the same query*: the trained proxy
+//! classifier, the scored-and-ordered population, and (for LSS) the
+//! labeled design pilot with its optimized stratification. This module
+//! splits the learned estimators into an expensive, cacheable
+//! **prepare** phase and a cheap, repeatable **resume** phase:
+//!
+//! * [`Lss::prepare`] / [`Lws::prepare`] run phase 1 + the design and
+//!   return a warm state ([`LssWarm`] / [`LwsWarm`]);
+//! * [`Lss::estimate_prepared`] / [`Lws::estimate_prepared`] run only
+//!   the final sampling stage against a warm state, with a **fresh
+//!   seed** — producing a new, independent draw (and therefore a new
+//!   unbiased estimate) while spending only the stage-2 share of the
+//!   budget.
+//!
+//! Both phases are **deterministic functions of their seed**: preparing
+//! twice with the same seed yields bit-identical states, and resuming a
+//! given state twice with the same seed yields bit-identical reports —
+//! regardless of thread count or of whether the state was freshly
+//! prepared or restored from a snapshot. This is the contract the
+//! `lts-serve` service builds its model store and replayable request
+//! streams on.
+//!
+//! Persistence does **not** serialize model weights. Every classifier
+//! family re-seeds its RNG from its construction seed on each `fit`, so
+//! a fitted model is fully determined by `(spec, effective seed,
+//! training set)` — that triple *is* the snapshot ([`ModelSnapshot`]),
+//! and [`ModelSnapshot::rebuild`] refits bit-identically. Likewise a
+//! whole warm state is reproducible from `(estimator config, prepare
+//! seed, known labels)`, which is what the serving layer's store
+//! export/import carries.
+
+use crate::error::{CoreError, CoreResult};
+use crate::estimators::lss::{stage2_estimate, LssBudgetSplit};
+use crate::estimators::lws::lws_phase2;
+use crate::estimators::{check_budget, Lss, Lws, PilotSource};
+use crate::learnphase::{run_learn_phase, LearnPhaseConfig};
+use crate::problem::{CountingProblem, Labeler};
+use crate::report::{EstimateReport, Phase, PhaseTimer};
+use crate::scoring::{OrderedPopulation, ScoredPopulation};
+use crate::spec::ClassifierSpec;
+use lts_learn::Classifier;
+use lts_sampling::sample_without_replacement;
+use lts_strata::Stratification;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+/// Domain-separation salts for the per-phase seed streams.
+const SALT_LEARN: u64 = 0x4C45_4152_4E01;
+const SALT_DESIGN: u64 = 0x4445_5349_474E;
+const SALT_SAMPLE: u64 = 0x5341_4D50_4C45;
+
+/// Mix two 64-bit values into one seed (SplitMix64 finalizer over the
+/// xor): the deterministic derivation used for phase and per-request
+/// seed streams. Not cryptographic — just well-spread.
+pub fn mix_seed(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.rotate_left(31) ^ 0x9E37_79B9_7F4A_7C15;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over a byte slice — the workspace's cheap stable digest.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A trained proxy classifier together with the exact labels that
+/// produced it — the phase-1 asset every learned estimator can reuse.
+pub struct TrainedProxy {
+    /// The learning-phase configuration it was trained under.
+    pub config: LearnPhaseConfig,
+    /// The effective seed the classifier was built with (see
+    /// [`crate::LearnedModel::model_seed`]).
+    pub model_seed: u64,
+    /// The fitted classifier (shareable across concurrent resumes).
+    pub model: Arc<dyn Classifier>,
+    /// Object ids labeled during training (`S_L`).
+    pub labeled: Vec<usize>,
+    /// Labels aligned with `labeled`.
+    pub labels: Vec<bool>,
+}
+
+impl TrainedProxy {
+    /// Exact positive count within the training sample.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&b| b).count()
+    }
+
+    /// The portable snapshot of this proxy: spec + effective seed +
+    /// training set. [`ModelSnapshot::rebuild`] refits bit-identically.
+    pub fn snapshot(&self) -> ModelSnapshot {
+        ModelSnapshot {
+            spec: self.config.spec,
+            model_seed: self.model_seed,
+            labeled: self.labeled.clone(),
+            labels: self.labels.clone(),
+        }
+    }
+}
+
+/// Run the learning phase with its own deterministic seed stream and
+/// return a reusable [`TrainedProxy`]. Labels drawn are charged to
+/// `labeler` as usual.
+///
+/// # Errors
+///
+/// Propagates learning-phase errors.
+pub fn train_proxy(
+    problem: &CountingProblem,
+    config: &LearnPhaseConfig,
+    train_budget: usize,
+    seed: u64,
+    labeler: &mut Labeler<'_>,
+) -> CoreResult<TrainedProxy> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let lm = run_learn_phase(problem, labeler, train_budget, config, &mut rng)?;
+    Ok(TrainedProxy {
+        config: *config,
+        model_seed: lm.model_seed,
+        model: Arc::from(lm.model),
+        labeled: lm.labeled,
+        labels: lm.labels,
+    })
+}
+
+/// The portable form of a fitted classifier: the spec, the effective
+/// construction seed, and the exact training set. Rebuilding is a
+/// single deterministic refit — bit-identical to the original because
+/// every model family re-seeds from its construction seed on `fit`.
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    /// Classifier family + hyperparameters.
+    pub spec: ClassifierSpec,
+    /// Effective construction seed.
+    pub model_seed: u64,
+    /// Training-set object ids.
+    pub labeled: Vec<usize>,
+    /// Labels aligned with `labeled`.
+    pub labels: Vec<bool>,
+}
+
+impl ModelSnapshot {
+    /// Refit the classifier from the snapshot against the problem's
+    /// feature matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range training ids or fit failures.
+    pub fn rebuild(&self, problem: &CountingProblem) -> CoreResult<Box<dyn Classifier>> {
+        let n = problem.n();
+        if self.labeled.iter().any(|&i| i >= n) {
+            return Err(CoreError::InvalidConfig {
+                message: format!("model snapshot references object ids beyond N = {n}"),
+            });
+        }
+        let mut model = self.spec.build(self.model_seed);
+        model.fit(&problem.features().gather(&self.labeled), &self.labels)?;
+        Ok(model)
+    }
+
+    /// Stable content digest (spec, seed, training set) — the "model
+    /// version" stamp result caches carry.
+    pub fn digest(&self) -> u64 {
+        let mut bytes = format!("{:?}|{}", self.spec, self.model_seed).into_bytes();
+        for (&i, &l) in self.labeled.iter().zip(&self.labels) {
+            bytes.extend_from_slice(&(i as u64).to_le_bytes());
+            bytes.push(u8::from(l));
+        }
+        fnv1a(&bytes)
+    }
+}
+
+// ---------------------------------------------------------------- LWS
+
+/// The reusable state of an LWS run: trained proxy + scored rest
+/// population + the sampling-budget share.
+pub struct LwsWarm {
+    /// The phase-1 proxy.
+    pub proxy: TrainedProxy,
+    scored: ScoredPopulation,
+    /// Labels each resume spends (the phase-2 share of the budget).
+    pub sample_budget: usize,
+    /// Oracle evaluations spent preparing (the cold-start cost).
+    pub prepare_evals: usize,
+    n: usize,
+}
+
+impl LwsWarm {
+    /// All exactly-known `(object id, label)` pairs of this state — the
+    /// free labels a resume preloads, and the payload a snapshot needs
+    /// to restore without re-touching the oracle.
+    pub fn known_labels(&self) -> Vec<(usize, bool)> {
+        self.proxy
+            .labeled
+            .iter()
+            .copied()
+            .zip(self.proxy.labels.iter().copied())
+            .collect()
+    }
+
+    /// Content digest of the reusable state (model + member set), used
+    /// as the result-cache model-version stamp.
+    pub fn digest(&self) -> u64 {
+        mix_seed(
+            self.proxy.snapshot().digest(),
+            fnv1a(&(self.scored.len() as u64).to_le_bytes()) ^ self.sample_budget as u64,
+        )
+    }
+}
+
+impl Lws {
+    /// Run the expensive, reusable phases (train + score) with a
+    /// deterministic seed stream, returning a warm state that
+    /// [`Lws::estimate_prepared`] can resume any number of times.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the one-shot estimate path.
+    pub fn prepare(
+        &self,
+        problem: &CountingProblem,
+        budget: usize,
+        seed: u64,
+    ) -> CoreResult<LwsWarm> {
+        self.prepare_with_known(problem, budget, seed, &[])
+    }
+
+    /// [`Lws::prepare`] resuming from already-known labels (snapshot
+    /// restore): `known` pairs are preloaded, so re-preparing a state
+    /// whose labels are all known costs **zero** oracle evaluations and
+    /// reproduces the original state bit-identically (same seed).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Lws::prepare`].
+    pub fn prepare_with_known(
+        &self,
+        problem: &CountingProblem,
+        budget: usize,
+        seed: u64,
+        known: &[(usize, bool)],
+    ) -> CoreResult<LwsWarm> {
+        check_budget(problem, budget)?;
+        self.validate()?;
+        let (train_budget, sample_budget) = self.budget_split(budget)?;
+        let mut labeler = Labeler::new(problem);
+        preload_pairs(&mut labeler, known);
+        let proxy = train_proxy(
+            problem,
+            &self.learn,
+            train_budget,
+            mix_seed(seed, SALT_LEARN),
+            &mut labeler,
+        )?;
+        let scored = ScoredPopulation::score_rest(problem, proxy.model.as_ref(), &proxy.labeled)?;
+        if scored.len() < sample_budget {
+            return Err(CoreError::BudgetTooSmall {
+                budget,
+                required: proxy.labeled.len() + sample_budget,
+                reason: "sampling budget exceeds remaining objects".into(),
+            });
+        }
+        Ok(LwsWarm {
+            proxy,
+            scored,
+            sample_budget,
+            prepare_evals: labeler.unique_evals(),
+            n: problem.n(),
+        })
+    }
+
+    /// Resume a prepared state: draw a fresh PPS sample with the given
+    /// seed and produce a new unbiased estimate, spending only the
+    /// stage-2 budget (training labels are preloaded for free).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the state does not match the problem, or
+    /// on sampling/labeling failures.
+    pub fn estimate_prepared(
+        &self,
+        problem: &CountingProblem,
+        warm: &LwsWarm,
+        seed: u64,
+    ) -> CoreResult<EstimateReport> {
+        if warm.n != problem.n() {
+            return Err(CoreError::InvalidConfig {
+                message: format!(
+                    "warm state was prepared for N = {}, problem has N = {}",
+                    warm.n,
+                    problem.n()
+                ),
+            });
+        }
+        let mut timer = PhaseTimer::new();
+        let mut labeler = Labeler::new(problem);
+        labeler.preload(&warm.proxy.labeled, &warm.proxy.labels);
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, SALT_SAMPLE));
+        let estimate = timer.phase(Phase::Phase2, || {
+            lws_phase2(
+                self,
+                &warm.scored,
+                warm.sample_budget,
+                warm.proxy.labeled.len(),
+                problem.level(),
+                &mut labeler,
+                &mut rng,
+            )
+        })?;
+        Ok(EstimateReport {
+            estimate: estimate.shifted(warm.proxy.positives() as f64),
+            has_interval: true,
+            evals: labeler.unique_evals(),
+            timings: timer.finish(),
+            estimator: self.name_static().into(),
+            notes: Vec::new(),
+            forecast: None,
+        })
+    }
+
+    fn name_static(&self) -> &'static str {
+        "LWS"
+    }
+}
+
+// ---------------------------------------------------------------- LSS
+
+/// The reusable state of an LSS run: trained proxy, score ordering,
+/// labeled design pilot, and the optimized stratification.
+pub struct LssWarm {
+    /// The phase-1 proxy.
+    pub proxy: TrainedProxy,
+    ordered: OrderedPopulation,
+    /// Pilot positions within the ordering (ascending).
+    pilot_positions: Vec<usize>,
+    /// Pilot labels aligned with `pilot_positions`.
+    pilot_labels: Vec<bool>,
+    stratification: Stratification,
+    /// The budget split the state was prepared under; each resume
+    /// spends `split.stage2` fresh labels.
+    pub split: LssBudgetSplit,
+    /// Notes emitted by the design stage (constraint relaxations etc.).
+    pub design_notes: Vec<String>,
+    /// Oracle evaluations spent preparing (the cold-start cost).
+    pub prepare_evals: usize,
+    n: usize,
+    reuse: bool,
+}
+
+impl LssWarm {
+    /// All exactly-known `(object id, label)` pairs (training sample ∪
+    /// design pilot) — preloaded for free on every resume, and the
+    /// payload a snapshot restore needs to avoid re-touching the
+    /// oracle.
+    pub fn known_labels(&self) -> Vec<(usize, bool)> {
+        let mut pairs: Vec<(usize, bool)> = self
+            .proxy
+            .labeled
+            .iter()
+            .copied()
+            .zip(self.proxy.labels.iter().copied())
+            .collect();
+        for (&pos, &label) in self.pilot_positions.iter().zip(&self.pilot_labels) {
+            pairs.push((self.ordered.object_at(pos), label));
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        pairs
+    }
+
+    /// Content digest of the reusable state (model + pilot + cuts),
+    /// used as the result-cache model-version stamp.
+    pub fn digest(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(16 * (self.pilot_positions.len() + 2));
+        bytes.extend_from_slice(&self.proxy.snapshot().digest().to_le_bytes());
+        for (&p, &l) in self.pilot_positions.iter().zip(&self.pilot_labels) {
+            bytes.extend_from_slice(&(p as u64).to_le_bytes());
+            bytes.push(u8::from(l));
+        }
+        for &c in &self.stratification.cuts {
+            bytes.extend_from_slice(&(c as u64).to_le_bytes());
+        }
+        fnv1a(&bytes)
+    }
+
+    /// The design-time quality forecast requires a resume (it depends
+    /// only on cached pilot data, so it is deterministic per state);
+    /// expose the stratification's estimated variance for planners that
+    /// want the raw objective instead.
+    pub fn estimated_variance(&self) -> f64 {
+        self.stratification.estimated_variance
+    }
+}
+
+impl Lss {
+    /// Run the expensive, reusable phases (train + score + order +
+    /// pilot + design) with a deterministic per-phase seed stream,
+    /// returning a warm state [`Lss::estimate_prepared`] can resume any
+    /// number of times.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the one-shot estimate path.
+    pub fn prepare(
+        &self,
+        problem: &CountingProblem,
+        budget: usize,
+        seed: u64,
+    ) -> CoreResult<LssWarm> {
+        self.prepare_with_known(problem, budget, seed, &[])
+    }
+
+    /// [`Lss::prepare`] resuming from already-known labels (snapshot
+    /// restore): `known` pairs are preloaded, so re-preparing a state
+    /// whose labels are all known costs **zero** oracle evaluations and
+    /// reproduces the original state bit-identically (same seed).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Lss::prepare`].
+    pub fn prepare_with_known(
+        &self,
+        problem: &CountingProblem,
+        budget: usize,
+        seed: u64,
+        known: &[(usize, bool)],
+    ) -> CoreResult<LssWarm> {
+        check_budget(problem, budget)?;
+        self.validate()?;
+        let split = self.budget_split(budget)?;
+        let mut labeler = Labeler::new(problem);
+        preload_pairs(&mut labeler, known);
+
+        let proxy = train_proxy(
+            problem,
+            &self.learn,
+            split.train,
+            mix_seed(seed, SALT_LEARN),
+            &mut labeler,
+        )?;
+
+        // Score + order (mirrors the one-shot path).
+        let reuse = self.pilot_source == PilotSource::ReuseLearning;
+        let scored = if reuse {
+            ScoredPopulation::score_all(problem, proxy.model.as_ref())?
+        } else {
+            ScoredPopulation::score_rest(problem, proxy.model.as_ref(), &proxy.labeled)?
+        };
+        let ordered = scored.into_ordered();
+        let mut in_train = vec![false; problem.n()];
+        for &i in &proxy.labeled {
+            in_train[i] = true;
+        }
+        let train_positions = ordered.positions_marked(&in_train);
+        let n_rest = ordered.n();
+        let n_drawable = n_rest - train_positions.len();
+        if split.pilot + split.stage2 > n_drawable {
+            return Err(CoreError::BudgetTooSmall {
+                budget,
+                required: proxy.labeled.len() + n_drawable,
+                reason: "sampling budget exceeds remaining objects".into(),
+            });
+        }
+
+        // Stage-1 pilot draw + design, on its own seed stream.
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, SALT_DESIGN));
+        let mut positions = if reuse {
+            let mut is_train = vec![false; n_rest];
+            for &pos in &train_positions {
+                is_train[pos] = true;
+            }
+            let candidates: Vec<usize> = (0..n_rest).filter(|&p| !is_train[p]).collect();
+            sample_without_replacement(&mut rng, split.pilot, candidates.len())?
+                .into_iter()
+                .map(|i| candidates[i])
+                .collect()
+        } else {
+            sample_without_replacement(&mut rng, split.pilot, n_rest)?
+        };
+        positions.extend_from_slice(&train_positions);
+        let pilot_objs = ordered.objects_at(&positions);
+        let labels = labeler.label_batch(&pilot_objs)?;
+        let entries: Vec<(usize, bool)> = positions.iter().copied().zip(labels).collect();
+        let pilot = ordered.pilot_index(&entries)?;
+        let mut design_notes = Vec::new();
+        let stratification = self.layout_cuts(
+            &pilot,
+            ordered.sorted_scores(),
+            n_rest,
+            split.stage2,
+            &mut design_notes,
+        )?;
+
+        // Store the pilot sorted by position with aligned labels.
+        let mut sorted_entries = entries;
+        sorted_entries.sort_unstable_by_key(|&(pos, _)| pos);
+        let (pilot_positions, pilot_labels): (Vec<usize>, Vec<bool>) =
+            sorted_entries.into_iter().unzip();
+
+        Ok(LssWarm {
+            proxy,
+            ordered,
+            pilot_positions,
+            pilot_labels,
+            stratification,
+            split,
+            design_notes,
+            prepare_evals: labeler.unique_evals(),
+            n: problem.n(),
+            reuse,
+        })
+    }
+
+    /// Resume a prepared state: allocate and draw a fresh stage-2
+    /// stratified sample with the given seed, spending only the
+    /// stage-2 budget (training + pilot labels are preloaded for free).
+    /// The report carries the state's design-time quality forecast.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the state does not match the problem, or
+    /// on sampling/labeling failures.
+    pub fn estimate_prepared(
+        &self,
+        problem: &CountingProblem,
+        warm: &LssWarm,
+        seed: u64,
+    ) -> CoreResult<EstimateReport> {
+        if warm.n != problem.n() {
+            return Err(CoreError::InvalidConfig {
+                message: format!(
+                    "warm state was prepared for N = {}, problem has N = {}",
+                    warm.n,
+                    problem.n()
+                ),
+            });
+        }
+        let mut timer = PhaseTimer::new();
+        let mut labeler = Labeler::new(problem);
+        labeler.preload(&warm.proxy.labeled, &warm.proxy.labels);
+        let pilot_objs = warm.ordered.objects_at(&warm.pilot_positions);
+        labeler.preload(&pilot_objs, &warm.pilot_labels);
+        let mut rng = StdRng::seed_from_u64(mix_seed(seed, SALT_SAMPLE));
+        let (estimate, forecast) = timer.phase(Phase::Phase2, || -> CoreResult<_> {
+            let outcome = stage2_estimate(
+                self,
+                &warm.ordered,
+                &warm.pilot_positions,
+                &warm.stratification,
+                warm.split.stage2,
+                problem.level(),
+                &mut labeler,
+                &mut rng,
+            )?;
+            let shift = match (self.pilot_handling, warm.reuse) {
+                (crate::estimators::PilotHandling::ExactRemainder, true) => {
+                    outcome.pilot_positives as f64
+                }
+                (crate::estimators::PilotHandling::ExactRemainder, false) => {
+                    (warm.proxy.positives() + outcome.pilot_positives) as f64
+                }
+                (crate::estimators::PilotHandling::Textbook, _) => warm.proxy.positives() as f64,
+            };
+            Ok((outcome.base.shifted(shift), outcome.forecast))
+        })?;
+        Ok(EstimateReport {
+            estimate,
+            has_interval: true,
+            evals: labeler.unique_evals(),
+            timings: timer.finish(),
+            estimator: "LSS".into(),
+            notes: warm.design_notes.clone(),
+            forecast: Some(forecast),
+        })
+    }
+}
+
+fn preload_pairs(labeler: &mut Labeler<'_>, known: &[(usize, bool)]) {
+    if known.is_empty() {
+        return;
+    }
+    let (ids, labels): (Vec<usize>, Vec<bool>) = known.iter().copied().unzip();
+    labeler.preload(&ids, &labels);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::tests_support::{line_problem, ramp_problem};
+    use crate::spec::ClassifierSpec;
+
+    fn lss_knn() -> Lss {
+        Lss {
+            learn: LearnPhaseConfig {
+                spec: ClassifierSpec::Knn { k: 3 },
+                ..LearnPhaseConfig::default()
+            },
+            min_pilots_per_stratum: 2,
+            ..Lss::default()
+        }
+    }
+
+    fn lws_knn() -> Lws {
+        Lws {
+            learn: LearnPhaseConfig {
+                spec: ClassifierSpec::Knn { k: 3 },
+                ..LearnPhaseConfig::default()
+            },
+            ..Lws::default()
+        }
+    }
+
+    #[test]
+    fn mix_seed_separates_streams() {
+        assert_ne!(mix_seed(1, 2), mix_seed(2, 1));
+        assert_ne!(mix_seed(0, SALT_LEARN), mix_seed(0, SALT_SAMPLE));
+        assert_eq!(mix_seed(7, 9), mix_seed(7, 9));
+    }
+
+    #[test]
+    fn lss_prepare_is_deterministic_and_resume_replays_bit_identically() {
+        let problem = ramp_problem(600, 0.2, 0.7, 11);
+        let lss = lss_knn();
+        let w1 = lss.prepare(&problem, 150, 42).unwrap();
+        let w2 = lss.prepare(&problem, 150, 42).unwrap();
+        assert_eq!(w1.digest(), w2.digest(), "same seed ⇒ same state");
+        assert_eq!(w1.pilot_positions, w2.pilot_positions);
+        assert_eq!(w1.prepare_evals, w2.prepare_evals);
+
+        let r1 = lss.estimate_prepared(&problem, &w1, 1001).unwrap();
+        let r2 = lss.estimate_prepared(&problem, &w2, 1001).unwrap();
+        assert_eq!(r1.count().to_bits(), r2.count().to_bits());
+        assert_eq!(
+            r1.estimate.interval.lo.to_bits(),
+            r2.estimate.interval.lo.to_bits()
+        );
+        assert_eq!(r1.evals, r2.evals);
+        // A different request seed draws a different stage-2 sample.
+        let r3 = lss.estimate_prepared(&problem, &w1, 1002).unwrap();
+        assert_ne!(r1.count().to_bits(), r3.count().to_bits());
+        // Resume spends only the stage-2 share.
+        assert_eq!(r1.evals, w1.split.stage2);
+        assert!(w1.prepare_evals >= w1.split.train + w1.split.pilot - 5);
+    }
+
+    #[test]
+    fn lss_resume_estimates_stay_near_truth() {
+        let problem = ramp_problem(800, 0.25, 0.65, 3);
+        let truth = problem.exact_count().unwrap() as f64;
+        let lss = lss_knn();
+        let warm = lss.prepare(&problem, 200, 9).unwrap();
+        let mut sum = 0.0;
+        let trials = 40u32;
+        for t in 0..trials {
+            let r = lss
+                .estimate_prepared(&problem, &warm, 5_000 + u64::from(t))
+                .unwrap();
+            sum += r.count();
+            assert!(r.forecast.is_some());
+        }
+        let mean = sum / f64::from(trials);
+        assert!(
+            (mean - truth).abs() < 0.1 * truth + 20.0,
+            "mean {mean} vs {truth}"
+        );
+    }
+
+    #[test]
+    fn lss_snapshot_restore_costs_zero_evals_and_matches() {
+        let problem = line_problem(500, 0.3);
+        let lss = lss_knn();
+        let warm = lss.prepare(&problem, 120, 77).unwrap();
+        assert!(warm.prepare_evals > 0);
+        let known = warm.known_labels();
+        problem.reset_meter();
+        let restored = lss.prepare_with_known(&problem, 120, 77, &known).unwrap();
+        assert_eq!(restored.prepare_evals, 0, "restore must not touch q");
+        assert_eq!(problem.predicate_stats().evals, 0);
+        assert_eq!(restored.digest(), warm.digest());
+        let a = lss.estimate_prepared(&problem, &warm, 31).unwrap();
+        let b = lss.estimate_prepared(&problem, &restored, 31).unwrap();
+        assert_eq!(a.count().to_bits(), b.count().to_bits());
+    }
+
+    #[test]
+    fn model_snapshot_rebuilds_bit_identical_scores() {
+        let problem = line_problem(300, 0.4);
+        let mut labeler = Labeler::new(&problem);
+        for spec in [
+            ClassifierSpec::Knn { k: 3 },
+            ClassifierSpec::RandomForest { n_trees: 10 },
+            ClassifierSpec::Mlp { epochs: 20 },
+            ClassifierSpec::Logistic,
+            ClassifierSpec::NaiveBayes,
+            ClassifierSpec::Gbm { n_rounds: 5 },
+            ClassifierSpec::Random,
+        ] {
+            let proxy = train_proxy(
+                &problem,
+                &LearnPhaseConfig {
+                    spec,
+                    ..LearnPhaseConfig::default()
+                },
+                40,
+                99,
+                &mut labeler,
+            )
+            .unwrap();
+            let rebuilt = proxy.snapshot().rebuild(&problem).unwrap();
+            let original = proxy.model.score_batch(problem.features()).unwrap();
+            let restored = rebuilt.score_batch(problem.features()).unwrap();
+            let same = original
+                .iter()
+                .zip(&restored)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "{spec:?}: snapshot rebuild must be bit-identical");
+        }
+    }
+
+    #[test]
+    fn model_snapshot_digest_is_content_addressed() {
+        let base = ModelSnapshot {
+            spec: ClassifierSpec::Knn { k: 3 },
+            model_seed: 5,
+            labeled: vec![1, 2, 3],
+            labels: vec![true, false, true],
+        };
+        assert_eq!(base.digest(), base.clone().digest());
+        let mut other = base.clone();
+        other.labels[1] = true;
+        assert_ne!(base.digest(), other.digest());
+        let mut other = base.clone();
+        other.model_seed = 6;
+        assert_ne!(base.digest(), other.digest());
+        // Out-of-range snapshot is rejected at rebuild.
+        let problem = line_problem(3, 0.5);
+        let bad = ModelSnapshot {
+            labeled: vec![0, 9],
+            labels: vec![true, false],
+            ..base
+        };
+        assert!(bad.rebuild(&problem).is_err());
+    }
+
+    #[test]
+    fn lws_warm_replays_and_saves_budget() {
+        let problem = line_problem(500, 0.25);
+        let lws = lws_knn();
+        let warm = lws.prepare(&problem, 120, 13).unwrap();
+        let r1 = lws.estimate_prepared(&problem, &warm, 501).unwrap();
+        let r2 = lws.estimate_prepared(&problem, &warm, 501).unwrap();
+        assert_eq!(r1.count().to_bits(), r2.count().to_bits());
+        assert_eq!(r1.evals, warm.sample_budget);
+        assert!(warm.prepare_evals > 0);
+        // Restore from known labels is free and bit-identical.
+        let restored = lws
+            .prepare_with_known(&problem, 120, 13, &warm.known_labels())
+            .unwrap();
+        assert_eq!(restored.prepare_evals, 0);
+        assert_eq!(restored.digest(), warm.digest());
+        let r3 = lws.estimate_prepared(&problem, &restored, 501).unwrap();
+        assert_eq!(r1.count().to_bits(), r3.count().to_bits());
+    }
+
+    #[test]
+    fn warm_state_rejects_mismatched_problem() {
+        let problem = line_problem(400, 0.3);
+        let other = line_problem(300, 0.3);
+        let lss = lss_knn();
+        let warm = lss.prepare(&problem, 100, 1).unwrap();
+        assert!(lss.estimate_prepared(&other, &warm, 2).is_err());
+        let lws = lws_knn();
+        let warm = lws.prepare(&problem, 100, 1).unwrap();
+        assert!(lws.estimate_prepared(&other, &warm, 2).is_err());
+    }
+}

@@ -37,6 +37,11 @@ pub enum LearnError {
         /// Column of the offending value.
         col: usize,
     },
+    /// A model persistence (export/import) failure.
+    Persist {
+        /// Description of the violation.
+        message: String,
+    },
 }
 
 impl fmt::Display for LearnError {
@@ -55,6 +60,9 @@ impl fmt::Display for LearnError {
             }
             LearnError::NonFiniteFeature { row, col } => {
                 write!(f, "non-finite feature at row {row}, column {col}")
+            }
+            LearnError::Persist { message } => {
+                write!(f, "model persistence failure: {message}")
             }
         }
     }

@@ -1,0 +1,265 @@
+//! Fitted-model persistence: a compact, dependency-free text codec.
+//!
+//! The workspace's vendored `serde` is a no-op derive shim, so models
+//! serialize through a hand-rolled line format instead:
+//!
+//! ```text
+//! lts-model/v1 <tag> key=value key=v1,v2,... ...
+//! ```
+//!
+//! Floats are encoded as their IEEE-754 bit patterns in hex, so a
+//! round-trip is **bit-exact** — a restored model scores bit-identically
+//! to the original, the same contract the batch-scoring pipeline holds.
+//!
+//! Two persistence strategies coexist in the workspace:
+//!
+//! * **Weight-level** (this module): models whose fitted state is a
+//!   small flat parameter set export it directly via
+//!   [`Classifier::export_params`] and restore via [`import_params`].
+//!   Currently: logistic regression, Gaussian NB, and the constant /
+//!   random dummies. Tree ensembles, kNN, and the MLP return `None`.
+//! * **Refit snapshots** (`lts_core::warm::ModelSnapshot`): *every*
+//!   family is reproducible from `(spec, seed, training set)` because
+//!   each `fit` re-seeds deterministically; the serving layer's model
+//!   store persists that triple and uses weight-level export only as an
+//!   inspection/debug surface.
+
+use crate::classifier::Classifier;
+use crate::dummy::{ConstantScore, RandomScores};
+use crate::error::{LearnError, LearnResult};
+use crate::linear::Logistic;
+use crate::nb::GaussianNb;
+
+/// Magic prefix of every exported parameter string.
+pub const MAGIC: &str = "lts-model/v1";
+
+/// Encode one float as its bit pattern (16 hex digits).
+pub(crate) fn enc_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Encode a float slice as comma-separated bit patterns.
+pub(crate) fn enc_f64s(vs: &[f64]) -> String {
+    vs.iter().map(|&v| enc_f64(v)).collect::<Vec<_>>().join(",")
+}
+
+pub(crate) fn dec_f64(s: &str) -> LearnResult<f64> {
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| persist_err(format!("bad f64 bit pattern `{s}`")))
+}
+
+pub(crate) fn dec_f64s(s: &str) -> LearnResult<Vec<f64>> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(dec_f64).collect()
+}
+
+pub(crate) fn persist_err(message: String) -> LearnError {
+    LearnError::Persist { message }
+}
+
+/// Per-class GNB moments `(log_prior, means, vars)`, absent when the
+/// class never appeared in training.
+type GnbClassParams = Option<(f64, Vec<f64>, Vec<f64>)>;
+
+/// Split an exported string into `(tag, key → value)` pairs.
+fn parse_fields(text: &str) -> LearnResult<(String, Vec<(String, String)>)> {
+    let mut parts = text.split_whitespace();
+    match parts.next() {
+        Some(m) if m == MAGIC => {}
+        other => {
+            return Err(persist_err(format!(
+                "expected `{MAGIC}` header, found {other:?}"
+            )))
+        }
+    }
+    let tag = parts
+        .next()
+        .ok_or_else(|| persist_err("missing model tag".into()))?
+        .to_string();
+    let mut fields = Vec::new();
+    for kv in parts {
+        let (k, v) = kv
+            .split_once('=')
+            .ok_or_else(|| persist_err(format!("malformed field `{kv}`")))?;
+        fields.push((k.to_string(), v.to_string()));
+    }
+    Ok((tag, fields))
+}
+
+fn get<'a>(fields: &'a [(String, String)], key: &str) -> LearnResult<&'a str> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .ok_or_else(|| persist_err(format!("missing field `{key}`")))
+}
+
+/// Restore a classifier from a string produced by
+/// [`Classifier::export_params`]. The restored model scores
+/// **bit-identically** to the exporter.
+///
+/// # Errors
+///
+/// Returns [`LearnError::Persist`] for unknown tags or malformed
+/// payloads.
+pub fn import_params(text: &str) -> LearnResult<Box<dyn Classifier>> {
+    let (tag, fields) = parse_fields(text)?;
+    match tag.as_str() {
+        "logit" => {
+            let weights = dec_f64s(get(&fields, "weights")?)?;
+            let bias = dec_f64(get(&fields, "bias")?)?;
+            let means = dec_f64s(get(&fields, "means")?)?;
+            let stds = dec_f64s(get(&fields, "stds")?)?;
+            if means.len() != stds.len() || means.len() != weights.len() {
+                return Err(persist_err(format!(
+                    "inconsistent logit dims: {} weights, {} means, {} stds",
+                    weights.len(),
+                    means.len(),
+                    stds.len()
+                )));
+            }
+            Ok(Box::new(Logistic::restore(weights, bias, means, stds)))
+        }
+        "gnb" => {
+            let dims: usize = get(&fields, "dims")?
+                .parse()
+                .map_err(|_| persist_err("bad gnb dims".into()))?;
+            let class = |key: &str| -> LearnResult<GnbClassParams> {
+                let v = get(&fields, key)?;
+                if v == "none" {
+                    return Ok(None);
+                }
+                let mut parts = v.split(';');
+                let (lp, means, vars) = (
+                    parts
+                        .next()
+                        .ok_or_else(|| persist_err(format!("bad gnb `{key}`")))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| persist_err(format!("bad gnb `{key}`")))?,
+                    parts
+                        .next()
+                        .ok_or_else(|| persist_err(format!("bad gnb `{key}`")))?,
+                );
+                let (means, vars) = (dec_f64s(means)?, dec_f64s(vars)?);
+                if means.len() != dims || vars.len() != dims {
+                    return Err(persist_err(format!(
+                        "gnb `{key}` moment length mismatches dims={dims}"
+                    )));
+                }
+                Ok(Some((dec_f64(lp)?, means, vars)))
+            };
+            Ok(Box::new(GaussianNb::restore(
+                dims,
+                class("pos")?,
+                class("neg")?,
+            )))
+        }
+        "const" => Ok(Box::new(ConstantScore::new(dec_f64(get(
+            &fields, "value",
+        )?)?))),
+        "random" => {
+            let seed: u64 = get(&fields, "seed")?
+                .parse()
+                .map_err(|_| persist_err("bad random seed".into()))?;
+            Ok(Box::new(RandomScores::restore(seed)))
+        }
+        other => Err(persist_err(format!(
+            "unknown model tag `{other}` (weight-level persistence covers \
+             logit/gnb/const/random; use a refit snapshot for the rest)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn training() -> (Matrix, Vec<bool>) {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![f64::from(i), f64::from(i % 7) * 0.3])
+            .collect();
+        let y: Vec<bool> = (0..40).map(|i| i >= 18).collect();
+        (Matrix::from_rows(&rows).unwrap(), y)
+    }
+
+    fn assert_roundtrip(model: &dyn Classifier) {
+        let text = model
+            .export_params()
+            .expect("model should export parameters");
+        assert!(text.starts_with(MAGIC));
+        let restored = import_params(&text).unwrap();
+        let (x, _) = training();
+        let a = model.score_batch(&x).unwrap();
+        let b = restored.score_batch(&x).unwrap();
+        assert!(
+            a.iter().zip(&b).all(|(p, q)| p.to_bits() == q.to_bits()),
+            "{}: restored scores must be bit-identical",
+            model.name()
+        );
+    }
+
+    #[test]
+    fn logistic_roundtrips_bit_exact() {
+        let (x, y) = training();
+        let mut m = Logistic::default();
+        assert!(m.export_params().is_none(), "unfitted exports nothing");
+        m.fit(&x, &y).unwrap();
+        assert_roundtrip(&m);
+    }
+
+    #[test]
+    fn gaussian_nb_roundtrips_bit_exact() {
+        let (x, y) = training();
+        let mut m = GaussianNb::default();
+        m.fit(&x, &y).unwrap();
+        assert_roundtrip(&m);
+        // Single-class fit (pos only) still round-trips.
+        let ones = vec![true; y.len()];
+        m.fit(&x, &ones).unwrap();
+        assert_roundtrip(&m);
+    }
+
+    #[test]
+    fn dummies_roundtrip() {
+        assert_roundtrip(&ConstantScore::new(0.375));
+        let (x, y) = training();
+        let mut r = RandomScores::new(99);
+        r.fit(&x, &y).unwrap();
+        assert_roundtrip(&r);
+    }
+
+    #[test]
+    fn unsupported_families_decline_politely() {
+        let (x, y) = training();
+        let mut knn = crate::knn::Knn::new(3).unwrap();
+        knn.fit(&x, &y).unwrap();
+        assert!(knn.export_params().is_none());
+        let mut forest = crate::forest::RandomForest::with_trees(3, 1);
+        forest.fit(&x, &y).unwrap();
+        assert!(forest.export_params().is_none());
+    }
+
+    #[test]
+    fn import_rejects_garbage() {
+        assert!(import_params("not a model").is_err());
+        assert!(import_params(&format!("{MAGIC} nope a=b")).is_err());
+        assert!(import_params(&format!("{MAGIC} logit bias=zz")).is_err());
+        assert!(import_params(&format!(
+            "{MAGIC} logit bias={} weights={} means= stds=",
+            enc_f64(0.0),
+            enc_f64(1.0)
+        ))
+        .is_err());
+        // NaN/∞ survive the bit-pattern encoding.
+        assert_eq!(
+            dec_f64(&enc_f64(f64::NAN)).unwrap().to_bits(),
+            f64::NAN.to_bits()
+        );
+        assert_eq!(dec_f64(&enc_f64(f64::INFINITY)).unwrap(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,56 @@
+//! `lts-serve`: the counting service as a stdin/stdout REPL.
+//!
+//! ```sh
+//! cargo run --release -p lts-serve --bin lts-serve -- [--deterministic] [--seed <u64>]
+//! ```
+//!
+//! Reads line-delimited requests on stdin, writes one JSON response per
+//! line on stdout (protocol: see `lts_serve::repl`). `--deterministic`
+//! zeroes wall-time fields so a scripted session diffs bit-identically
+//! against a golden transcript at any thread count.
+
+use lts_serve::{run_repl, ReplOptions, ServiceConfig};
+use std::io::{BufReader, BufWriter, Write as _};
+
+fn main() {
+    let mut opts = ReplOptions::default();
+    let mut config = ServiceConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deterministic" => opts.deterministic = true,
+            "--seed" => {
+                let v = args.next().and_then(|v| v.parse().ok());
+                match v {
+                    Some(seed) => config.seed = seed,
+                    None => {
+                        eprintln!("--seed needs a u64 value");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--help" | "-h" => {
+                println!(
+                    "lts-serve: line-delimited count requests on stdin, JSON on stdout\n\
+                     options: --deterministic (zero wall times), --seed <u64>\n\
+                     protocol:\n  register <sports|neighbors> <name> rows=<n> level=<L> seed=<s>\n  \
+                     count <dataset> [width=<f>|abswidth=<c>|budget=<n>] [fresh] [id=<u64>] :: <condition>\n  \
+                     invalidate <dataset>\n  stats\n  quit"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown option `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = BufWriter::new(stdout.lock());
+    if let Err(e) = run_repl(config, opts, BufReader::new(stdin.lock()), &mut out) {
+        eprintln!("lts-serve: I/O error: {e}");
+        std::process::exit(1);
+    }
+    let _ = out.flush();
+}

@@ -1,0 +1,183 @@
+//! The query catalog: every distinct canonical query the service has
+//! seen, with its ready-to-run [`CountingProblem`].
+//!
+//! The catalog is the dedup point of the pipeline: requests are
+//! canonicalized ([`mod@crate::fingerprint`]) at admission and equivalent
+//! requests resolve to one entry — one problem (one metered predicate,
+//! one feature matrix), one model-store lineage, one result-cache
+//! lineage. Entries key on the **canonical string** (collision-proof);
+//! the 64-bit fingerprint is the compact id responses carry.
+
+use lts_core::CountingProblem;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identity of a catalog entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// Dataset name.
+    pub dataset: String,
+    /// Canonical predicate string.
+    pub canonical: String,
+}
+
+/// One distinct query the service knows.
+pub struct QueryEntry {
+    /// Compact id (hash of dataset, table version, canonical string).
+    pub fingerprint: u64,
+    /// The assembled problem: metered predicate + features, shared by
+    /// every request that resolves here.
+    pub problem: Arc<CountingProblem>,
+    /// Table version the problem was assembled against.
+    pub table_version: u64,
+    /// Requests that resolved to this entry so far.
+    pub hits: u64,
+}
+
+/// The service's query catalog.
+#[derive(Default)]
+pub struct QueryCatalog {
+    entries: HashMap<QueryKey, QueryEntry>,
+}
+
+impl QueryCatalog {
+    /// Create an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct queries seen.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up an entry.
+    pub fn get(&self, key: &QueryKey) -> Option<&QueryEntry> {
+        self.entries.get(key)
+    }
+
+    /// Resolve a key, building the entry with `build` on first sight
+    /// and counting the hit. An entry assembled against an older table
+    /// version is rebuilt (its problem captured stale column data).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `build` failures (unknown feature columns etc.).
+    pub fn resolve<E>(
+        &mut self,
+        key: QueryKey,
+        fingerprint: u64,
+        table_version: u64,
+        build: impl FnOnce() -> Result<Arc<CountingProblem>, E>,
+    ) -> Result<&QueryEntry, E> {
+        use std::collections::hash_map::Entry;
+        match self.entries.entry(key) {
+            Entry::Occupied(mut o) => {
+                if o.get().table_version != table_version {
+                    let problem = build()?;
+                    let hits = o.get().hits;
+                    o.insert(QueryEntry {
+                        fingerprint,
+                        problem,
+                        table_version,
+                        hits,
+                    });
+                }
+                let e = o.into_mut();
+                e.hits += 1;
+                Ok(e)
+            }
+            Entry::Vacant(v) => {
+                let problem = build()?;
+                let e = v.insert(QueryEntry {
+                    fingerprint,
+                    problem,
+                    table_version,
+                    hits: 0,
+                });
+                e.hits += 1;
+                Ok(e)
+            }
+        }
+    }
+
+    /// Drop every entry of a dataset.
+    pub fn invalidate_dataset(&mut self, dataset: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| k.dataset != dataset);
+        before - self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_table::{table_of_floats, FnPredicate, ObjectPredicate, Table};
+
+    fn problem() -> Arc<CountingProblem> {
+        let t = Arc::new(table_of_floats(&[("x", &[1.0, 2.0, 3.0])]).unwrap());
+        let p: Arc<dyn ObjectPredicate> = Arc::new(FnPredicate::new("p", |t: &Table, i| {
+            Ok(t.floats("x")?[i] > 1.5)
+        }));
+        Arc::new(CountingProblem::new(t, p, &["x"]).unwrap())
+    }
+
+    fn key(ds: &str, canon: &str) -> QueryKey {
+        QueryKey {
+            dataset: ds.into(),
+            canonical: canon.into(),
+        }
+    }
+
+    #[test]
+    fn resolve_builds_once_and_counts_hits() {
+        let mut cat = QueryCatalog::new();
+        let mut builds = 0;
+        for _ in 0..3 {
+            let e = cat
+                .resolve::<()>(key("d", "q"), 1, 0, || {
+                    builds += 1;
+                    Ok(problem())
+                })
+                .unwrap();
+            assert_eq!(e.fingerprint, 1);
+        }
+        assert_eq!(builds, 1, "one build for three hits");
+        assert_eq!(cat.get(&key("d", "q")).unwrap().hits, 3);
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn version_bump_rebuilds_but_keeps_hit_lineage() {
+        let mut cat = QueryCatalog::new();
+        cat.resolve::<()>(key("d", "q"), 1, 0, || Ok(problem()))
+            .unwrap();
+        let mut rebuilt = false;
+        let e = cat
+            .resolve::<()>(key("d", "q"), 2, 1, || {
+                rebuilt = true;
+                Ok(problem())
+            })
+            .unwrap();
+        assert!(rebuilt);
+        assert_eq!(e.table_version, 1);
+        assert_eq!(e.hits, 2);
+    }
+
+    #[test]
+    fn distinct_canonicals_stay_distinct() {
+        let mut cat = QueryCatalog::new();
+        cat.resolve::<()>(key("d", "a"), 1, 0, || Ok(problem()))
+            .unwrap();
+        cat.resolve::<()>(key("d", "b"), 1, 0, || Ok(problem()))
+            .unwrap();
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.invalidate_dataset("d"), 2);
+        assert!(cat.is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! Unified error type for the serving layer.
+
+use std::fmt;
+
+/// Errors produced while admitting or executing a count request.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Core estimation error.
+    Core(lts_core::CoreError),
+    /// Table-engine error.
+    Table(lts_table::TableError),
+    /// The request names a dataset the service does not know.
+    UnknownDataset {
+        /// The requested name.
+        name: String,
+    },
+    /// The request's condition failed to parse.
+    Parse {
+        /// Parser diagnostics.
+        message: String,
+    },
+    /// The request was rejected at admission (queue full).
+    Overloaded {
+        /// The service's queue capacity.
+        capacity: usize,
+    },
+    /// Malformed request or configuration.
+    Invalid {
+        /// Description.
+        message: String,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "estimation error: {e}"),
+            ServeError::Table(e) => write!(f, "table error: {e}"),
+            ServeError::UnknownDataset { name } => write!(f, "unknown dataset `{name}`"),
+            ServeError::Parse { message } => write!(f, "condition parse error: {message}"),
+            ServeError::Overloaded { capacity } => {
+                write!(f, "request rejected: queue capacity {capacity} exceeded")
+            }
+            ServeError::Invalid { message } => write!(f, "invalid request: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<lts_core::CoreError> for ServeError {
+    fn from(e: lts_core::CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<lts_table::TableError> for ServeError {
+    fn from(e: lts_table::TableError) -> Self {
+        ServeError::Table(e)
+    }
+}
+
+/// Result alias for the serving layer.
+pub type ServeResult<T> = Result<T, ServeError>;

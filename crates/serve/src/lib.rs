@@ -1,0 +1,46 @@
+//! `lts-serve` — the concurrent counting service.
+//!
+//! The paper's economic argument is **amortization**: training a
+//! sampler is worth it because the same complex-filter count query (and
+//! near variants) is asked again and again. This crate is the layer
+//! that argument lives in — an in-process service that answers a
+//! stream of count requests from warm state instead of cold-starting
+//! each one:
+//!
+//! | Piece | Module | Job |
+//! |---|---|---|
+//! | canonical fingerprints | [`mod@fingerprint`] | equivalent requests hit the same entry |
+//! | [`QueryCatalog`] | [`catalog`] | one problem (meter + features) per distinct query |
+//! | [`ModelStore`] | [`store`] | warm estimator states: trained proxy + ordering + pilot + design (`lts_core::warm`), invalidated on table-version bumps |
+//! | [`ResultCache`] | [`cache`] | finished estimates with a staleness policy |
+//! | [`BudgetPlanner`] | [`planner`] | admission control: census for small `N`, else the cheapest budget meeting the requested CI width |
+//! | [`Service`] | [`service`] | bounded queue, parallel execution waves, deterministic per-request seed streams |
+//! | REPL | [`repl`] | the `lts-serve` binary's line protocol |
+//!
+//! A **cold** request pays for everything; a repeat of the same
+//! canonical query either comes straight from the result cache (zero
+//! oracle evaluations) or — when a fresh, independent estimate is
+//! requested — **warm-starts** from the model store and spends only
+//! the stage-2 share of the budget (≥ 5× fewer oracle evaluations at
+//! the same designed CI width under the serve profile). Every response
+//! is bit-replayable: see the determinism contract in [`service`].
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod catalog;
+pub mod error;
+pub mod fingerprint;
+pub mod planner;
+pub mod repl;
+pub mod service;
+pub mod store;
+
+pub use cache::{CachedResult, ResultCache, ResultKey, StalenessPolicy};
+pub use catalog::{QueryCatalog, QueryEntry, QueryKey};
+pub use error::{ServeError, ServeResult};
+pub use fingerprint::{canonical, fingerprint, normalize};
+pub use planner::{BudgetPlanner, Route, Target};
+pub use repl::{run_repl, ReplOptions};
+pub use service::{serve_lss_profile, Request, Response, Service, ServiceConfig, ServiceStats};
+pub use store::{ModelStore, StoreKey, StoredModel, WarmState};

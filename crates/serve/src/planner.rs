@@ -1,0 +1,269 @@
+//! Budget planning and admission control.
+//!
+//! Every request states *what accuracy it wants* (a confidence-interval
+//! halfwidth, relative or absolute) or *what it is willing to pay* (an
+//! explicit labeling budget). The planner turns that into a route:
+//!
+//! * **Exact** — tiny populations (or targets so tight that sampling
+//!   would label most of the population anyway) go straight to the
+//!   brute-force scan: for `N` below the cutoff the census is cheaper
+//!   than training a proxy, and its "interval" has zero width.
+//! * **Estimate { budget }** — everything else gets the *cheapest*
+//!   labeling budget whose worst-case SRS halfwidth meets the target.
+//!   SRS with `p = ½` is the distribution-free upper bound on the
+//!   halfwidth of every estimator in the suite (the learned estimators
+//!   only tighten it), so a budget sized by the closed-form SRS bound
+//!   is sufficient for the requested width, whichever estimator the
+//!   service executes. After a run, [`BudgetPlanner::refine`] shrinks
+//!   the budget toward the cheapest one the *achieved* width justifies
+//!   (variance ∝ 1/n).
+//!
+//! The closed form (Wald with finite-population correction, `p = ½`):
+//! `w = z·N/(2√n) · √((N−n)/(N−1))`, solved for `n`:
+//! `n = aN/(N−1+a)` with `a = (zN/2w)²`.
+
+use lts_core::CoreResult;
+
+/// What a request asks for.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Target {
+    /// An explicit labeling budget (unique `q` evaluations).
+    Budget(usize),
+    /// A halfwidth target as a fraction of the population size
+    /// (`0.01` = the interval must be within ±1% of `N`).
+    RelWidth(f64),
+    /// A halfwidth target in absolute count units.
+    AbsWidth(f64),
+}
+
+/// Where a request is routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Evaluate `q` on every object (census).
+    Exact,
+    /// Run an estimator under this labeling budget.
+    Estimate {
+        /// Unique-evaluation budget.
+        budget: usize,
+    },
+}
+
+/// The admission-control budget planner.
+#[derive(Debug, Clone, Copy)]
+pub struct BudgetPlanner {
+    /// Populations at or below this size route to the exact census.
+    pub exact_cutoff: usize,
+    /// Minimum budget handed to an estimator (a learned estimator
+    /// cannot do anything useful with a handful of labels).
+    pub min_budget: usize,
+    /// When the planned budget exceeds this fraction of `N`, the census
+    /// is the cheaper way to reach the target: route to exact.
+    pub exact_fraction: f64,
+    /// Confidence level the width targets refer to.
+    pub level: f64,
+}
+
+impl Default for BudgetPlanner {
+    fn default() -> Self {
+        Self {
+            exact_cutoff: 64,
+            min_budget: 60,
+            exact_fraction: 0.5,
+            level: 0.95,
+        }
+    }
+}
+
+impl BudgetPlanner {
+    /// The smallest SRS sample size whose worst-case (`p = ½`) Wald
+    /// halfwidth with finite-population correction meets
+    /// `halfwidth_counts` on a population of `n_objects`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a non-positive target or an invalid level.
+    pub fn srs_budget_for_halfwidth(
+        &self,
+        n_objects: usize,
+        halfwidth_counts: f64,
+    ) -> CoreResult<usize> {
+        if !halfwidth_counts.is_finite() || halfwidth_counts <= 0.0 {
+            return Err(lts_core::CoreError::InvalidConfig {
+                message: format!("halfwidth target must be positive, got {halfwidth_counts}"),
+            });
+        }
+        if n_objects == 0 {
+            return Err(lts_core::CoreError::InvalidConfig {
+                message: "cannot size a sample for an empty population".into(),
+            });
+        }
+        let z = lts_stats::z_critical(self.level).map_err(lts_core::CoreError::Stats)?;
+        let nf = n_objects as f64;
+        let a = (z * nf / (2.0 * halfwidth_counts)).powi(2);
+        let n = (a * nf / (nf - 1.0 + a)).ceil() as usize;
+        Ok(n.clamp(1, n_objects))
+    }
+
+    /// Route a request: census for small populations or near-census
+    /// budgets, otherwise the cheapest sufficient budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed targets (non-positive widths,
+    /// zero budgets).
+    pub fn plan(&self, n_objects: usize, target: Target) -> CoreResult<Route> {
+        if n_objects <= self.exact_cutoff {
+            return Ok(Route::Exact);
+        }
+        let budget = match target {
+            Target::Budget(b) => {
+                if b == 0 {
+                    return Err(lts_core::CoreError::InvalidConfig {
+                        message: "explicit budget must be positive".into(),
+                    });
+                }
+                b.min(n_objects)
+            }
+            Target::RelWidth(frac) => {
+                if !(frac > 0.0 && frac < 1.0) {
+                    return Err(lts_core::CoreError::InvalidConfig {
+                        message: format!("relative width must be in (0, 1), got {frac}"),
+                    });
+                }
+                self.srs_budget_for_halfwidth(n_objects, frac * n_objects as f64)?
+            }
+            Target::AbsWidth(w) => self.srs_budget_for_halfwidth(n_objects, w)?,
+        };
+        let budget = budget.max(self.min_budget).min(n_objects);
+        if (budget as f64) >= self.exact_fraction * n_objects as f64 {
+            return Ok(Route::Exact);
+        }
+        Ok(Route::Estimate { budget })
+    }
+
+    /// Shrink (or grow) a budget toward the cheapest one the *achieved*
+    /// halfwidth justifies: sampling error scales as `1/√n`, so meeting
+    /// `target_halfwidth` needs roughly
+    /// `n · (achieved / target)²` labels. Clamped to
+    /// `[min_budget, n_objects]`; routes to exact past the census
+    /// threshold.
+    pub fn refine(
+        &self,
+        previous_budget: usize,
+        achieved_halfwidth: f64,
+        target_halfwidth: f64,
+        n_objects: usize,
+    ) -> Route {
+        let well_formed = |w: f64| w.is_finite() && w > 0.0;
+        if !well_formed(achieved_halfwidth) || !well_formed(target_halfwidth) {
+            return Route::Estimate {
+                budget: previous_budget,
+            };
+        }
+        let ratio = achieved_halfwidth / target_halfwidth;
+        let budget = ((previous_budget as f64) * ratio * ratio).ceil() as usize;
+        let budget = budget.clamp(self.min_budget, n_objects);
+        if (budget as f64) >= self.exact_fraction * n_objects as f64 {
+            Route::Exact
+        } else {
+            Route::Estimate { budget }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_populations_route_to_exact() {
+        let p = BudgetPlanner::default();
+        assert_eq!(p.plan(64, Target::Budget(10)).unwrap(), Route::Exact);
+        // Just above the cutoff the min-budget floor still makes the
+        // census the cheaper plan; with room to sample, it estimates.
+        assert_eq!(p.plan(65, Target::Budget(10)).unwrap(), Route::Exact);
+        assert!(matches!(
+            p.plan(500, Target::Budget(100)).unwrap(),
+            Route::Estimate { budget: 100 }
+        ));
+    }
+
+    #[test]
+    fn closed_form_matches_the_wald_width() {
+        let p = BudgetPlanner::default();
+        let n_pop = 10_000usize;
+        for target in [50.0, 120.0, 400.0] {
+            let n = p.srs_budget_for_halfwidth(n_pop, target).unwrap();
+            let width = |m: usize| {
+                let nf = n_pop as f64;
+                let fpc = ((nf - m as f64) / (nf - 1.0)).sqrt();
+                1.959_963_984_540_054 * nf * (0.25 / m as f64).sqrt() * fpc
+            };
+            assert!(width(n) <= target * 1.0001, "n={n} too small for {target}");
+            assert!(
+                n == 1 || width(n - 1) > target,
+                "n={n} not minimal for {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn tight_targets_route_to_exact() {
+        let p = BudgetPlanner::default();
+        // ±0.1% of N needs a near-census sample: exact wins.
+        assert_eq!(
+            p.plan(2_000, Target::RelWidth(0.001)).unwrap(),
+            Route::Exact
+        );
+        // A loose ±10% target stays an estimate.
+        match p.plan(20_000, Target::RelWidth(0.1)).unwrap() {
+            Route::Estimate { budget } => {
+                assert!((60..1_000).contains(&budget), "budget {budget}")
+            }
+            other => panic!("expected estimate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explicit_budgets_pass_through_with_floors() {
+        let p = BudgetPlanner::default();
+        match p.plan(10_000, Target::Budget(5)).unwrap() {
+            Route::Estimate { budget } => assert_eq!(budget, p.min_budget),
+            other => panic!("{other:?}"),
+        }
+        match p.plan(10_000, Target::Budget(300)).unwrap() {
+            Route::Estimate { budget } => assert_eq!(budget, 300),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(p.plan(10_000, Target::Budget(9_000)).unwrap(), Route::Exact);
+    }
+
+    #[test]
+    fn refine_scales_quadratically() {
+        let p = BudgetPlanner::default();
+        // Achieved twice the target width → ~4× the budget.
+        match p.refine(200, 100.0, 50.0, 100_000) {
+            Route::Estimate { budget } => assert_eq!(budget, 800),
+            other => panic!("{other:?}"),
+        }
+        // Achieved half the target → can shed ~¾ of the budget.
+        match p.refine(200, 50.0, 100.0, 100_000) {
+            Route::Estimate { budget } => assert_eq!(budget, p.min_budget.max(50)),
+            other => panic!("{other:?}"),
+        }
+        // Absurd tightening escalates to the census.
+        assert_eq!(p.refine(400, 500.0, 1.0, 1_000), Route::Exact);
+    }
+
+    #[test]
+    fn invalid_targets_error() {
+        let p = BudgetPlanner::default();
+        assert!(p.plan(1_000, Target::Budget(0)).is_err());
+        assert!(p.plan(1_000, Target::RelWidth(0.0)).is_err());
+        assert!(p.plan(1_000, Target::RelWidth(1.5)).is_err());
+        assert!(p.plan(1_000, Target::AbsWidth(-3.0)).is_err());
+        assert!(p.plan(1_000, Target::AbsWidth(f64::NAN)).is_err());
+        // Empty population errors rather than panicking in clamp.
+        assert!(p.srs_budget_for_halfwidth(0, 10.0).is_err());
+    }
+}

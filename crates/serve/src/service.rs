@@ -1,0 +1,987 @@
+//! The in-process counting service.
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! condition ──parse──► Expr ──normalize──► canonical ──► fingerprint
+//!     │                                         │
+//!     │                              QueryCatalog (problem, meter)
+//!     │                                         │
+//!     ├── ResultCache hit? ──────────────► respond (0 evals, "cached")
+//!     ├── planner: N small / target tight ─► exact census ("exact")
+//!     ├── ModelStore hit? ────────────────► resume stage 2 ("warm")
+//!     └── else: prepare (train+order+pilot+design), store, resume ("cold")
+//! ```
+//!
+//! # Determinism
+//!
+//! Every response is a pure function of `(service seed, dataset
+//! content + version, canonical query, planned budget, request id)` —
+//! *never* of worker interleaving or arrival order:
+//!
+//! * model/design states are prepared under a seed derived from the
+//!   **canonical query** (not the request that happened to arrive
+//!   first), so whichever request triggers preparation, the state is
+//!   bit-identical;
+//! * cacheable (non-`fresh`) estimates run under a seed derived from
+//!   the **cache key**, so the computed result is the same no matter
+//!   which request computes it;
+//! * `fresh` requests run under a seed derived from the **request id**
+//!   — re-submitting the same id replays bit-identically;
+//! * batches are admitted sequentially (the bounded queue) and heavy
+//!   work fans out over the rayon worker pool in two barriers
+//!   (prepare, then estimate), each a parallel map whose outputs are
+//!   position-stable.
+//!
+//! The CI thread sweep (1 worker vs default) diffs whole response
+//! streams with wall times masked.
+
+use crate::cache::{ResultCache, ResultKey, StalenessPolicy};
+use crate::catalog::{QueryCatalog, QueryKey};
+use crate::error::{ServeError, ServeResult};
+use crate::fingerprint;
+use crate::planner::{BudgetPlanner, Route, Target};
+use crate::store::{ModelStore, StoreKey, StoredModel, WarmState};
+use lts_core::{fnv1a, mix_seed, CountEstimator, CountingProblem, Lss, Lws, Srs};
+use lts_table::{
+    parse_condition, ExprPredicate, ObjectPredicate, PartitionedTable, Table, TableRegistry,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The serve-tuned LSS profile: budget deliberately shifted into the
+/// *reusable* phases (training 50%, pilot 65% of the sampling half), so
+/// a warm start — which replays only stage 2 — spends ≥ 5× fewer
+/// oracle evaluations than its cold start at the same designed CI
+/// width. One-shot library use keeps `Lss::default()`; a service
+/// amortizes the reusable phases across every repeat, which is the
+/// paper's economic argument for learning to sample at all.
+pub fn serve_lss_profile() -> Lss {
+    Lss {
+        train_frac: 0.5,
+        pilot_frac: 0.65,
+        min_pilots_per_stratum: 3,
+        ..Lss::default()
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Root seed of every derived seed stream.
+    pub seed: u64,
+    /// Bounded request queue: requests beyond this many per batch are
+    /// rejected at admission.
+    pub queue_capacity: usize,
+    /// The admission planner.
+    pub planner: BudgetPlanner,
+    /// Result-cache staleness policy.
+    pub staleness: StalenessPolicy,
+    /// LSS profile for learned estimates (see [`serve_lss_profile`]).
+    pub lss: Lss,
+    /// LWS profile (used only for imported `lws` store entries).
+    pub lws: Lws,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0x5345_5256_4531,
+            queue_capacity: 64,
+            planner: BudgetPlanner::default(),
+            staleness: StalenessPolicy::default(),
+            lss: serve_lss_profile(),
+            lws: Lws::default(),
+        }
+    }
+}
+
+/// One count request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Caller-chosen id; the replay key of `fresh` requests.
+    pub id: u64,
+    /// Registered dataset name.
+    pub dataset: String,
+    /// SQL-ish predicate text (the `lts_table::parser` grammar;
+    /// subqueries may reference the dataset by its registered name).
+    pub condition: String,
+    /// Accuracy target or explicit budget.
+    pub target: Target,
+    /// `true` forces a fresh estimate (bypasses the result cache but
+    /// still warm-starts from the model store).
+    pub fresh: bool,
+}
+
+/// One response. All fields except `wall_micros` are deterministic for
+/// a fixed service seed and request stream.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Echo of the request id.
+    pub id: u64,
+    /// Whether the request produced an estimate.
+    pub ok: bool,
+    /// Error description when `ok` is false.
+    pub error: Option<String>,
+    /// Compact query id (hash of dataset, table version, canonical).
+    pub fingerprint: u64,
+    /// Execution route: `exact`, `lss`, or `srs` (empty on errors).
+    pub route: &'static str,
+    /// What served it: `cold`, `warm`, `cached`, `exact`, `error`, or
+    /// `rejected`.
+    pub served: &'static str,
+    /// Point estimate of the count.
+    pub estimate: f64,
+    /// Standard error (0 for exact/cached-exact).
+    pub std_error: f64,
+    /// Confidence-interval bounds.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Confidence level of the interval.
+    pub level: f64,
+    /// Fresh oracle evaluations this request spent.
+    pub evals: usize,
+    /// Planned labeling budget (0 on the exact route).
+    pub budget: usize,
+    /// Digest of the warm state that produced the estimate (0 for
+    /// exact/srs).
+    pub model_version: u64,
+    /// Table version answered against.
+    pub table_version: u64,
+    /// Wall time of this request's execution, in microseconds
+    /// (non-deterministic; maskable in replay diffs).
+    pub wall_micros: u64,
+}
+
+impl Response {
+    fn empty(id: u64) -> Self {
+        Response {
+            id,
+            ok: false,
+            error: None,
+            fingerprint: 0,
+            route: "",
+            served: "error",
+            estimate: 0.0,
+            std_error: 0.0,
+            lo: 0.0,
+            hi: 0.0,
+            level: 0.0,
+            evals: 0,
+            budget: 0,
+            model_version: 0,
+            table_version: 0,
+            wall_micros: 0,
+        }
+    }
+
+    fn failed(id: u64, err: &ServeError) -> Self {
+        Response {
+            error: Some(err.to_string()),
+            served: if matches!(err, ServeError::Overloaded { .. }) {
+                "rejected"
+            } else {
+                "error"
+            },
+            ..Response::empty(id)
+        }
+    }
+
+    /// Render as one JSON object (stable key order). `mask_wall`
+    /// zeroes the wall-time field so deterministic replays diff clean.
+    pub fn to_json(&self, mask_wall: bool) -> String {
+        let esc = json_escape;
+        let num = |v: f64| {
+            if v.is_finite() {
+                format!("{v}")
+            } else {
+                "null".to_string()
+            }
+        };
+        format!(
+            "{{\"id\": {}, \"ok\": {}, \"served\": \"{}\", \"route\": \"{}\", \
+             \"fingerprint\": \"{:016x}\", \"estimate\": {}, \"std_error\": {}, \
+             \"lo\": {}, \"hi\": {}, \"level\": {}, \"evals\": {}, \"budget\": {}, \
+             \"model_version\": \"{:016x}\", \"table_version\": {}, \
+             \"wall_micros\": {}{}}}",
+            self.id,
+            self.ok,
+            self.served,
+            self.route,
+            self.fingerprint,
+            num(self.estimate),
+            num(self.std_error),
+            num(self.lo),
+            num(self.hi),
+            num(self.level),
+            self.evals,
+            self.budget,
+            self.model_version,
+            self.table_version,
+            if mask_wall { 0 } else { self.wall_micros },
+            match &self.error {
+                Some(e) => format!(", \"error\": \"{}\"", esc(e)),
+                None => String::new(),
+            },
+        )
+    }
+}
+
+/// Escape a string for embedding in a JSON string literal: quotes,
+/// backslashes, and **every** control character (parse errors can echo
+/// arbitrary request bytes; a raw control byte would make the response
+/// line invalid JSON).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = std::fmt::Write::write_fmt(&mut out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Aggregate service counters (all deterministic).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServiceStats {
+    /// Requests admitted (including errors).
+    pub requests: u64,
+    /// Requests rejected at the queue bound.
+    pub rejected: u64,
+    /// Requests that failed (parse/plan/execution).
+    pub errors: u64,
+    /// Responses served by the exact census.
+    pub exact: u64,
+    /// Cold starts (prepared a model/design).
+    pub cold: u64,
+    /// Warm starts (resumed a stored state).
+    pub warm: u64,
+    /// Result-cache hits (including in-batch coalescing).
+    pub cached: u64,
+    /// Fresh oracle evaluations spent, total.
+    pub oracle_evals: u64,
+    /// … spent by cold starts (prepare + stage 2).
+    pub oracle_evals_cold: u64,
+    /// … spent by warm starts (stage 2 only).
+    pub oracle_evals_warm: u64,
+    /// … spent by exact censuses.
+    pub oracle_evals_exact: u64,
+    /// Oracle evaluations cache hits would have cost (the savings).
+    pub oracle_evals_saved: u64,
+}
+
+struct DatasetState {
+    table: PartitionedTable,
+    feature_cols: Vec<String>,
+    registry: TableRegistry,
+}
+
+/// The in-process concurrent counting service.
+pub struct Service {
+    config: ServiceConfig,
+    datasets: HashMap<String, DatasetState>,
+    catalog: QueryCatalog,
+    store: ModelStore,
+    cache: ResultCache,
+    stats: ServiceStats,
+}
+
+// ------------------------------------------------------------ internals
+
+struct Admitted {
+    pos: usize,
+    id: u64,
+    dataset: String,
+    canonical: String,
+    raw: String,
+    fingerprint: u64,
+    table_version: u64,
+    problem: Arc<CountingProblem>,
+    route: Route,
+    fresh: bool,
+}
+
+enum ComputeKind {
+    Exact,
+    Resume { store_key: StoreKey },
+    SrsFallback,
+}
+
+struct ComputeItem {
+    pos: usize,
+    kind: ComputeKind,
+    problem: Arc<CountingProblem>,
+    seed: u64,
+    budget: usize,
+    is_cold: bool,
+    cache_key: Option<ResultKey>,
+}
+
+struct Computed {
+    pos: usize,
+    result: ServeResult<ComputedOk>,
+    wall_micros: u64,
+}
+
+struct ComputedOk {
+    estimate: f64,
+    std_error: f64,
+    lo: f64,
+    hi: f64,
+    level: f64,
+    evals: usize,
+    route: &'static str,
+    model_version: u64,
+}
+
+impl Service {
+    /// Create a service.
+    pub fn new(config: ServiceConfig) -> Self {
+        Self {
+            config,
+            datasets: HashMap::new(),
+            catalog: QueryCatalog::new(),
+            store: ModelStore::new(),
+            cache: ResultCache::new(config.staleness),
+            stats: ServiceStats::default(),
+        }
+    }
+
+    /// Register (or replace) a dataset. Replacing bumps the version and
+    /// invalidates every derived artifact.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown/non-numeric feature columns.
+    pub fn register_dataset(
+        &mut self,
+        name: &str,
+        table: Arc<Table>,
+        feature_cols: &[&str],
+    ) -> ServeResult<()> {
+        for c in feature_cols {
+            table.floats(c)?;
+        }
+        // A replacement keeps the version lineage and bumps it once
+        // (via the shared invalidation path below).
+        let existing = self.datasets.get(name).map(|ds| ds.table.version());
+        let registry = TableRegistry::new().register(name, Arc::clone(&table));
+        let state = DatasetState {
+            table: PartitionedTable::auto(table).with_version(existing.unwrap_or(0)),
+            feature_cols: feature_cols.iter().map(|s| s.to_string()).collect(),
+            registry,
+        };
+        self.datasets.insert(name.to_string(), state);
+        if existing.is_some() {
+            self.invalidate(name)?;
+        }
+        Ok(())
+    }
+
+    /// Bump a dataset's version and drop every artifact derived from it
+    /// (catalog problems, warm states, cached results). Use after
+    /// mutating the backing data out-of-band.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown dataset.
+    pub fn invalidate(&mut self, name: &str) -> ServeResult<()> {
+        let ds = self
+            .datasets
+            .get_mut(name)
+            .ok_or_else(|| ServeError::UnknownDataset { name: name.into() })?;
+        ds.table.bump_version();
+        self.catalog.invalidate_dataset(name);
+        self.store.invalidate_dataset(name);
+        self.cache.invalidate_dataset(name);
+        Ok(())
+    }
+
+    /// Current version stamp of a dataset.
+    pub fn dataset_version(&self, name: &str) -> Option<u64> {
+        self.datasets.get(name).map(|d| d.table.version())
+    }
+
+    /// Population size of a dataset.
+    pub fn dataset_len(&self, name: &str) -> Option<usize> {
+        self.datasets.get(name).map(|d| d.table.len())
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.stats
+    }
+
+    /// Distinct queries seen.
+    pub fn catalog_len(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Warm states held.
+    pub fn store_len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Cached results held.
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Serve one request (a batch of one).
+    pub fn run(&mut self, request: Request) -> Response {
+        self.run_batch(vec![request]).pop().expect("one response")
+    }
+
+    /// Serve a batch: sequential admission (bounded queue, planning,
+    /// cache consultation), then two parallel waves over the rayon
+    /// worker pool — prepare missing warm states, then execute the
+    /// per-request work. Responses align with the input order.
+    pub fn run_batch(&mut self, requests: Vec<Request>) -> Vec<Response> {
+        let n_req = requests.len();
+        let mut responses: Vec<Option<Response>> = (0..n_req).map(|_| None).collect();
+
+        // ---------------------------------------------- admission (seq)
+        let mut admitted: Vec<Admitted> = Vec::new();
+        for (pos, req) in requests.into_iter().enumerate() {
+            if pos >= self.config.queue_capacity {
+                self.stats.rejected += 1;
+                responses[pos] = Some(Response::failed(
+                    req.id,
+                    &ServeError::Overloaded {
+                        capacity: self.config.queue_capacity,
+                    },
+                ));
+                continue;
+            }
+            self.stats.requests += 1;
+            match self.admit(pos, req) {
+                Ok(adm) => admitted.push(adm),
+                Err((id, e)) => {
+                    self.stats.errors += 1;
+                    responses[pos] = Some(Response::failed(id, &e));
+                }
+            }
+        }
+
+        // Deterministic flag/seed assignment processes admitted requests
+        // in request-id order (ties broken by arrival position).
+        admitted.sort_by_key(|a| (a.id, a.pos));
+
+        // ------------------------- cache consult + work planning (seq)
+        let mut compute: Vec<ComputeItem> = Vec::new();
+        // Cacheable computations already claimed in this batch:
+        // cache key → position of the computing request.
+        let mut in_flight: HashMap<ResultKey, usize> = HashMap::new();
+        // Followers to fill from a computing request's response.
+        let mut followers: Vec<(usize, usize, u64)> = Vec::new(); // (pos, leader_pos, id)
+                                                                  // Store keys needing preparation this batch.
+        let mut needed: Vec<(StoreKey, Arc<CountingProblem>, u64, String)> = Vec::new();
+        let mut needed_seen: HashSet<StoreKey> = HashSet::new();
+        // Which store keys were missing (their first resumer is "cold").
+        let mut cold_claimed: HashSet<StoreKey> = HashSet::new();
+
+        for adm in &admitted {
+            let budget = match adm.route {
+                Route::Exact => 0,
+                Route::Estimate { budget } => budget,
+            };
+            let cache_key = ResultKey {
+                dataset: adm.dataset.clone(),
+                canonical: adm.canonical.clone(),
+                budget,
+            };
+            if !adm.fresh {
+                if let Some(hit) = self.cache.lookup(&cache_key, adm.table_version) {
+                    self.stats.cached += 1;
+                    self.stats.oracle_evals_saved += hit.evals_spent as u64;
+                    responses[adm.pos] = Some(Response {
+                        id: adm.id,
+                        ok: true,
+                        error: None,
+                        fingerprint: adm.fingerprint,
+                        route: hit.route,
+                        served: "cached",
+                        estimate: hit.count,
+                        std_error: hit.std_error,
+                        lo: hit.lo,
+                        hi: hit.hi,
+                        level: hit.level,
+                        evals: 0,
+                        budget,
+                        model_version: hit.model_version,
+                        table_version: adm.table_version,
+                        wall_micros: 0,
+                    });
+                    continue;
+                }
+                // In-batch coalescing: identical cacheable requests are
+                // computed once (single-flight); the rest are "cached".
+                if let Some(&leader_pos) = in_flight.get(&cache_key) {
+                    followers.push((adm.pos, leader_pos, adm.id));
+                    continue;
+                }
+                in_flight.insert(cache_key.clone(), adm.pos);
+            }
+
+            let (kind, is_cold) = match adm.route {
+                Route::Exact => (ComputeKind::Exact, false),
+                Route::Estimate { budget } => {
+                    let store_key = StoreKey {
+                        dataset: adm.dataset.clone(),
+                        canonical: adm.canonical.clone(),
+                        budget,
+                    };
+                    // Evict any stale state now (sequential), so the
+                    // parallel wave reads immutably.
+                    let present = self.store.lookup(&store_key, adm.table_version).is_some();
+                    let is_cold = if present {
+                        false
+                    } else {
+                        if needed_seen.insert(store_key.clone()) {
+                            needed.push((
+                                store_key.clone(),
+                                Arc::clone(&adm.problem),
+                                adm.table_version,
+                                adm.raw.clone(),
+                            ));
+                        }
+                        // First (lowest-id) resumer of a freshly
+                        // prepared state reports the cold start.
+                        cold_claimed.insert(store_key.clone())
+                    };
+                    (ComputeKind::Resume { store_key }, is_cold)
+                }
+            };
+            let seed = if adm.fresh {
+                mix_seed(self.config.seed, mix_seed(adm.id, 0x0046_5245_5348))
+            } else {
+                mix_seed(self.config.seed, result_key_hash(&cache_key))
+            };
+            compute.push(ComputeItem {
+                pos: adm.pos,
+                kind,
+                problem: Arc::clone(&adm.problem),
+                seed,
+                budget,
+                is_cold,
+                cache_key: (!adm.fresh).then_some(cache_key),
+            });
+        }
+
+        // ------------------------------- wave 1: prepare states (par)
+        let lss = self.config.lss;
+        let service_seed = self.config.seed;
+        let prepared: Vec<(StoreKey, u64, String, ServeResult<StoredModel>)> = needed
+            .into_par_iter()
+            .map(|(key, problem, table_version, raw)| {
+                let prepare_seed = mix_seed(service_seed, store_key_hash(&key, table_version));
+                let result = lss
+                    .prepare(&problem, key.budget, prepare_seed)
+                    .map(|state| StoredModel {
+                        state: WarmState::Lss(state),
+                        table_version,
+                        prepare_seed,
+                        raw_condition: raw.clone(),
+                        resumes: 0,
+                    })
+                    .map_err(ServeError::from);
+                (key, table_version, raw, result)
+            })
+            .collect();
+        // States that failed to prepare fall back to per-request SRS.
+        let mut unpreparable: HashSet<StoreKey> = HashSet::new();
+        for (key, _version, _raw, result) in prepared {
+            match result {
+                Ok(stored) => self.store.insert(key, stored),
+                Err(_) => {
+                    unpreparable.insert(key);
+                }
+            }
+        }
+        for item in &mut compute {
+            if let ComputeKind::Resume { store_key } = &item.kind {
+                if unpreparable.contains(store_key) {
+                    item.kind = ComputeKind::SrsFallback;
+                    item.is_cold = true;
+                }
+            }
+        }
+
+        // ------------------------------------ wave 2: execute (par)
+        let store = &self.store;
+        let lws = self.config.lws;
+        let computed: Vec<Computed> = compute
+            .iter()
+            .map(|item| ExecItem {
+                pos: item.pos,
+                kind: match &item.kind {
+                    ComputeKind::Exact => ExecKind::Exact,
+                    ComputeKind::SrsFallback => ExecKind::Srs,
+                    ComputeKind::Resume { store_key } => ExecKind::Resume {
+                        stored: store.get(store_key),
+                    },
+                },
+                problem: Arc::clone(&item.problem),
+                seed: item.seed,
+                budget: item.budget,
+                is_cold: item.is_cold,
+            })
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|item| execute(item, lss, lws))
+            .collect();
+
+        // ------------------------------------------- settle (seq)
+        let mut by_pos: HashMap<usize, usize> = HashMap::new();
+        for (k, c) in computed.iter().enumerate() {
+            by_pos.insert(c.pos, k);
+        }
+        for item in &compute {
+            let c = &computed[by_pos[&item.pos]];
+            let adm = admitted
+                .iter()
+                .find(|a| a.pos == item.pos)
+                .expect("computed implies admitted");
+            let response = match &c.result {
+                Err(e) => {
+                    self.stats.errors += 1;
+                    Response {
+                        fingerprint: adm.fingerprint,
+                        table_version: adm.table_version,
+                        budget: item.budget,
+                        wall_micros: c.wall_micros,
+                        ..Response::failed(adm.id, e)
+                    }
+                }
+                Ok(ok) => {
+                    let served = match (&item.kind, item.is_cold) {
+                        (ComputeKind::Exact, _) => "exact",
+                        (_, true) => "cold",
+                        (_, false) => "warm",
+                    };
+                    match served {
+                        "exact" => {
+                            self.stats.exact += 1;
+                            self.stats.oracle_evals_exact += ok.evals as u64;
+                        }
+                        "cold" => {
+                            self.stats.cold += 1;
+                            self.stats.oracle_evals_cold += ok.evals as u64;
+                        }
+                        _ => {
+                            self.stats.warm += 1;
+                            self.stats.oracle_evals_warm += ok.evals as u64;
+                        }
+                    }
+                    self.stats.oracle_evals += ok.evals as u64;
+                    if let ComputeKind::Resume { store_key } = &item.kind {
+                        if let Some(stored) = self.store.lookup(store_key, adm.table_version) {
+                            stored.resumes += 1;
+                        }
+                    }
+                    if let Some(cache_key) = &item.cache_key {
+                        self.cache.insert(
+                            cache_key.clone(),
+                            ok.estimate,
+                            ok.std_error,
+                            ok.lo,
+                            ok.hi,
+                            ok.level,
+                            ok.evals,
+                            ok.model_version,
+                            adm.table_version,
+                            ok.route,
+                        );
+                    }
+                    Response {
+                        id: adm.id,
+                        ok: true,
+                        error: None,
+                        fingerprint: adm.fingerprint,
+                        route: ok.route,
+                        served,
+                        estimate: ok.estimate,
+                        std_error: ok.std_error,
+                        lo: ok.lo,
+                        hi: ok.hi,
+                        level: ok.level,
+                        evals: ok.evals,
+                        budget: item.budget,
+                        model_version: ok.model_version,
+                        table_version: adm.table_version,
+                        wall_micros: c.wall_micros,
+                    }
+                }
+            };
+            responses[item.pos] = Some(response);
+        }
+        // Followers copy their leader's response (0 evals, "cached").
+        for (pos, leader_pos, id) in followers {
+            let leader = responses[leader_pos]
+                .clone()
+                .expect("leader position settled");
+            if leader.ok {
+                self.stats.cached += 1;
+                self.stats.oracle_evals_saved += leader.evals as u64;
+            } else {
+                self.stats.errors += 1;
+            }
+            responses[pos] = Some(Response {
+                id,
+                served: if leader.ok { "cached" } else { leader.served },
+                evals: 0,
+                wall_micros: 0,
+                ..leader
+            });
+        }
+
+        responses
+            .into_iter()
+            .map(|r| r.expect("every position settled"))
+            .collect()
+    }
+
+    /// Parse a condition against a dataset, canonicalize it, and
+    /// resolve the catalog entry (building the `CountingProblem` on
+    /// first sight or version change). The single problem-assembly
+    /// path shared by live admission and store import.
+    fn resolve_query(
+        &mut self,
+        dataset: &str,
+        condition: &str,
+    ) -> ServeResult<(String, u64, u64, Arc<CountingProblem>)> {
+        let ds = self
+            .datasets
+            .get(dataset)
+            .ok_or_else(|| ServeError::UnknownDataset {
+                name: dataset.to_string(),
+            })?;
+        let table_version = ds.table.version();
+        let expr = parse_condition(condition, &ds.registry).map_err(|e| ServeError::Parse {
+            message: e.to_string(),
+        })?;
+        let canonical = fingerprint::canonical(&expr);
+        let fp = fingerprint::fingerprint(dataset, table_version, &canonical);
+        let table = Arc::clone(ds.table.table());
+        let feature_cols: Vec<String> = ds.feature_cols.clone();
+        let level = self.config.planner.level;
+        let key = QueryKey {
+            dataset: dataset.to_string(),
+            canonical: canonical.clone(),
+        };
+        let entry = self
+            .catalog
+            .resolve(key, fp, table_version, || -> ServeResult<_> {
+                let cols: Vec<&str> = feature_cols.iter().map(String::as_str).collect();
+                let predicate: Arc<dyn ObjectPredicate> =
+                    Arc::new(ExprPredicate::new("q", expr.clone()));
+                Ok(Arc::new(
+                    CountingProblem::new(table, predicate, &cols)?.with_level(level),
+                ))
+            })?;
+        Ok((canonical, fp, table_version, Arc::clone(&entry.problem)))
+    }
+
+    fn admit(&mut self, pos: usize, req: Request) -> Result<Admitted, (u64, ServeError)> {
+        let id = req.id;
+        let (canonical, fp, table_version, problem) = self
+            .resolve_query(&req.dataset, &req.condition)
+            .map_err(|e| (id, e))?;
+        let route = self
+            .config
+            .planner
+            .plan(problem.n(), req.target)
+            .map_err(|e| (id, e.into()))?;
+        Ok(Admitted {
+            pos,
+            id,
+            dataset: req.dataset,
+            canonical,
+            raw: req.condition,
+            fingerprint: fp,
+            table_version,
+            problem,
+            route,
+            fresh: req.fresh,
+        })
+    }
+
+    /// Render the model store as a portable export (labels + seeds; see
+    /// [`ModelStore::export`]).
+    pub fn export_store(&self) -> String {
+        self.store.export()
+    }
+
+    /// Rebuild warm states from a store export: each entry re-runs
+    /// `prepare` with its original seed and its labels preloaded —
+    /// zero oracle evaluations, bit-identical states. Entries for
+    /// unknown datasets or mismatched table versions are skipped.
+    /// Returns the number of states restored.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for a malformed export or a failed prepare.
+    pub fn import_store(&mut self, text: &str) -> ServeResult<usize> {
+        let entries =
+            ModelStore::parse_export(text).map_err(|message| ServeError::Invalid { message })?;
+        let mut restored = 0usize;
+        for entry in entries {
+            match self.datasets.get(&entry.dataset) {
+                Some(ds) if ds.table.version() == entry.table_version => {}
+                _ => continue,
+            }
+            let (canonical, _fp, _version, problem) =
+                self.resolve_query(&entry.dataset, &entry.condition)?;
+            let state = match entry.estimator.as_str() {
+                "lss" => WarmState::Lss(self.config.lss.prepare_with_known(
+                    &problem,
+                    entry.budget,
+                    entry.prepare_seed,
+                    &entry.labels,
+                )?),
+                "lws" => WarmState::Lws(self.config.lws.prepare_with_known(
+                    &problem,
+                    entry.budget,
+                    entry.prepare_seed,
+                    &entry.labels,
+                )?),
+                other => {
+                    return Err(ServeError::Invalid {
+                        message: format!("unknown estimator tag `{other}` in store export"),
+                    })
+                }
+            };
+            self.store.insert(
+                StoreKey {
+                    dataset: entry.dataset.clone(),
+                    canonical,
+                    budget: entry.budget,
+                },
+                StoredModel {
+                    state,
+                    table_version: entry.table_version,
+                    prepare_seed: entry.prepare_seed,
+                    raw_condition: entry.condition.clone(),
+                    resumes: 0,
+                },
+            );
+            restored += 1;
+        }
+        Ok(restored)
+    }
+}
+
+struct ExecItem<'a> {
+    pos: usize,
+    kind: ExecKind<'a>,
+    problem: Arc<CountingProblem>,
+    seed: u64,
+    budget: usize,
+    is_cold: bool,
+}
+
+enum ExecKind<'a> {
+    Exact,
+    Srs,
+    Resume { stored: Option<&'a StoredModel> },
+}
+
+fn execute(item: ExecItem<'_>, lss: Lss, lws: Lws) -> Computed {
+    let start = Instant::now();
+    let result = execute_inner(&item, lss, lws);
+    Computed {
+        pos: item.pos,
+        result,
+        wall_micros: u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX),
+    }
+}
+
+fn execute_inner(item: &ExecItem<'_>, lss: Lss, lws: Lws) -> ServeResult<ComputedOk> {
+    match &item.kind {
+        ExecKind::Exact => {
+            let count = item.problem.exact_count()? as f64;
+            Ok(ComputedOk {
+                estimate: count,
+                std_error: 0.0,
+                lo: count,
+                hi: count,
+                level: item.problem.level(),
+                evals: item.problem.n(),
+                route: "exact",
+                model_version: 0,
+            })
+        }
+        ExecKind::Srs => {
+            let mut rng = StdRng::seed_from_u64(item.seed);
+            let report = Srs::default().estimate(&item.problem, item.budget, &mut rng)?;
+            Ok(ComputedOk {
+                estimate: report.count(),
+                std_error: report.estimate.std_error,
+                lo: report.estimate.interval.lo,
+                hi: report.estimate.interval.hi,
+                level: item.problem.level(),
+                evals: report.evals,
+                route: "srs",
+                model_version: 0,
+            })
+        }
+        ExecKind::Resume { stored } => {
+            let stored = stored.ok_or_else(|| ServeError::Invalid {
+                message: "warm state vanished between waves".into(),
+            })?;
+            let report = match &stored.state {
+                WarmState::Lss(w) => lss.estimate_prepared(&item.problem, w, item.seed)?,
+                WarmState::Lws(w) => lws.estimate_prepared(&item.problem, w, item.seed)?,
+            };
+            let prepare_evals = if item.is_cold {
+                stored.state.prepare_evals()
+            } else {
+                0
+            };
+            Ok(ComputedOk {
+                estimate: report.count(),
+                std_error: report.estimate.std_error,
+                lo: report.estimate.interval.lo,
+                hi: report.estimate.interval.hi,
+                level: item.problem.level(),
+                evals: report.evals + prepare_evals,
+                route: stored.state.tag(),
+                model_version: stored.state.digest(),
+            })
+        }
+    }
+}
+
+fn result_key_hash(key: &ResultKey) -> u64 {
+    let mut bytes = Vec::with_capacity(key.dataset.len() + key.canonical.len() + 10);
+    bytes.extend_from_slice(key.dataset.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(key.canonical.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(&(key.budget as u64).to_le_bytes());
+    fnv1a(&bytes)
+}
+
+fn store_key_hash(key: &StoreKey, table_version: u64) -> u64 {
+    let mut bytes = Vec::with_capacity(key.dataset.len() + key.canonical.len() + 18);
+    bytes.extend_from_slice(key.dataset.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(key.canonical.as_bytes());
+    bytes.push(0);
+    bytes.extend_from_slice(&(key.budget as u64).to_le_bytes());
+    bytes.extend_from_slice(&table_version.to_le_bytes());
+    fnv1a(&bytes)
+}

@@ -1,0 +1,335 @@
+//! The model store: warm estimator states keyed by canonical query.
+//!
+//! A **cold** request pays for the reusable assets — proxy training,
+//! population scoring/ordering, pilot labeling, stratification design
+//! (`lts_core::warm`). The store keeps those assets; every later
+//! request for the same canonical query **warm-starts**: it resumes the
+//! stored state with a fresh per-request seed and spends only the
+//! stage-2 share of the budget. Entries record the table version they
+//! were prepared against and are dropped when it bumps.
+//!
+//! Persistence: a warm state is a deterministic function of
+//! `(estimator profile, prepare seed, known labels)` — every `fit` and
+//! every design pass replays bit-identically from the same seed once
+//! the labels are free. The export format therefore carries *labels
+//! and seeds, not weights*: restoring re-runs `prepare` with the labels
+//! preloaded, which touches the oracle zero times and reproduces the
+//! exact state. (Weight-level classifier persistence exists separately
+//! in `lts_learn::persist` for the families with flat parameter sets.)
+
+use lts_core::{LssWarm, LwsWarm};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Identity of one stored warm state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StoreKey {
+    /// Dataset name.
+    pub dataset: String,
+    /// Canonical predicate string.
+    pub canonical: String,
+    /// Budget the state was prepared under (requests planned at a
+    /// different budget prepare their own state).
+    pub budget: usize,
+}
+
+/// A warm estimator state (the estimator the planner routed to).
+pub enum WarmState {
+    /// Learned stratified sampling (the service default).
+    Lss(LssWarm),
+    /// Learned weighted sampling.
+    Lws(LwsWarm),
+}
+
+impl WarmState {
+    /// Content digest — the "model version" stamp carried by results
+    /// computed from this state.
+    pub fn digest(&self) -> u64 {
+        match self {
+            WarmState::Lss(w) => w.digest(),
+            WarmState::Lws(w) => w.digest(),
+        }
+    }
+
+    /// Oracle evaluations the prepare phase spent (the cold-start
+    /// premium this state amortizes).
+    pub fn prepare_evals(&self) -> usize {
+        match self {
+            WarmState::Lss(w) => w.prepare_evals,
+            WarmState::Lws(w) => w.prepare_evals,
+        }
+    }
+
+    /// Fresh oracle evaluations one resume spends.
+    pub fn resume_evals(&self) -> usize {
+        match self {
+            WarmState::Lss(w) => w.split.stage2,
+            WarmState::Lws(w) => w.sample_budget,
+        }
+    }
+
+    /// All exactly-known `(object id, label)` pairs — the persistence
+    /// payload.
+    pub fn known_labels(&self) -> Vec<(usize, bool)> {
+        match self {
+            WarmState::Lss(w) => w.known_labels(),
+            WarmState::Lws(w) => w.known_labels(),
+        }
+    }
+
+    /// Short tag for exports and responses.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            WarmState::Lss(_) => "lss",
+            WarmState::Lws(_) => "lws",
+        }
+    }
+}
+
+/// One store entry.
+pub struct StoredModel {
+    /// The resumable state.
+    pub state: WarmState,
+    /// Table version it was prepared against.
+    pub table_version: u64,
+    /// The seed `prepare` ran under (restoring replays it).
+    pub prepare_seed: u64,
+    /// The raw condition text that first created the entry (restores
+    /// re-parse this; the canonical string is not a parser input).
+    pub raw_condition: String,
+    /// Times this state has been resumed.
+    pub resumes: u64,
+}
+
+/// The service's model store.
+#[derive(Default)]
+pub struct ModelStore {
+    entries: HashMap<StoreKey, StoredModel>,
+}
+
+/// Percent-encode the characters that would break the line format.
+fn enc_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0a"),
+            '\r' => out.push_str("%0d"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn dec_text(s: &str) -> Option<String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let (a, b) = (chars.next()?, chars.next()?);
+        let byte = u8::from_str_radix(&format!("{a}{b}"), 16).ok()?;
+        out.push(char::from(byte));
+    }
+    Some(out)
+}
+
+/// One line of the portable store export, parsed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreExportEntry {
+    /// Dataset name.
+    pub dataset: String,
+    /// Raw condition text (parser input).
+    pub condition: String,
+    /// Budget the state was prepared under.
+    pub budget: usize,
+    /// Prepare seed to replay.
+    pub prepare_seed: u64,
+    /// Table version the state was prepared against.
+    pub table_version: u64,
+    /// Estimator tag (`lss` / `lws`).
+    pub estimator: String,
+    /// The known `(object id, label)` pairs.
+    pub labels: Vec<(usize, bool)>,
+}
+
+impl ModelStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored states.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a state servable at `table_version` (a stale entry is
+    /// evicted and `None` returned).
+    pub fn lookup(&mut self, key: &StoreKey, table_version: u64) -> Option<&mut StoredModel> {
+        if self
+            .entries
+            .get(key)
+            .is_some_and(|e| e.table_version != table_version)
+        {
+            self.entries.remove(key);
+            return None;
+        }
+        self.entries.get_mut(key)
+    }
+
+    /// Read-only access to an entry (the parallel execution wave reads
+    /// through this; staleness eviction happens in the sequential
+    /// planning pass via [`ModelStore::lookup`]).
+    pub fn get(&self, key: &StoreKey) -> Option<&StoredModel> {
+        self.entries.get(key)
+    }
+
+    /// Whether a current entry exists (no eviction, no counting).
+    pub fn contains(&self, key: &StoreKey, table_version: u64) -> bool {
+        self.entries
+            .get(key)
+            .is_some_and(|e| e.table_version == table_version)
+    }
+
+    /// Insert a freshly prepared state.
+    pub fn insert(&mut self, key: StoreKey, stored: StoredModel) {
+        self.entries.insert(key, stored);
+    }
+
+    /// Drop every state of a dataset (version bump / explicit flush).
+    pub fn invalidate_dataset(&mut self, dataset: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|k, _| k.dataset != dataset);
+        before - self.entries.len()
+    }
+
+    /// Render the portable export: one `entry` line per state —
+    /// dataset, budget, seeds, versions, estimator tag, raw condition,
+    /// and the known labels. Lines are sorted for stable diffs.
+    pub fn export(&self) -> String {
+        let mut lines: Vec<String> = self
+            .entries
+            .iter()
+            .map(|(k, e)| {
+                let mut labels = String::new();
+                for (i, (id, l)) in e.state.known_labels().iter().enumerate() {
+                    if i > 0 {
+                        labels.push(',');
+                    }
+                    let _ = write!(labels, "{id}:{}", u8::from(*l));
+                }
+                format!(
+                    "entry\t{}\t{}\t{}\t{}\t{}\t{}\t{labels}",
+                    enc_text(&k.dataset),
+                    k.budget,
+                    e.prepare_seed,
+                    e.table_version,
+                    e.state.tag(),
+                    enc_text(&e.raw_condition),
+                )
+            })
+            .collect();
+        lines.sort();
+        let mut out = String::from("lts-store/v1\n");
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a store export into its entries (the service replays each
+    /// through `prepare_with_known` to rebuild live states).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse_export(text: &str) -> Result<Vec<StoreExportEntry>, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("lts-store/v1") => {}
+            other => return Err(format!("expected lts-store/v1 header, found {other:?}")),
+        }
+        let mut out = Vec::new();
+        for (no, line) in lines.enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            let bad = |what: &str| format!("line {}: {what}", no + 2);
+            if fields.len() != 8 || fields[0] != "entry" {
+                return Err(bad("expected 8 tab-separated fields starting with `entry`"));
+            }
+            let labels = if fields[7].is_empty() {
+                Vec::new()
+            } else {
+                fields[7]
+                    .split(',')
+                    .map(|kv| {
+                        let (id, l) = kv.split_once(':')?;
+                        Some((id.parse().ok()?, l == "1"))
+                    })
+                    .collect::<Option<Vec<(usize, bool)>>>()
+                    .ok_or_else(|| bad("malformed label pair"))?
+            };
+            out.push(StoreExportEntry {
+                dataset: dec_text(fields[1]).ok_or_else(|| bad("bad dataset encoding"))?,
+                budget: fields[2].parse().map_err(|_| bad("bad budget"))?,
+                prepare_seed: fields[3].parse().map_err(|_| bad("bad seed"))?,
+                table_version: fields[4].parse().map_err(|_| bad("bad version"))?,
+                estimator: fields[5].to_string(),
+                condition: dec_text(fields[6]).ok_or_else(|| bad("bad condition encoding"))?,
+                labels,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_encoding_roundtrips() {
+        for s in ["plain", "with\ttab", "pct % and\nnewline", ""] {
+            assert_eq!(dec_text(&enc_text(s)).as_deref(), Some(s));
+        }
+        assert!(dec_text("%zz").is_none());
+    }
+
+    #[test]
+    fn export_header_and_parse_errors() {
+        let store = ModelStore::new();
+        let text = store.export();
+        assert!(text.starts_with("lts-store/v1\n"));
+        assert!(ModelStore::parse_export(&text).unwrap().is_empty());
+        assert!(ModelStore::parse_export("garbage").is_err());
+        assert!(ModelStore::parse_export("lts-store/v1\nentry\tonly-two").is_err());
+        assert!(ModelStore::parse_export("lts-store/v1\nentry\td\t1\t2\t3\tlss\tc\tx:y").is_err());
+    }
+
+    #[test]
+    fn parse_export_reads_labels() {
+        let text = "lts-store/v1\nentry\tds\t200\t7\t0\tlss\t(x%20%3c%201)\t3:1,9:0\n";
+        // %20/%3c decode as space and '<'.
+        let entries = ModelStore::parse_export(text).unwrap();
+        assert_eq!(entries.len(), 1);
+        let e = &entries[0];
+        assert_eq!(e.dataset, "ds");
+        assert_eq!(e.budget, 200);
+        assert_eq!(e.prepare_seed, 7);
+        assert_eq!(e.estimator, "lss");
+        assert_eq!(e.condition, "(x < 1)");
+        assert_eq!(e.labels, vec![(3, true), (9, false)]);
+    }
+}

@@ -1,0 +1,297 @@
+//! Cache-semantics contract of the serving layer:
+//!
+//! * structurally different queries never alias (fingerprints or
+//!   catalog entries);
+//! * table-version bumps invalidate models and results;
+//! * warm starts replay bit-identically against cold starts at the
+//!   same request seed and spend ≥ 5× fewer oracle evaluations at the
+//!   same designed CI width;
+//! * shuffled arrival order and worker interleaving never change any
+//!   per-request response.
+
+use lts_serve::{Request, Response, Service, ServiceConfig, StalenessPolicy, Target};
+use lts_table::table_of_floats;
+use std::sync::Arc;
+
+fn linear_table(n: usize) -> Arc<lts_table::Table> {
+    let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let ys: Vec<f64> = (0..n).map(|i| ((i * 37) % n) as f64).collect();
+    Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap())
+}
+
+fn service(n: usize) -> Service {
+    let mut s = Service::new(ServiceConfig::default());
+    s.register_dataset("d", linear_table(n), &["x", "y"])
+        .unwrap();
+    s
+}
+
+fn req(id: u64, condition: &str, budget: usize, fresh: bool) -> Request {
+    Request {
+        id,
+        dataset: "d".into(),
+        condition: condition.into(),
+        target: Target::Budget(budget),
+        fresh,
+    }
+}
+
+fn bits(r: &Response) -> (u64, u64, u64, u64) {
+    (
+        r.estimate.to_bits(),
+        r.std_error.to_bits(),
+        r.lo.to_bits(),
+        r.hi.to_bits(),
+    )
+}
+
+#[test]
+fn distinct_queries_never_alias() {
+    let mut s = service(1_000);
+    // Semantically different queries that a sloppy normalizer could
+    // conflate: strict vs non-strict, negation, and/or, columns.
+    let conditions = [
+        "x < 300",
+        "x <= 300",
+        "NOT (x < 300)",
+        "y < 300",
+        "x < 300 AND y < 300",
+        "x < 300 OR y < 300",
+    ];
+    let responses: Vec<Response> = conditions
+        .iter()
+        .enumerate()
+        .map(|(i, c)| s.run(req(i as u64, c, 200, false)))
+        .collect();
+    for r in &responses {
+        assert!(r.ok, "{:?}", r.error);
+        assert_eq!(r.served, "cold");
+    }
+    let mut fps: Vec<u64> = responses.iter().map(|r| r.fingerprint).collect();
+    fps.sort_unstable();
+    fps.dedup();
+    assert_eq!(fps.len(), conditions.len(), "fingerprints must be distinct");
+    assert_eq!(s.catalog_len(), conditions.len());
+    assert_eq!(s.store_len(), conditions.len());
+    // Equivalent spellings DO alias: commuted AND hits the cache.
+    let r = s.run(req(100, "y < 300 AND x < 300", 200, false));
+    assert_eq!(r.served, "cached");
+    assert_eq!(s.catalog_len(), conditions.len());
+}
+
+#[test]
+fn repeats_hit_result_cache_and_fresh_bypasses_it() {
+    let mut s = service(1_000);
+    let cold = s.run(req(1, "x < 400", 200, false));
+    assert_eq!(cold.served, "cold");
+    assert!(
+        cold.evals >= 200,
+        "cold pays full budget, got {}",
+        cold.evals
+    );
+
+    let hit = s.run(req(2, "x < 400", 200, false));
+    assert_eq!(hit.served, "cached");
+    assert_eq!(hit.evals, 0);
+    assert_eq!(bits(&hit), bits(&cold), "cache returns the same estimate");
+
+    // `fresh` bypasses the result cache but warm-starts from the store.
+    let fresh = s.run(req(3, "x < 400", 200, true));
+    assert_eq!(fresh.served, "warm");
+    assert!(fresh.evals > 0);
+    assert_ne!(bits(&fresh), bits(&cold), "fresh draws a new sample");
+    assert_eq!(
+        fresh.model_version, cold.model_version,
+        "fresh reuses the same model+design"
+    );
+    let stats = s.stats();
+    assert_eq!((stats.cold, stats.cached, stats.warm), (1, 1, 1));
+    assert_eq!(stats.oracle_evals_saved, cold.evals as u64);
+}
+
+#[test]
+fn warm_start_spends_5x_fewer_evals_at_the_same_design_width() {
+    let mut s = service(2_000);
+    // A predicate the 2-feature proxy learns only approximately, so
+    // strata keep genuine label mixtures and intervals nonzero width.
+    let cond = "x + y < 1700";
+    let cold = s.run(req(1, cond, 300, false));
+    assert_eq!(cold.served, "cold");
+    let warm = s.run(req(2, cond, 300, true));
+    assert_eq!(warm.served, "warm");
+    assert!(
+        cold.evals as f64 >= 5.0 * warm.evals as f64,
+        "cold {} vs warm {} evals",
+        cold.evals,
+        warm.evals
+    );
+    // Same design ⇒ comparable interval widths (independent stage-2
+    // draws wiggle the realized width, not its scale).
+    let (cw, ww) = (cold.hi - cold.lo, warm.hi - warm.lo);
+    assert!(cw > 0.0 && ww > 0.0, "degenerate widths: {cw} vs {ww}");
+    assert!(
+        ww <= cw * 3.0 + 1.0 && cw <= ww * 3.0 + 1.0,
+        "widths diverged: cold {cw} vs warm {ww}"
+    );
+}
+
+#[test]
+fn invalidation_drops_models_and_results() {
+    let mut s = service(1_000);
+    let cold = s.run(req(1, "x < 250", 200, false));
+    assert_eq!(cold.served, "cold");
+    assert_eq!(cold.table_version, 0);
+    assert_eq!((s.store_len(), s.cache_len()), (1, 1));
+
+    s.invalidate("d").unwrap();
+    assert_eq!(s.dataset_version("d"), Some(1));
+    assert_eq!((s.store_len(), s.cache_len()), (0, 0));
+
+    // Same query re-colds against the new version; fingerprint moves.
+    let recold = s.run(req(2, "x < 250", 200, false));
+    assert_eq!(recold.served, "cold");
+    assert_eq!(recold.table_version, 1);
+    assert_ne!(recold.fingerprint, cold.fingerprint);
+
+    // Re-registering a dataset also bumps + invalidates.
+    s.register_dataset("d", linear_table(1_000), &["x", "y"])
+        .unwrap();
+    assert_eq!(s.dataset_version("d"), Some(2));
+    assert_eq!(s.store_len(), 0);
+}
+
+#[test]
+fn warm_and_cold_replay_bit_identically_at_the_same_request_seed() {
+    // Service A answers request id=7 cold (it prepares the state);
+    // service B warms the state first with other requests, then
+    // answers the SAME id=7. The responses must be bit-identical:
+    // per-request seed streams are independent of cache temperature.
+    let mut a = service(1_500);
+    let ra = a.run(req(7, "x < 600", 250, true));
+    assert_eq!(ra.served, "cold");
+
+    let mut b = service(1_500);
+    b.run(req(100, "x < 600", 250, true));
+    b.run(req(101, "x < 600", 250, true));
+    let rb = b.run(req(7, "x < 600", 250, true));
+    assert_eq!(rb.served, "warm");
+    assert_eq!(bits(&ra), bits(&rb), "same id ⇒ bit-identical estimate");
+    assert_eq!(ra.fingerprint, rb.fingerprint);
+    assert_eq!(ra.model_version, rb.model_version);
+    // Evals differ by design: cold pays prepare + stage 2.
+    assert!(ra.evals > rb.evals);
+}
+
+#[test]
+fn shuffled_arrival_order_yields_identical_per_request_responses() {
+    let make_requests = || -> Vec<Request> {
+        let mut v = Vec::new();
+        for i in 0..24u64 {
+            let cond = match i % 3 {
+                0 => "x < 500",
+                1 => "x < 500 AND y < 800",
+                _ => "y < 200",
+            };
+            v.push(req(i, cond, 200, i % 4 == 3));
+        }
+        v
+    };
+    let run_order = |order: &[usize]| -> Vec<Response> {
+        let mut s = service(1_200);
+        let requests = make_requests();
+        let batch: Vec<Request> = order.iter().map(|&k| requests[k].clone()).collect();
+        let mut responses = s.run_batch(batch);
+        responses.sort_by_key(|r| r.id);
+        responses
+    };
+    let forward: Vec<usize> = (0..24).collect();
+    // A fixed pseudo-shuffle (deterministic test input).
+    let shuffled: Vec<usize> = (0..24).map(|i| (i * 17 + 5) % 24).collect();
+    let a = run_order(&forward);
+    let b = run_order(&shuffled);
+    assert_eq!(a.len(), b.len());
+    for (ra, rb) in a.iter().zip(&b) {
+        assert_eq!(ra.id, rb.id);
+        assert_eq!(ra.ok, rb.ok);
+        assert_eq!(bits(ra), bits(rb), "request {} diverged", ra.id);
+        assert_eq!(ra.evals, rb.evals, "request {} evals diverged", ra.id);
+        assert_eq!(ra.served, rb.served, "request {} flag diverged", ra.id);
+        assert_eq!(ra.fingerprint, rb.fingerprint);
+    }
+}
+
+#[test]
+fn staleness_policy_bounds_reserves() {
+    let mut s = Service::new(ServiceConfig {
+        staleness: StalenessPolicy {
+            max_serves: Some(2),
+            max_age: None,
+        },
+        ..ServiceConfig::default()
+    });
+    s.register_dataset("d", linear_table(900), &["x", "y"])
+        .unwrap();
+    let cold = s.run(req(1, "x < 300", 150, false));
+    assert_eq!(cold.served, "cold");
+    assert_eq!(s.run(req(2, "x < 300", 150, false)).served, "cached");
+    assert_eq!(s.run(req(3, "x < 300", 150, false)).served, "cached");
+    // Policy exhausted: recomputed from the (still warm) model store.
+    let recomputed = s.run(req(4, "x < 300", 150, false));
+    assert_eq!(recomputed.served, "warm");
+    assert!(recomputed.evals > 0);
+    // The recomputation refreshed the cache.
+    assert_eq!(s.run(req(5, "x < 300", 150, false)).served, "cached");
+}
+
+#[test]
+fn store_export_restores_warm_states_without_oracle_work() {
+    let mut a = service(1_000);
+    let cold = a.run(req(1, "x < 350", 200, false));
+    assert_eq!(cold.served, "cold");
+    let export = a.export_store();
+    assert!(export.contains("entry\t"));
+
+    // A fresh service restores the state: zero oracle evals, and the
+    // restored model answers warm with the exact same model version.
+    let mut b = service(1_000);
+    let restored = b.import_store(&export).unwrap();
+    assert_eq!(restored, 1);
+    assert_eq!(b.store_len(), 1);
+    let warm = b.run(req(2, "x < 350", 200, true));
+    assert_eq!(warm.served, "warm");
+    assert_eq!(warm.model_version, cold.model_version);
+
+    // The same fresh request replays identically on both services.
+    let mut a2 = service(1_000);
+    a2.run(req(1, "x < 350", 200, false));
+    let wa = a2.run(req(9, "x < 350", 200, true));
+    let wb = b.run(req(9, "x < 350", 200, true));
+    assert_eq!(bits(&wa), bits(&wb));
+}
+
+#[test]
+fn small_populations_and_tight_targets_take_the_exact_route() {
+    let mut s = service(50);
+    let r = s.run(req(1, "x < 20", 40, false));
+    assert!(r.ok, "{:?}", r.error);
+    assert_eq!(r.route, "exact");
+    assert_eq!(r.estimate, 20.0);
+    assert_eq!(r.lo, r.hi);
+    assert_eq!(r.evals, 50);
+    // Exact results cache like any other.
+    let hit = s.run(req(2, "x < 20", 40, false));
+    assert_eq!(hit.served, "cached");
+    assert_eq!(hit.evals, 0);
+
+    // Tight relative width on a larger population → census too.
+    let mut s = service(2_000);
+    let r = s.run(Request {
+        id: 3,
+        dataset: "d".into(),
+        condition: "x < 900".into(),
+        target: Target::RelWidth(0.001),
+        fresh: false,
+    });
+    assert_eq!(r.route, "exact");
+    assert_eq!(r.estimate, 900.0);
+}

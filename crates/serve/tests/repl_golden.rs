@@ -1,0 +1,46 @@
+//! End-to-end smoke: the scripted REPL session must reproduce its
+//! golden transcript byte-for-byte.
+//!
+//! The script (`tests/data/requests.txt`) covers registration, cold
+//! start, cache hit, fresh warm start, a second query, the exact
+//! census route, the paper's skyband subquery, invalidation, and the
+//! stats counters. Deterministic mode zeroes wall times, and every
+//! other field is a pure function of the seed — so the transcript is
+//! identical at any `RAYON_NUM_THREADS` (CI runs this test under 1
+//! worker and default workers) and on any host. The CI workflow also
+//! pipes the same script through the actual `lts-serve` binary and
+//! diffs against the same golden.
+
+use lts_serve::{run_repl, ReplOptions, ServiceConfig};
+
+#[test]
+fn scripted_session_matches_golden_transcript() {
+    let script = include_str!("data/requests.txt");
+    let golden = include_str!("data/responses.golden");
+    let mut out = Vec::new();
+    run_repl(
+        ServiceConfig::default(),
+        ReplOptions {
+            deterministic: true,
+        },
+        script.as_bytes(),
+        &mut out,
+    )
+    .unwrap();
+    let got = String::from_utf8(out).unwrap();
+    if got != golden {
+        for (i, (g, w)) in golden.lines().zip(got.lines()).enumerate() {
+            if g != w {
+                panic!(
+                    "transcript diverges at line {}:\n golden: {g}\n    got: {w}",
+                    i + 1
+                );
+            }
+        }
+        panic!(
+            "transcript length mismatch: golden {} lines, got {}",
+            golden.lines().count(),
+            got.lines().count()
+        );
+    }
+}

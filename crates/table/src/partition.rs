@@ -57,10 +57,18 @@ pub fn partition_bounds(n_rows: usize, n_partitions: usize) -> Vec<usize> {
 
 /// A [`Table`] split into contiguous row-range partitions that share
 /// the table's column storage (`Arc`, zero-copy).
+///
+/// Carries a **version stamp**: a monotone counter owners bump whenever
+/// they swap or mutate the backing data. Derived artifacts (fitted
+/// proxy models, sampling designs, cached estimates — see the serving
+/// layer in `lts-serve`) record the version they were built against and
+/// treat a mismatch as a cache invalidation signal. The stamp is pure
+/// metadata; it never affects scan results.
 #[derive(Debug, Clone)]
 pub struct PartitionedTable {
     table: Arc<Table>,
     bounds: Vec<usize>,
+    version: u64,
 }
 
 impl PartitionedTable {
@@ -68,7 +76,11 @@ impl PartitionedTable {
     /// (clamped to at least 1; empty tables get one empty partition).
     pub fn new(table: Arc<Table>, n_partitions: usize) -> Self {
         let bounds = partition_bounds(table.len(), n_partitions);
-        Self { table, bounds }
+        Self {
+            table,
+            bounds,
+            version: 0,
+        }
     }
 
     /// Split `table` by a machine-derived heuristic: one partition per
@@ -103,12 +115,45 @@ impl PartitionedTable {
                 ),
             });
         }
-        Ok(Self { table, bounds })
+        Ok(Self {
+            table,
+            bounds,
+            version: 0,
+        })
     }
 
     /// The shared underlying table.
     pub fn table(&self) -> &Arc<Table> {
         &self.table
+    }
+
+    /// The version stamp of the backing data (0 for a fresh split).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Set the version stamp (builder style).
+    #[must_use]
+    pub fn with_version(mut self, version: u64) -> Self {
+        self.version = version;
+        self
+    }
+
+    /// Replace the backing table and bump the version stamp, preserving
+    /// the partition count. Callers holding artifacts derived from the
+    /// previous version must discard them (the serving layer's model
+    /// and result caches key on this stamp).
+    pub fn replace_table(&mut self, table: Arc<Table>) {
+        let parts = self.n_partitions();
+        self.bounds = partition_bounds(table.len(), parts);
+        self.table = table;
+        self.version += 1;
+    }
+
+    /// Bump the version stamp in place (e.g. after external mutation of
+    /// the data the columns were derived from).
+    pub fn bump_version(&mut self) {
+        self.version += 1;
     }
 
     /// Number of partitions.
@@ -283,6 +328,30 @@ mod tests {
         let xs: Vec<f64> = (0..n).map(|i| (i % 101) as f64 / 101.0).collect();
         let ys: Vec<f64> = (0..n).map(|i| (i % 53) as f64 / 53.0).collect();
         Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap())
+    }
+
+    #[test]
+    fn version_stamp_tracks_replacements() {
+        let mut pt = PartitionedTable::new(t(100), 4);
+        assert_eq!(pt.version(), 0);
+        let stamped = pt.clone().with_version(7);
+        assert_eq!(stamped.version(), 7);
+        pt.bump_version();
+        assert_eq!(pt.version(), 1);
+        // Swapping the backing table bumps the stamp and re-derives the
+        // bounds for the new length at the same partition count.
+        pt.replace_table(t(60));
+        assert_eq!(pt.version(), 2);
+        assert_eq!(pt.n_partitions(), 4);
+        assert_eq!(*pt.bounds().last().unwrap(), 60);
+        // The stamp is metadata only: scan results are unaffected.
+        let expr = Expr::col("x").lt(Expr::lit(0.5));
+        assert_eq!(
+            pt.par_count(&expr).unwrap(),
+            PartitionedTable::new(Arc::clone(pt.table()), 4)
+                .par_count(&expr)
+                .unwrap()
+        );
     }
 
     #[test]

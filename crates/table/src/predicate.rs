@@ -190,14 +190,42 @@ impl<P: ObjectPredicate + ?Sized> Metered<P> {
 
     #[inline]
     fn record(&self, evals: u64, dt: Duration) {
-        // Single fetch_add per counter: counts stay exact under
+        // One saturating RMW per counter: counts stay exact under
         // concurrent single-row and batch evaluations (each batch
-        // contributes its length exactly once, atomically).
-        self.evals.fetch_add(evals, Ordering::Relaxed);
-        self.calls.fetch_add(1, Ordering::Relaxed);
+        // contributes its length exactly once, atomically), and a
+        // pathological long-running session pins at `u64::MAX` instead
+        // of silently wrapping to a tiny count (`fetch_add` wraps).
+        saturating_fetch_add(&self.evals, evals);
+        saturating_fetch_add(&self.calls, 1);
         let nanos = u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX);
-        self.nanos.fetch_add(nanos, Ordering::Relaxed);
+        saturating_fetch_add(&self.nanos, nanos);
         THREAD_LABEL_NANOS.with(|c| c.set(c.get().saturating_add(nanos)));
+    }
+
+    /// Force the raw counters to specific values — a test hook for
+    /// exercising the saturation path without performing ~2⁶⁴ real
+    /// evaluations.
+    #[cfg(test)]
+    fn force_counters(&self, evals: u64, calls: u64, nanos: u64) {
+        self.evals.store(evals, Ordering::Relaxed);
+        self.calls.store(calls, Ordering::Relaxed);
+        self.nanos.store(nanos, Ordering::Relaxed);
+    }
+}
+
+/// `fetch_add` that clamps at `u64::MAX` instead of wrapping. A CAS
+/// loop: contention retries are bounded by the number of concurrent
+/// writers, and the saturated state is absorbing (no retry storm once
+/// pinned).
+#[inline]
+fn saturating_fetch_add(counter: &AtomicU64, delta: u64) -> u64 {
+    let mut current = counter.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(delta);
+        match counter.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(prev) => return prev,
+            Err(observed) => current = observed,
+        }
     }
 }
 
@@ -341,6 +369,31 @@ mod tests {
         let stats = p.stats();
         assert_eq!(stats.evals, 8 * 32 + 8);
         assert_eq!(stats.calls, 16);
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let t = table_of_floats(&[("x", &[1.0, 2.0, 3.0])]).unwrap();
+        let p = Metered::new(FnPredicate::new("any", |_: &Table, _| Ok(true)));
+        // Counters one step from the ceiling: the next batch must pin
+        // them at u64::MAX, not wrap to a tiny value.
+        p.force_counters(u64::MAX - 1, u64::MAX, u64::MAX - 1);
+        p.eval_batch(&t, &[0, 1, 2]).unwrap();
+        let stats = p.stats();
+        assert_eq!(stats.evals, u64::MAX, "evals must saturate");
+        assert_eq!(stats.calls, u64::MAX, "calls must saturate");
+        assert_eq!(
+            stats.elapsed,
+            Duration::from_nanos(u64::MAX),
+            "nanos must saturate"
+        );
+        // The saturated state is absorbing.
+        p.eval(&t, 0).unwrap();
+        assert_eq!(p.stats().evals, u64::MAX);
+        // And a reset recovers normal counting.
+        p.reset();
+        p.eval(&t, 0).unwrap();
+        assert_eq!(p.stats().evals, 1);
     }
 
     #[test]

@@ -1,14 +1,16 @@
-//! Budget planning with the design-time quality forecast — the paper's
-//! concluding future-work sketch, implemented.
+//! Budget planning with the serving layer's planner + the design-time
+//! quality forecast.
 //!
-//! LSS's stage-1 design knows, before a single stage-2 label is drawn,
-//! how tight its final interval will be: Eq. (4) evaluated with the
-//! pilot variances and the chosen allocation. This demo sweeps budgets,
-//! prints the *forecast* interval halfwidth next to the *realized*
-//! estimate, and shows how a user would pick the cheapest budget that
-//! meets an accuracy target. The sequential LWS variant then shows the
-//! complementary trick: stop early the moment the running interval is
-//! tight enough.
+//! The user states an accuracy target; `lts_serve::BudgetPlanner` —
+//! the one planner implementation, shared with the service's admission
+//! control — turns it into the cheapest sufficient labeling budget (or
+//! routes to the exact census when sampling cannot win). LSS then
+//! *forecasts* its interval halfwidth from the stage-1 design before
+//! any stage-2 label is drawn (Eq. 4, the paper's concluding sketch),
+//! and the realized interval is printed next to it. A second pass
+//! shows `refine`: shrinking the budget to what the achieved width
+//! actually justifies. The sequential LWS variant closes with the
+//! complementary trick: stop early once the running interval is tight.
 //!
 //! ```sh
 //! cargo run --release --example budget_planning
@@ -20,41 +22,73 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The Sports workload at M selectivity.
     let scenario = lts_data::sports_scenario(8_000, lts_data::SelectivityLevel::M, 11)?;
     let problem = &scenario.problem;
+    let n = problem.n();
     let truth = scenario.truth as f64;
     println!("{} (truth = {truth})\n", scenario.describe());
 
-    // Sweep budgets; the forecast is available before stage 2 spends
-    // anything, so a dissatisfied user could abort and re-budget.
-    println!(
-        "{:>7} | {:>17} | {:>9} | {:>18}",
-        "budget", "forecast ±halfwid", "estimate", "realized 95% CI"
-    );
+    // One planner for the library and the service alike.
+    let planner = BudgetPlanner::default();
     let lss = Lss {
         min_pilots_per_stratum: 3,
         ..Lss::default()
     };
-    for budget in [100usize, 200, 400, 800] {
-        let mut rng = StdRng::seed_from_u64(99);
-        let r = lss.estimate(problem, budget, &mut rng)?;
-        let f = r.forecast.expect("LSS always forecasts");
-        println!(
-            "{budget:>7} | {:>17.0} | {:>9.0} | [{:>7.0}, {:>7.0}]",
-            f.predicted_halfwidth,
-            r.count(),
-            r.estimate.interval.lo,
-            r.estimate.interval.hi,
-        );
+
+    println!(
+        "{:>8} | {:>6} | {:>17} | {:>9} | {:>18}",
+        "target ±", "budget", "forecast ±halfwid", "estimate", "realized 95% CI"
+    );
+    let mut refine_input = None;
+    for rel in [0.10f64, 0.05, 0.025, 0.0125] {
+        let target_counts = rel * n as f64;
+        match planner.plan(n, Target::AbsWidth(target_counts))? {
+            Route::Exact => {
+                println!(
+                    "{target_counts:>8.0} | {:>6} | census is cheaper at this accuracy",
+                    n
+                );
+            }
+            Route::Estimate { budget } => {
+                let mut rng = StdRng::seed_from_u64(99);
+                let r = lss.estimate(problem, budget, &mut rng)?;
+                let f = r.forecast.expect("LSS always forecasts");
+                println!(
+                    "{target_counts:>8.0} | {budget:>6} | {:>17.0} | {:>9.0} | [{:>7.0}, {:>7.0}]",
+                    f.predicted_halfwidth,
+                    r.count(),
+                    r.estimate.interval.lo,
+                    r.estimate.interval.hi,
+                );
+                let achieved = (r.estimate.interval.hi - r.estimate.interval.lo) / 2.0;
+                refine_input = Some((budget, achieved, target_counts));
+            }
+        }
     }
 
-    // A peek inside the planner: the shared scoring pipeline every
-    // learned estimator runs. Train the proxy on a small labeled
-    // sample, batch-score the whole population partition-parallel, and
-    // order it by (score, id) — the ordering LSS designs its strata
-    // over. The score deciles show how much of the population the proxy
-    // already separates confidently (cheap strata) versus leaves
-    // uncertain (where the design concentrates budget).
+    // The planner sizes budgets by the distribution-free SRS bound;
+    // LSS usually lands far inside the target. `refine` turns the
+    // surplus into savings on the next ask of the same query.
+    if let Some((budget, achieved, target)) = refine_input {
+        match planner.refine(budget, achieved, target, n) {
+            Route::Estimate { budget: cheaper } => {
+                println!(
+                    "\nrefine: achieved ±{achieved:.0} at budget {budget} → \
+                     next ask of this query needs only ~{cheaper} labels"
+                );
+            }
+            Route::Exact => println!("\nrefine: target needs a census"),
+        }
+    }
+
+    // A peek inside the planner's estimator: the shared scoring
+    // pipeline every learned estimator runs. Train the proxy on a
+    // small labeled sample, batch-score the whole population
+    // partition-parallel, and order it by (score, id) — the ordering
+    // LSS designs its strata over. The score deciles show how much of
+    // the population the proxy already separates confidently (cheap
+    // strata) versus leaves uncertain (where the design concentrates
+    // budget).
     println!("\nscoring pipeline: population ordered by the learned proxy g");
-    let train_ids: Vec<usize> = (0..problem.n()).step_by(problem.n() / 200).collect();
+    let train_ids: Vec<usize> = (0..n).step_by(n / 200).collect();
     let train_labels: Vec<bool> = train_ids
         .iter()
         .map(|&i| problem.label(i))

@@ -1,0 +1,102 @@
+//! The amortization argument, live: one skyband query asked 100 times.
+//!
+//! The paper's economics only pay off if the trained sampler is
+//! *reused* — this demo starts the in-process `lts-serve` service,
+//! submits the same k-skyband count query 100 times (the first ask
+//! cold, periodic `fresh` asks for independent re-estimates, plain
+//! re-asks in between), and prints what each serving mode spent.
+//!
+//! ```sh
+//! cargo run --release --example serving
+//! ```
+
+use learning_to_sample::prelude::*;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Sports workload at M selectivity; k calibrated by the
+    // scenario builder.
+    let scenario = lts_data::sports_scenario(6_000, lts_data::SelectivityLevel::M, 11)?;
+    let k = match scenario.param {
+        lts_data::QueryParam::K(k) => k,
+        lts_data::QueryParam::D(_) => unreachable!("sports calibrates k"),
+    };
+    println!("{} — serving the skyband query 100x\n", scenario.describe());
+
+    let mut service = Service::new(ServiceConfig::default());
+    service.register_dataset("sports", scenario.table, &["strikeouts", "wins"])?;
+
+    // The paper's Example-2 predicate as request text (a correlated
+    // aggregate subquery over the registered dataset).
+    let skyband = format!(
+        "(SELECT COUNT(*) FROM sports WHERE strikeouts >= o.strikeouts AND \
+         wins >= o.wins AND (strikeouts > o.strikeouts OR wins > o.wins)) < {k}"
+    );
+
+    let mut by_mode: std::collections::BTreeMap<&'static str, (u64, u64, f64)> =
+        std::collections::BTreeMap::new();
+    let mut first = None;
+    for i in 0..100u64 {
+        let t0 = Instant::now();
+        let r = service.run(Request {
+            id: i,
+            dataset: "sports".into(),
+            condition: skyband.clone(),
+            // Every 10th ask wants a fresh, independent estimate; the
+            // rest are happy with the cached answer.
+            fresh: i % 10 == 5,
+            target: Target::Budget(300),
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        assert!(r.ok, "{:?}", r.error);
+        let slot = by_mode.entry(r.served).or_insert((0, 0, 0.0));
+        slot.0 += 1;
+        slot.1 += r.evals as u64;
+        slot.2 += wall;
+        if first.is_none() {
+            first = Some(r.clone());
+        }
+        if i == 0 || i == 5 || i == 10 {
+            println!(
+                "ask {i:>3}: served {:<6} estimate {:>6.0} ∈ [{:>6.0}, {:>6.0}]  \
+                 {:>3} q-evals  {:>7.2} ms",
+                r.served,
+                r.estimate,
+                r.lo,
+                r.hi,
+                r.evals,
+                wall * 1e3,
+            );
+        }
+    }
+
+    println!(
+        "\n{:<8} {:>5} {:>12} {:>12} {:>10}",
+        "mode", "asks", "evals/ask", "ms/ask", "evals"
+    );
+    for (mode, (n, evals, wall)) in &by_mode {
+        println!(
+            "{mode:<8} {n:>5} {:>12.1} {:>12.3} {evals:>10}",
+            *evals as f64 / *n as f64,
+            wall / *n as f64 * 1e3,
+        );
+    }
+    let stats = service.stats();
+    let cold = stats.oracle_evals_cold as f64 / stats.cold.max(1) as f64;
+    let warm = stats.oracle_evals_warm as f64 / stats.warm.max(1) as f64;
+    println!(
+        "\ncold start spent {cold:.0} q-evals; each warm re-estimate {warm:.0} \
+         ({:.1}x fewer); {} asks answered from the result cache for free \
+         ({} q-evals avoided).",
+        cold / warm.max(1.0),
+        stats.cached,
+        stats.oracle_evals_saved,
+    );
+    println!(
+        "service state: {} catalog entries, {} warm models, {} cached results",
+        service.catalog_len(),
+        service.store_len(),
+        service.cache_len(),
+    );
+    Ok(())
+}

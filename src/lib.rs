@@ -83,6 +83,7 @@
 //! | [`lts_table`] | mini table engine: correlated aggregate subqueries, metered predicates, vectorized kernels ([`lts_table::vector`]) |
 //! | [`lts_stats`] | distributions, confidence intervals, summaries |
 //! | [`lts_data`] | synthetic Sports/Neighbors datasets + the paper's two queries |
+//! | [`lts_serve`] | the serving layer: query catalog + fingerprints, model store (warm starts), result cache, budget planner, `lts-serve` REPL binary |
 //!
 //! (`lts-bench`, not re-exported here, holds a repro binary per paper
 //! table/figure plus criterion benches and `BENCH_*.json` artifacts.)
@@ -98,6 +99,7 @@ pub use lts_core as core;
 pub use lts_data as data;
 pub use lts_learn as learn;
 pub use lts_sampling as sampling;
+pub use lts_serve as serve;
 pub use lts_stats as stats;
 pub use lts_strata as strata;
 pub use lts_table as table;
@@ -114,6 +116,10 @@ pub mod prelude {
         TrialStats,
     };
     pub use lts_sampling::CountEstimate;
+    pub use lts_serve::{
+        serve_lss_profile, BudgetPlanner, Request, Response, Route, Service, ServiceConfig,
+        StalenessPolicy, Target,
+    };
     pub use lts_stats::{ConfidenceInterval, IntervalKind};
     pub use lts_strata::{Allocation, DesignAlgorithm, TSelection};
     pub use lts_table::{
