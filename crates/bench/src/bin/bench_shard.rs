@@ -1,0 +1,209 @@
+//! Cold-start speedup curve of the sharded estimation layer.
+//!
+//! LSS's cold start is dominated at scale by the stratification-design
+//! dynamic program, whose cost grows superlinearly in the pilot count.
+//! Sharding a population `k` ways runs `k` independent designs on
+//! pilots of size `m/k`, cutting that cost by ≈ `k` even on one core —
+//! *before* any thread-level parallelism. This bench measures cold
+//! `prepare + estimate` wall time for LSS and LWS at shard counts
+//! {1, 2, 4, 8} on a scaled Sports tier and records the speedup curve.
+//!
+//! `BENCH_shard.json` rows (schema in `docs/benchmarks.md`):
+//!
+//! * `label` = `lss@k` / `lws@k`, `cell` = `cold`: `median` = merged
+//!   count estimate (deterministic; diffed across thread counts in CI),
+//!   `iqr` = CI half-width, `mean_evals` = oracle evaluations spent,
+//!   `wall_seconds` = best-of-repeats cold wall time;
+//! * `label` = `digest`, `cell` = `lss@k` / `lws@k`: `median` = the
+//!   prepared state's content digest folded into the f64-exact 53-bit
+//!   range (deterministic, diffable);
+//! * `label` = `speedup`, `cell` = `lss@k` / `lws@k`: the k-shard
+//!   speedup factor over `@1`, carried in `wall_seconds` (wall-derived,
+//!   so the CI determinism diff masks it with the other wall fields).
+//!
+//! The ≥ 3× acceptance bar applies to LSS at 8 shards on the scaled
+//! tier (`--scale ≥ 0.3`); smaller smoke runs skip the assertion.
+//!
+//! Usage: `cargo run --release -p lts-bench --bin bench_shard --
+//! [--scale F] [--trials N] [--seed S] [--out DIR]`
+//! (tier: `--scale < 0.3` → x10, `< 1.0` → x30, else x100).
+
+use lts_bench::{emit_records_json, BenchRecord, RunConfig, TextTable};
+use lts_core::{CountingProblem, Lss, Lws, ShardPlan};
+use lts_data::{scaled_scenario, DatasetKind, ScaledTier, SelectivityLevel};
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Fold a u64 digest into the f64-exact 53-bit range.
+fn digest_f64(d: u64) -> f64 {
+    (d & ((1u64 << 53) - 1)) as f64
+}
+
+struct ColdRun {
+    estimate: f64,
+    halfwidth: f64,
+    evals: usize,
+    digest: u64,
+    wall: f64,
+}
+
+fn main() {
+    let config = match RunConfig::parse(std::env::args()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let tier = if config.scale < 0.3 {
+        ScaledTier::X10
+    } else if config.scale < 1.0 {
+        ScaledTier::X30
+    } else {
+        ScaledTier::X100
+    };
+    let scenario = scaled_scenario(DatasetKind::Sports, tier, SelectivityLevel::M, config.seed)
+        .expect("scaled sports scenario");
+    let rows = scenario.table.len();
+    let truth = scenario.truth as f64;
+    // Budget shaped so the design pilot is large at one shard (the
+    // regime the serving layer actually cold-starts in at scale).
+    let budget = rows / 12;
+    let repeats = config.trials.clamp(1, 3);
+    let problem = &scenario.problem;
+
+    println!(
+        "shard speedup bench: {} tier ({rows} rows, truth {truth}), budget {budget}, \
+         best of {repeats} repeat(s) per point\n",
+        tier.label()
+    );
+
+    let lss = Lss::default();
+    let lws = Lws::default();
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut table = TextTable::new(&[
+        "estimator",
+        "shards",
+        "estimate",
+        "evals",
+        "wall s",
+        "speedup",
+    ]);
+    let mut lss_speedup_at_max = 0.0f64;
+
+    for (family, run_cold) in [
+        (
+            "lss",
+            Box::new(|problem: &CountingProblem, plan: &ShardPlan, seed: u64| {
+                let t0 = Instant::now();
+                let warm = lss.prepare_sharded(problem, plan, budget, seed).unwrap();
+                let report = lss.estimate_prepared_sharded(problem, &warm, seed).unwrap();
+                ColdRun {
+                    estimate: report.estimate.count,
+                    halfwidth: report.estimate.interval.width() / 2.0,
+                    evals: warm.prepare_evals + report.evals,
+                    digest: warm.digest(),
+                    wall: t0.elapsed().as_secs_f64(),
+                }
+            }) as Box<dyn Fn(&CountingProblem, &ShardPlan, u64) -> ColdRun>,
+        ),
+        (
+            "lws",
+            Box::new(|problem: &CountingProblem, plan: &ShardPlan, seed: u64| {
+                let t0 = Instant::now();
+                let warm = lws.prepare_sharded(problem, plan, budget, seed).unwrap();
+                let report = lws.estimate_prepared_sharded(problem, &warm, seed).unwrap();
+                ColdRun {
+                    estimate: report.estimate.count,
+                    halfwidth: report.estimate.interval.width() / 2.0,
+                    evals: warm.prepare_evals + report.evals,
+                    digest: warm.digest(),
+                    wall: t0.elapsed().as_secs_f64(),
+                }
+            }),
+        ),
+    ] {
+        let mut base_wall = f64::NAN;
+        for k in SHARD_COUNTS {
+            let plan = ShardPlan::uniform(rows, k).expect("plan");
+            let mut best: Option<ColdRun> = None;
+            for _ in 0..repeats {
+                let run = run_cold(problem, &plan, config.seed);
+                if let Some(b) = &best {
+                    // Estimates are deterministic; repeats only tighten
+                    // the wall-time measurement.
+                    assert_eq!(b.estimate.to_bits(), run.estimate.to_bits());
+                    assert_eq!(b.digest, run.digest);
+                }
+                best = Some(match best {
+                    Some(b) if b.wall <= run.wall => b,
+                    _ => run,
+                });
+            }
+            let best = best.expect("at least one repeat");
+            if k == 1 {
+                base_wall = best.wall;
+            }
+            let speedup = base_wall / best.wall;
+            if family == "lss" && k == *SHARD_COUNTS.last().expect("non-empty") {
+                lss_speedup_at_max = speedup;
+            }
+            let label = format!("{family}@{k}");
+            assert!(
+                (best.estimate - truth).abs() <= 0.3 * rows as f64,
+                "{label}: estimate {} too far from truth {truth}",
+                best.estimate
+            );
+            table.row(vec![
+                family.to_string(),
+                k.to_string(),
+                format!("{:.0}", best.estimate),
+                best.evals.to_string(),
+                format!("{:.3}", best.wall),
+                format!("{speedup:.2}x"),
+            ]);
+            records.push(BenchRecord {
+                label: label.clone(),
+                cell: "cold".to_string(),
+                median: best.estimate,
+                iqr: best.halfwidth,
+                mean_evals: best.evals as f64,
+                wall_seconds: best.wall,
+            });
+            records.push(BenchRecord {
+                label: "digest".to_string(),
+                cell: label.clone(),
+                median: digest_f64(best.digest),
+                iqr: 0.0,
+                mean_evals: f64::NAN,
+                wall_seconds: 0.0,
+            });
+            records.push(BenchRecord {
+                label: "speedup".to_string(),
+                cell: label,
+                median: 0.0,
+                iqr: 0.0,
+                mean_evals: f64::NAN,
+                wall_seconds: speedup,
+            });
+        }
+    }
+
+    print!("{}", table.render());
+    if config.scale >= 0.3 {
+        assert!(
+            lss_speedup_at_max >= 3.0,
+            "cold LSS at {} shards must be >= 3x faster than unsharded on the scaled tier, \
+             got {lss_speedup_at_max:.2}x",
+            SHARD_COUNTS.last().expect("non-empty")
+        );
+        println!("\ncold LSS speedup at 8 shards: {lss_speedup_at_max:.2}x (bar: >= 3x)");
+    } else {
+        println!(
+            "\ncold LSS speedup at 8 shards: {lss_speedup_at_max:.2}x \
+             (smoke scale; >= 3x bar enforced at --scale >= 0.3)"
+        );
+    }
+    emit_records_json(&config.out_dir, "shard", "sequential", &records);
+}

@@ -89,6 +89,14 @@ impl CountingProblem {
         &self.objects
     }
 
+    /// The metered predicate, shared. Shard sub-problems delegate their
+    /// labeling here so `q` always sees the parent table and global row
+    /// ids (predicates may capture per-row state indexed by global id),
+    /// and so the parent's meter keeps counting across shards.
+    pub(crate) fn metered_predicate(&self) -> Arc<Metered<Arc<dyn ObjectPredicate>>> {
+        Arc::clone(&self.predicate)
+    }
+
     /// Per-object features.
     pub fn features(&self) -> &Matrix {
         &self.features

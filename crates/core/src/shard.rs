@@ -1,0 +1,834 @@
+//! Sharded estimation: run the full LSS/LWS pipeline independently on
+//! `k` contiguous shards of the population and merge the shard
+//! estimators as strata of one stratified estimator.
+//!
+//! A [`ShardPlan`] splits `0..N` into `k` contiguous, non-empty ranges —
+//! either near-equal ([`ShardPlan::uniform`]) or unions of whole storage
+//! partitions ([`ShardPlan::aligned`], via
+//! [`lts_strata::shard_bounds_aligned`]). Each shard becomes its own
+//! [`CountingProblem`] (sliced table + gathered feature rows) whose
+//! predicate **delegates to the parent problem's metered predicate at
+//! the global row id** — predicates may capture per-row state indexed by
+//! global id, so shard sub-problems must never label through local ids
+//! against a sliced table. The per-shard pilot, design, and stage-2
+//! phases then run fully independently (in parallel on the rayon shim).
+//!
+//! **Seed salting.** Shard `s` of a run with canonical seed `seed` uses
+//! `shard_seed(seed, s) = mix_seed(mix_seed(seed, SALT_SHARD), s)`. The
+//! salt stream depends only on the plan and the canonical seed — not on
+//! thread count or shard execution order — so sharded estimates are
+//! bit-identical across `RAYON_NUM_THREADS` settings.
+//!
+//! **Variance composition.** Shards partition the population, and
+//! per-shard estimators use disjoint sample draws, so the merged count
+//! `X = Σ X_k` has `Var(X) = Σ Var(X_k)` *exactly* (equivalently
+//! `Σ w_k² Var(p̂_k)` in proportion units with `w_k = N_k/N`). The merged
+//! interval comes from [`lts_stats::compose_independent`] with
+//! Welch–Satterthwaite degrees of freedom — no post-hoc widening, so the
+//! returned CI half-width is pinned to the composed-variance formula.
+
+use crate::error::{CoreError, CoreResult};
+use crate::estimators::{Lss, Lws};
+use crate::problem::CountingProblem;
+use crate::report::{EstimateReport, PhaseTimings, QualityForecast};
+use crate::warm::{fnv1a, mix_seed, LssWarm, LwsWarm};
+use lts_sampling::{proportional_allocation, CountEstimate};
+use lts_stats::{compose_independent, z_critical, Component};
+use lts_strata::{shard_bounds, shard_bounds_aligned};
+use lts_table::{Metered, ObjectPredicate, Table, TableResult};
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Domain-separation salt for per-shard seeds (distinct from the
+/// learn/design/sample salts inside each shard's pipeline).
+pub const SALT_SHARD: u64 = 0x5348_4152_4453; // "SHARDS"
+
+/// The canonical per-shard seed: depends only on the run seed and the
+/// shard index, never on thread count or execution order.
+pub fn shard_seed(seed: u64, shard: usize) -> u64 {
+    mix_seed(mix_seed(seed, SALT_SHARD), shard as u64)
+}
+
+/// A partition of `0..N` into `k` contiguous, non-empty shards, stored
+/// as `k + 1` strictly increasing bounds starting at 0 and ending at
+/// `N`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    bounds: Vec<usize>,
+}
+
+impl ShardPlan {
+    /// Near-equal shards of a population of `n` rows. Requesting more
+    /// shards than rows collapses to `n` singleton shards; `k = 0` and
+    /// `n = 0` are rejected.
+    ///
+    /// This layout is pure arithmetic — independent of thread count and
+    /// storage partitioning — and is what the serving layer uses so
+    /// shard layouts (and therefore estimates) are reproducible
+    /// everywhere.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an empty population or zero shards.
+    pub fn uniform(n: usize, k: usize) -> CoreResult<Self> {
+        if k == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "shard count must be at least 1".into(),
+            });
+        }
+        if n == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "cannot shard an empty population".into(),
+            });
+        }
+        Self::from_bounds(shard_bounds(n, k))
+    }
+
+    /// Shards as unions of whole storage partitions: ideal uniform cuts
+    /// snapped to the given partition bounds
+    /// (via [`lts_strata::shard_bounds_aligned`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid partition bounds or an empty
+    /// population.
+    pub fn aligned(partition_bounds: &[usize], k: usize) -> CoreResult<Self> {
+        if k == 0 {
+            return Err(CoreError::InvalidConfig {
+                message: "shard count must be at least 1".into(),
+            });
+        }
+        Self::from_bounds(shard_bounds_aligned(partition_bounds, k)?)
+    }
+
+    /// Build a plan from explicit bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless the bounds start at 0, are strictly
+    /// increasing, and describe at least one non-empty shard.
+    pub fn from_bounds(bounds: Vec<usize>) -> CoreResult<Self> {
+        let ok = bounds.len() >= 2 && bounds[0] == 0 && bounds.windows(2).all(|w| w[0] < w[1]);
+        if !ok {
+            return Err(CoreError::InvalidConfig {
+                message: format!("invalid shard bounds {bounds:?}"),
+            });
+        }
+        Ok(Self { bounds })
+    }
+
+    /// Population size `N`.
+    pub fn n(&self) -> usize {
+        *self.bounds.last().expect("plan has bounds")
+    }
+
+    /// Number of shards `k`.
+    pub fn k(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The `k + 1` shard bounds.
+    pub fn bounds(&self) -> &[usize] {
+        &self.bounds
+    }
+
+    /// Half-open global row range of shard `s`.
+    pub fn range(&self, s: usize) -> (usize, usize) {
+        (self.bounds[s], self.bounds[s + 1])
+    }
+
+    /// Shard sizes, in shard order.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.bounds.windows(2).map(|w| w[1] - w[0]).collect()
+    }
+
+    /// Which shard holds global row `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `id >= N`.
+    pub fn shard_of(&self, id: usize) -> CoreResult<usize> {
+        if id >= self.n() {
+            return Err(CoreError::InvalidConfig {
+                message: format!("row {id} outside sharded population of {}", self.n()),
+            });
+        }
+        Ok(self.bounds.partition_point(|&b| b <= id) - 1)
+    }
+}
+
+/// A shard's view of the parent predicate: evaluates at
+/// `offset + local_idx` against the **parent** table through the
+/// parent's meter, so global-id-indexed predicate state stays correct
+/// and the parent problem keeps counting oracle evaluations.
+struct ShardPredicate {
+    parent_objects: Arc<Table>,
+    parent_predicate: Arc<Metered<Arc<dyn ObjectPredicate>>>,
+    offset: usize,
+    name: String,
+}
+
+impl ObjectPredicate for ShardPredicate {
+    fn eval(&self, _objects: &Table, idx: usize) -> TableResult<bool> {
+        self.parent_predicate
+            .eval(&self.parent_objects, self.offset + idx)
+    }
+
+    fn eval_batch(&self, _objects: &Table, idxs: &[usize]) -> TableResult<Vec<bool>> {
+        let global: Vec<usize> = idxs.iter().map(|&i| self.offset + i).collect();
+        self.parent_predicate
+            .eval_batch(&self.parent_objects, &global)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Build the per-shard sub-problems of `problem` under `plan`: sliced
+/// object table, gathered feature rows, delegating predicate, parent
+/// confidence level.
+///
+/// # Errors
+///
+/// Returns an error when the plan's population size differs from the
+/// problem's.
+pub fn shard_problems(
+    problem: &CountingProblem,
+    plan: &ShardPlan,
+) -> CoreResult<Vec<Arc<CountingProblem>>> {
+    if plan.n() != problem.n() {
+        return Err(CoreError::InvalidConfig {
+            message: format!(
+                "shard plan covers {} rows but the problem has {}",
+                plan.n(),
+                problem.n()
+            ),
+        });
+    }
+    let parent_objects = Arc::clone(problem.objects());
+    let parent_predicate = problem.metered_predicate();
+    let base_name = parent_predicate.name().to_string();
+    let mut out = Vec::with_capacity(plan.k());
+    for s in 0..plan.k() {
+        let (lo, hi) = plan.range(s);
+        let table = Arc::new(parent_objects.slice(lo, hi)?);
+        let ids: Vec<usize> = (lo..hi).collect();
+        let features = problem.features().gather(&ids);
+        let predicate: Arc<dyn ObjectPredicate> = Arc::new(ShardPredicate {
+            parent_objects: Arc::clone(&parent_objects),
+            parent_predicate: Arc::clone(&parent_predicate),
+            offset: lo,
+            name: format!("{base_name}#shard{s}"),
+        });
+        let sub =
+            CountingProblem::with_features(table, predicate, features)?.with_level(problem.level());
+        out.push(Arc::new(sub));
+    }
+    Ok(out)
+}
+
+/// Split globally-indexed known labels into per-shard locally-indexed
+/// lists.
+fn split_known(plan: &ShardPlan, known: &[(usize, bool)]) -> CoreResult<Vec<Vec<(usize, bool)>>> {
+    let mut by_shard: Vec<Vec<(usize, bool)>> = vec![Vec::new(); plan.k()];
+    for &(id, label) in known {
+        let s = plan.shard_of(id)?;
+        by_shard[s].push((id - plan.bounds[s], label));
+    }
+    Ok(by_shard)
+}
+
+/// Per-shard labeling budgets: proportional to shard size with a
+/// per-shard floor of `min_budget` (capped at shard size).
+fn shard_budgets(plan: &ShardPlan, budget: usize, min_budget: usize) -> CoreResult<Vec<usize>> {
+    Ok(proportional_allocation(&plan.sizes(), budget, min_budget)?)
+}
+
+/// Merge per-shard reports into one: count and variance summed exactly,
+/// interval from the composed variance with Welch–Satterthwaite degrees
+/// of freedom, timings summed per phase (total = measured wall time).
+fn merge_shard_reports(
+    reports: &[EstimateReport],
+    n: usize,
+    level: f64,
+    estimator: String,
+    wall: Duration,
+) -> CoreResult<EstimateReport> {
+    let parts: Vec<Component> = reports
+        .iter()
+        .map(|r| Component {
+            value: r.estimate.count,
+            variance: r.estimate.std_error * r.estimate.std_error,
+            df: r.estimate.df,
+        })
+        .collect();
+    let composed = compose_independent(&parts, level)?;
+    let nf = n as f64;
+    let estimate = CountEstimate {
+        count: composed.value,
+        std_error: composed.std_error,
+        interval: composed.interval.clamped(0.0, nf),
+        df: composed.df,
+    };
+    let mut timings = PhaseTimings::default();
+    let mut evals = 0usize;
+    let mut notes = vec![format!(
+        "merged {} shard estimators; variance composed as Σ Var_k",
+        reports.len()
+    )];
+    let mut stage2 = 0usize;
+    let mut forecast_var = 0.0f64;
+    let mut have_forecast = !reports.is_empty();
+    for (s, r) in reports.iter().enumerate() {
+        evals += r.evals;
+        timings.learn += r.timings.learn;
+        timings.design += r.timings.design;
+        timings.phase2 += r.timings.phase2;
+        timings.labeling += r.timings.labeling;
+        for note in &r.notes {
+            notes.push(format!("shard {s}: {note}"));
+        }
+        match &r.forecast {
+            Some(f) => {
+                stage2 += f.stage2_samples;
+                forecast_var += f.predicted_se * f.predicted_se;
+            }
+            None => have_forecast = false,
+        }
+    }
+    timings.total = wall;
+    let forecast = if have_forecast {
+        let predicted_se = forecast_var.sqrt();
+        let z = z_critical(level)?;
+        Some(QualityForecast {
+            predicted_se,
+            predicted_halfwidth: z * predicted_se,
+            stage2_samples: stage2,
+        })
+    } else {
+        None
+    };
+    Ok(EstimateReport {
+        estimate,
+        has_interval: reports.iter().all(|r| r.has_interval),
+        evals,
+        timings,
+        estimator,
+        notes,
+        forecast,
+    })
+}
+
+/// Reusable state of a sharded LSS run: the plan plus one [`LssWarm`]
+/// per shard. Holds no table data — estimate calls re-derive the shard
+/// sub-problems from the problem they are given.
+pub struct ShardedLssWarm {
+    plan: ShardPlan,
+    shards: Vec<LssWarm>,
+    /// Total oracle evaluations spent preparing (the cold-start cost).
+    pub prepare_evals: usize,
+}
+
+impl ShardedLssWarm {
+    /// The shard plan the state was prepared under.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Per-shard warm states, in shard order.
+    pub fn shards(&self) -> &[LssWarm] {
+        &self.shards
+    }
+
+    /// Content digest: plan bounds mixed with every shard digest.
+    pub fn digest(&self) -> u64 {
+        let mut d = fnv1a(b"sharded-lss");
+        for &b in self.plan.bounds() {
+            d = mix_seed(d, b as u64);
+        }
+        for w in &self.shards {
+            d = mix_seed(d, w.digest());
+        }
+        d
+    }
+
+    /// All exactly-known `(global object id, label)` pairs across
+    /// shards — the payload a snapshot restore replays at zero oracle
+    /// cost.
+    pub fn known_labels(&self) -> Vec<(usize, bool)> {
+        let mut out = Vec::new();
+        for (s, w) in self.shards.iter().enumerate() {
+            let offset = self.plan.bounds[s];
+            out.extend(w.known_labels().into_iter().map(|(id, l)| (id + offset, l)));
+        }
+        out
+    }
+
+    /// Fresh labels each resume spends (sum of per-shard stage-2
+    /// budgets).
+    pub fn resume_evals(&self) -> usize {
+        self.shards.iter().map(|w| w.split.stage2).sum()
+    }
+}
+
+/// Reusable state of a sharded LWS run.
+pub struct ShardedLwsWarm {
+    plan: ShardPlan,
+    shards: Vec<LwsWarm>,
+    /// Total oracle evaluations spent preparing (the cold-start cost).
+    pub prepare_evals: usize,
+}
+
+impl ShardedLwsWarm {
+    /// The shard plan the state was prepared under.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Per-shard warm states, in shard order.
+    pub fn shards(&self) -> &[LwsWarm] {
+        &self.shards
+    }
+
+    /// Content digest: plan bounds mixed with every shard digest.
+    pub fn digest(&self) -> u64 {
+        let mut d = fnv1a(b"sharded-lws");
+        for &b in self.plan.bounds() {
+            d = mix_seed(d, b as u64);
+        }
+        for w in &self.shards {
+            d = mix_seed(d, w.digest());
+        }
+        d
+    }
+
+    /// All exactly-known `(global object id, label)` pairs across
+    /// shards.
+    pub fn known_labels(&self) -> Vec<(usize, bool)> {
+        let mut out = Vec::new();
+        for (s, w) in self.shards.iter().enumerate() {
+            let offset = self.plan.bounds[s];
+            out.extend(w.known_labels().into_iter().map(|(id, l)| (id + offset, l)));
+        }
+        out
+    }
+
+    /// Fresh labels each resume spends (sum of per-shard phase-2
+    /// budgets).
+    pub fn resume_evals(&self) -> usize {
+        self.shards.iter().map(|w| w.sample_budget).sum()
+    }
+}
+
+impl Lss {
+    /// The smallest per-shard budget this configuration can split
+    /// (searched from the structural floor `2 + 3H`; returns `budget`
+    /// itself when nothing below it is feasible, so the allocation —
+    /// not the search — reports infeasibility).
+    fn min_shard_budget(&self, budget: usize) -> usize {
+        let mut b = (2 + 3 * self.n_strata).min(budget);
+        while b < budget && self.budget_split(b).is_err() {
+            b += 1;
+        }
+        b
+    }
+
+    /// Prepare LSS independently on every shard of `plan`: budgets
+    /// proportional to shard size, seeds salted per shard, shards run
+    /// in parallel.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid plan, an infeasible budget, or
+    /// any shard's prepare failure.
+    pub fn prepare_sharded(
+        &self,
+        problem: &CountingProblem,
+        plan: &ShardPlan,
+        budget: usize,
+        seed: u64,
+    ) -> CoreResult<ShardedLssWarm> {
+        self.prepare_sharded_with_known(problem, plan, budget, seed, &[])
+    }
+
+    /// [`Lss::prepare_sharded`] with globally-indexed known labels
+    /// preloaded (free) on their shards — the snapshot-restore path.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Lss::prepare_sharded`], plus out-of-range
+    /// known-label ids.
+    pub fn prepare_sharded_with_known(
+        &self,
+        problem: &CountingProblem,
+        plan: &ShardPlan,
+        budget: usize,
+        seed: u64,
+        known: &[(usize, bool)],
+    ) -> CoreResult<ShardedLssWarm> {
+        let problems = shard_problems(problem, plan)?;
+        let budgets = shard_budgets(plan, budget, self.min_shard_budget(budget))?;
+        let known_by_shard = split_known(plan, known)?;
+        let jobs: Vec<usize> = (0..plan.k()).collect();
+        let prepared: Vec<CoreResult<LssWarm>> = jobs
+            .into_par_iter()
+            .map(|s| {
+                self.prepare_with_known(
+                    &problems[s],
+                    budgets[s],
+                    shard_seed(seed, s),
+                    &known_by_shard[s],
+                )
+            })
+            .collect();
+        let mut shards = Vec::with_capacity(plan.k());
+        let mut prepare_evals = 0;
+        for w in prepared {
+            let w = w?;
+            prepare_evals += w.prepare_evals;
+            shards.push(w);
+        }
+        Ok(ShardedLssWarm {
+            plan: plan.clone(),
+            shards,
+            prepare_evals,
+        })
+    }
+
+    /// Run stage 2 on every shard of a prepared sharded state and merge
+    /// the shard estimators as strata of one stratified estimator.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the state's plan does not cover the
+    /// problem, or any shard's estimate fails.
+    pub fn estimate_prepared_sharded(
+        &self,
+        problem: &CountingProblem,
+        warm: &ShardedLssWarm,
+        seed: u64,
+    ) -> CoreResult<EstimateReport> {
+        let start = Instant::now();
+        let problems = shard_problems(problem, &warm.plan)?;
+        let jobs: Vec<usize> = (0..warm.plan.k()).collect();
+        let results: Vec<CoreResult<EstimateReport>> = jobs
+            .into_par_iter()
+            .map(|s| self.estimate_prepared(&problems[s], &warm.shards[s], shard_seed(seed, s)))
+            .collect();
+        let mut reports = Vec::with_capacity(warm.plan.k());
+        for r in results {
+            reports.push(r?);
+        }
+        merge_shard_reports(
+            &reports,
+            problem.n(),
+            problem.level(),
+            format!("LSS@{}", warm.plan.k()),
+            start.elapsed(),
+        )
+    }
+}
+
+impl Lws {
+    /// The smallest per-shard budget this configuration can split.
+    fn min_shard_budget(&self, budget: usize) -> usize {
+        let mut b = 4.min(budget);
+        while b < budget && self.budget_split(b).is_err() {
+            b += 1;
+        }
+        b
+    }
+
+    /// Prepare LWS independently on every shard of `plan` (see
+    /// [`Lss::prepare_sharded`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an invalid plan, an infeasible budget, or
+    /// any shard's prepare failure.
+    pub fn prepare_sharded(
+        &self,
+        problem: &CountingProblem,
+        plan: &ShardPlan,
+        budget: usize,
+        seed: u64,
+    ) -> CoreResult<ShardedLwsWarm> {
+        self.prepare_sharded_with_known(problem, plan, budget, seed, &[])
+    }
+
+    /// [`Lws::prepare_sharded`] with globally-indexed known labels
+    /// preloaded (free) on their shards.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Lws::prepare_sharded`], plus out-of-range
+    /// known-label ids.
+    pub fn prepare_sharded_with_known(
+        &self,
+        problem: &CountingProblem,
+        plan: &ShardPlan,
+        budget: usize,
+        seed: u64,
+        known: &[(usize, bool)],
+    ) -> CoreResult<ShardedLwsWarm> {
+        let problems = shard_problems(problem, plan)?;
+        let budgets = shard_budgets(plan, budget, self.min_shard_budget(budget))?;
+        let known_by_shard = split_known(plan, known)?;
+        let jobs: Vec<usize> = (0..plan.k()).collect();
+        let prepared: Vec<CoreResult<LwsWarm>> = jobs
+            .into_par_iter()
+            .map(|s| {
+                self.prepare_with_known(
+                    &problems[s],
+                    budgets[s],
+                    shard_seed(seed, s),
+                    &known_by_shard[s],
+                )
+            })
+            .collect();
+        let mut shards = Vec::with_capacity(plan.k());
+        let mut prepare_evals = 0;
+        for w in prepared {
+            let w = w?;
+            prepare_evals += w.prepare_evals;
+            shards.push(w);
+        }
+        Ok(ShardedLwsWarm {
+            plan: plan.clone(),
+            shards,
+            prepare_evals,
+        })
+    }
+
+    /// Run phase 2 on every shard of a prepared sharded state and merge
+    /// (see [`Lss::estimate_prepared_sharded`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the state's plan does not cover the
+    /// problem, or any shard's estimate fails.
+    pub fn estimate_prepared_sharded(
+        &self,
+        problem: &CountingProblem,
+        warm: &ShardedLwsWarm,
+        seed: u64,
+    ) -> CoreResult<EstimateReport> {
+        let start = Instant::now();
+        let problems = shard_problems(problem, &warm.plan)?;
+        let jobs: Vec<usize> = (0..warm.plan.k()).collect();
+        let results: Vec<CoreResult<EstimateReport>> = jobs
+            .into_par_iter()
+            .map(|s| self.estimate_prepared(&problems[s], &warm.shards[s], shard_seed(seed, s)))
+            .collect();
+        let mut reports = Vec::with_capacity(warm.plan.k());
+        for r in results {
+            reports.push(r?);
+        }
+        merge_shard_reports(
+            &reports,
+            problem.n(),
+            problem.level(),
+            format!("LWS@{}", warm.plan.k()),
+            start.elapsed(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::tests_support::{line_problem, ramp_problem};
+
+    #[test]
+    fn shard_seeds_are_deterministic_and_distinct() {
+        let a: Vec<u64> = (0..8).map(|s| shard_seed(42, s)).collect();
+        let b: Vec<u64> = (0..8).map(|s| shard_seed(42, s)).collect();
+        assert_eq!(a, b);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 8, "salted seeds collide: {a:?}");
+        assert!(!a.contains(&42), "shard seed must differ from the run seed");
+        assert_ne!(shard_seed(42, 0), shard_seed(43, 0));
+    }
+
+    #[test]
+    fn plan_construction_and_degenerates() {
+        let p = ShardPlan::uniform(100, 4).unwrap();
+        assert_eq!(p.bounds(), &[0, 25, 50, 75, 100]);
+        assert_eq!(p.k(), 4);
+        assert_eq!(p.n(), 100);
+        assert_eq!(p.sizes(), vec![25; 4]);
+        assert_eq!(p.range(2), (50, 75));
+        assert_eq!(p.shard_of(0).unwrap(), 0);
+        assert_eq!(p.shard_of(24).unwrap(), 0);
+        assert_eq!(p.shard_of(25).unwrap(), 1);
+        assert_eq!(p.shard_of(99).unwrap(), 3);
+        assert!(p.shard_of(100).is_err());
+
+        // More shards than rows collapses to singleton shards.
+        let tiny = ShardPlan::uniform(3, 8).unwrap();
+        assert_eq!(tiny.bounds(), &[0, 1, 2, 3]);
+        assert_eq!(tiny.k(), 3);
+
+        assert!(ShardPlan::uniform(0, 4).is_err());
+        assert!(ShardPlan::uniform(100, 0).is_err());
+        assert!(ShardPlan::from_bounds(vec![0, 5, 5, 10]).is_err());
+        assert!(ShardPlan::from_bounds(vec![1, 5]).is_err());
+        assert!(ShardPlan::from_bounds(vec![0]).is_err());
+
+        // Aligned plans are unions of whole partitions.
+        let aligned = ShardPlan::aligned(&[0, 30, 60, 90, 120], 2).unwrap();
+        assert_eq!(aligned.bounds(), &[0, 60, 120]);
+        assert!(ShardPlan::aligned(&[0, 0], 2).is_err(), "empty population");
+    }
+
+    #[test]
+    fn shard_problems_label_through_the_parent() {
+        // The ramp predicate hashes the *global* row id into its label,
+        // so any local-id labeling inside a shard would visibly diverge.
+        let problem = ramp_problem(200, 0.2, 0.8, 7);
+        let plan = ShardPlan::uniform(200, 4).unwrap();
+        let subs = shard_problems(&problem, &plan).unwrap();
+        problem.reset_meter();
+        for (s, sub) in subs.iter().enumerate() {
+            let (lo, hi) = plan.range(s);
+            assert_eq!(sub.n(), hi - lo);
+            assert_eq!(sub.level(), problem.level());
+            for local in [0, (hi - lo) / 2, hi - lo - 1] {
+                assert_eq!(
+                    sub.label(local).unwrap(),
+                    problem.label(lo + local).unwrap(),
+                    "shard {s} row {local} disagrees with global row {}",
+                    lo + local
+                );
+            }
+            // Features travel with the rows.
+            assert_eq!(sub.features().row(0), problem.features().row(lo));
+        }
+        // Shard labeling flows through the parent meter too.
+        assert!(problem.predicate_stats().evals > 0);
+        let mismatched = ShardPlan::uniform(100, 2).unwrap();
+        assert!(shard_problems(&problem, &mismatched).is_err());
+    }
+
+    #[test]
+    fn sharded_lss_is_deterministic_and_merges_honestly() {
+        let problem = ramp_problem(3000, 0.25, 0.75, 11);
+        let truth = problem.exact_count().unwrap() as f64;
+        let lss = Lss {
+            min_pilots_per_stratum: 2,
+            ..Lss::default()
+        };
+        let plan = ShardPlan::uniform(3000, 4).unwrap();
+        let (budget, seed) = (600, 99);
+
+        let warm = lss.prepare_sharded(&problem, &plan, budget, seed).unwrap();
+        let warm2 = lss.prepare_sharded(&problem, &plan, budget, seed).unwrap();
+        assert_eq!(warm.digest(), warm2.digest());
+        assert!(warm.prepare_evals > 0 && warm.prepare_evals <= budget);
+        assert_eq!(
+            warm.resume_evals(),
+            warm.shards().iter().map(|w| w.split.stage2).sum::<usize>()
+        );
+
+        let r = lss
+            .estimate_prepared_sharded(&problem, &warm, seed)
+            .unwrap();
+        let r2 = lss
+            .estimate_prepared_sharded(&problem, &warm, seed)
+            .unwrap();
+        assert_eq!(r.estimate.count.to_bits(), r2.estimate.count.to_bits());
+        assert_eq!(
+            r.estimate.std_error.to_bits(),
+            r2.estimate.std_error.to_bits()
+        );
+        assert_eq!(r.estimator, "LSS@4");
+        assert!(r.has_interval);
+        assert!(r.estimate.interval.contains(r.estimate.count));
+        assert!(
+            (r.estimate.count - truth).abs() < 0.25 * 3000.0,
+            "merged estimate {} vs truth {truth}",
+            r.estimate.count
+        );
+
+        // The merge is exactly the composed-variance formula: rebuild it
+        // by hand from per-shard runs at the same salted seeds.
+        let subs = shard_problems(&problem, &plan).unwrap();
+        let mut parts = Vec::new();
+        for (s, sub) in subs.iter().enumerate() {
+            let sr = lss
+                .estimate_prepared(sub, &warm.shards()[s], shard_seed(seed, s))
+                .unwrap();
+            parts.push(Component {
+                value: sr.estimate.count,
+                variance: sr.estimate.std_error * sr.estimate.std_error,
+                df: sr.estimate.df,
+            });
+        }
+        let composed = compose_independent(&parts, problem.level()).unwrap();
+        assert_eq!(r.estimate.count.to_bits(), composed.value.to_bits());
+        assert_eq!(r.estimate.std_error.to_bits(), composed.std_error.to_bits());
+        let clamped = composed.interval.clamped(0.0, 3000.0);
+        assert_eq!(r.estimate.interval.lo.to_bits(), clamped.lo.to_bits());
+        assert_eq!(r.estimate.interval.hi.to_bits(), clamped.hi.to_bits());
+    }
+
+    #[test]
+    fn sharded_known_labels_replay_at_zero_oracle_cost() {
+        let problem = ramp_problem(1200, 0.3, 0.7, 5);
+        let lss = Lss {
+            min_pilots_per_stratum: 2,
+            ..Lss::default()
+        };
+        let plan = ShardPlan::uniform(1200, 3).unwrap();
+        let warm = lss.prepare_sharded(&problem, &plan, 300, 17).unwrap();
+        let known = warm.known_labels();
+        assert_eq!(known.len(), warm.prepare_evals);
+        // Known ids are global: every one labels identically on the
+        // parent problem.
+        for &(id, label) in known.iter().take(20) {
+            assert_eq!(problem.label(id).unwrap(), label);
+        }
+        let replay = lss
+            .prepare_sharded_with_known(&problem, &plan, 300, 17, &known)
+            .unwrap();
+        assert_eq!(replay.prepare_evals, 0, "replay must not touch the oracle");
+        assert_eq!(replay.digest(), warm.digest());
+    }
+
+    #[test]
+    fn sharded_lws_is_deterministic_and_replayable() {
+        let problem = ramp_problem(1500, 0.3, 0.7, 23);
+        let truth = problem.exact_count().unwrap() as f64;
+        let lws = Lws::default();
+        let plan = ShardPlan::uniform(1500, 4).unwrap();
+        let warm = lws.prepare_sharded(&problem, &plan, 400, 7).unwrap();
+        let r = lws.estimate_prepared_sharded(&problem, &warm, 7).unwrap();
+        let r2 = lws.estimate_prepared_sharded(&problem, &warm, 7).unwrap();
+        assert_eq!(r.estimate.count.to_bits(), r2.estimate.count.to_bits());
+        assert_eq!(r.estimator, "LWS@4");
+        assert!((r.estimate.count - truth).abs() < 0.25 * 1500.0);
+        assert_eq!(warm.resume_evals(), 4 * warm.shards()[0].sample_budget);
+
+        let replay = lws
+            .prepare_sharded_with_known(&problem, &plan, 400, 7, &warm.known_labels())
+            .unwrap();
+        assert_eq!(replay.prepare_evals, 0);
+        assert_eq!(replay.digest(), warm.digest());
+    }
+
+    #[test]
+    fn infeasible_budgets_error_instead_of_degrading() {
+        let problem = line_problem(400, 0.5);
+        let lss = Lss::default();
+        let plan = ShardPlan::uniform(400, 8).unwrap();
+        // Far below 8 shards × the per-shard LSS floor.
+        assert!(lss.prepare_sharded(&problem, &plan, 40, 1).is_err());
+        let lws = Lws::default();
+        // 8 shards × 4-label floor = 32 > 20.
+        assert!(lws.prepare_sharded(&problem, &plan, 20, 1).is_err());
+    }
+}

@@ -27,10 +27,12 @@
 pub mod gen;
 pub mod neighborhood;
 pub mod neighbors;
+pub mod scaled;
 pub mod scenario;
 pub mod skyband;
 pub mod sports;
 
+pub use scaled::{scaled_scenario, ScaledTier, SCALED_BASE_ROWS};
 pub use scenario::{
     neighbors_scenario, sports_scenario, DatasetKind, QueryParam, Scenario, SelectivityLevel,
 };

@@ -102,6 +102,7 @@ impl DesRaj {
             count: p * nf,
             std_error: se * nf,
             interval: interval.scaled(nf),
+            df: Some((n - 1) as f64),
         })
     }
 }

@@ -17,6 +17,12 @@ pub struct CountEstimate {
     pub std_error: f64,
     /// Two-sided confidence interval for the count.
     pub interval: ConfidenceInterval,
+    /// Degrees of freedom behind `std_error` when `interval` is a
+    /// t-interval (stratified, Des Raj); `None` for normal/Wald/Wilson
+    /// constructions and exact counts. Carried so independent
+    /// estimates can be composed with honest Welch–Satterthwaite df
+    /// (the sharded merge) instead of guessing.
+    pub df: Option<f64>,
 }
 
 impl CountEstimate {
@@ -26,6 +32,7 @@ impl CountEstimate {
             count,
             std_error: 0.0,
             interval: ConfidenceInterval::new(count, count, level),
+            df: None,
         }
     }
 
@@ -41,6 +48,7 @@ impl CountEstimate {
                 self.interval.hi + offset,
                 self.interval.level,
             ),
+            df: self.df,
         }
     }
 
@@ -72,12 +80,14 @@ mod tests {
             count: 10.0,
             std_error: 2.0,
             interval: ConfidenceInterval::new(6.0, 14.0, 0.95),
+            df: Some(7.0),
         };
         let s = e.shifted(5.0);
         assert_eq!(s.count, 15.0);
         assert_eq!(s.interval.lo, 11.0);
         assert_eq!(s.interval.hi, 19.0);
         assert_eq!(s.std_error, 2.0);
+        assert_eq!(s.df, Some(7.0));
     }
 
     #[test]

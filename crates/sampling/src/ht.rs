@@ -61,6 +61,7 @@ pub fn horvitz_thompson_count(
         count: total,
         std_error: se,
         interval: normal_interval(total, se, level)?,
+        df: None,
     })
 }
 

@@ -78,6 +78,7 @@ pub fn srs_count_estimate(
         count: p_hat * nf,
         std_error: se_p * nf,
         interval: interval.scaled(nf),
+        df: None,
     })
 }
 

@@ -322,6 +322,7 @@ pub fn stratified_count_estimate(
         count: p_hat * nf,
         std_error: se * nf,
         interval: interval.scaled(nf).clamped(0.0, nf),
+        df: Some(df),
     })
 }
 

@@ -4,6 +4,7 @@ use lts_sampling::{
     allocate, proportional_allocation, sample_without_replacement, stratified_count_estimate,
     weighted_sample_es, weighted_sample_fenwick, DesRaj, Fenwick, StratumSample,
 };
+use lts_stats::{compose_independent, Component};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -184,5 +185,65 @@ proptest! {
         prop_assert!(est.count.is_finite());
         prop_assert!(est.std_error.is_finite());
         prop_assert!(est.interval.lo <= est.interval.hi);
+    }
+
+    /// **Shard-merge agreement.** Split the strata of one stratified
+    /// design into contiguous shards, estimate each shard with the same
+    /// stratified estimator, and compose the shard estimators as
+    /// independent components: the merged count and standard error
+    /// equal the global stratified estimator over all strata (float
+    /// summation order aside). This is the algebra the sharded LSS path
+    /// relies on: count variance decomposes additively across strata,
+    /// so grouping strata by shard changes nothing. (Degrees of freedom
+    /// legitimately differ: the composition uses Welch–Satterthwaite,
+    /// the global estimator uses Σ(n_h − 1).)
+    #[test]
+    fn shard_merged_stratified_estimate_matches_global(
+        raw in proptest::collection::vec((1usize..150, any::<u32>(), any::<u32>()), 2..16),
+        k in 1usize..8,
+    ) {
+        let strata: Vec<StratumSample> = raw
+            .iter()
+            .map(|&(pop, s_seed, p_seed)| {
+                let sampled = 1 + s_seed as usize % pop;
+                StratumSample {
+                    population: pop,
+                    sampled,
+                    positives: p_seed as usize % (sampled + 1),
+                }
+            })
+            .collect();
+        let global = stratified_count_estimate(&strata, 0.95).unwrap();
+
+        // Contiguous shard grouping (strata are score-ordered in LSS;
+        // shards take whole runs of them).
+        let k = k.min(strata.len());
+        let per = strata.len().div_ceil(k);
+        let parts: Vec<Component> = strata
+            .chunks(per)
+            .map(|chunk| {
+                let e = stratified_count_estimate(chunk, 0.95).unwrap();
+                Component {
+                    value: e.count,
+                    variance: e.std_error * e.std_error,
+                    df: e.df,
+                }
+            })
+            .collect();
+        let merged = compose_independent(&parts, 0.95).unwrap();
+
+        let scale = global.count.abs().max(1.0);
+        prop_assert!(
+            (merged.value - global.count).abs() <= 1e-9 * scale,
+            "count: merged {} vs global {}", merged.value, global.count
+        );
+        let var_scale = (global.std_error * global.std_error).max(1.0);
+        prop_assert!(
+            (merged.std_error * merged.std_error
+                - global.std_error * global.std_error).abs() <= 1e-9 * var_scale,
+            "variance: merged {} vs global {}",
+            merged.std_error * merged.std_error,
+            global.std_error * global.std_error
+        );
     }
 }

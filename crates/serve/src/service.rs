@@ -42,7 +42,7 @@ use crate::error::{ServeError, ServeResult};
 use crate::fingerprint;
 use crate::planner::{BudgetPlanner, Route, Target};
 use crate::store::{ModelStore, StoreKey, StoredModel, WarmState};
-use lts_core::{fnv1a, mix_seed, CountEstimator, CountingProblem, Lss, Lws, Srs};
+use lts_core::{fnv1a, mix_seed, CountEstimator, CountingProblem, Lss, Lws, ShardPlan, Srs};
 use lts_table::{
     parse_condition, ExprPredicate, ObjectPredicate, PartitionedTable, Table, TableRegistry,
 };
@@ -85,6 +85,13 @@ pub struct ServiceConfig {
     pub lss: Lss,
     /// LWS profile (used only for imported `lws` store entries).
     pub lws: Lws,
+    /// Shards for cold estimates (1 = unsharded). With more than one
+    /// shard, cold prepares run the full pipeline independently per
+    /// shard of a [`ShardPlan::uniform`] layout — pure arithmetic over
+    /// `N`, never thread- or partition-dependent — and merge the shard
+    /// estimators with composed variance. Warm resumes replay whatever
+    /// layout their state was prepared under.
+    pub shards: usize,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +103,7 @@ impl Default for ServiceConfig {
             staleness: StalenessPolicy::default(),
             lss: serve_lss_profile(),
             lws: Lws::default(),
+            shards: 1,
         }
     }
 }
@@ -584,14 +592,23 @@ impl Service {
         // ------------------------------- wave 1: prepare states (par)
         let lss = self.config.lss;
         let service_seed = self.config.seed;
+        let shards = self.config.shards.max(1);
         let prepared: Vec<(StoreKey, u64, String, ServeResult<StoredModel>)> = needed
             .into_par_iter()
             .map(|(key, problem, table_version, raw)| {
                 let prepare_seed = mix_seed(service_seed, store_key_hash(&key, table_version));
-                let result = lss
-                    .prepare(&problem, key.budget, prepare_seed)
+                let state = if shards > 1 {
+                    ShardPlan::uniform(problem.n(), shards).and_then(|plan| {
+                        lss.prepare_sharded(&problem, &plan, key.budget, prepare_seed)
+                            .map(WarmState::LssSharded)
+                    })
+                } else {
+                    lss.prepare(&problem, key.budget, prepare_seed)
+                        .map(WarmState::Lss)
+                };
+                let result = state
                     .map(|state| StoredModel {
-                        state: WarmState::Lss(state),
+                        state,
                         table_version,
                         prepare_seed,
                         raw_condition: raw.clone(),
@@ -845,22 +862,45 @@ impl Service {
             }
             let (canonical, _fp, _version, problem) =
                 self.resolve_query(&entry.dataset, &entry.condition)?;
-            let state = match entry.estimator.as_str() {
-                "lss" => WarmState::Lss(self.config.lss.prepare_with_known(
+            let state = match parse_estimator_tag(&entry.estimator) {
+                Some(("lss", None)) => WarmState::Lss(self.config.lss.prepare_with_known(
                     &problem,
                     entry.budget,
                     entry.prepare_seed,
                     &entry.labels,
                 )?),
-                "lws" => WarmState::Lws(self.config.lws.prepare_with_known(
+                Some(("lws", None)) => WarmState::Lws(self.config.lws.prepare_with_known(
                     &problem,
                     entry.budget,
                     entry.prepare_seed,
                     &entry.labels,
                 )?),
-                other => {
+                Some(("lss", Some(k))) => {
+                    let plan = ShardPlan::uniform(problem.n(), k)?;
+                    WarmState::LssSharded(self.config.lss.prepare_sharded_with_known(
+                        &problem,
+                        &plan,
+                        entry.budget,
+                        entry.prepare_seed,
+                        &entry.labels,
+                    )?)
+                }
+                Some(("lws", Some(k))) => {
+                    let plan = ShardPlan::uniform(problem.n(), k)?;
+                    WarmState::LwsSharded(self.config.lws.prepare_sharded_with_known(
+                        &problem,
+                        &plan,
+                        entry.budget,
+                        entry.prepare_seed,
+                        &entry.labels,
+                    )?)
+                }
+                _ => {
                     return Err(ServeError::Invalid {
-                        message: format!("unknown estimator tag `{other}` in store export"),
+                        message: format!(
+                            "unknown estimator tag `{}` in store export",
+                            entry.estimator
+                        ),
                     })
                 }
             };
@@ -945,6 +985,12 @@ fn execute_inner(item: &ExecItem<'_>, lss: Lss, lws: Lws) -> ServeResult<Compute
             let report = match &stored.state {
                 WarmState::Lss(w) => lss.estimate_prepared(&item.problem, w, item.seed)?,
                 WarmState::Lws(w) => lws.estimate_prepared(&item.problem, w, item.seed)?,
+                WarmState::LssSharded(w) => {
+                    lss.estimate_prepared_sharded(&item.problem, w, item.seed)?
+                }
+                WarmState::LwsSharded(w) => {
+                    lws.estimate_prepared_sharded(&item.problem, w, item.seed)?
+                }
             };
             let prepare_evals = if item.is_cold {
                 stored.state.prepare_evals()
@@ -961,6 +1007,19 @@ fn execute_inner(item: &ExecItem<'_>, lss: Lss, lws: Lws) -> ServeResult<Compute
                 route: stored.state.tag(),
                 model_version: stored.state.digest(),
             })
+        }
+    }
+}
+
+/// Split a store-export estimator tag into family and optional shard
+/// count: `lss` → `("lss", None)`, `lss@4` → `("lss", Some(4))`.
+/// Returns `None` for malformed shard suffixes (`lss@0`, `lss@x`).
+fn parse_estimator_tag(tag: &str) -> Option<(&str, Option<usize>)> {
+    match tag.split_once('@') {
+        None => Some((tag, None)),
+        Some((family, k)) => {
+            let k: usize = k.parse().ok()?;
+            (k > 0).then_some((family, Some(k)))
         }
     }
 }

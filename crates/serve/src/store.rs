@@ -17,7 +17,7 @@
 //! exact state. (Weight-level classifier persistence exists separately
 //! in `lts_learn::persist` for the families with flat parameter sets.)
 
-use lts_core::{LssWarm, LwsWarm};
+use lts_core::{LssWarm, LwsWarm, ShardedLssWarm, ShardedLwsWarm};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -39,6 +39,11 @@ pub enum WarmState {
     Lss(LssWarm),
     /// Learned weighted sampling.
     Lws(LwsWarm),
+    /// Sharded LSS: one [`LssWarm`] per shard (the cold path when the
+    /// service is configured with more than one shard).
+    LssSharded(ShardedLssWarm),
+    /// Sharded LWS.
+    LwsSharded(ShardedLwsWarm),
 }
 
 impl WarmState {
@@ -48,6 +53,8 @@ impl WarmState {
         match self {
             WarmState::Lss(w) => w.digest(),
             WarmState::Lws(w) => w.digest(),
+            WarmState::LssSharded(w) => w.digest(),
+            WarmState::LwsSharded(w) => w.digest(),
         }
     }
 
@@ -57,6 +64,8 @@ impl WarmState {
         match self {
             WarmState::Lss(w) => w.prepare_evals,
             WarmState::Lws(w) => w.prepare_evals,
+            WarmState::LssSharded(w) => w.prepare_evals,
+            WarmState::LwsSharded(w) => w.prepare_evals,
         }
     }
 
@@ -65,23 +74,39 @@ impl WarmState {
         match self {
             WarmState::Lss(w) => w.split.stage2,
             WarmState::Lws(w) => w.sample_budget,
+            WarmState::LssSharded(w) => w.resume_evals(),
+            WarmState::LwsSharded(w) => w.resume_evals(),
         }
     }
 
     /// All exactly-known `(object id, label)` pairs — the persistence
-    /// payload.
+    /// payload. Sharded states report **global** object ids, so export
+    /// and restore are shard-layout-transparent.
     pub fn known_labels(&self) -> Vec<(usize, bool)> {
         match self {
             WarmState::Lss(w) => w.known_labels(),
             WarmState::Lws(w) => w.known_labels(),
+            WarmState::LssSharded(w) => w.known_labels(),
+            WarmState::LwsSharded(w) => w.known_labels(),
         }
     }
 
-    /// Short tag for exports and responses.
+    /// Estimator-family tag for responses (`lss` / `lws`, sharded or
+    /// not — the route names the estimator, not the execution layout).
     pub fn tag(&self) -> &'static str {
         match self {
-            WarmState::Lss(_) => "lss",
-            WarmState::Lws(_) => "lws",
+            WarmState::Lss(_) | WarmState::LssSharded(_) => "lss",
+            WarmState::Lws(_) | WarmState::LwsSharded(_) => "lws",
+        }
+    }
+
+    /// Full tag for store exports: the family plus the shard count for
+    /// sharded states (`lss@4`), so restore rebuilds the same plan.
+    pub fn export_tag(&self) -> String {
+        match self {
+            WarmState::Lss(_) | WarmState::Lws(_) => self.tag().to_string(),
+            WarmState::LssSharded(w) => format!("lss@{}", w.plan().k()),
+            WarmState::LwsSharded(w) => format!("lws@{}", w.plan().k()),
         }
     }
 }
@@ -233,7 +258,7 @@ impl ModelStore {
                     k.budget,
                     e.prepare_seed,
                     e.table_version,
-                    e.state.tag(),
+                    e.state.export_tag(),
                     enc_text(&e.raw_condition),
                 )
             })

@@ -14,6 +14,7 @@
 
 #![warn(missing_docs)]
 
+pub mod compose;
 pub mod error;
 pub mod histogram;
 pub mod interval;
@@ -22,6 +23,7 @@ pub mod special;
 pub mod student;
 pub mod summary;
 
+pub use compose::{compose_independent, welch_satterthwaite, Component, Composed};
 pub use error::{StatsError, StatsResult};
 pub use histogram::Histogram;
 pub use interval::{

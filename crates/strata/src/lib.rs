@@ -63,6 +63,7 @@ pub use logbdr::logbdr;
 pub use objective::{evaluate_cuts, neyman_variance, proportional_variance, StratumStat};
 pub use partitioned::{
     align_cuts_to_partitions, merge_partition_pilots, pilot_index_from_positions,
-    pilot_index_from_scores, pilot_positions_bucket_partitioned,
+    pilot_index_from_scores, pilot_positions_bucket_partitioned, shard_bounds,
+    shard_bounds_aligned,
 };
 pub use pilot::{pilot_positions_argsort, pilot_positions_bucket, PilotIndex};

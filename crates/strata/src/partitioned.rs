@@ -280,6 +280,55 @@ pub fn align_cuts_to_partitions(cuts: &[usize], bounds: &[usize]) -> StrataResul
     Ok(aligned)
 }
 
+/// Shard bounds for `n` items split into at most `k` near-equal
+/// contiguous shards: [`partition_bounds`] with duplicate boundaries
+/// (from `k > n`) collapsed, so every shard is non-empty. The result
+/// is a pure function of `(n, k)` — independent of thread counts,
+/// partition layouts, and execution order — which is what makes
+/// sharded estimates reproducible across hosts.
+///
+/// Always returns at least two bounds; `n == 0` yields `[0, 0]` (one
+/// empty shard) so callers can detect the degenerate population
+/// instead of indexing past an empty vector.
+pub fn shard_bounds(n: usize, k: usize) -> Vec<usize> {
+    let mut bounds = partition_bounds(n, k);
+    bounds.dedup();
+    if bounds.len() < 2 {
+        bounds.push(n);
+    }
+    bounds
+}
+
+/// Shard bounds aligned to an existing partition layout: the ideal
+/// `k`-way uniform cuts of [`shard_bounds`] snapped to the nearest
+/// boundaries of `bounds` via [`align_cuts_to_partitions`], so every
+/// shard is a union of whole partitions. Cuts that collapse (more
+/// shards than partitions, empty partitions) are dropped, so the
+/// result may describe fewer than `k` shards — never more.
+///
+/// # Errors
+///
+/// Returns an error for malformed partition bounds.
+pub fn shard_bounds_aligned(bounds: &[usize], k: usize) -> StrataResult<Vec<usize>> {
+    if bounds.is_empty() {
+        return Err(StrataError::InvalidPilot {
+            message: "empty partition bounds".into(),
+        });
+    }
+    let n = *bounds.last().expect("non-empty");
+    let ideal = partition_bounds(n, k);
+    let interior = &ideal[1..ideal.len() - 1];
+    let cuts = align_cuts_to_partitions(interior, bounds)?;
+    let mut out = Vec::with_capacity(cuts.len() + 2);
+    out.push(0);
+    out.extend_from_slice(&cuts);
+    out.push(n);
+    // Aligned cuts are strictly increasing and interior, so the only
+    // possible duplicate is `0 == n` on an empty population — keep it:
+    // the `[0, 0]` shape mirrors `shard_bounds(0, k)`.
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -492,5 +541,95 @@ mod tests {
             estimated_variance: 0.0,
         };
         assert_eq!(s.stratum_sizes(1000).iter().sum::<usize>(), 1000);
+    }
+
+    /// Degenerate-input audit of `partition_bounds` and
+    /// `align_cuts_to_partitions` (the sharding substrate): more shards
+    /// than partitions, empty partitions (duplicate boundaries),
+    /// single-row and empty populations. The audit found no panic and
+    /// no bias — snapping stays deterministic and within-range on all
+    /// of these; the tests pin that behaviour.
+    #[test]
+    fn degenerate_bounds_and_cuts_never_panic_or_drift() {
+        // partition_bounds: parts > n produces duplicate (empty)
+        // boundaries but stays monotone and exactly spans [0, n].
+        for (n, parts) in [(1usize, 8usize), (0, 4), (3, 7), (5, 0)] {
+            let b = partition_bounds(n, parts);
+            assert_eq!(b[0], 0, "n={n} parts={parts}");
+            assert_eq!(*b.last().unwrap(), n, "n={n} parts={parts}");
+            assert!(b.windows(2).all(|w| w[0] <= w[1]), "n={n} parts={parts}");
+            assert_eq!(b.len(), parts.max(1) + 1, "n={n} parts={parts}");
+        }
+
+        // More cuts than interior boundaries: everything collapses to
+        // the few real boundaries, never out of range.
+        let bounds = vec![0, 50, 100];
+        let cuts = align_cuts_to_partitions(&[10, 20, 30, 40, 60, 70, 80, 90], &bounds).unwrap();
+        assert_eq!(cuts, vec![50]);
+
+        // Duplicate boundaries (empty partitions) snap cleanly.
+        let bounds = vec![0, 5, 5, 10];
+        assert_eq!(align_cuts_to_partitions(&[5], &bounds).unwrap(), vec![5]);
+        assert_eq!(align_cuts_to_partitions(&[4], &bounds).unwrap(), vec![5]);
+        assert_eq!(align_cuts_to_partitions(&[2], &bounds).unwrap(), vec![]);
+
+        // Single-row population: no interior boundary exists, every
+        // cut drops.
+        let bounds = partition_bounds(1, 8);
+        assert!(align_cuts_to_partitions(&[0, 1], &bounds)
+            .unwrap()
+            .is_empty());
+
+        // Empty population: all-zero bounds accept any cut and drop it.
+        let bounds = partition_bounds(0, 4);
+        assert!(align_cuts_to_partitions(&[0, 3], &bounds)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn shard_bounds_collapse_excess_shards() {
+        assert_eq!(shard_bounds(100, 4), vec![0, 25, 50, 75, 100]);
+        // k > n: one shard per row, no empty shard survives.
+        assert_eq!(shard_bounds(3, 8), vec![0, 1, 2, 3]);
+        assert_eq!(shard_bounds(1, 8), vec![0, 1]);
+        // k = 0 behaves as 1.
+        assert_eq!(shard_bounds(10, 0), vec![0, 10]);
+        // Empty population keeps the two-bound shape.
+        assert_eq!(shard_bounds(0, 4), vec![0, 0]);
+        // Every shard non-empty whenever n > 0.
+        for (n, k) in [(7usize, 3usize), (100, 7), (13, 13), (13, 64)] {
+            let b = shard_bounds(n, k);
+            assert!(b.windows(2).all(|w| w[0] < w[1]), "n={n} k={k}: {b:?}");
+            assert!(b.len() - 1 <= k.max(1));
+        }
+    }
+
+    #[test]
+    fn shard_bounds_aligned_are_unions_of_whole_partitions() {
+        let parts = partition_bounds(1000, 16);
+        let sharded = shard_bounds_aligned(&parts, 4).unwrap();
+        assert_eq!(sharded.first(), Some(&0));
+        assert_eq!(sharded.last(), Some(&1000));
+        for c in &sharded {
+            assert!(parts.contains(c), "cut {c} not a partition boundary");
+        }
+        // 16 partitions / 4 shards divide evenly: aligned == uniform.
+        assert_eq!(sharded, shard_bounds(1000, 4));
+
+        // More shards than partitions: collapses to the partition
+        // layout itself, never produces empty shards.
+        let parts = partition_bounds(100, 2);
+        let sharded = shard_bounds_aligned(&parts, 8).unwrap();
+        assert_eq!(sharded, vec![0, 50, 100]);
+
+        // Single partition: no interior boundary to snap to.
+        let sharded = shard_bounds_aligned(&[0, 100], 8).unwrap();
+        assert_eq!(sharded, vec![0, 100]);
+
+        // Degenerates propagate instead of panicking.
+        assert_eq!(shard_bounds_aligned(&[0, 0], 4).unwrap(), vec![0, 0]);
+        assert!(shard_bounds_aligned(&[], 4).is_err());
+        assert!(shard_bounds_aligned(&[5, 10], 2).is_err());
     }
 }

@@ -111,9 +111,9 @@ pub mod prelude {
         Qlac, Qlcc, Srs, Ssn, Ssp,
     };
     pub use lts_core::{
-        run_trials, run_trials_with, ClassifierSpec, CountingProblem, EstimateReport,
-        LearnPhaseConfig, OrderedPopulation, QualityForecast, ScoredPopulation, TrialExecution,
-        TrialStats,
+        run_trials, run_trials_with, shard_seed, ClassifierSpec, CountingProblem, EstimateReport,
+        LearnPhaseConfig, OrderedPopulation, QualityForecast, ScoredPopulation, ShardPlan,
+        ShardedLssWarm, ShardedLwsWarm, TrialExecution, TrialStats,
     };
     pub use lts_sampling::CountEstimate;
     pub use lts_serve::{
