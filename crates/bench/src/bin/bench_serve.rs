@@ -20,9 +20,19 @@
 //! `cache_hit_rate`, `evals_saved_factor` (cold ÷ warm oracle
 //! evaluations — the acceptance bar is ≥ 5), and `oracle_evals_saved`.
 //!
-//! Everything except the wall times is a pure function of the seed:
-//! CI runs this binary under `RAYON_NUM_THREADS=1` and default threads
-//! and diffs the artifacts with wall times masked.
+//! The second half measures the same working set **over a real
+//! socket**: an in-process [`NetServer`] is bound on a loopback port
+//! and 16 closed-loop TCP clients drive it concurrently through the
+//! line protocol (`net_cold` / `net_warm` / `net_cached` rows, one per
+//! query), followed by summary rows carrying client-observed
+//! `net_latency_p50` / `net_latency_p99` (seconds) and sustained
+//! `net_rps` (requests/second) per phase in their `wall_seconds` field.
+//!
+//! Everything except the wall times is a pure function of the seed —
+//! the net phases use explicit request ids, so the estimate columns are
+//! identical no matter how the 16 clients interleave: CI runs this
+//! binary under `RAYON_NUM_THREADS=1` and default threads and diffs the
+//! artifacts with wall times (and therefore p50/p99/RPS) masked.
 //!
 //! Usage: `cargo run --release -p lts-bench --bin bench_serve --
 //! [--scale F] [--trials N] [--seed S] [--out DIR]`
@@ -30,8 +40,16 @@
 //! per query).
 
 use lts_bench::{emit_records_json, BenchRecord, RunConfig, TextTable};
-use lts_serve::{Request, Response, Service, ServiceConfig, Target};
+use lts_serve::{
+    NetConfig, NetServer, ReplOptions, Request, Response, Service, ServiceConfig, Target,
+};
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
+
+/// Concurrent closed-loop TCP clients in the network phases.
+const NET_CLIENTS: usize = 16;
 
 struct ModeAgg {
     estimates: Vec<f64>,
@@ -51,8 +69,12 @@ impl ModeAgg {
     }
 
     fn push(&mut self, r: &Response, wall: f64) {
-        self.estimates.push(r.estimate);
-        self.evals += r.evals as u64;
+        self.push_parts(r.estimate, r.evals as u64, wall);
+    }
+
+    fn push_parts(&mut self, estimate: f64, evals: u64, wall: f64) {
+        self.estimates.push(estimate);
+        self.evals += evals;
         self.requests += 1;
         self.wall_seconds += wall;
     }
@@ -80,6 +102,48 @@ impl ModeAgg {
             wall_seconds: self.wall_seconds / n,
         }
     }
+}
+
+/// One TCP client of the closed-loop load generator.
+struct NetClient {
+    stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl NetClient {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to lts-served");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        NetClient { stream, reader }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> String {
+        writeln!(self.stream, "{line}").expect("send request");
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("read response");
+        assert!(!resp.is_empty(), "server closed mid-benchmark on `{line}`");
+        resp.trim_end().to_string()
+    }
+}
+
+/// Numeric JSON field (`"key": 12.5`) from a response line.
+fn field_num(line: &str, key: &str) -> f64 {
+    let marker = format!("\"{key}\": ");
+    let start = line.find(&marker).unwrap_or_else(|| {
+        panic!("response is missing `{key}`: {line}");
+    }) + marker.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().expect("numeric field")
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
 }
 
 fn main() {
@@ -216,6 +280,175 @@ fn main() {
         stats.oracle_evals as f64,
     ));
 
+    // ------------------------------------------------------------------
+    // Network phases: the same working set over a real socket, driven
+    // by NET_CLIENTS concurrent closed-loop TCP clients. Explicit
+    // request ids make every estimate a pure function of the seed, so
+    // only the latency columns vary run to run.
+    // ------------------------------------------------------------------
+    let net_server = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            service: ServiceConfig {
+                seed: config.seed,
+                ..ServiceConfig::default()
+            },
+            repl: ReplOptions {
+                deterministic: true,
+            },
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind loopback benchmark server");
+    let addr = net_server.local_addr();
+
+    // The protocol's `register` regenerates the identical scenario from
+    // (rows, level, seed), so the in-process and network phases count
+    // the same population.
+    let workload: Arc<Vec<(String, usize)>> = Arc::new(
+        queries
+            .iter()
+            .map(|(_, condition, target)| {
+                let Target::Budget(b) = target else {
+                    unreachable!("serve workload uses budget targets")
+                };
+                (condition.clone(), *b)
+            })
+            .collect(),
+    );
+    let mut setup = NetClient::connect(addr);
+    let resp = setup.roundtrip(&format!(
+        "register sports sports rows={rows} level=M seed={}",
+        config.seed
+    ));
+    assert!(
+        resp.contains("\"registered\""),
+        "net register failed: {resp}"
+    );
+
+    let mut net_cold = Vec::new();
+    for (q, (name, _, _)) in queries.iter().enumerate() {
+        let (condition, budget) = &workload[q];
+        let mut agg = ModeAgg::new();
+        let t0 = Instant::now();
+        let resp = setup.roundtrip(&format!(
+            "count sports budget={budget} id={} :: {condition}",
+            900_000 + q as u64
+        ));
+        let wall = t0.elapsed().as_secs_f64();
+        assert!(
+            resp.contains("\"served\": \"cold\""),
+            "{name}: first network request must be cold: {resp}"
+        );
+        agg.push_parts(
+            field_num(&resp, "estimate"),
+            field_num(&resp, "evals") as u64,
+            wall,
+        );
+        net_cold.push(agg);
+    }
+
+    // One closed-loop phase: every client runs `repeats` rounds over
+    // the whole working set. Returns per-query aggregates, the sorted
+    // client-observed latencies, and the sustained requests/second.
+    let run_net_phase = |fresh: bool, id_base: u64, expect: &'static str| {
+        let barrier = Arc::new(Barrier::new(NET_CLIENTS + 1));
+        let handles: Vec<_> = (0..NET_CLIENTS)
+            .map(|c| {
+                let barrier = Arc::clone(&barrier);
+                let workload = Arc::clone(&workload);
+                std::thread::spawn(move || {
+                    let mut client = NetClient::connect(addr);
+                    barrier.wait();
+                    let mut samples = Vec::new();
+                    for rep in 0..repeats {
+                        for (q, (condition, budget)) in workload.iter().enumerate() {
+                            let id = id_base + q as u64 * 100_000 + c as u64 * 1_000 + rep as u64;
+                            let fresh_tok = if fresh { "fresh " } else { "" };
+                            let line = format!(
+                                "count sports budget={budget} {fresh_tok}id={id} :: {condition}"
+                            );
+                            let t0 = Instant::now();
+                            let resp = client.roundtrip(&line);
+                            let wall = t0.elapsed().as_secs_f64();
+                            assert!(
+                                resp.contains("\"ok\": true"),
+                                "network request failed: {resp}"
+                            );
+                            samples.push((q, resp, wall));
+                        }
+                    }
+                    samples
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = Instant::now();
+        let mut aggs: Vec<ModeAgg> = queries.iter().map(|_| ModeAgg::new()).collect();
+        let mut latencies = Vec::new();
+        for handle in handles {
+            for (q, resp, wall) in handle.join().expect("net client thread") {
+                assert!(
+                    resp.contains(&format!("\"served\": \"{expect}\"")),
+                    "expected a {expect} response: {resp}"
+                );
+                aggs[q].push_parts(
+                    field_num(&resp, "estimate"),
+                    field_num(&resp, "evals") as u64,
+                    wall,
+                );
+                latencies.push(wall);
+            }
+        }
+        let elapsed = t0.elapsed().as_secs_f64().max(1e-9);
+        latencies.sort_by(f64::total_cmp);
+        let rps = latencies.len() as f64 / elapsed;
+        (aggs, latencies, rps)
+    };
+
+    let (net_warm, warm_lat, warm_rps) = run_net_phase(true, 2_000_000, "warm");
+    let (net_cached, cached_lat, cached_rps) = run_net_phase(false, 3_000_000, "cached");
+    net_server.shutdown();
+    net_server.join();
+
+    for (q, (name, _, _)) in queries.iter().enumerate() {
+        for (mode, agg) in [
+            ("net_cold", &net_cold[q]),
+            ("net_warm", &net_warm[q]),
+            ("net_cached", &net_cached[q]),
+        ] {
+            let rec = agg.record(mode, name);
+            table.row(vec![
+                (*name).to_string(),
+                mode.to_string(),
+                format!("{:.0}", rec.median),
+                format!("{:.1}", rec.mean_evals),
+                format!("{:.2}", rec.wall_seconds * 1e3),
+            ]);
+            records.push(rec);
+        }
+    }
+    // Latency/throughput summaries: wall-derived values live in
+    // `wall_seconds` only, so artifact diffs with wall times masked
+    // stay byte-identical across hosts and thread counts.
+    let net_summary = |label: &str, phase: &str, value: f64| BenchRecord {
+        label: label.to_string(),
+        cell: phase.to_string(),
+        median: 0.0,
+        iqr: 0.0,
+        mean_evals: f64::NAN,
+        wall_seconds: value,
+    };
+    records.push(summary("net_clients", NET_CLIENTS as f64, f64::NAN));
+    for (phase, lat, rps) in [
+        ("warm", &warm_lat, warm_rps),
+        ("cached", &cached_lat, cached_rps),
+    ] {
+        records.push(net_summary("net_latency_p50", phase, percentile(lat, 0.50)));
+        records.push(net_summary("net_latency_p99", phase, percentile(lat, 0.99)));
+        records.push(net_summary("net_rps", phase, rps));
+    }
+
     println!("serve load generator: {rows} rows, {repeats} repeats per mode\n");
     print!("{}", table.render());
     println!(
@@ -223,6 +456,16 @@ fn main() {
          {} oracle evals avoided by the result cache",
         hit_rate * 100.0,
         stats.oracle_evals_saved
+    );
+    println!(
+        "net ({NET_CLIENTS} clients): warm p50 {:.2} ms, p99 {:.2} ms, {:.0} req/s  ·  \
+         cached p50 {:.2} ms, p99 {:.2} ms, {:.0} req/s",
+        percentile(&warm_lat, 0.50) * 1e3,
+        percentile(&warm_lat, 0.99) * 1e3,
+        warm_rps,
+        percentile(&cached_lat, 0.50) * 1e3,
+        percentile(&cached_lat, 0.99) * 1e3,
+        cached_rps,
     );
     emit_records_json(&config.out_dir, "serve", "sequential", &records);
 }

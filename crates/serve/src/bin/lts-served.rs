@@ -1,0 +1,134 @@
+//! `lts-served`: the counting service as a multi-client TCP server.
+//!
+//! ```sh
+//! cargo run --release -p lts-serve --bin lts-served -- \
+//!   [--addr 127.0.0.1:7878] [--deterministic] [--seed <u64>] \
+//!   [--max-connections <n>] [--max-line-bytes <n>] \
+//!   [--write-queue <n>] [--admission <n>]
+//! ```
+//!
+//! Speaks the `lts-serve` line protocol over TCP: line-delimited
+//! requests in, one JSON response per line out, per connection (see
+//! `lts_serve::protocol` / `lts_serve::net`). Graceful shutdown on the
+//! `shutdown` command, SIGTERM, or SIGINT: in-flight requests finish
+//! and flush, queued-but-unadmitted requests get a `shutting_down`
+//! error, the listener closes, and the process exits 0.
+
+use lts_serve::{NetConfig, NetServer};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the watcher thread.
+static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    // Dependency-free signal registration: std already links libc.
+    type Handler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+    extern "C" fn on_signal(_signum: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_signal);
+        signal(SIGINT, on_signal);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn usage() -> ! {
+    println!(
+        "lts-served: the counting service over TCP (line requests in, JSON per line out)\n\
+         options:\n  --addr <host:port>      listen address (default 127.0.0.1:7878; port 0 = OS-assigned)\n  \
+         --deterministic         zero wall-time fields in responses\n  \
+         --seed <u64>            service seed\n  \
+         --max-connections <n>   refuse connections beyond this many (default 64)\n  \
+         --max-line-bytes <n>    structured error for longer request lines (default 65536)\n  \
+         --write-queue <n>       per-connection response queue bound; overflow drops the\n                          \
+         connection (slow-reader policy; default 128)\n  \
+         --admission <n>         shared admission queue bound (default 64)\n\
+         protocol: register / count / invalidate / stats / quit / shutdown (see lts-serve --help)"
+    );
+    std::process::exit(0)
+}
+
+fn main() {
+    let mut config = NetConfig::default();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut args = std::env::args().skip(1);
+    let parse_usize = |args: &mut dyn Iterator<Item = String>, flag: &str| -> usize {
+        match args.next().and_then(|v| v.parse().ok()) {
+            Some(v) => v,
+            None => {
+                eprintln!("{flag} needs a positive integer value");
+                std::process::exit(2);
+            }
+        }
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => match args.next() {
+                Some(a) => addr = a,
+                None => {
+                    eprintln!("--addr needs a host:port value");
+                    std::process::exit(2);
+                }
+            },
+            "--deterministic" => config.repl.deterministic = true,
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(seed) => config.service.seed = seed,
+                None => {
+                    eprintln!("--seed needs a u64 value");
+                    std::process::exit(2);
+                }
+            },
+            "--max-connections" => {
+                config.max_connections = parse_usize(&mut args, "--max-connections")
+            }
+            "--max-line-bytes" => {
+                config.max_line_bytes = parse_usize(&mut args, "--max-line-bytes")
+            }
+            "--write-queue" => {
+                config.write_queue_capacity = parse_usize(&mut args, "--write-queue")
+            }
+            "--admission" => config.admission_capacity = parse_usize(&mut args, "--admission"),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown option `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    install_signal_handlers();
+    let server = match NetServer::bind(addr.as_str(), config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lts-served: cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!("lts-served: listening on {}", server.local_addr());
+
+    // Watcher: translate signals into graceful shutdown. The thread
+    // dies with the process after `join` returns.
+    {
+        let trigger = server.shutdown_handle();
+        std::thread::spawn(move || loop {
+            if SIGNALLED.load(Ordering::SeqCst) {
+                trigger();
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+
+    server.join();
+    eprintln!("lts-served: drained, exiting");
+}

@@ -15,7 +15,9 @@
 //! | [`ResultCache`] | [`cache`] | finished estimates with a staleness policy |
 //! | [`BudgetPlanner`] | [`planner`] | admission control: census for small `N`, else the cheapest budget meeting the requested CI width |
 //! | [`Service`] | [`service`] | bounded queue, parallel execution waves, deterministic per-request seed streams |
-//! | REPL | [`repl`] | the `lts-serve` binary's line protocol |
+//! | protocol | [`mod@protocol`] | the line-in/JSON-out command grammar, shared by every front-end |
+//! | REPL | [`repl`] | the `lts-serve` binary's stdin/stdout front-end |
+//! | [`NetServer`] | [`net`] | the `lts-served` binary's multi-client TCP front-end: bounded admission, per-client backpressure, graceful shutdown |
 //!
 //! A **cold** request pays for everything; a repeat of the same
 //! canonical query either comes straight from the result cache (zero
@@ -31,7 +33,9 @@ pub mod cache;
 pub mod catalog;
 pub mod error;
 pub mod fingerprint;
+pub mod net;
 pub mod planner;
+pub mod protocol;
 pub mod repl;
 pub mod service;
 pub mod store;
@@ -40,7 +44,9 @@ pub use cache::{CachedResult, ResultCache, ResultKey, StalenessPolicy};
 pub use catalog::{QueryCatalog, QueryEntry, QueryKey};
 pub use error::{ServeError, ServeResult};
 pub use fingerprint::{canonical, fingerprint, normalize};
+pub use net::{NetConfig, NetServer};
 pub use planner::{BudgetPlanner, Route, Target};
+pub use protocol::{handle_line, LineOutcome, SessionState};
 pub use repl::{run_repl, ReplOptions};
 pub use service::{serve_lss_profile, Request, Response, Service, ServiceConfig, ServiceStats};
 pub use store::{ModelStore, StoreKey, StoredModel, WarmState};

@@ -1,0 +1,746 @@
+//! The TCP front-end: `lts-served`.
+//!
+//! Promotes the counting service from a single-client stdin REPL to a
+//! multi-client network server speaking the **same** line-in/JSON-out
+//! protocol ([`crate::protocol`]) — the REPL golden transcripts remain
+//! the single source of truth for what goes over the wire.
+//!
+//! # Architecture (std-only, thread-per-connection over one dispatcher)
+//!
+//! ```text
+//!             accept loop (non-blocking poll; closes on shutdown)
+//!                  │ ≤ max_connections, else refusal line + close
+//!                  ▼
+//!   per-conn reader thread ──lines──► bounded admission channel
+//!     (max_line_bytes cap,              (admission_capacity; a full
+//!      UTF-8 validation)                 channel blocks the sender —
+//!                  ▲                     per-client backpressure)
+//!                  │                              │ FIFO
+//!   per-conn writer thread ◄─bounded──  dispatcher thread (owns the
+//!     (flush, then FIN)     write queue  Service; executes one line
+//!                           per conn     at a time; heavy work still
+//!                                        fans out over rayon)
+//! ```
+//!
+//! * **Admission** is a bounded channel: readers block (never the
+//!   dispatcher) when the service is saturated, so a flooding client
+//!   stalls itself, not the fleet.
+//! * **Per-client backpressure**: each connection's responses go
+//!   through a bounded write queue drained by that connection's writer
+//!   thread. A slow reader fills only its own queue; the dispatcher
+//!   never blocks on a socket. When a queue overflows
+//!   ([`NetConfig::write_queue_capacity`]), the policy is **drop the
+//!   connection**: the socket is shut down and the queue closed — the
+//!   slow client is disconnected, everyone else is unaffected.
+//! * **Determinism under concurrency**: the dispatcher executes
+//!   protocol lines sequentially, and every response is a pure
+//!   function of (service seed, dataset version, canonical query,
+//!   budget, request id) — see [`crate::service`]. Client
+//!   interleaving can change *bookkeeping* fields of cache-eligible
+//!   requests (`served`, `evals` — whoever arrives first pays the cold
+//!   start), but never the estimate, interval, or model digest; and
+//!   `fresh` requests with explicit ids are bit-identical to the
+//!   single-client transcript regardless of interleaving.
+//! * **Graceful shutdown** (`shutdown` command, [`NetServer::shutdown`],
+//!   or SIGTERM in the `lts-served` binary): in-flight requests
+//!   complete and their responses are flushed; admitted-but-unexecuted
+//!   requests receive a `shutting_down` error; new submissions are
+//!   refused with the same error; the listener closes; writer threads
+//!   flush and FIN.
+//!
+//! Malformed input (oversized line, invalid UTF-8, half-written final
+//! frame) yields a structured JSON error — or a clean close at EOF —
+//! never a panic or a wedged worker.
+
+use crate::protocol::{handle_line, json_err, shutting_down_line, LineOutcome, SessionState};
+use crate::repl::ReplOptions;
+use crate::service::{Service, ServiceConfig};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of the TCP front-end.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// The wrapped service's configuration.
+    pub service: ServiceConfig,
+    /// Protocol options (deterministic wall-time masking).
+    pub repl: ReplOptions,
+    /// Connections beyond this many are refused with an error line.
+    pub max_connections: usize,
+    /// Request lines longer than this yield a structured error (the
+    /// overlong line is consumed and discarded; the connection lives).
+    pub max_line_bytes: usize,
+    /// Bound of each connection's response queue. A connection whose
+    /// reader is too slow to keep its queue under this bound is
+    /// dropped (socket shutdown) — the slow-reader policy.
+    pub write_queue_capacity: usize,
+    /// Bound of the shared admission channel; submitting readers block
+    /// (per-client backpressure) while it is full.
+    pub admission_capacity: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        Self {
+            service: ServiceConfig::default(),
+            repl: ReplOptions::default(),
+            max_connections: 64,
+            max_line_bytes: 64 * 1024,
+            write_queue_capacity: 128,
+            admission_capacity: 64,
+        }
+    }
+}
+
+// ------------------------------------------------------------ write queue
+
+/// Outcome of a non-blocking push into a connection's write queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Push {
+    /// Queued for the writer thread.
+    Enqueued,
+    /// The queue was at capacity: the line is dropped and the queue is
+    /// now closed — per policy the connection must be dropped.
+    Overflowed,
+    /// The queue was already closed; the line is discarded.
+    Closed,
+}
+
+struct QueueState {
+    lines: VecDeque<String>,
+    closed: bool,
+}
+
+/// A bounded, non-blocking response queue between the dispatcher and
+/// one connection's writer thread. The dispatcher never blocks here:
+/// a full queue means the client reads too slowly, and per policy the
+/// push reports [`Push::Overflowed`] after closing the queue.
+struct WriteQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl WriteQueue {
+    fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                lines: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            // A zero-capacity queue could never deliver a response.
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn push(&self, line: String) -> Push {
+        let mut st = self.state.lock().expect("write queue poisoned");
+        if st.closed {
+            return Push::Closed;
+        }
+        if st.lines.len() >= self.capacity {
+            st.closed = true;
+            self.ready.notify_all();
+            return Push::Overflowed;
+        }
+        st.lines.push_back(line);
+        self.ready.notify_all();
+        Push::Enqueued
+    }
+
+    /// Close the queue: no further pushes are accepted, but lines
+    /// already queued stay drainable so the writer can flush them.
+    fn close(&self) {
+        let mut st = self.state.lock().expect("write queue poisoned");
+        st.closed = true;
+        self.ready.notify_all();
+    }
+
+    fn is_closed(&self) -> bool {
+        self.state.lock().expect("write queue poisoned").closed
+    }
+
+    /// Block until lines are available (returning all of them, FIFO)
+    /// or the queue is closed and empty (returning `None`).
+    fn pop_wait(&self) -> Option<Vec<String>> {
+        let mut st = self.state.lock().expect("write queue poisoned");
+        loop {
+            if !st.lines.is_empty() {
+                return Some(st.lines.drain(..).collect());
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.ready.wait(st).expect("write queue poisoned");
+        }
+    }
+}
+
+// ------------------------------------------------------------ connections
+
+struct ConnShared {
+    id: u64,
+    /// Handle used for out-of-band shutdown (reader and writer own
+    /// their own clones).
+    stream: TcpStream,
+    queue: WriteQueue,
+    session: Mutex<SessionState>,
+    /// Lines submitted to the dispatcher and not yet settled.
+    pending: AtomicUsize,
+    /// The reader saw EOF (no further submissions will come).
+    eof: AtomicBool,
+}
+
+impl ConnShared {
+    /// Drop the connection now: unblock any in-progress socket write
+    /// and stop accepting responses. Queued lines are abandoned to the
+    /// failing socket — per the slow-reader policy.
+    fn hangup(&self) {
+        self.queue.close();
+        let _ = self.stream.shutdown(Shutdown::Both);
+    }
+
+    /// Close the queue once the reader is done *and* every submitted
+    /// line has settled — the writer then flushes what remains and
+    /// sends FIN. Keeps responses to a half-closed client (send
+    /// requests, shut down the send side, read replies) intact.
+    fn finish_if_drained(&self) {
+        if self.eof.load(Ordering::SeqCst) && self.pending.load(Ordering::SeqCst) == 0 {
+            self.queue.close();
+        }
+    }
+}
+
+enum JobKind {
+    /// A protocol line to execute against the service.
+    Line(String),
+    /// A pre-rendered reply (reader-side framing errors) routed
+    /// through the dispatcher so per-connection FIFO order holds.
+    Immediate(String),
+}
+
+struct Job {
+    conn: Arc<ConnShared>,
+    kind: JobKind,
+}
+
+struct Shared {
+    config: NetConfig,
+    shutting_down: AtomicBool,
+    conns: Mutex<HashMap<u64, Arc<ConnShared>>>,
+    next_conn_id: AtomicU64,
+}
+
+impl Shared {
+    fn is_shutting_down(&self) -> bool {
+        self.shutting_down.load(Ordering::SeqCst)
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutting_down.store(true, Ordering::SeqCst);
+    }
+
+    fn remove_conn(&self, id: u64) {
+        self.conns
+            .lock()
+            .expect("conn registry poisoned")
+            .remove(&id);
+    }
+
+    /// Close every connection's queue (writers flush, then FIN, which
+    /// also unblocks readers waiting in `read`).
+    fn close_all_conns(&self) {
+        let conns: Vec<Arc<ConnShared>> = self
+            .conns
+            .lock()
+            .expect("conn registry poisoned")
+            .drain()
+            .map(|(_, c)| c)
+            .collect();
+        for conn in conns {
+            conn.queue.close();
+        }
+    }
+}
+
+// ------------------------------------------------------------ the server
+
+/// A running TCP counting server. Dropping the handle triggers
+/// shutdown but does not wait; call [`NetServer::join`] to block until
+/// the listener and dispatcher have fully stopped.
+pub struct NetServer {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    dispatch: Option<JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Bind a listener and start serving. Use port 0 to let the OS
+    /// pick (read it back with [`NetServer::local_addr`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns I/O errors from binding the listener.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: NetConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            config,
+            shutting_down: AtomicBool::new(false),
+            conns: Mutex::new(HashMap::new()),
+            next_conn_id: AtomicU64::new(0),
+        });
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.admission_capacity.max(1));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(listener, &shared, &tx))
+        };
+        let dispatch = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || dispatch_loop(Service::new(config.service), &rx, &shared))
+        };
+        Ok(Self {
+            addr,
+            shared,
+            accept: Some(accept),
+            dispatch: Some(dispatch),
+        })
+    }
+
+    /// The bound listener address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Trigger graceful shutdown (idempotent; returns immediately).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Whether shutdown has been triggered (by a client's `shutdown`
+    /// command, [`NetServer::shutdown`], or a signal handler).
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.is_shutting_down()
+    }
+
+    /// A `Send + 'static` closure that triggers shutdown — hand it to
+    /// a signal watcher that outlives the borrow of `self`.
+    pub fn shutdown_handle(&self) -> impl Fn() + Send + 'static {
+        let shared = Arc::clone(&self.shared);
+        move || shared.begin_shutdown()
+    }
+
+    /// Block until the listener and dispatcher threads have exited.
+    /// Only returns after shutdown has been triggered by some path.
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.dispatch.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
+    while !shared.is_shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => spawn_connection(stream, shared, tx),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Dropping the listener here closes the socket: no new connections
+    // are accepted once shutdown begins.
+}
+
+fn spawn_connection(stream: TcpStream, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
+    // The listener is non-blocking; connection sockets must not be.
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_nodelay(true);
+    let at_capacity = {
+        let conns = shared.conns.lock().expect("conn registry poisoned");
+        conns.len() >= shared.config.max_connections
+    };
+    if at_capacity {
+        let mut s = stream;
+        let _ = writeln!(
+            s,
+            "{}",
+            json_err(&format!(
+                "connection refused: at capacity ({})",
+                shared.config.max_connections
+            ))
+        );
+        let _ = s.shutdown(Shutdown::Both);
+        return;
+    }
+    let id = shared.next_conn_id.fetch_add(1, Ordering::SeqCst);
+    let conn = Arc::new(ConnShared {
+        id,
+        stream,
+        queue: WriteQueue::new(shared.config.write_queue_capacity),
+        session: Mutex::new(SessionState::default()),
+        pending: AtomicUsize::new(0),
+        eof: AtomicBool::new(false),
+    });
+    shared
+        .conns
+        .lock()
+        .expect("conn registry poisoned")
+        .insert(id, Arc::clone(&conn));
+    {
+        let conn = Arc::clone(&conn);
+        std::thread::spawn(move || writer_loop(&conn));
+    }
+    {
+        let conn = Arc::clone(&conn);
+        let shared = Arc::clone(shared);
+        let tx = tx.clone();
+        std::thread::spawn(move || reader_loop(&conn, &shared, &tx));
+    }
+}
+
+fn writer_loop(conn: &Arc<ConnShared>) {
+    let Ok(stream) = conn.stream.try_clone() else {
+        conn.queue.close();
+        return;
+    };
+    let mut w = BufWriter::new(stream);
+    'drain: while let Some(lines) = conn.queue.pop_wait() {
+        for line in lines {
+            if writeln!(w, "{line}").is_err() {
+                conn.queue.close();
+                break 'drain;
+            }
+        }
+        if w.flush().is_err() {
+            conn.queue.close();
+            break;
+        }
+    }
+    let _ = w.flush();
+    // Flushed everything we will ever send: FIN both ways. This also
+    // unblocks a reader still parked in `read` on an idle connection.
+    let _ = conn.stream.shutdown(Shutdown::Both);
+}
+
+/// Outcome of reading one length-capped line.
+enum ReadLine {
+    /// End of stream with no pending bytes.
+    Eof,
+    /// A complete line (final unterminated frames count too).
+    Line,
+    /// The line exceeded the cap; its bytes were consumed + discarded.
+    Oversized,
+}
+
+/// Read one `\n`-terminated line into `buf`, capping memory at `max`
+/// bytes. Oversized lines are consumed to their newline (or EOF) so
+/// the stream stays framed, but their content is discarded.
+fn read_line_limited<R: BufRead>(
+    r: &mut R,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> std::io::Result<ReadLine> {
+    buf.clear();
+    let mut over = false;
+    loop {
+        let (consumed, done) = {
+            let chunk = match r.fill_buf() {
+                Ok(c) => c,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if chunk.is_empty() {
+                return Ok(if over {
+                    ReadLine::Oversized
+                } else if buf.is_empty() {
+                    ReadLine::Eof
+                } else {
+                    ReadLine::Line
+                });
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !over {
+                        buf.extend_from_slice(&chunk[..pos]);
+                    }
+                    (pos + 1, true)
+                }
+                None => {
+                    if !over {
+                        buf.extend_from_slice(chunk);
+                    }
+                    (chunk.len(), false)
+                }
+            }
+        };
+        r.consume(consumed);
+        if buf.len() > max {
+            over = true;
+            buf.clear();
+        }
+        if done {
+            if buf.last() == Some(&b'\r') {
+                buf.pop();
+            }
+            return Ok(if over {
+                ReadLine::Oversized
+            } else {
+                ReadLine::Line
+            });
+        }
+    }
+}
+
+/// Submit a job for this connection, keeping the pending count
+/// accurate. Returns `false` when the dispatcher is gone (shutdown).
+fn submit(conn: &Arc<ConnShared>, tx: &SyncSender<Job>, kind: JobKind) -> bool {
+    conn.pending.fetch_add(1, Ordering::SeqCst);
+    let job = Job {
+        conn: Arc::clone(conn),
+        kind,
+    };
+    // Blocking send: a full admission channel stalls this reader (and
+    // therefore this client) only — per-client backpressure.
+    if tx.send(job).is_ok() {
+        return true;
+    }
+    conn.pending.fetch_sub(1, Ordering::SeqCst);
+    false
+}
+
+fn reader_loop(conn: &Arc<ConnShared>, shared: &Arc<Shared>, tx: &SyncSender<Job>) {
+    let reader = match conn.stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => {
+            conn.hangup();
+            shared.remove_conn(conn.id);
+            return;
+        }
+    };
+    let mut r = BufReader::new(reader);
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        if conn.queue.is_closed() {
+            // Dropped (slow-reader policy) or quit: stop consuming.
+            break;
+        }
+        let kind = match read_line_limited(&mut r, &mut buf, shared.config.max_line_bytes) {
+            Err(_) | Ok(ReadLine::Eof) => break,
+            Ok(ReadLine::Oversized) => JobKind::Immediate(json_err(&format!(
+                "request line exceeds {} bytes",
+                shared.config.max_line_bytes
+            ))),
+            Ok(ReadLine::Line) => match std::str::from_utf8(&buf) {
+                Err(_) => JobKind::Immediate(json_err("request line is not valid UTF-8")),
+                Ok(text) => {
+                    let line = text.trim();
+                    if line.is_empty() || line.starts_with('#') {
+                        continue;
+                    }
+                    if shared.is_shutting_down() {
+                        JobKind::Immediate(shutting_down_line())
+                    } else {
+                        JobKind::Line(line.to_string())
+                    }
+                }
+            },
+        };
+        if !submit(conn, tx, kind) {
+            // Dispatcher is gone: the server is draining. Best-effort
+            // direct reply (the queue may already be closed).
+            let _ = conn.queue.push(shutting_down_line());
+            break;
+        }
+    }
+    conn.eof.store(true, Ordering::SeqCst);
+    conn.finish_if_drained();
+    shared.remove_conn(conn.id);
+}
+
+/// Deliver a reply (if any) and settle one pending job.
+fn settle(conn: &Arc<ConnShared>, reply: Option<String>, shared: &Shared) {
+    if let Some(line) = reply {
+        if conn.queue.push(line) == Push::Overflowed {
+            // Slow-reader policy: the queue closed itself; cut the
+            // socket so a writer blocked mid-write fails out too.
+            conn.hangup();
+            shared.remove_conn(conn.id);
+        }
+    }
+    conn.pending.fetch_sub(1, Ordering::SeqCst);
+    conn.finish_if_drained();
+}
+
+fn dispatch_loop(mut service: Service, rx: &Receiver<Job>, shared: &Arc<Shared>) {
+    loop {
+        let job = match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(job) => job,
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.is_shutting_down() {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        if shared.is_shutting_down() {
+            // Admitted into the queue, never executed: refuse.
+            settle(&job.conn, Some(shutting_down_line()), shared);
+            continue;
+        }
+        match job.kind {
+            JobKind::Immediate(reply) => settle(&job.conn, Some(reply), shared),
+            JobKind::Line(line) => {
+                let outcome = {
+                    let mut session = job.conn.session.lock().expect("session poisoned");
+                    handle_line(&mut service, &mut session, shared.config.repl, &line)
+                };
+                match outcome {
+                    LineOutcome::Silent => settle(&job.conn, None, shared),
+                    LineOutcome::Reply(reply) => settle(&job.conn, Some(reply), shared),
+                    LineOutcome::Quit => {
+                        settle(&job.conn, None, shared);
+                        // Flush queued responses, then FIN.
+                        job.conn.queue.close();
+                        shared.remove_conn(job.conn.id);
+                    }
+                    LineOutcome::Shutdown(ack) => {
+                        settle(&job.conn, Some(ack), shared);
+                        shared.begin_shutdown();
+                    }
+                }
+            }
+        }
+    }
+    // Shutdown drain: everything still queued was admitted but never
+    // executed — give each a structured refusal, in FIFO order.
+    while let Ok(job) = rx.try_recv() {
+        settle(&job.conn, Some(shutting_down_line()), shared);
+    }
+    shared.close_all_conns();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // ---- the slow-reader policy, unit-tested at its limits ----
+
+    #[test]
+    fn write_queue_overflow_closes_at_capacity() {
+        let q = WriteQueue::new(2);
+        assert_eq!(q.push("a".into()), Push::Enqueued);
+        assert_eq!(q.push("b".into()), Push::Enqueued);
+        // At capacity: the overflowing line is dropped and the queue
+        // closes — the drop signal of the slow-reader policy.
+        assert_eq!(q.push("c".into()), Push::Overflowed);
+        assert!(q.is_closed());
+        // Further pushes after the drop are discarded quietly.
+        assert_eq!(q.push("d".into()), Push::Closed);
+        // Already-queued lines stay drainable (writer flushes them or
+        // fails against the dead socket), then the queue reports done.
+        assert_eq!(q.pop_wait(), Some(vec!["a".to_string(), "b".to_string()]));
+        assert_eq!(q.pop_wait(), None);
+    }
+
+    #[test]
+    fn write_queue_capacity_floor_is_one() {
+        // A zero bound could never deliver a response; it clamps to 1.
+        let q = WriteQueue::new(0);
+        assert_eq!(q.push("a".into()), Push::Enqueued);
+        assert_eq!(q.push("b".into()), Push::Overflowed);
+    }
+
+    #[test]
+    fn write_queue_close_flushes_then_ends() {
+        let q = WriteQueue::new(8);
+        assert_eq!(q.push("a".into()), Push::Enqueued);
+        q.close();
+        assert_eq!(q.push("b".into()), Push::Closed);
+        assert_eq!(q.pop_wait(), Some(vec!["a".to_string()]));
+        assert_eq!(q.pop_wait(), None);
+        // close is idempotent.
+        q.close();
+        assert_eq!(q.pop_wait(), None);
+    }
+
+    #[test]
+    fn write_queue_pop_blocks_until_push() {
+        let q = Arc::new(WriteQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let h = std::thread::spawn(move || q2.pop_wait());
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(q.push("x".into()), Push::Enqueued);
+        assert_eq!(h.join().unwrap(), Some(vec!["x".to_string()]));
+    }
+
+    // ---- framing ----
+
+    fn read_all(input: &[u8], max: usize) -> Vec<(String, bool)> {
+        let mut r = BufReader::new(input);
+        let mut buf = Vec::new();
+        let mut out = Vec::new();
+        loop {
+            match read_line_limited(&mut r, &mut buf, max).unwrap() {
+                ReadLine::Eof => return out,
+                ReadLine::Line => out.push((String::from_utf8_lossy(&buf).into_owned(), false)),
+                ReadLine::Oversized => out.push((String::new(), true)),
+            }
+        }
+    }
+
+    #[test]
+    fn line_reader_frames_and_caps() {
+        let lines = read_all(b"one\ntwo\r\nthree", 16);
+        assert_eq!(
+            lines,
+            vec![
+                ("one".to_string(), false),
+                ("two".to_string(), false),
+                // Half-written final frame (no newline, then EOF) still
+                // comes out as a line; the caller parses or errors it.
+                ("three".to_string(), false),
+            ]
+        );
+    }
+
+    #[test]
+    fn line_reader_discards_oversized_but_keeps_framing() {
+        let big = vec![b'x'; 64];
+        let mut input = b"ok\n".to_vec();
+        input.extend_from_slice(&big);
+        input.extend_from_slice(b"\nafter\n");
+        let lines = read_all(&input, 16);
+        assert_eq!(
+            lines,
+            vec![
+                ("ok".to_string(), false),
+                (String::new(), true),
+                ("after".to_string(), false),
+            ]
+        );
+        // Oversized *final* frame without a newline: reported, no hang.
+        let lines = read_all(&[b'y'; 64], 16);
+        assert_eq!(lines, vec![(String::new(), true)]);
+    }
+}

@@ -1,0 +1,239 @@
+//! The `lts-serve` line protocol, shared by every front-end.
+//!
+//! One implementation of the line-in/JSON-out command grammar serves
+//! both the stdin REPL ([`crate::repl`]) and the TCP server
+//! ([`crate::net`]), so the golden transcripts pinned against the REPL
+//! are the single source of truth for the network path too.
+//!
+//! ```text
+//! register <sports|neighbors> <name> rows=<n> level=<XS|S|M|L|XL|XXL> seed=<u64>
+//! count <dataset> [width=<frac>|abswidth=<counts>|budget=<n>] [fresh] [id=<u64>] :: <condition>
+//! invalidate <dataset>
+//! stats
+//! quit          (close this session; the server keeps running)
+//! shutdown      (ack, then drain the whole server and exit)
+//! ```
+//!
+//! Every command yields exactly one JSON response line, except `quit`
+//! (silent close) and blank/`#` lines (skipped). Request ids not given
+//! explicitly are assigned from a per-session counter starting at 0 —
+//! two sessions therefore assign overlapping ids, which is safe by the
+//! determinism contract (a response is a pure function of the id, so
+//! equal ids for equal requests replay the same response) but means
+//! clients that want distinct `fresh` streams should pass explicit ids.
+
+use crate::planner::Target;
+use crate::service::{Request, Service};
+
+/// Options shared by every protocol front-end.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplOptions {
+    /// Zero wall-time fields in every response (golden-diff mode).
+    pub deterministic: bool,
+}
+
+/// Per-session protocol state (one per REPL run / TCP connection).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SessionState {
+    /// Next auto-assigned request id for `count` without `id=`.
+    pub next_id: u64,
+}
+
+/// What one protocol line asks the front-end to do.
+#[derive(Debug, Clone)]
+pub enum LineOutcome {
+    /// Nothing to write (blank or comment line).
+    Silent,
+    /// Write this JSON response line.
+    Reply(String),
+    /// Close this session without a reply.
+    Quit,
+    /// Write the acknowledgement line, then gracefully shut the whole
+    /// server down (the REPL treats this as an acked `quit`).
+    Shutdown(String),
+}
+
+/// Render a protocol-level error as a JSON response line.
+pub(crate) fn json_err(message: &str) -> String {
+    format!(
+        "{{\"ok\": false, \"error\": \"{}\"}}",
+        crate::service::json_escape(message)
+    )
+}
+
+/// The response given to requests refused because the server is
+/// draining: admitted-but-unexecuted requests at shutdown, and any
+/// request submitted after shutdown began.
+pub(crate) fn shutting_down_line() -> String {
+    json_err("shutting_down: the server is draining and refuses new requests")
+}
+
+fn kv<'a>(tok: &'a str, key: &str) -> Option<&'a str> {
+    tok.strip_prefix(key).and_then(|r| r.strip_prefix('='))
+}
+
+fn stats_json(service: &Service) -> String {
+    let s = service.stats();
+    format!(
+        "{{\"ok\": true, \"requests\": {}, \"rejected\": {}, \"errors\": {}, \
+         \"exact\": {}, \"cold\": {}, \"warm\": {}, \"cached\": {}, \
+         \"oracle_evals\": {}, \"oracle_evals_cold\": {}, \"oracle_evals_warm\": {}, \
+         \"oracle_evals_exact\": {}, \"oracle_evals_saved\": {}, \
+         \"catalog\": {}, \"store\": {}, \"cache\": {}}}",
+        s.requests,
+        s.rejected,
+        s.errors,
+        s.exact,
+        s.cold,
+        s.warm,
+        s.cached,
+        s.oracle_evals,
+        s.oracle_evals_cold,
+        s.oracle_evals_warm,
+        s.oracle_evals_exact,
+        s.oracle_evals_saved,
+        service.catalog_len(),
+        service.store_len(),
+        service.cache_len(),
+    )
+}
+
+fn handle_register(service: &mut Service, rest: &str) -> String {
+    let toks: Vec<&str> = rest.split_whitespace().collect();
+    if toks.len() < 2 {
+        return json_err("usage: register <sports|neighbors> <name> rows=<n> level=<L> seed=<s>");
+    }
+    let (kind, name) = (toks[0], toks[1]);
+    let (mut rows, mut level, mut seed) = (4_000usize, "M".to_string(), 11u64);
+    for tok in &toks[2..] {
+        if let Some(v) = kv(tok, "rows") {
+            match v.parse() {
+                Ok(n) => rows = n,
+                Err(_) => return json_err("bad rows"),
+            }
+        } else if let Some(v) = kv(tok, "level") {
+            level = v.to_string();
+        } else if let Some(v) = kv(tok, "seed") {
+            match v.parse() {
+                Ok(s) => seed = s,
+                Err(_) => return json_err("bad seed"),
+            }
+        } else {
+            return json_err(&format!("unknown register option `{tok}`"));
+        }
+    }
+    let level = match level.as_str() {
+        "XS" => lts_data::SelectivityLevel::XS,
+        "S" => lts_data::SelectivityLevel::S,
+        "M" => lts_data::SelectivityLevel::M,
+        "L" => lts_data::SelectivityLevel::L,
+        "XL" => lts_data::SelectivityLevel::XL,
+        "XXL" => lts_data::SelectivityLevel::XXL,
+        other => return json_err(&format!("unknown selectivity level `{other}`")),
+    };
+    let (table, cols) = match kind {
+        "sports" => match lts_data::sports_scenario(rows, level, seed) {
+            Ok(sc) => (sc.table, ["strikeouts", "wins"]),
+            Err(e) => return json_err(&e.to_string()),
+        },
+        "neighbors" => match lts_data::neighbors_scenario(rows, level, seed) {
+            Ok(sc) => (sc.table, ["src_rate", "dst_rate"]),
+            Err(e) => return json_err(&e.to_string()),
+        },
+        other => return json_err(&format!("unknown dataset kind `{other}`")),
+    };
+    match service.register_dataset(name, table, &cols) {
+        Ok(()) => format!(
+            "{{\"ok\": true, \"registered\": \"{name}\", \"rows\": {rows}, \
+             \"version\": {}}}",
+            service.dataset_version(name).unwrap_or(0)
+        ),
+        Err(e) => json_err(&e.to_string()),
+    }
+}
+
+fn handle_count(service: &mut Service, rest: &str, next_id: &mut u64, opts: ReplOptions) -> String {
+    let Some((head, condition)) = rest.split_once("::") else {
+        return json_err("count needs `:: <condition>`");
+    };
+    let toks: Vec<&str> = head.split_whitespace().collect();
+    if toks.is_empty() {
+        return json_err("count needs a dataset name");
+    }
+    let dataset = toks[0].to_string();
+    let mut target = Target::RelWidth(0.05);
+    let mut fresh = false;
+    let mut id: Option<u64> = None;
+    for tok in &toks[1..] {
+        if let Some(v) = kv(tok, "width") {
+            match v.parse() {
+                Ok(w) => target = Target::RelWidth(w),
+                Err(_) => return json_err("bad width"),
+            }
+        } else if let Some(v) = kv(tok, "abswidth") {
+            match v.parse() {
+                Ok(w) => target = Target::AbsWidth(w),
+                Err(_) => return json_err("bad abswidth"),
+            }
+        } else if let Some(v) = kv(tok, "budget") {
+            match v.parse() {
+                Ok(b) => target = Target::Budget(b),
+                Err(_) => return json_err("bad budget"),
+            }
+        } else if *tok == "fresh" {
+            fresh = true;
+        } else if let Some(v) = kv(tok, "id") {
+            match v.parse() {
+                Ok(i) => id = Some(i),
+                Err(_) => return json_err("bad id"),
+            }
+        } else {
+            return json_err(&format!("unknown count option `{tok}`"));
+        }
+    }
+    let id = id.unwrap_or_else(|| {
+        let i = *next_id;
+        *next_id += 1;
+        i
+    });
+    let response = service.run(Request {
+        id,
+        dataset,
+        condition: condition.trim().to_string(),
+        target,
+        fresh,
+    });
+    response.to_json(opts.deterministic)
+}
+
+/// Execute one protocol line against the service. The single protocol
+/// implementation behind both the REPL and the TCP server: any change
+/// here shows up identically in the golden transcripts of both.
+pub fn handle_line(
+    service: &mut Service,
+    session: &mut SessionState,
+    opts: ReplOptions,
+    line: &str,
+) -> LineOutcome {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return LineOutcome::Silent;
+    }
+    let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
+    match cmd {
+        "quit" | "exit" => LineOutcome::Quit,
+        "shutdown" => LineOutcome::Shutdown("{\"ok\": true, \"shutting_down\": true}".to_string()),
+        "register" => LineOutcome::Reply(handle_register(service, rest)),
+        "count" => LineOutcome::Reply(handle_count(service, rest, &mut session.next_id, opts)),
+        "invalidate" => LineOutcome::Reply(match service.invalidate(rest.trim()) {
+            Ok(()) => format!(
+                "{{\"ok\": true, \"invalidated\": \"{}\", \"version\": {}}}",
+                rest.trim(),
+                service.dataset_version(rest.trim()).unwrap_or(0)
+            ),
+            Err(e) => json_err(&e.to_string()),
+        }),
+        "stats" => LineOutcome::Reply(stats_json(service)),
+        other => LineOutcome::Reply(json_err(&format!("unknown command `{other}`"))),
+    }
+}

@@ -1,17 +1,13 @@
-//! The `lts-serve` line protocol: line-delimited requests on stdin,
-//! one JSON response object per line on stdout.
+//! The `lts-serve` stdin/stdout front-end: line-delimited requests in,
+//! one JSON response object per line out.
 //!
-//! ```text
-//! register <sports|neighbors> <name> rows=<n> level=<XS|S|M|L|XL|XXL> seed=<u64>
-//! count <dataset> [width=<frac>|abswidth=<counts>|budget=<n>] [fresh] [id=<u64>] :: <condition>
-//! invalidate <dataset>
-//! stats
-//! quit
-//! ```
-//!
-//! `count` conditions use the SQL-ish grammar of `lts_table::parser`;
-//! correlated subqueries may scan the dataset by its registered name,
-//! e.g. the skyband query:
+//! The command grammar and its implementation live in
+//! [`crate::protocol`] and are shared bit-for-bit with the TCP server
+//! ([`crate::net`]); this module only drives that protocol over a
+//! `BufRead`/`Write` pair. Example `count` request (the paper's
+//! skyband query; conditions use the SQL-ish grammar of
+//! `lts_table::parser`, and correlated subqueries may scan the dataset
+//! by its registered name):
 //!
 //! ```text
 //! count sports width=0.05 :: (SELECT COUNT(*) FROM sports WHERE \
@@ -23,164 +19,15 @@
 //! session diffs bit-identically against a golden transcript at any
 //! `RAYON_NUM_THREADS`.
 
-use crate::planner::Target;
-use crate::service::{Request, Service, ServiceConfig};
+use crate::protocol::{handle_line, LineOutcome, SessionState};
+use crate::service::{Service, ServiceConfig};
 use std::io::{BufRead, Write};
 
-/// REPL options.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct ReplOptions {
-    /// Zero wall-time fields in every response (golden-diff mode).
-    pub deterministic: bool,
-}
+pub use crate::protocol::ReplOptions;
 
-fn json_err(message: &str) -> String {
-    format!(
-        "{{\"ok\": false, \"error\": \"{}\"}}",
-        crate::service::json_escape(message)
-    )
-}
-
-fn kv<'a>(tok: &'a str, key: &str) -> Option<&'a str> {
-    tok.strip_prefix(key).and_then(|r| r.strip_prefix('='))
-}
-
-fn stats_json(service: &Service, opts: ReplOptions) -> String {
-    let s = service.stats();
-    let _ = opts;
-    format!(
-        "{{\"ok\": true, \"requests\": {}, \"rejected\": {}, \"errors\": {}, \
-         \"exact\": {}, \"cold\": {}, \"warm\": {}, \"cached\": {}, \
-         \"oracle_evals\": {}, \"oracle_evals_cold\": {}, \"oracle_evals_warm\": {}, \
-         \"oracle_evals_exact\": {}, \"oracle_evals_saved\": {}, \
-         \"catalog\": {}, \"store\": {}, \"cache\": {}}}",
-        s.requests,
-        s.rejected,
-        s.errors,
-        s.exact,
-        s.cold,
-        s.warm,
-        s.cached,
-        s.oracle_evals,
-        s.oracle_evals_cold,
-        s.oracle_evals_warm,
-        s.oracle_evals_exact,
-        s.oracle_evals_saved,
-        service.catalog_len(),
-        service.store_len(),
-        service.cache_len(),
-    )
-}
-
-fn handle_register(service: &mut Service, rest: &str) -> String {
-    let toks: Vec<&str> = rest.split_whitespace().collect();
-    if toks.len() < 2 {
-        return json_err("usage: register <sports|neighbors> <name> rows=<n> level=<L> seed=<s>");
-    }
-    let (kind, name) = (toks[0], toks[1]);
-    let (mut rows, mut level, mut seed) = (4_000usize, "M".to_string(), 11u64);
-    for tok in &toks[2..] {
-        if let Some(v) = kv(tok, "rows") {
-            match v.parse() {
-                Ok(n) => rows = n,
-                Err(_) => return json_err("bad rows"),
-            }
-        } else if let Some(v) = kv(tok, "level") {
-            level = v.to_string();
-        } else if let Some(v) = kv(tok, "seed") {
-            match v.parse() {
-                Ok(s) => seed = s,
-                Err(_) => return json_err("bad seed"),
-            }
-        } else {
-            return json_err(&format!("unknown register option `{tok}`"));
-        }
-    }
-    let level = match level.as_str() {
-        "XS" => lts_data::SelectivityLevel::XS,
-        "S" => lts_data::SelectivityLevel::S,
-        "M" => lts_data::SelectivityLevel::M,
-        "L" => lts_data::SelectivityLevel::L,
-        "XL" => lts_data::SelectivityLevel::XL,
-        "XXL" => lts_data::SelectivityLevel::XXL,
-        other => return json_err(&format!("unknown selectivity level `{other}`")),
-    };
-    let (table, cols) = match kind {
-        "sports" => match lts_data::sports_scenario(rows, level, seed) {
-            Ok(sc) => (sc.table, ["strikeouts", "wins"]),
-            Err(e) => return json_err(&e.to_string()),
-        },
-        "neighbors" => match lts_data::neighbors_scenario(rows, level, seed) {
-            Ok(sc) => (sc.table, ["src_rate", "dst_rate"]),
-            Err(e) => return json_err(&e.to_string()),
-        },
-        other => return json_err(&format!("unknown dataset kind `{other}`")),
-    };
-    match service.register_dataset(name, table, &cols) {
-        Ok(()) => format!(
-            "{{\"ok\": true, \"registered\": \"{name}\", \"rows\": {rows}, \
-             \"version\": {}}}",
-            service.dataset_version(name).unwrap_or(0)
-        ),
-        Err(e) => json_err(&e.to_string()),
-    }
-}
-
-fn handle_count(service: &mut Service, rest: &str, next_id: &mut u64, opts: ReplOptions) -> String {
-    let Some((head, condition)) = rest.split_once("::") else {
-        return json_err("count needs `:: <condition>`");
-    };
-    let toks: Vec<&str> = head.split_whitespace().collect();
-    if toks.is_empty() {
-        return json_err("count needs a dataset name");
-    }
-    let dataset = toks[0].to_string();
-    let mut target = Target::RelWidth(0.05);
-    let mut fresh = false;
-    let mut id: Option<u64> = None;
-    for tok in &toks[1..] {
-        if let Some(v) = kv(tok, "width") {
-            match v.parse() {
-                Ok(w) => target = Target::RelWidth(w),
-                Err(_) => return json_err("bad width"),
-            }
-        } else if let Some(v) = kv(tok, "abswidth") {
-            match v.parse() {
-                Ok(w) => target = Target::AbsWidth(w),
-                Err(_) => return json_err("bad abswidth"),
-            }
-        } else if let Some(v) = kv(tok, "budget") {
-            match v.parse() {
-                Ok(b) => target = Target::Budget(b),
-                Err(_) => return json_err("bad budget"),
-            }
-        } else if *tok == "fresh" {
-            fresh = true;
-        } else if let Some(v) = kv(tok, "id") {
-            match v.parse() {
-                Ok(i) => id = Some(i),
-                Err(_) => return json_err("bad id"),
-            }
-        } else {
-            return json_err(&format!("unknown count option `{tok}`"));
-        }
-    }
-    let id = id.unwrap_or_else(|| {
-        let i = *next_id;
-        *next_id += 1;
-        i
-    });
-    let response = service.run(Request {
-        id,
-        dataset,
-        condition: condition.trim().to_string(),
-        target,
-        fresh,
-    });
-    response.to_json(opts.deterministic)
-}
-
-/// Drive the service over a line protocol until EOF or `quit`.
+/// Drive the service over a line protocol until EOF, `quit`, or
+/// `shutdown` (which acks, then stops — a one-session REPL has nothing
+/// else to drain).
 ///
 /// # Errors
 ///
@@ -192,30 +39,18 @@ pub fn run_repl<R: BufRead, W: Write>(
     mut output: W,
 ) -> std::io::Result<()> {
     let mut service = Service::new(config);
-    let mut next_id = 0u64;
+    let mut session = SessionState::default();
     for line in input.lines() {
         let line = line?;
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
+        match handle_line(&mut service, &mut session, opts, &line) {
+            LineOutcome::Silent => {}
+            LineOutcome::Reply(reply) => writeln!(output, "{reply}")?,
+            LineOutcome::Quit => break,
+            LineOutcome::Shutdown(ack) => {
+                writeln!(output, "{ack}")?;
+                break;
+            }
         }
-        let (cmd, rest) = line.split_once(' ').unwrap_or((line, ""));
-        let reply = match cmd {
-            "quit" | "exit" => break,
-            "register" => handle_register(&mut service, rest),
-            "count" => handle_count(&mut service, rest, &mut next_id, opts),
-            "invalidate" => match service.invalidate(rest.trim()) {
-                Ok(()) => format!(
-                    "{{\"ok\": true, \"invalidated\": \"{}\", \"version\": {}}}",
-                    rest.trim(),
-                    service.dataset_version(rest.trim()).unwrap_or(0)
-                ),
-                Err(e) => json_err(&e.to_string()),
-            },
-            "stats" => stats_json(&service, opts),
-            other => json_err(&format!("unknown command `{other}`")),
-        };
-        writeln!(output, "{reply}")?;
     }
     Ok(())
 }
@@ -289,5 +124,12 @@ count s budget=100 :: strikeouts < 120
             "control char must be escaped: {err}"
         );
         assert!(!err.contains('\u{1}'), "raw control byte leaked: {err}");
+    }
+
+    #[test]
+    fn shutdown_acks_then_stops() {
+        let lines = run("register sports s rows=600 level=M seed=3\nshutdown\nstats\n");
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[1].contains("\"shutting_down\": true"), "{}", lines[1]);
     }
 }

@@ -1,0 +1,123 @@
+//! Backpressure / soak: one slow reader floods the server with
+//! large-response requests and never reads, while fast clients keep
+//! doing small cached round-trips. The slow connection must be dropped
+//! by the bounded write-queue policy; the fast clients must all
+//! complete correctly. (The write-queue policy itself is unit-tested at
+//! its limits in `lts_serve::net`.)
+
+mod net_common;
+
+use lts_serve::{NetConfig, NetServer, ReplOptions};
+use net_common::Client;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+/// Lines the slow client writes. Each is an unknown command whose
+/// structured error echoes the ~32 KiB token back, so the responses
+/// (~25 MiB total) vastly exceed loopback socket buffering: the writer
+/// thread stalls on the unread socket, the 2-slot write queue
+/// overflows, and the policy drops the connection.
+const FLOOD_LINES: usize = 800;
+
+#[test]
+fn slow_reader_is_dropped_while_fast_clients_stay_served() {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            repl: ReplOptions {
+                deterministic: true,
+            },
+            write_queue_capacity: 2,
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Warm the cache so the fast clients' round-trips are `cached`
+    // replays with a known byte-exact response.
+    let mut setup = Client::connect(addr);
+    let resp = setup.roundtrip("register sports s rows=800 level=M seed=3");
+    assert!(resp.contains("\"registered\""), "{resp}");
+    let cold = setup.roundtrip("count s budget=100 id=7 :: wins > 10");
+    assert!(cold.contains("\"served\": \"cold\""), "{cold}");
+    let cached = setup.roundtrip("count s budget=100 id=7 :: wins > 10");
+    assert!(cached.contains("\"served\": \"cached\""), "{cached}");
+
+    let barrier = Arc::new(Barrier::new(3));
+
+    // The slow reader: floods requests, never reads responses. Write
+    // errors are expected once the server drops the connection.
+    let slow = {
+        let barrier = Arc::clone(&barrier);
+        std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).expect("connect slow");
+            stream.set_nodelay(true).expect("nodelay");
+            let junk = "x".repeat(32 * 1024);
+            barrier.wait();
+            let mut written = 0usize;
+            for _ in 0..FLOOD_LINES {
+                if writeln!(stream, "{junk}").is_err() {
+                    break;
+                }
+                written += 1;
+            }
+            (stream, written)
+        })
+    };
+
+    // Two fast clients doing small cached round-trips throughout the
+    // flood: every one must come back correct.
+    let fast: Vec<_> = (0..2)
+        .map(|_| {
+            let barrier = Arc::clone(&barrier);
+            let expect = cached.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                client.set_read_timeout(Duration::from_secs(60));
+                barrier.wait();
+                for _ in 0..25 {
+                    let resp = client.roundtrip("count s budget=100 id=7 :: wins > 10");
+                    assert_eq!(resp, expect, "fast client response diverged under flood");
+                }
+            })
+        })
+        .collect();
+
+    for handle in fast {
+        handle
+            .join()
+            .expect("fast client must complete under flood");
+    }
+
+    // The slow connection was dropped: reading it back yields fewer
+    // responses than requests, ending in EOF or a reset.
+    let (stream, written) = slow.join().expect("slow client thread");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut reader = std::io::BufReader::new(stream);
+    let mut received = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match std::io::BufRead::read_line(&mut reader, &mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => received += 1,
+        }
+    }
+    assert!(
+        received < FLOOD_LINES,
+        "slow reader must be dropped, not buffered without bound \
+         (wrote {written}, got {received} of {FLOOD_LINES} responses)"
+    );
+
+    // And the server is still healthy afterwards.
+    let resp = setup.roundtrip("count s budget=100 id=7 :: wins > 10");
+    assert_eq!(resp, cached, "server must keep serving after the drop");
+
+    server.shutdown();
+    server.join();
+}

@@ -1,0 +1,58 @@
+//! Shared TCP-client helper for the net test battery.
+
+// Each test binary compiles this module independently and uses a
+// different subset of the helpers.
+#![allow(dead_code)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A line-protocol client over one TCP connection.
+pub struct Client {
+    pub stream: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+        Client { stream, reader }
+    }
+
+    pub fn send(&mut self, line: &str) {
+        writeln!(self.stream, "{line}").expect("send request line");
+    }
+
+    /// Next response line, or `None` on EOF / connection reset.
+    pub fn recv(&mut self) -> Option<String> {
+        let mut s = String::new();
+        match self.reader.read_line(&mut s) {
+            Ok(0) | Err(_) => None,
+            Ok(_) => Some(s.trim_end().to_string()),
+        }
+    }
+
+    pub fn roundtrip(&mut self, line: &str) -> String {
+        self.send(line);
+        self.recv()
+            .unwrap_or_else(|| panic!("no response to `{line}`"))
+    }
+
+    pub fn set_read_timeout(&mut self, d: Duration) {
+        self.stream.set_read_timeout(Some(d)).expect("read timeout");
+    }
+}
+
+/// Extract an integer JSON field (`"key": 123`) from a response line.
+pub fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let marker = format!("\"{key}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}

@@ -1,0 +1,182 @@
+//! Concurrent-client determinism: N TCP clients submit a shuffled
+//! partition of a scripted session with explicit request ids, and
+//! every response must be **bit-identical** to the single-client
+//! golden transcript for the same id — across client counts {1, 4, 16}
+//! (CI additionally runs this test binary under `RAYON_NUM_THREADS=1`
+//! and default threads).
+//!
+//! The session has two phases:
+//!
+//! * **setup** (one client, sequential): register the dataset, then
+//!   one cold `count` per query — this pins the model store so the
+//!   concurrent phase's `served`/`evals` bookkeeping cannot depend on
+//!   which client happens to arrive first;
+//! * **body** (shuffled across clients): `fresh` counts with explicit
+//!   ids — by the service's determinism contract each response is a
+//!   pure function of (seed, dataset version, canonical query, budget,
+//!   id), so arbitrary interleaving must reproduce the golden bytes.
+
+mod net_common;
+
+use lts_serve::{run_repl, NetConfig, NetServer, ReplOptions, ServiceConfig};
+use net_common::{field_u64, Client};
+use std::collections::HashMap;
+use std::sync::{Arc, Barrier};
+
+const QUERIES: [&str; 3] = [
+    "strikeouts < 120",
+    "wins > 10 AND strikeouts < 150",
+    "(SELECT COUNT(*) FROM s WHERE strikeouts >= o.strikeouts AND wins >= o.wins \
+     AND (strikeouts > o.strikeouts OR wins > o.wins)) < 50",
+];
+
+fn setup_lines() -> Vec<String> {
+    let mut lines = vec!["register sports s rows=1200 level=M seed=3".to_string()];
+    for (q, cond) in QUERIES.iter().enumerate() {
+        lines.push(format!("count s budget=150 id={} :: {cond}", 1_000 + q));
+    }
+    lines
+}
+
+fn body_lines() -> Vec<String> {
+    let mut lines = Vec::new();
+    for (q, cond) in QUERIES.iter().enumerate() {
+        for rep in 0..8 {
+            lines.push(format!(
+                "count s budget=150 fresh id={} :: {cond}",
+                100 * q as u64 + rep
+            ));
+        }
+    }
+    lines
+}
+
+/// id → golden response line, from a single-client REPL run of the
+/// same session (the REPL and the TCP server share one protocol
+/// implementation, so the REPL transcript is the source of truth).
+fn golden_by_id() -> HashMap<u64, String> {
+    let script: String = setup_lines()
+        .into_iter()
+        .chain(body_lines())
+        .map(|l| l + "\n")
+        .collect();
+    let mut out = Vec::new();
+    run_repl(
+        ServiceConfig::default(),
+        ReplOptions {
+            deterministic: true,
+        },
+        script.as_bytes(),
+        &mut out,
+    )
+    .unwrap();
+    let mut by_id = HashMap::new();
+    for line in String::from_utf8(out).unwrap().lines() {
+        if let Some(id) = field_u64(line, "id") {
+            assert!(
+                by_id.insert(id, line.to_string()).is_none(),
+                "duplicate id in golden transcript"
+            );
+        }
+    }
+    assert_eq!(by_id.len(), 3 + 24, "3 setup counts + 24 body counts");
+    by_id
+}
+
+/// Deterministic Fisher–Yates (LCG), so the partition is stable per
+/// client count but different across counts.
+fn shuffled(mut lines: Vec<String>, seed: u64) -> Vec<String> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    for i in (1..lines.len()).rev() {
+        let j = (next() as usize) % (i + 1);
+        lines.swap(i, j);
+    }
+    lines
+}
+
+fn run_with_clients(n_clients: usize, golden: &HashMap<u64, String>) {
+    let server = NetServer::bind(
+        "127.0.0.1:0",
+        NetConfig {
+            repl: ReplOptions {
+                deterministic: true,
+            },
+            ..NetConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // Setup phase: one client, sequential; cold responses must already
+    // match the golden transcript byte-for-byte.
+    let mut c0 = Client::connect(addr);
+    for line in setup_lines() {
+        let resp = c0.roundtrip(&line);
+        if let Some(id) = field_u64(&resp, "id") {
+            assert_eq!(
+                Some(&resp),
+                golden.get(&id),
+                "[{n_clients} clients] setup response for id {id} diverged"
+            );
+        } else {
+            assert!(resp.contains("\"registered\""), "{resp}");
+        }
+    }
+
+    // Body phase: a shuffled partition of the session, round-robin
+    // across n concurrent connections.
+    let lines = shuffled(body_lines(), n_clients as u64);
+    let mut slices: Vec<Vec<String>> = vec![Vec::new(); n_clients];
+    for (k, line) in lines.into_iter().enumerate() {
+        slices[k % n_clients].push(line);
+    }
+    let barrier = Arc::new(Barrier::new(n_clients));
+    let handles: Vec<_> = slices
+        .into_iter()
+        .map(|slice| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                barrier.wait();
+                slice
+                    .iter()
+                    .map(|line| client.roundtrip(line))
+                    .collect::<Vec<String>>()
+            })
+        })
+        .collect();
+    let mut seen = 0usize;
+    for handle in handles {
+        for resp in handle.join().expect("client thread") {
+            let id = field_u64(&resp, "id").expect("response carries its id");
+            assert_eq!(
+                Some(&resp),
+                golden.get(&id),
+                "[{n_clients} clients] response for id {id} diverged from golden"
+            );
+            assert!(
+                resp.contains("\"served\": \"warm\""),
+                "body requests resume the pinned store: {resp}"
+            );
+            seen += 1;
+        }
+    }
+    assert_eq!(seen, 24, "every partitioned request must be answered");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn shuffled_partitions_reproduce_the_golden_transcript() {
+    let golden = golden_by_id();
+    for n_clients in [1usize, 4, 16] {
+        run_with_clients(n_clients, &golden);
+    }
+}

@@ -83,7 +83,7 @@
 //! | [`lts_table`] | mini table engine: correlated aggregate subqueries, metered predicates, vectorized kernels ([`lts_table::vector`]) |
 //! | [`lts_stats`] | distributions, confidence intervals, summaries |
 //! | [`lts_data`] | synthetic Sports/Neighbors datasets + the paper's two queries |
-//! | [`lts_serve`] | the serving layer: query catalog + fingerprints, model store (warm starts), result cache, budget planner, `lts-serve` REPL binary |
+//! | [`lts_serve`] | the serving layer: query catalog + fingerprints, model store (warm starts), result cache, budget planner, one line protocol behind the `lts-serve` REPL and the `lts-served` TCP server |
 //!
 //! (`lts-bench`, not re-exported here, holds a repro binary per paper
 //! table/figure plus criterion benches and `BENCH_*.json` artifacts.)
@@ -117,8 +117,8 @@ pub mod prelude {
     };
     pub use lts_sampling::CountEstimate;
     pub use lts_serve::{
-        serve_lss_profile, BudgetPlanner, Request, Response, Route, Service, ServiceConfig,
-        StalenessPolicy, Target,
+        serve_lss_profile, BudgetPlanner, NetConfig, NetServer, Request, Response, Route, Service,
+        ServiceConfig, StalenessPolicy, Target,
     };
     pub use lts_stats::{ConfidenceInterval, IntervalKind};
     pub use lts_strata::{Allocation, DesignAlgorithm, TSelection};

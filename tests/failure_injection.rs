@@ -224,6 +224,168 @@ fn non_finite_weights_are_rejected_by_samplers() {
     assert!(weighted_sample_fenwick(&mut rng, &[0.0, 0.0], 1).is_err());
 }
 
+// ---------------------------------------------------------------------
+// Network fault injection: every malformed or hostile client behaviour
+// must yield a structured JSON error or a clean close — never a panic
+// or a wedged worker — and the server must keep serving afterwards.
+// ---------------------------------------------------------------------
+
+mod net_faults {
+    use learning_to_sample::serve::{NetConfig, NetServer, ReplOptions};
+    use std::io::{BufRead, BufReader, Read, Write};
+    use std::net::{Shutdown, SocketAddr, TcpStream};
+    use std::time::Duration;
+
+    fn server(max_line_bytes: usize) -> NetServer {
+        NetServer::bind(
+            "127.0.0.1:0",
+            NetConfig {
+                repl: ReplOptions {
+                    deterministic: true,
+                },
+                max_line_bytes,
+                ..NetConfig::default()
+            },
+        )
+        .expect("bind")
+    }
+
+    fn connect(addr: SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        let reader = BufReader::new(stream.try_clone().expect("clone"));
+        (stream, reader)
+    }
+
+    fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+        writeln!(stream, "{line}").expect("send");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("recv");
+        assert!(!resp.is_empty(), "no response to `{line}`");
+        resp.trim_end().to_string()
+    }
+
+    /// The server answers `stats` after the fault — proof no worker
+    /// wedged and the dispatcher is still alive.
+    fn assert_still_serving(addr: SocketAddr) {
+        let (mut stream, mut reader) = connect(addr);
+        let resp = roundtrip(&mut stream, &mut reader, "stats");
+        assert!(
+            resp.contains("\"ok\": true"),
+            "server must keep serving after the fault: {resp}"
+        );
+    }
+
+    #[test]
+    fn mid_request_disconnect_does_not_wedge_the_server() {
+        let srv = server(64 * 1024);
+        let addr = srv.local_addr();
+        // Fire requests and vanish without reading a single response.
+        for _ in 0..4 {
+            let (mut stream, _reader) = connect(addr);
+            writeln!(stream, "register sports s rows=400 level=M seed=3").expect("send");
+            writeln!(stream, "count s budget=80 id=0 :: wins > 10").expect("send");
+            drop(stream); // mid-request disconnect
+        }
+        assert_still_serving(addr);
+        srv.shutdown();
+        srv.join();
+    }
+
+    #[test]
+    fn half_written_frame_then_eof_is_an_error_or_clean_close() {
+        let srv = server(64 * 1024);
+        let addr = srv.local_addr();
+        let (mut stream, mut reader) = connect(addr);
+        // A frame cut off mid-token, then EOF on the write side. The
+        // reader may still collect responses on the read side.
+        stream.write_all(b"count s budg").expect("send partial");
+        stream.shutdown(Shutdown::Write).expect("half-close");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("recv");
+        // Either a structured error for the truncated command, or a
+        // clean close with no bytes — both are acceptable; a hang or a
+        // panic is not.
+        if !resp.is_empty() {
+            assert!(
+                resp.contains("\"ok\": false"),
+                "truncated frame must yield a structured error: {resp}"
+            );
+            resp.clear();
+            assert_eq!(reader.read_line(&mut resp).expect("eof"), 0);
+        }
+        assert_still_serving(addr);
+        srv.shutdown();
+        srv.join();
+    }
+
+    #[test]
+    fn oversized_line_yields_structured_error_and_keeps_framing() {
+        let srv = server(256);
+        let addr = srv.local_addr();
+        let (mut stream, mut reader) = connect(addr);
+        let resp = roundtrip(&mut stream, &mut reader, &"y".repeat(4096));
+        assert!(
+            resp.contains("\"ok\": false") && resp.contains("exceeds"),
+            "oversized line must be refused with a structured error: {resp}"
+        );
+        // Framing survives: the next command on the same connection is
+        // parsed from a clean line boundary.
+        let resp = roundtrip(&mut stream, &mut reader, "stats");
+        assert!(resp.contains("\"ok\": true"), "{resp}");
+        assert_still_serving(addr);
+        srv.shutdown();
+        srv.join();
+    }
+
+    #[test]
+    fn malformed_utf8_yields_structured_error_not_a_panic() {
+        let srv = server(64 * 1024);
+        let addr = srv.local_addr();
+        let (mut stream, mut reader) = connect(addr);
+        stream
+            .write_all(&[0xff, 0xfe, 0x80, b'\n'])
+            .expect("send bytes");
+        let mut resp = String::new();
+        reader.read_line(&mut resp).expect("recv");
+        assert!(
+            resp.contains("\"ok\": false") && resp.contains("UTF-8"),
+            "malformed UTF-8 must be refused with a structured error: {resp}"
+        );
+        // Same connection still usable afterwards.
+        let resp = roundtrip(&mut stream, &mut reader, "stats");
+        assert!(resp.contains("\"ok\": true"), "{resp}");
+        assert_still_serving(addr);
+        srv.shutdown();
+        srv.join();
+    }
+
+    #[test]
+    fn oversized_garbage_without_newline_then_eof_is_survived() {
+        let srv = server(512);
+        let addr = srv.local_addr();
+        let (mut stream, mut reader) = connect(addr);
+        // A flood of bytes with no newline, then EOF: the reader must
+        // cap memory at max_line_bytes, answer or close, never wedge.
+        let junk = vec![b'z'; 16 * 1024];
+        stream.write_all(&junk).expect("send junk");
+        stream.shutdown(Shutdown::Write).expect("half-close");
+        let mut all = String::new();
+        reader.read_to_string(&mut all).expect("drain");
+        for line in all.lines() {
+            assert!(
+                line.contains("\"ok\": false"),
+                "unterminated oversized garbage must only produce errors: {line}"
+            );
+        }
+        assert_still_serving(addr);
+        srv.shutdown();
+        srv.join();
+    }
+}
+
 #[test]
 fn tiny_populations_do_not_panic() {
     // N = 2..6 with budget 1..N: reject or estimate, never panic.
