@@ -1,0 +1,286 @@
+//! Head-to-head benchmark of the query planner: monolithic estimation
+//! versus the decomposed prefilter + residual plan, at the **same
+//! requested CI width**.
+//!
+//! Two identically seeded services answer the same conjunctive skyband
+//! queries over the same Sports population. One service plans normally
+//! (decomposed queries run the cheap conjunct as an exact vectorized
+//! scan — zero oracle cost — and spend the oracle only on the
+//! surviving residual population); the other has decomposition
+//! disabled (`monolithic_selectivity = 0.0`), so every query is
+//! estimated over the full population. The cheap-conjunct thresholds
+//! are percentiles of the generated `strikeouts` column, so the
+//! prefilter selectivities are stable across `--scale`.
+//!
+//! `BENCH_plan.json` rows (schema in `docs/benchmarks.md`): per-query
+//! `monolithic_cold` / `planned_cold` / `monolithic_warm` /
+//! `planned_warm` rows at the shared width target, a `census` /
+//! `exact_prefilter` pair at a near-zero width (both answer exactly;
+//! the planned side touches only the survivors), and summary rows
+//! `plan_evals_saved_factor` (cold monolithic ÷ cold planned oracle
+//! evaluations — the acceptance bar is ≥ 3), `census_evals_saved_factor`
+//! and `prefilter_selectivity`. Wall times are the only
+//! non-deterministic fields: CI runs this binary under
+//! `RAYON_NUM_THREADS=1` and default threads and diffs the artifacts
+//! with `wall_seconds` masked.
+//!
+//! Usage: `cargo run --release -p lts-bench --bin bench_plan --
+//! [--scale F] [--trials N] [--seed S] [--out DIR]`
+//! (rows ≈ 4 000 at `--scale 1.0`; `--trials` = warm repeats per
+//! service).
+
+use lts_bench::{emit_records_json, BenchRecord, RunConfig, TextTable};
+use lts_serve::{Request, Response, Service, ServiceConfig, Target};
+use std::time::Instant;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct RunOut {
+    response: Response,
+    wall: f64,
+}
+
+fn run_one(service: &mut Service, id: u64, condition: &str, target: Target, fresh: bool) -> RunOut {
+    let t0 = Instant::now();
+    let response = service.run(Request {
+        id,
+        dataset: "sports".into(),
+        condition: condition.to_string(),
+        target,
+        fresh,
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    assert!(response.ok, "request failed: {:?}", response.error);
+    RunOut { response, wall }
+}
+
+fn record(label: &str, cell: &str, estimate: f64, evals: f64, wall: f64) -> BenchRecord {
+    BenchRecord {
+        label: label.to_string(),
+        cell: cell.to_string(),
+        median: estimate,
+        iqr: 0.0,
+        mean_evals: evals,
+        wall_seconds: wall,
+    }
+}
+
+fn main() {
+    let config = match RunConfig::parse(std::env::args()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    let rows = ((4_000.0 * config.scale) as usize).max(1_500);
+    let repeats = config.trials.max(2);
+
+    let scenario = lts_data::sports_scenario(rows, lts_data::SelectivityLevel::M, config.seed)
+        .expect("sports scenario");
+    let k = match scenario.param {
+        lts_data::QueryParam::K(k) => k,
+        lts_data::QueryParam::D(_) => unreachable!("sports calibrates k"),
+    };
+    // Data-derived cheap-conjunct thresholds: percentiles of the
+    // generated strikeouts column, so the prefilter keeps a stable
+    // fraction of the population at every --scale.
+    let mut so: Vec<f64> = scenario.table.floats("strikeouts").unwrap().to_vec();
+    so.sort_by(f64::total_cmp);
+    let t_mid = percentile(&so, 0.70); // prefilter keeps ~30 %
+    let t_tight = percentile(&so, 0.975); // prefilter keeps ~2.5 %
+
+    let skyband = format!(
+        "(SELECT COUNT(*) FROM sports WHERE strikeouts >= o.strikeouts AND \
+         wins >= o.wins AND (strikeouts > o.strikeouts OR wins > o.wins)) < {k}"
+    );
+    let q_mid = format!("strikeouts > {t_mid:.3} AND {skyband}");
+    let q_tight = format!("strikeouts > {t_tight:.3} AND {skyband}");
+    let width = Target::RelWidth(0.05);
+
+    // Two identically seeded services; `monolithic_selectivity = 0.0`
+    // disables decomposition on the baseline side.
+    let mut planned_svc = Service::new(ServiceConfig {
+        seed: config.seed,
+        ..ServiceConfig::default()
+    });
+    let mut mono_svc = Service::new(ServiceConfig {
+        seed: config.seed,
+        planner: lts_serve::BudgetPlanner {
+            monolithic_selectivity: 0.0,
+            ..lts_serve::BudgetPlanner::default()
+        },
+        ..ServiceConfig::default()
+    });
+    for svc in [&mut planned_svc, &mut mono_svc] {
+        svc.register_dataset(
+            "sports",
+            std::sync::Arc::clone(&scenario.table),
+            &["strikeouts", "wins"],
+        )
+        .expect("register dataset");
+    }
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut table = TextTable::new(&["query", "mode", "estimate", "evals", "plan", "ms"]);
+    fn push(
+        records: &mut Vec<BenchRecord>,
+        table: &mut TextTable,
+        label: &str,
+        cell: &str,
+        out: &RunOut,
+    ) {
+        let kind = out
+            .response
+            .plan
+            .as_ref()
+            .map_or("-", |p| p.kind)
+            .to_string();
+        table.row(vec![
+            cell.to_string(),
+            label.to_string(),
+            format!("{:.1}", out.response.estimate),
+            format!("{}", out.response.evals),
+            kind,
+            format!("{:.2}", out.wall * 1e3),
+        ]);
+        records.push(record(
+            label,
+            cell,
+            out.response.estimate,
+            out.response.evals as f64,
+            out.wall,
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // Estimate head-to-head at the shared width target.
+    // ------------------------------------------------------------------
+    let mono_cold = run_one(&mut mono_svc, 1, &q_mid, width, false);
+    assert_eq!(mono_cold.response.served, "cold");
+    assert!(
+        mono_cold.response.plan.is_none(),
+        "baseline must not decompose"
+    );
+    let planned_cold = run_one(&mut planned_svc, 1, &q_mid, width, false);
+    assert_eq!(planned_cold.response.served, "cold");
+    let plan = planned_cold
+        .response
+        .plan
+        .as_ref()
+        .expect("planned side must decompose");
+    assert_eq!(plan.kind, "prefilter_estimate", "expected a two-stage plan");
+    let selectivity = plan.selectivity.expect("prefilter ran");
+    push(
+        &mut records,
+        &mut table,
+        "monolithic_cold",
+        "skyband_mid",
+        &mono_cold,
+    );
+    push(
+        &mut records,
+        &mut table,
+        "planned_cold",
+        "skyband_mid",
+        &planned_cold,
+    );
+
+    let mut warm_aggs = [(0usize, 0.0f64, 0.0f64), (0usize, 0.0f64, 0.0f64)];
+    for rep in 0..repeats {
+        for (slot, svc) in [(0usize, &mut mono_svc), (1, &mut planned_svc)] {
+            let out = run_one(svc, 100 + rep as u64, &q_mid, width, true);
+            assert_eq!(out.response.served, "warm");
+            warm_aggs[slot].0 += out.response.evals;
+            warm_aggs[slot].1 += out.response.estimate;
+            warm_aggs[slot].2 += out.wall;
+        }
+    }
+    let n = repeats as f64;
+    for (slot, label) in [(0usize, "monolithic_warm"), (1, "planned_warm")] {
+        let (evals, est_sum, wall) = warm_aggs[slot];
+        table.row(vec![
+            "skyband_mid".to_string(),
+            label.to_string(),
+            format!("{:.1}", est_sum / n),
+            format!("{:.1}", evals as f64 / n),
+            "-".to_string(),
+            format!("{:.2}", wall / n * 1e3),
+        ]);
+        records.push(record(
+            label,
+            "skyband_mid",
+            est_sum / n,
+            evals as f64 / n,
+            wall / n,
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // Exact head-to-head at a near-zero width: both sides answer
+    // exactly; the planned side pays only for the survivors.
+    // ------------------------------------------------------------------
+    let tiny = Target::RelWidth(0.000_01);
+    let census = run_one(&mut mono_svc, 2, &q_tight, tiny, false);
+    assert_eq!(census.response.served, "exact");
+    let prefilter_exact = run_one(&mut planned_svc, 2, &q_tight, tiny, false);
+    assert_eq!(prefilter_exact.response.served, "exact");
+    let tight_plan = prefilter_exact
+        .response
+        .plan
+        .as_ref()
+        .expect("tight query must decompose");
+    assert_eq!(tight_plan.kind, "exact_prefilter");
+    assert_eq!(
+        census.response.estimate, prefilter_exact.response.estimate,
+        "both exact routes must agree on the count"
+    );
+    push(&mut records, &mut table, "census", "skyband_tight", &census);
+    push(
+        &mut records,
+        &mut table,
+        "exact_prefilter",
+        "skyband_tight",
+        &prefilter_exact,
+    );
+
+    // ------------------------------------------------------------------
+    // Acceptance: at the same requested CI width, the planned path must
+    // spend at least 3x fewer oracle evaluations than the monolithic
+    // one — asserted BEFORE the artifact is written.
+    // ------------------------------------------------------------------
+    let saved_factor =
+        mono_cold.response.evals as f64 / (planned_cold.response.evals.max(1)) as f64;
+    assert!(
+        saved_factor >= 3.0,
+        "planned path must save >= 3x oracle evals at equal width, got {saved_factor:.2} \
+         (monolithic {}, planned {})",
+        mono_cold.response.evals,
+        planned_cold.response.evals
+    );
+    let census_factor =
+        census.response.evals as f64 / (prefilter_exact.response.evals.max(1)) as f64;
+    let summary = |label: &str, value: f64| BenchRecord {
+        label: label.to_string(),
+        cell: "service".to_string(),
+        median: value,
+        iqr: 0.0,
+        mean_evals: f64::NAN,
+        wall_seconds: 0.0,
+    };
+    records.push(summary("plan_evals_saved_factor", saved_factor));
+    records.push(summary("census_evals_saved_factor", census_factor));
+    records.push(summary("prefilter_selectivity", selectivity));
+
+    println!("query planner benchmark: {rows} rows, {repeats} warm repeats per service\n");
+    print!("{}", table.render());
+    println!(
+        "\nplanned cold saves {saved_factor:.1}x oracle evals at equal width  ·  \
+         exact plan saves {census_factor:.1}x  ·  prefilter keeps {:.1}% of rows",
+        selectivity * 100.0
+    );
+    emit_records_json(&config.out_dir, "plan", "sequential", &records);
+}

@@ -32,6 +32,7 @@ pub mod error;
 pub mod estimators;
 pub mod feature;
 pub mod learnphase;
+pub mod plan;
 pub mod problem;
 pub mod report;
 pub mod runner;
@@ -47,6 +48,7 @@ pub use estimators::{
 };
 pub use feature::features_from_columns;
 pub use learnphase::{LearnPhaseConfig, LearnedModel};
+pub use plan::{restrict_problem, select_prefilter, LogicalPlan, PhysicalPlan, PrefilterSelection};
 pub use problem::{CountingProblem, Labeler};
 pub use report::{EstimateReport, PhaseTimings, QualityForecast};
 pub use runner::{run_trials, run_trials_with, TrialExecution, TrialStats};

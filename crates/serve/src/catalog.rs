@@ -7,8 +7,16 @@
 //! one feature matrix), one model-store lineage, one result-cache
 //! lineage. Entries key on the **canonical string** (collision-proof);
 //! the 64-bit fingerprint is the compact id responses carry.
+//!
+//! An entry also carries the query's **conjunctive decomposition**
+//! (when it usefully splits, see `lts_table::decompose`) and, once a
+//! prefilter scan has run, the memoized **plan state** — survivor
+//! count and the restricted residual problem — so repeat requests of a
+//! decomposed query never re-scan or rebuild the restricted problem.
+//! Plan state is version-bound: a table-version rebuild drops it.
 
 use lts_core::CountingProblem;
+use lts_table::Expr;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -19,6 +27,46 @@ pub struct QueryKey {
     pub dataset: String,
     /// Canonical predicate string.
     pub canonical: String,
+}
+
+/// A query's conjunctive split into a cheap exact prefilter and an
+/// expensive residual, both derived from the **normalized** expression
+/// (so commuted spellings of one query share one decomposition, and
+/// the part canonicals are stable cache/store keys).
+#[derive(Debug, Clone)]
+pub struct QueryDecomposition {
+    /// The subquery-free prefilter conjunction.
+    pub prefilter: Expr,
+    /// The oracle-bearing residual conjunction.
+    pub residual: Expr,
+    /// Canonical form of the prefilter (feedback/seed key).
+    pub prefilter_canonical: String,
+    /// Canonical form of the residual (model-store key).
+    pub residual_canonical: String,
+}
+
+/// Memoized result of a prefilter scan: how many rows survived and the
+/// restricted residual problem built over them (`None` when nothing
+/// survived — the exact count is 0 and no problem exists).
+pub struct PlanState {
+    /// Prefilter survivor count `M`.
+    pub survivors: usize,
+    /// Population `N` the scan ran over.
+    pub population: usize,
+    /// The restricted residual problem (survivor rows, delegating
+    /// predicate, gathered features).
+    pub restricted: Option<Arc<CountingProblem>>,
+}
+
+impl PlanState {
+    /// Observed selectivity `M/N` (0 for an empty population).
+    pub fn selectivity(&self) -> f64 {
+        if self.population == 0 {
+            0.0
+        } else {
+            self.survivors as f64 / self.population as f64
+        }
+    }
 }
 
 /// One distinct query the service knows.
@@ -32,6 +80,12 @@ pub struct QueryEntry {
     pub table_version: u64,
     /// Requests that resolved to this entry so far.
     pub hits: u64,
+    /// Conjunctive decomposition, present iff the query splits into
+    /// both a cheap prefilter and an expensive residual.
+    pub decomposition: Option<Arc<QueryDecomposition>>,
+    /// Memoized prefilter-scan state, populated lazily by the first
+    /// planned execution ([`QueryCatalog::set_plan`]).
+    pub plan: Option<Arc<PlanState>>,
 }
 
 /// The service's query catalog.
@@ -62,8 +116,11 @@ impl QueryCatalog {
     }
 
     /// Resolve a key, building the entry with `build` on first sight
-    /// and counting the hit. An entry assembled against an older table
-    /// version is rebuilt (its problem captured stale column data).
+    /// and counting the hit. `build` returns the assembled problem plus
+    /// the query's decomposition (if it splits). An entry assembled
+    /// against an older table version is rebuilt — its problem captured
+    /// stale column data, and any memoized plan state is dropped with
+    /// it.
     ///
     /// # Errors
     ///
@@ -73,19 +130,21 @@ impl QueryCatalog {
         key: QueryKey,
         fingerprint: u64,
         table_version: u64,
-        build: impl FnOnce() -> Result<Arc<CountingProblem>, E>,
+        build: impl FnOnce() -> Result<(Arc<CountingProblem>, Option<Arc<QueryDecomposition>>), E>,
     ) -> Result<&QueryEntry, E> {
         use std::collections::hash_map::Entry;
         match self.entries.entry(key) {
             Entry::Occupied(mut o) => {
                 if o.get().table_version != table_version {
-                    let problem = build()?;
+                    let (problem, decomposition) = build()?;
                     let hits = o.get().hits;
                     o.insert(QueryEntry {
                         fingerprint,
                         problem,
                         table_version,
                         hits,
+                        decomposition,
+                        plan: None,
                     });
                 }
                 let e = o.into_mut();
@@ -93,16 +152,26 @@ impl QueryCatalog {
                 Ok(e)
             }
             Entry::Vacant(v) => {
-                let problem = build()?;
+                let (problem, decomposition) = build()?;
                 let e = v.insert(QueryEntry {
                     fingerprint,
                     problem,
                     table_version,
                     hits: 0,
+                    decomposition,
+                    plan: None,
                 });
                 e.hits += 1;
                 Ok(e)
             }
+        }
+    }
+
+    /// Memoize the plan state of an entry (no-op for unknown keys —
+    /// the entry was invalidated between resolve and scan).
+    pub fn set_plan(&mut self, key: &QueryKey, plan: Arc<PlanState>) {
+        if let Some(e) = self.entries.get_mut(key) {
+            e.plan = Some(plan);
         }
     }
 
@@ -142,7 +211,7 @@ mod tests {
             let e = cat
                 .resolve::<()>(key("d", "q"), 1, 0, || {
                     builds += 1;
-                    Ok(problem())
+                    Ok((problem(), None))
                 })
                 .unwrap();
             assert_eq!(e.fingerprint, 1);
@@ -155,29 +224,68 @@ mod tests {
     #[test]
     fn version_bump_rebuilds_but_keeps_hit_lineage() {
         let mut cat = QueryCatalog::new();
-        cat.resolve::<()>(key("d", "q"), 1, 0, || Ok(problem()))
+        cat.resolve::<()>(key("d", "q"), 1, 0, || Ok((problem(), None)))
             .unwrap();
+        // Memoized plan state from the old version…
+        cat.set_plan(
+            &key("d", "q"),
+            Arc::new(PlanState {
+                survivors: 2,
+                population: 3,
+                restricted: None,
+            }),
+        );
         let mut rebuilt = false;
         let e = cat
             .resolve::<()>(key("d", "q"), 2, 1, || {
                 rebuilt = true;
-                Ok(problem())
+                Ok((problem(), None))
             })
             .unwrap();
         assert!(rebuilt);
         assert_eq!(e.table_version, 1);
         assert_eq!(e.hits, 2);
+        // …does not survive the rebuild: the scan must rerun.
+        assert!(e.plan.is_none());
     }
 
     #[test]
     fn distinct_canonicals_stay_distinct() {
         let mut cat = QueryCatalog::new();
-        cat.resolve::<()>(key("d", "a"), 1, 0, || Ok(problem()))
+        cat.resolve::<()>(key("d", "a"), 1, 0, || Ok((problem(), None)))
             .unwrap();
-        cat.resolve::<()>(key("d", "b"), 1, 0, || Ok(problem()))
+        cat.resolve::<()>(key("d", "b"), 1, 0, || Ok((problem(), None)))
             .unwrap();
         assert_eq!(cat.len(), 2);
         assert_eq!(cat.invalidate_dataset("d"), 2);
         assert!(cat.is_empty());
+    }
+
+    #[test]
+    fn set_plan_memoizes_until_invalidation() {
+        let mut cat = QueryCatalog::new();
+        cat.resolve::<()>(key("d", "q"), 1, 0, || Ok((problem(), None)))
+            .unwrap();
+        cat.set_plan(
+            &key("d", "q"),
+            Arc::new(PlanState {
+                survivors: 1,
+                population: 3,
+                restricted: None,
+            }),
+        );
+        let plan = cat.get(&key("d", "q")).unwrap().plan.as_ref().unwrap();
+        assert_eq!(plan.survivors, 1);
+        assert!((plan.selectivity() - 1.0 / 3.0).abs() < 1e-12);
+        // Unknown keys are a no-op, not a panic.
+        cat.set_plan(
+            &key("d", "missing"),
+            Arc::new(PlanState {
+                survivors: 0,
+                population: 0,
+                restricted: None,
+            }),
+        );
+        assert_eq!(cat.len(), 1);
     }
 }

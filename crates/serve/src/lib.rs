@@ -13,7 +13,7 @@
 //! | [`QueryCatalog`] | [`catalog`] | one problem (meter + features) per distinct query |
 //! | [`ModelStore`] | [`store`] | warm estimator states: trained proxy + ordering + pilot + design (`lts_core::warm`), invalidated on table-version bumps |
 //! | [`ResultCache`] | [`cache`] | finished estimates with a staleness policy |
-//! | [`BudgetPlanner`] | [`planner`] | admission control: census for small `N`, else the cheapest budget meeting the requested CI width |
+//! | [`BudgetPlanner`] | [`planner`] | admission control: census for small `N`, else the cheapest budget meeting the requested CI width; routes decomposed queries among census / prefilter + residual / monolithic plans using a [`SelectivityFeedback`] ledger |
 //! | [`Service`] | [`service`] | bounded queue, parallel execution waves, deterministic per-request seed streams |
 //! | protocol | [`mod@protocol`] | the line-in/JSON-out command grammar, shared by every front-end |
 //! | REPL | [`repl`] | the `lts-serve` binary's stdin/stdout front-end |
@@ -41,12 +41,14 @@ pub mod service;
 pub mod store;
 
 pub use cache::{CachedResult, ResultCache, ResultKey, StalenessPolicy};
-pub use catalog::{QueryCatalog, QueryEntry, QueryKey};
+pub use catalog::{PlanState, QueryCatalog, QueryDecomposition, QueryEntry, QueryKey};
 pub use error::{ServeError, ServeResult};
 pub use fingerprint::{canonical, fingerprint, normalize};
 pub use net::{NetConfig, NetServer};
-pub use planner::{BudgetPlanner, Route, Target};
+pub use planner::{BudgetPlanner, QueryRoute, Route, SelectivityFeedback, Target};
 pub use protocol::{handle_line, LineOutcome, SessionState};
 pub use repl::{run_repl, ReplOptions};
-pub use service::{serve_lss_profile, Request, Response, Service, ServiceConfig, ServiceStats};
+pub use service::{
+    serve_lss_profile, PlanSummary, Request, Response, Service, ServiceConfig, ServiceStats,
+};
 pub use store::{ModelStore, StoreKey, StoredModel, WarmState};

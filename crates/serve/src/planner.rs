@@ -21,8 +21,20 @@
 //! The closed form (Wald with finite-population correction, `p = ½`):
 //! `w = z·N/(2√n) · √((N−n)/(N−1))`, solved for `n`:
 //! `n = aN/(N−1+a)` with `a = (zN/2w)²`.
+//!
+//! **Decomposed queries.** When a query splits into a cheap exact
+//! prefilter and an expensive residual (`lts_table::decompose`), the
+//! planner chooses among four routes ([`BudgetPlanner::choose`]): the
+//! monolithic census, the monolithic estimate, an exact residual census
+//! over the prefilter survivors, or a prefilter + estimate plan whose
+//! budget is sized for the *restricted* population `M` — width targets
+//! keep their full-population meaning (±1% of `N` stays ±1% of `N`),
+//! which is why shrinking the population shrinks the budget so
+//! sharply. Observed selectivities are recorded per canonical prefilter
+//! in a [`SelectivityFeedback`] ledger and reused on the next plan.
 
 use lts_core::CoreResult;
+use std::collections::HashMap;
 
 /// What a request asks for.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -48,6 +60,23 @@ pub enum Route {
     },
 }
 
+/// Where a *decomposed* request is routed ([`BudgetPlanner::choose`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryRoute {
+    /// The prefilter does not pay (unselective, absent, or disabled):
+    /// one-stage plan over the full population.
+    Monolithic(Route),
+    /// Exact prefilter scan, then a residual **census** over the
+    /// survivors (few enough that sampling cannot beat it, or none at
+    /// all — the count is then exactly 0 at zero oracle cost).
+    PrefilterExact,
+    /// Exact prefilter scan, then an estimator over the survivors.
+    PrefilterEstimate {
+        /// Unique-evaluation budget for the restricted population.
+        budget: usize,
+    },
+}
+
 /// The admission-control budget planner.
 #[derive(Debug, Clone, Copy)]
 pub struct BudgetPlanner {
@@ -61,6 +90,12 @@ pub struct BudgetPlanner {
     pub exact_fraction: f64,
     /// Confidence level the width targets refer to.
     pub level: f64,
+    /// A prefilter keeping at least this fraction of the population is
+    /// not worth a two-stage plan: route the query monolithically.
+    /// `0.0` disables decomposition entirely (every query routes
+    /// monolithically — the forced-monolithic baseline in benchmarks);
+    /// values `> 1.0` always take the prefilter plan.
+    pub monolithic_selectivity: f64,
 }
 
 impl Default for BudgetPlanner {
@@ -70,6 +105,7 @@ impl Default for BudgetPlanner {
             min_budget: 60,
             exact_fraction: 0.5,
             level: 0.95,
+            monolithic_selectivity: 0.6,
         }
     }
 }
@@ -141,6 +177,50 @@ impl BudgetPlanner {
         Ok(Route::Estimate { budget })
     }
 
+    /// Route a decomposed request given the observed prefilter
+    /// survivor count `M` (`survivors = None` means the query did not
+    /// decompose). Width targets keep their full-population meaning:
+    /// `RelWidth(f)` converts to an absolute halfwidth of `f·N` before
+    /// the restricted budget is sized, so a planned estimate meets the
+    /// same requested interval as the monolithic one.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed targets, exactly as
+    /// [`BudgetPlanner::plan`] does.
+    pub fn choose(
+        &self,
+        n_objects: usize,
+        survivors: Option<usize>,
+        target: Target,
+    ) -> CoreResult<QueryRoute> {
+        let Some(m) = survivors else {
+            return Ok(QueryRoute::Monolithic(self.plan(n_objects, target)?));
+        };
+        if m as f64 >= self.monolithic_selectivity * n_objects as f64 {
+            return Ok(QueryRoute::Monolithic(self.plan(n_objects, target)?));
+        }
+        if m == 0 {
+            return Ok(QueryRoute::PrefilterExact);
+        }
+        let restricted_target = match target {
+            Target::Budget(b) => Target::Budget(b),
+            Target::RelWidth(frac) => {
+                if !(frac > 0.0 && frac < 1.0) {
+                    return Err(lts_core::CoreError::InvalidConfig {
+                        message: format!("relative width must be in (0, 1), got {frac}"),
+                    });
+                }
+                Target::AbsWidth(frac * n_objects as f64)
+            }
+            Target::AbsWidth(w) => Target::AbsWidth(w),
+        };
+        Ok(match self.plan(m, restricted_target)? {
+            Route::Exact => QueryRoute::PrefilterExact,
+            Route::Estimate { budget } => QueryRoute::PrefilterEstimate { budget },
+        })
+    }
+
     /// Shrink (or grow) a budget toward the cheapest one the *achieved*
     /// halfwidth justifies: sampling error scales as `1/√n`, so meeting
     /// `target_halfwidth` needs roughly
@@ -168,6 +248,91 @@ impl BudgetPlanner {
         } else {
             Route::Estimate { budget }
         }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct FeedbackEntry {
+    survivors: usize,
+    population: usize,
+    table_version: u64,
+}
+
+/// Realized prefilter selectivities, keyed by `(dataset, canonical
+/// prefilter)`, recorded after every exact prefilter scan and consulted
+/// on the next plan: a prefilter already known to be unselective routes
+/// monolithically without re-proving it. A recorded entry is only
+/// trusted for the table version it was observed against — a version
+/// bump drops it (the data changed; yesterday's selectivity is
+/// evidence about nothing).
+#[derive(Debug, Default)]
+pub struct SelectivityFeedback {
+    entries: HashMap<(String, String), FeedbackEntry>,
+}
+
+impl SelectivityFeedback {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded prefilters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the ledger is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Record an observed scan: `survivors` of `population` rows passed
+    /// the prefilter at `table_version`. Replaces any prior observation
+    /// of the same prefilter (later scans are never less current).
+    /// Empty populations are not recorded — there is no selectivity to
+    /// learn from zero rows.
+    pub fn record(
+        &mut self,
+        dataset: &str,
+        prefilter_canonical: &str,
+        table_version: u64,
+        survivors: usize,
+        population: usize,
+    ) {
+        if population == 0 {
+            return;
+        }
+        self.entries.insert(
+            (dataset.to_string(), prefilter_canonical.to_string()),
+            FeedbackEntry {
+                survivors,
+                population,
+                table_version,
+            },
+        );
+    }
+
+    /// Predicted selectivity of a prefilter, if observed against the
+    /// *current* table version. Version mismatches return `None` — the
+    /// caller re-scans (and re-records).
+    pub fn predict(
+        &self,
+        dataset: &str,
+        prefilter_canonical: &str,
+        table_version: u64,
+    ) -> Option<f64> {
+        let e = self
+            .entries
+            .get(&(dataset.to_string(), prefilter_canonical.to_string()))?;
+        (e.table_version == table_version).then(|| e.survivors as f64 / e.population as f64)
+    }
+
+    /// Drop every observation of a dataset (explicit invalidation),
+    /// returning how many were dropped.
+    pub fn invalidate_dataset(&mut self, dataset: &str) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|(d, _), _| d != dataset);
+        before - self.entries.len()
     }
 }
 
@@ -253,6 +418,110 @@ mod tests {
         }
         // Absurd tightening escalates to the census.
         assert_eq!(p.refine(400, 500.0, 1.0, 1_000), Route::Exact);
+    }
+
+    #[test]
+    fn choose_routes_by_survivor_count() {
+        let p = BudgetPlanner::default();
+        // Undecomposed → monolithic, bit-equal to plan().
+        assert_eq!(
+            p.choose(10_000, None, Target::Budget(300)).unwrap(),
+            QueryRoute::Monolithic(p.plan(10_000, Target::Budget(300)).unwrap())
+        );
+        // Unselective prefilter (≥ 60% of N) → monolithic.
+        assert_eq!(
+            p.choose(10_000, Some(9_000), Target::Budget(300)).unwrap(),
+            QueryRoute::Monolithic(Route::Estimate { budget: 300 })
+        );
+        // No survivors → exact plan answering 0 at zero oracle cost.
+        assert_eq!(
+            p.choose(10_000, Some(0), Target::Budget(300)).unwrap(),
+            QueryRoute::PrefilterExact
+        );
+        // A handful of survivors → residual census.
+        assert_eq!(
+            p.choose(10_000, Some(40), Target::Budget(300)).unwrap(),
+            QueryRoute::PrefilterExact
+        );
+        // A selective prefilter with room to sample → restricted
+        // estimate.
+        assert_eq!(
+            p.choose(10_000, Some(2_000), Target::Budget(300)).unwrap(),
+            QueryRoute::PrefilterEstimate { budget: 300 }
+        );
+    }
+
+    #[test]
+    fn choose_keeps_width_targets_in_population_units() {
+        let p = BudgetPlanner::default();
+        // ±2% of N = ±200 counts. Monolithic needs ~2.3k labels; over
+        // the 1 500 survivors the same absolute width needs far fewer.
+        let mono = match p.plan(10_000, Target::RelWidth(0.02)).unwrap() {
+            Route::Estimate { budget } => budget,
+            other => panic!("{other:?}"),
+        };
+        let planned = match p
+            .choose(10_000, Some(1_500), Target::RelWidth(0.02))
+            .unwrap()
+        {
+            QueryRoute::PrefilterEstimate { budget } => budget,
+            other => panic!("{other:?}"),
+        };
+        assert!(
+            planned * 3 <= mono,
+            "restricted budget {planned} should be ≪ monolithic {mono}"
+        );
+        // And it matches sizing the restricted population directly for
+        // the absolute width.
+        assert_eq!(
+            p.plan(1_500, Target::AbsWidth(200.0)).unwrap(),
+            Route::Estimate { budget: planned }
+        );
+    }
+
+    #[test]
+    fn monolithic_selectivity_zero_disables_decomposition() {
+        let p = BudgetPlanner {
+            monolithic_selectivity: 0.0,
+            ..BudgetPlanner::default()
+        };
+        assert_eq!(
+            p.choose(10_000, Some(0), Target::Budget(300)).unwrap(),
+            QueryRoute::Monolithic(Route::Estimate { budget: 300 })
+        );
+        assert_eq!(
+            p.choose(10_000, Some(500), Target::Budget(300)).unwrap(),
+            QueryRoute::Monolithic(Route::Estimate { budget: 300 })
+        );
+    }
+
+    #[test]
+    fn feedback_edge_cases() {
+        let mut fb = SelectivityFeedback::new();
+        assert!(fb.is_empty());
+        // Zero hits: a valid observation, predicting 0.0.
+        fb.record("d", "p", 1, 0, 1_000);
+        assert_eq!(fb.predict("d", "p", 1), Some(0.0));
+        // Full-population hits: predicts 1.0.
+        fb.record("d", "q", 1, 1_000, 1_000);
+        assert_eq!(fb.predict("d", "q", 1), Some(1.0));
+        assert_eq!(fb.len(), 2);
+        // Stale version bump drops the feedback (predict refuses it).
+        assert_eq!(fb.predict("d", "p", 2), None);
+        // Re-recording at the new version replaces the observation.
+        fb.record("d", "p", 2, 500, 1_000);
+        assert_eq!(fb.predict("d", "p", 2), Some(0.5));
+        assert_eq!(fb.predict("d", "p", 1), None);
+        // Unknown prefilter / dataset.
+        assert_eq!(fb.predict("d", "r", 1), None);
+        assert_eq!(fb.predict("other", "p", 1), None);
+        // Empty populations are never recorded.
+        fb.record("d", "z", 1, 0, 0);
+        assert_eq!(fb.predict("d", "z", 1), None);
+        // Invalidation is dataset-scoped.
+        fb.record("e", "p", 1, 10, 100);
+        assert_eq!(fb.invalidate_dataset("d"), 2);
+        assert_eq!(fb.predict("e", "p", 1), Some(0.1));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! ```text
 //! register <sports|neighbors> <name> rows=<n> level=<XS|S|M|L|XL|XXL> seed=<u64>
 //! count <dataset> [width=<frac>|abswidth=<counts>|budget=<n>] [fresh] [id=<u64>] :: <condition>
+//! explain <dataset> [width=<frac>|abswidth=<counts>|budget=<n>] :: <condition>
 //! invalidate <dataset>
 //! stats
 //! quit          (close this session; the server keeps running)
@@ -206,6 +207,42 @@ fn handle_count(service: &mut Service, rest: &str, next_id: &mut u64, opts: Repl
     response.to_json(opts.deterministic)
 }
 
+fn handle_explain(service: &mut Service, rest: &str) -> String {
+    let Some((head, condition)) = rest.split_once("::") else {
+        return json_err("explain needs `:: <condition>`");
+    };
+    let toks: Vec<&str> = head.split_whitespace().collect();
+    if toks.is_empty() {
+        return json_err("explain needs a dataset name");
+    }
+    let dataset = toks[0];
+    let mut target = Target::RelWidth(0.05);
+    for tok in &toks[1..] {
+        if let Some(v) = kv(tok, "width") {
+            match v.parse() {
+                Ok(w) => target = Target::RelWidth(w),
+                Err(_) => return json_err("bad width"),
+            }
+        } else if let Some(v) = kv(tok, "abswidth") {
+            match v.parse() {
+                Ok(w) => target = Target::AbsWidth(w),
+                Err(_) => return json_err("bad abswidth"),
+            }
+        } else if let Some(v) = kv(tok, "budget") {
+            match v.parse() {
+                Ok(b) => target = Target::Budget(b),
+                Err(_) => return json_err("bad budget"),
+            }
+        } else {
+            return json_err(&format!("unknown explain option `{tok}`"));
+        }
+    }
+    match service.explain(dataset, condition.trim(), target) {
+        Ok(line) => line,
+        Err(e) => json_err(&e.to_string()),
+    }
+}
+
 /// Execute one protocol line against the service. The single protocol
 /// implementation behind both the REPL and the TCP server: any change
 /// here shows up identically in the golden transcripts of both.
@@ -225,6 +262,7 @@ pub fn handle_line(
         "shutdown" => LineOutcome::Shutdown("{\"ok\": true, \"shutting_down\": true}".to_string()),
         "register" => LineOutcome::Reply(handle_register(service, rest)),
         "count" => LineOutcome::Reply(handle_count(service, rest, &mut session.next_id, opts)),
+        "explain" => LineOutcome::Reply(handle_explain(service, rest)),
         "invalidate" => LineOutcome::Reply(match service.invalidate(rest.trim()) {
             Ok(()) => format!(
                 "{{\"ok\": true, \"invalidated\": \"{}\", \"version\": {}}}",

@@ -5,13 +5,31 @@
 //! ```text
 //! condition ──parse──► Expr ──normalize──► canonical ──► fingerprint
 //!     │                                         │
-//!     │                              QueryCatalog (problem, meter)
+//!     │                              QueryCatalog (problem, meter,
+//!     │                                 decomposition, plan state)
 //!     │                                         │
+//!     ├── decomposed? exact prefilter scan ─► restricted residual plan
 //!     ├── ResultCache hit? ──────────────► respond (0 evals, "cached")
 //!     ├── planner: N small / target tight ─► exact census ("exact")
 //!     ├── ModelStore hit? ────────────────► resume stage 2 ("warm")
 //!     └── else: prepare (train+order+pilot+design), store, resume ("cold")
 //! ```
+//!
+//! # Query planning
+//!
+//! A conjunctive query that splits into a subquery-free prefilter and
+//! an oracle-bearing residual (`lts_table::decompose`) is planned in
+//! two stages: the prefilter runs as a vectorized exact scan
+//! (`lts_core::plan::select_prefilter`), and the planner then chooses
+//! — census, exact residual census over the survivors, restricted
+//! estimate, or fall back to the monolithic plan when the prefilter is
+//! unselective ([`BudgetPlanner::choose`]). Scan outcomes feed a
+//! [`SelectivityFeedback`] ledger keyed by canonical prefilter, so a
+//! prefilter already known to be unselective routes monolithically
+//! without re-scanning. Restricted warm states are stored under the
+//! **residual** canonical scoped by the **prefilter** canonical
+//! ([`StoreKey::scope`]); the result cache keys on the full canonical,
+//! so decomposed spellings alias their monolithic twin.
 //!
 //! # Determinism
 //!
@@ -37,14 +55,18 @@
 //! streams with wall times masked.
 
 use crate::cache::{ResultCache, ResultKey, StalenessPolicy};
-use crate::catalog::{QueryCatalog, QueryKey};
+use crate::catalog::{PlanState, QueryCatalog, QueryDecomposition, QueryKey};
 use crate::error::{ServeError, ServeResult};
 use crate::fingerprint;
-use crate::planner::{BudgetPlanner, Route, Target};
+use crate::planner::{BudgetPlanner, QueryRoute, Route, SelectivityFeedback, Target};
 use crate::store::{ModelStore, StoreKey, StoredModel, WarmState};
-use lts_core::{fnv1a, mix_seed, CountEstimator, CountingProblem, Lss, Lws, ShardPlan, Srs};
+use lts_core::{
+    fnv1a, mix_seed, restrict_problem, select_prefilter, CountEstimator, CountingProblem, Lss, Lws,
+    ShardPlan, Srs,
+};
 use lts_table::{
-    parse_condition, ExprPredicate, ObjectPredicate, PartitionedTable, Table, TableRegistry,
+    decompose, parse_condition, DecomposedQuery, ExprPredicate, ObjectPredicate, PartitionedTable,
+    Table, TableRegistry,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -125,6 +147,30 @@ pub struct Request {
     pub fresh: bool,
 }
 
+/// How a decomposed query was physically planned, echoed on its
+/// responses. Absent for queries that do not decompose (and under the
+/// forced-monolithic planner), so undecomposed response lines are
+/// byte-identical to the pre-planning format.
+#[derive(Debug, Clone)]
+pub struct PlanSummary {
+    /// Route kind: `census`, `monolithic`, `exact_prefilter`, or
+    /// `prefilter_estimate`.
+    pub kind: &'static str,
+    /// Canonical prefilter conjunction.
+    pub prefilter: String,
+    /// Canonical residual conjunction.
+    pub residual: String,
+    /// Full population size `N`.
+    pub population: usize,
+    /// Prefilter survivor count `M` — reported only on prefilter
+    /// routes. Monolithic routes report `None` whether or not a scan
+    /// ran, so the response never depends on which request arrived
+    /// first (a selectivity-feedback hit skips the scan).
+    pub survivors: Option<usize>,
+    /// Observed selectivity `M/N`, under the same rule as `survivors`.
+    pub selectivity: Option<f64>,
+}
+
 /// One response. All fields except `wall_micros` are deterministic for
 /// a fixed service seed and request stream.
 #[derive(Debug, Clone)]
@@ -164,6 +210,9 @@ pub struct Response {
     /// Wall time of this request's execution, in microseconds
     /// (non-deterministic; maskable in replay diffs).
     pub wall_micros: u64,
+    /// Physical plan of a decomposed query (`None` for queries that do
+    /// not decompose).
+    pub plan: Option<PlanSummary>,
 }
 
 impl Response {
@@ -185,6 +234,7 @@ impl Response {
             model_version: 0,
             table_version: 0,
             wall_micros: 0,
+            plan: None,
         }
     }
 
@@ -211,12 +261,27 @@ impl Response {
                 "null".to_string()
             }
         };
+        let plan = match &self.plan {
+            Some(p) => format!(
+                ", \"plan\": {{\"kind\": \"{}\", \"prefilter\": \"{}\", \
+                 \"residual\": \"{}\", \"population\": {}, \"survivors\": {}, \
+                 \"selectivity\": {}}}",
+                p.kind,
+                esc(&p.prefilter),
+                esc(&p.residual),
+                p.population,
+                p.survivors
+                    .map_or_else(|| "null".to_string(), |s| s.to_string()),
+                p.selectivity.map_or_else(|| "null".to_string(), num),
+            ),
+            None => String::new(),
+        };
         format!(
             "{{\"id\": {}, \"ok\": {}, \"served\": \"{}\", \"route\": \"{}\", \
              \"fingerprint\": \"{:016x}\", \"estimate\": {}, \"std_error\": {}, \
              \"lo\": {}, \"hi\": {}, \"level\": {}, \"evals\": {}, \"budget\": {}, \
              \"model_version\": \"{:016x}\", \"table_version\": {}, \
-             \"wall_micros\": {}{}}}",
+             \"wall_micros\": {}{}{}}}",
             self.id,
             self.ok,
             self.served,
@@ -232,6 +297,7 @@ impl Response {
             self.model_version,
             self.table_version,
             if mask_wall { 0 } else { self.wall_micros },
+            plan,
             match &self.error {
                 Some(e) => format!(", \"error\": \"{}\"", esc(e)),
                 None => String::new(),
@@ -305,9 +371,50 @@ pub struct Service {
     store: ModelStore,
     cache: ResultCache,
     stats: ServiceStats,
+    feedback: SelectivityFeedback,
 }
 
 // ------------------------------------------------------------ internals
+
+/// A resolved query: the catalog entry's artifacts, cloned out so the
+/// borrow on the catalog ends before planning mutates other state.
+struct ResolvedQuery {
+    canonical: String,
+    fingerprint: u64,
+    table_version: u64,
+    problem: Arc<CountingProblem>,
+    decomposition: Option<Arc<QueryDecomposition>>,
+}
+
+/// Execution route after planning (the physical analogue of
+/// [`Route`]): which problem to run, under what store identity.
+enum PlannedRoute {
+    /// Census over `exec_problem` (the full population, or the
+    /// prefilter survivors — whichever the plan restricted to).
+    Exact,
+    /// The prefilter kept no rows: the count is exactly 0 and nothing
+    /// executes (zero oracle evaluations).
+    ExactEmpty,
+    /// Estimate over `exec_problem` under this budget.
+    Estimate { budget: usize },
+}
+
+/// The physical plan of one admitted request.
+struct PlannedQuery {
+    route: PlannedRoute,
+    /// The problem execution runs against: the catalog problem for
+    /// monolithic plans, the restricted residual problem for prefilter
+    /// plans.
+    exec_problem: Arc<CountingProblem>,
+    /// Canonical string the model store keys on (full query for
+    /// monolithic, residual for prefiltered).
+    store_canonical: String,
+    /// Store scope (empty for monolithic, canonical prefilter for
+    /// prefiltered — see [`StoreKey::scope`]).
+    store_scope: String,
+    /// Plan echo for the response (`None` for undecomposed queries).
+    summary: Option<PlanSummary>,
+}
 
 struct Admitted {
     pos: usize,
@@ -317,13 +424,13 @@ struct Admitted {
     raw: String,
     fingerprint: u64,
     table_version: u64,
-    problem: Arc<CountingProblem>,
-    route: Route,
+    planned: PlannedQuery,
     fresh: bool,
 }
 
 enum ComputeKind {
     Exact,
+    ExactEmpty,
     Resume { store_key: StoreKey },
     SrsFallback,
 }
@@ -365,6 +472,7 @@ impl Service {
             store: ModelStore::new(),
             cache: ResultCache::new(config.staleness),
             stats: ServiceStats::default(),
+            feedback: SelectivityFeedback::new(),
         }
     }
 
@@ -415,6 +523,7 @@ impl Service {
         self.catalog.invalidate_dataset(name);
         self.store.invalidate_dataset(name);
         self.cache.invalidate_dataset(name);
+        self.feedback.invalidate_dataset(name);
         Ok(())
     }
 
@@ -502,10 +611,12 @@ impl Service {
         let mut cold_claimed: HashSet<StoreKey> = HashSet::new();
 
         for adm in &admitted {
-            let budget = match adm.route {
-                Route::Exact => 0,
-                Route::Estimate { budget } => budget,
+            let budget = match adm.planned.route {
+                PlannedRoute::Exact | PlannedRoute::ExactEmpty => 0,
+                PlannedRoute::Estimate { budget } => budget,
             };
+            // The result cache keys on the FULL canonical query, so a
+            // decomposed spelling aliases its monolithic twin.
             let cache_key = ResultKey {
                 dataset: adm.dataset.clone(),
                 canonical: adm.canonical.clone(),
@@ -532,6 +643,7 @@ impl Service {
                         model_version: hit.model_version,
                         table_version: adm.table_version,
                         wall_micros: 0,
+                        plan: adm.planned.summary.clone(),
                     });
                     continue;
                 }
@@ -544,12 +656,14 @@ impl Service {
                 in_flight.insert(cache_key.clone(), adm.pos);
             }
 
-            let (kind, is_cold) = match adm.route {
-                Route::Exact => (ComputeKind::Exact, false),
-                Route::Estimate { budget } => {
+            let (kind, is_cold) = match adm.planned.route {
+                PlannedRoute::Exact => (ComputeKind::Exact, false),
+                PlannedRoute::ExactEmpty => (ComputeKind::ExactEmpty, false),
+                PlannedRoute::Estimate { budget } => {
                     let store_key = StoreKey {
                         dataset: adm.dataset.clone(),
-                        canonical: adm.canonical.clone(),
+                        canonical: adm.planned.store_canonical.clone(),
+                        scope: adm.planned.store_scope.clone(),
                         budget,
                     };
                     // Evict any stale state now (sequential), so the
@@ -561,7 +675,7 @@ impl Service {
                         if needed_seen.insert(store_key.clone()) {
                             needed.push((
                                 store_key.clone(),
-                                Arc::clone(&adm.problem),
+                                Arc::clone(&adm.planned.exec_problem),
                                 adm.table_version,
                                 adm.raw.clone(),
                             ));
@@ -581,7 +695,7 @@ impl Service {
             compute.push(ComputeItem {
                 pos: adm.pos,
                 kind,
-                problem: Arc::clone(&adm.problem),
+                problem: Arc::clone(&adm.planned.exec_problem),
                 seed,
                 budget,
                 is_cold,
@@ -646,6 +760,7 @@ impl Service {
                 pos: item.pos,
                 kind: match &item.kind {
                     ComputeKind::Exact => ExecKind::Exact,
+                    ComputeKind::ExactEmpty => ExecKind::ExactEmpty,
                     ComputeKind::SrsFallback => ExecKind::Srs,
                     ComputeKind::Resume { store_key } => ExecKind::Resume {
                         stored: store.get(store_key),
@@ -685,7 +800,7 @@ impl Service {
                 }
                 Ok(ok) => {
                     let served = match (&item.kind, item.is_cold) {
-                        (ComputeKind::Exact, _) => "exact",
+                        (ComputeKind::Exact | ComputeKind::ExactEmpty, _) => "exact",
                         (_, true) => "cold",
                         (_, false) => "warm",
                     };
@@ -740,6 +855,7 @@ impl Service {
                         model_version: ok.model_version,
                         table_version: adm.table_version,
                         wall_micros: c.wall_micros,
+                        plan: adm.planned.summary.clone(),
                     }
                 }
             };
@@ -772,14 +888,11 @@ impl Service {
     }
 
     /// Parse a condition against a dataset, canonicalize it, and
-    /// resolve the catalog entry (building the `CountingProblem` on
-    /// first sight or version change). The single problem-assembly
-    /// path shared by live admission and store import.
-    fn resolve_query(
-        &mut self,
-        dataset: &str,
-        condition: &str,
-    ) -> ServeResult<(String, u64, u64, Arc<CountingProblem>)> {
+    /// resolve the catalog entry (building the `CountingProblem` — and
+    /// the query's conjunctive decomposition — on first sight or
+    /// version change). The single problem-assembly path shared by
+    /// live admission, store import, and `explain`.
+    fn resolve_query(&mut self, dataset: &str, condition: &str) -> ServeResult<ResolvedQuery> {
         let ds = self
             .datasets
             .get(dataset)
@@ -805,35 +918,317 @@ impl Service {
                 let cols: Vec<&str> = feature_cols.iter().map(String::as_str).collect();
                 let predicate: Arc<dyn ObjectPredicate> =
                     Arc::new(ExprPredicate::new("q", expr.clone()));
-                Ok(Arc::new(
-                    CountingProblem::new(table, predicate, &cols)?.with_level(level),
-                ))
+                let problem =
+                    Arc::new(CountingProblem::new(table, predicate, &cols)?.with_level(level));
+                // Decompose the NORMALIZED expression, so commuted
+                // spellings of one query share one decomposition and
+                // the part canonicals are stable keys.
+                let normalized = fingerprint::normalize(&expr);
+                let DecomposedQuery {
+                    exact_prefilter,
+                    residual,
+                } = decompose(&normalized);
+                let decomposition = exact_prefilter.map(|prefilter| {
+                    Arc::new(QueryDecomposition {
+                        prefilter_canonical: fingerprint::canonical(&prefilter),
+                        residual_canonical: fingerprint::canonical(&residual),
+                        prefilter,
+                        residual,
+                    })
+                });
+                Ok((problem, decomposition))
             })?;
-        Ok((canonical, fp, table_version, Arc::clone(&entry.problem)))
+        Ok(ResolvedQuery {
+            canonical,
+            fingerprint: fp,
+            table_version,
+            problem: Arc::clone(&entry.problem),
+            decomposition: entry.decomposition.clone(),
+        })
+    }
+
+    /// Run (or reuse) the exact prefilter scan of a decomposed query:
+    /// survivors, the restricted residual problem, and the feedback
+    /// record all come from one memoized [`PlanState`] per catalog
+    /// entry, so repeat requests never re-scan.
+    fn ensure_plan_state(
+        &mut self,
+        dataset: &str,
+        canonical: &str,
+        table_version: u64,
+        problem: &Arc<CountingProblem>,
+        decomp: &QueryDecomposition,
+    ) -> ServeResult<Arc<PlanState>> {
+        let key = QueryKey {
+            dataset: dataset.to_string(),
+            canonical: canonical.to_string(),
+        };
+        if let Some(entry) = self.catalog.get(&key) {
+            if entry.table_version == table_version {
+                if let Some(plan) = &entry.plan {
+                    return Ok(Arc::clone(plan));
+                }
+            }
+        }
+        let ds = self
+            .datasets
+            .get(dataset)
+            .ok_or_else(|| ServeError::UnknownDataset {
+                name: dataset.to_string(),
+            })?;
+        let selection = select_prefilter(&ds.table, &decomp.prefilter)?;
+        let restricted = if selection.survivors.is_empty() {
+            None
+        } else {
+            Some(Arc::new(restrict_problem(problem, &selection.survivors)?))
+        };
+        let plan = Arc::new(PlanState {
+            survivors: selection.survivors.len(),
+            population: selection.population,
+            restricted,
+        });
+        self.catalog.set_plan(&key, Arc::clone(&plan));
+        self.feedback.record(
+            dataset,
+            &decomp.prefilter_canonical,
+            table_version,
+            plan.survivors,
+            plan.population,
+        );
+        Ok(plan)
+    }
+
+    /// Turn a resolved query and its target into a physical plan:
+    /// monolithic for queries that do not decompose (or when the
+    /// planner disables decomposition), otherwise the route chosen by
+    /// [`BudgetPlanner::choose`] over the observed survivor count. A
+    /// prefilter whose recorded selectivity already exceeds the
+    /// monolithic threshold skips the scan — provably the same route
+    /// the scan would pick, since feedback replays the exact `M/N`
+    /// observed at this table version.
+    fn plan_query(
+        &mut self,
+        dataset: &str,
+        canonical: &str,
+        table_version: u64,
+        problem: &Arc<CountingProblem>,
+        decomposition: Option<&Arc<QueryDecomposition>>,
+        target: Target,
+    ) -> ServeResult<PlannedQuery> {
+        let planner = self.config.planner;
+        let monolithic = |route: Route, summary: Option<PlanSummary>| PlannedQuery {
+            route: match route {
+                Route::Exact => PlannedRoute::Exact,
+                Route::Estimate { budget } => PlannedRoute::Estimate { budget },
+            },
+            exec_problem: Arc::clone(problem),
+            store_canonical: canonical.to_string(),
+            store_scope: String::new(),
+            summary,
+        };
+        let decomp = match decomposition {
+            Some(d) if planner.monolithic_selectivity > 0.0 => d,
+            _ => return Ok(monolithic(planner.plan(problem.n(), target)?, None)),
+        };
+        let n = problem.n();
+        let mono_summary = |route: &Route| {
+            Some(PlanSummary {
+                kind: match route {
+                    Route::Exact => "census",
+                    Route::Estimate { .. } => "monolithic",
+                },
+                prefilter: decomp.prefilter_canonical.clone(),
+                residual: decomp.residual_canonical.clone(),
+                population: n,
+                survivors: None,
+                selectivity: None,
+            })
+        };
+        if let Some(predicted) =
+            self.feedback
+                .predict(dataset, &decomp.prefilter_canonical, table_version)
+        {
+            if predicted >= planner.monolithic_selectivity {
+                let route = planner.plan(n, target)?;
+                return Ok(monolithic(route, mono_summary(&route)));
+            }
+        }
+        let plan = self.ensure_plan_state(dataset, canonical, table_version, problem, decomp)?;
+        let summary = |kind: &'static str| {
+            Some(PlanSummary {
+                kind,
+                prefilter: decomp.prefilter_canonical.clone(),
+                residual: decomp.residual_canonical.clone(),
+                population: n,
+                survivors: Some(plan.survivors),
+                selectivity: Some(plan.selectivity()),
+            })
+        };
+        Ok(match planner.choose(n, Some(plan.survivors), target)? {
+            QueryRoute::Monolithic(route) => monolithic(route, mono_summary(&route)),
+            QueryRoute::PrefilterExact => match &plan.restricted {
+                None => PlannedQuery {
+                    route: PlannedRoute::ExactEmpty,
+                    exec_problem: Arc::clone(problem),
+                    store_canonical: canonical.to_string(),
+                    store_scope: String::new(),
+                    summary: summary("exact_prefilter"),
+                },
+                Some(restricted) => PlannedQuery {
+                    route: PlannedRoute::Exact,
+                    exec_problem: Arc::clone(restricted),
+                    store_canonical: canonical.to_string(),
+                    store_scope: String::new(),
+                    summary: summary("exact_prefilter"),
+                },
+            },
+            QueryRoute::PrefilterEstimate { budget } => {
+                let restricted = plan
+                    .restricted
+                    .clone()
+                    .expect("an estimate plan implies survivors");
+                PlannedQuery {
+                    route: PlannedRoute::Estimate { budget },
+                    exec_problem: restricted,
+                    store_canonical: decomp.residual_canonical.clone(),
+                    store_scope: decomp.prefilter_canonical.clone(),
+                    summary: summary("prefilter_estimate"),
+                }
+            }
+        })
     }
 
     fn admit(&mut self, pos: usize, req: Request) -> Result<Admitted, (u64, ServeError)> {
         let id = req.id;
-        let (canonical, fp, table_version, problem) = self
+        let resolved = self
             .resolve_query(&req.dataset, &req.condition)
             .map_err(|e| (id, e))?;
-        let route = self
-            .config
-            .planner
-            .plan(problem.n(), req.target)
-            .map_err(|e| (id, e.into()))?;
+        let planned = self
+            .plan_query(
+                &req.dataset,
+                &resolved.canonical,
+                resolved.table_version,
+                &resolved.problem,
+                resolved.decomposition.as_ref(),
+                req.target,
+            )
+            .map_err(|e| (id, e))?;
         Ok(Admitted {
             pos,
             id,
             dataset: req.dataset,
-            canonical,
+            canonical: resolved.canonical,
             raw: req.condition,
-            fingerprint: fp,
-            table_version,
-            problem,
-            route,
+            fingerprint: resolved.fingerprint,
+            table_version: resolved.table_version,
+            planned,
             fresh: req.fresh,
         })
+    }
+
+    /// Resolve and plan a query **without executing it**: one JSON
+    /// line describing the chosen physical plan — route kind, planned
+    /// budget, decomposition parts with their own fingerprints, and
+    /// predicted (pre-plan feedback) vs observed (post-scan)
+    /// selectivity. Planning side effects are real (the prefilter scan
+    /// runs and is memoized; feedback is recorded) but no oracle
+    /// evaluation is spent and the service counters do not move.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown datasets, parse failures, or
+    /// malformed targets.
+    pub fn explain(
+        &mut self,
+        dataset: &str,
+        condition: &str,
+        target: Target,
+    ) -> ServeResult<String> {
+        let resolved = self.resolve_query(dataset, condition)?;
+        let predicted = resolved.decomposition.as_ref().and_then(|d| {
+            self.feedback
+                .predict(dataset, &d.prefilter_canonical, resolved.table_version)
+        });
+        let planned = self.plan_query(
+            dataset,
+            &resolved.canonical,
+            resolved.table_version,
+            &resolved.problem,
+            resolved.decomposition.as_ref(),
+            target,
+        )?;
+        let observed = self
+            .catalog
+            .get(&QueryKey {
+                dataset: dataset.to_string(),
+                canonical: resolved.canonical.clone(),
+            })
+            .and_then(|e| e.plan.as_deref())
+            .map(|p| (p.survivors, p.selectivity()));
+        let kind = planned.summary.as_ref().map_or(
+            match planned.route {
+                PlannedRoute::Exact => "census",
+                PlannedRoute::ExactEmpty => "exact_prefilter",
+                PlannedRoute::Estimate { .. } => "monolithic",
+            },
+            |s| s.kind,
+        );
+        let budget = match planned.route {
+            PlannedRoute::Exact | PlannedRoute::ExactEmpty => 0,
+            PlannedRoute::Estimate { budget } => budget,
+        };
+        let esc = json_escape;
+        let opt_num = |v: Option<f64>| match v {
+            Some(v) if v.is_finite() => format!("{v}"),
+            _ => "null".to_string(),
+        };
+        let opt_str = |v: Option<String>| match v {
+            Some(s) => format!("\"{}\"", esc(&s)),
+            None => "null".to_string(),
+        };
+        let d = resolved.decomposition.as_ref();
+        Ok(format!(
+            "{{\"explain\": true, \"dataset\": \"{}\", \"fingerprint\": \"{:016x}\", \
+             \"table_version\": {}, \"canonical\": \"{}\", \"decomposed\": {}, \
+             \"route\": \"{}\", \"budget\": {}, \"population\": {}, \
+             \"prefilter\": {}, \"residual\": {}, \
+             \"prefilter_fingerprint\": {}, \"residual_fingerprint\": {}, \
+             \"survivors\": {}, \"predicted_selectivity\": {}, \
+             \"observed_selectivity\": {}}}",
+            esc(dataset),
+            resolved.fingerprint,
+            resolved.table_version,
+            esc(&resolved.canonical),
+            d.is_some(),
+            kind,
+            budget,
+            resolved.problem.n(),
+            opt_str(d.map(|d| d.prefilter_canonical.clone())),
+            opt_str(d.map(|d| d.residual_canonical.clone())),
+            opt_str(d.map(|d| {
+                format!(
+                    "{:016x}",
+                    fingerprint::fingerprint(
+                        dataset,
+                        resolved.table_version,
+                        &d.prefilter_canonical
+                    )
+                )
+            })),
+            opt_str(d.map(|d| {
+                format!(
+                    "{:016x}",
+                    fingerprint::fingerprint(
+                        dataset,
+                        resolved.table_version,
+                        &d.residual_canonical
+                    )
+                )
+            })),
+            observed.map_or_else(|| "null".to_string(), |(m, _)| m.to_string()),
+            opt_num(predicted),
+            opt_num(observed.map(|(_, s)| s)),
+        ))
     }
 
     /// Render the model store as a portable export (labels + seeds; see
@@ -844,13 +1239,17 @@ impl Service {
 
     /// Rebuild warm states from a store export: each entry re-runs
     /// `prepare` with its original seed and its labels preloaded —
-    /// zero oracle evaluations, bit-identical states. Entries for
-    /// unknown datasets or mismatched table versions are skipped.
-    /// Returns the number of states restored.
+    /// zero oracle evaluations, bit-identical states. A `+pf` entry is
+    /// re-decomposed and its restricted residual problem rebuilt (the
+    /// prefilter scan is deterministic, so the restored state sees the
+    /// same population it was prepared over). Entries for unknown
+    /// datasets or mismatched table versions are skipped. Returns the
+    /// number of states restored.
     ///
     /// # Errors
     ///
-    /// Returns an error for a malformed export or a failed prepare.
+    /// Returns an error for a malformed export, a failed prepare, or a
+    /// `+pf` entry whose query does not decompose.
     pub fn import_store(&mut self, text: &str) -> ServeResult<usize> {
         let entries =
             ModelStore::parse_export(text).map_err(|message| ServeError::Invalid { message })?;
@@ -860,22 +1259,63 @@ impl Service {
                 Some(ds) if ds.table.version() == entry.table_version => {}
                 _ => continue,
             }
-            let (canonical, _fp, _version, problem) =
-                self.resolve_query(&entry.dataset, &entry.condition)?;
-            let state = match parse_estimator_tag(&entry.estimator) {
-                Some(("lss", None)) => WarmState::Lss(self.config.lss.prepare_with_known(
+            let resolved = self.resolve_query(&entry.dataset, &entry.condition)?;
+            let (family, shard_k, prefiltered) =
+                parse_estimator_tag(&entry.estimator).ok_or_else(|| ServeError::Invalid {
+                    message: format!(
+                        "unknown estimator tag `{}` in store export",
+                        entry.estimator
+                    ),
+                })?;
+            let (problem, store_canonical, store_scope) = if prefiltered {
+                let decomp = resolved
+                    .decomposition
+                    .clone()
+                    .ok_or_else(|| ServeError::Invalid {
+                        message: format!(
+                            "prefiltered store entry for `{}` but the query does not decompose",
+                            entry.condition
+                        ),
+                    })?;
+                let plan = self.ensure_plan_state(
+                    &entry.dataset,
+                    &resolved.canonical,
+                    resolved.table_version,
+                    &resolved.problem,
+                    &decomp,
+                )?;
+                let restricted = plan.restricted.clone().ok_or_else(|| ServeError::Invalid {
+                    message: format!(
+                        "prefiltered store entry for `{}` but the prefilter keeps no rows",
+                        entry.condition
+                    ),
+                })?;
+                (
+                    restricted,
+                    decomp.residual_canonical.clone(),
+                    decomp.prefilter_canonical.clone(),
+                )
+            } else {
+                (
+                    Arc::clone(&resolved.problem),
+                    resolved.canonical.clone(),
+                    String::new(),
+                )
+            };
+            let state = match (family, shard_k) {
+                ("lss", None) => WarmState::Lss(self.config.lss.prepare_with_known(
                     &problem,
                     entry.budget,
                     entry.prepare_seed,
                     &entry.labels,
                 )?),
-                Some(("lws", None)) => WarmState::Lws(self.config.lws.prepare_with_known(
+                ("lws", None) => WarmState::Lws(self.config.lws.prepare_with_known(
                     &problem,
                     entry.budget,
                     entry.prepare_seed,
                     &entry.labels,
                 )?),
-                Some(("lss", Some(k))) => {
+                ("lss", Some(k)) => {
                     let plan = ShardPlan::uniform(problem.n(), k)?;
                     WarmState::LssSharded(self.config.lss.prepare_sharded_with_known(
                         &problem,
@@ -885,7 +1325,7 @@ impl Service {
                         &entry.labels,
                     )?)
                 }
-                Some(("lws", Some(k))) => {
+                ("lws", Some(k)) => {
                     let plan = ShardPlan::uniform(problem.n(), k)?;
                     WarmState::LwsSharded(self.config.lws.prepare_sharded_with_known(
                         &problem,
@@ -907,7 +1347,8 @@ impl Service {
             self.store.insert(
                 StoreKey {
                     dataset: entry.dataset.clone(),
-                    canonical,
+                    canonical: store_canonical,
+                    scope: store_scope,
                     budget: entry.budget,
                 },
                 StoredModel {
@@ -935,6 +1376,7 @@ struct ExecItem<'a> {
 
 enum ExecKind<'a> {
     Exact,
+    ExactEmpty,
     Srs,
     Resume { stored: Option<&'a StoredModel> },
 }
@@ -960,6 +1402,20 @@ fn execute_inner(item: &ExecItem<'_>, lss: Lss, lws: Lws) -> ServeResult<Compute
                 hi: count,
                 level: item.problem.level(),
                 evals: item.problem.n(),
+                route: "exact",
+                model_version: 0,
+            })
+        }
+        ExecKind::ExactEmpty => {
+            // No prefilter survivor: the count is exactly 0 — a
+            // zero-width interval at zero oracle cost.
+            Ok(ComputedOk {
+                estimate: 0.0,
+                std_error: 0.0,
+                lo: 0.0,
+                hi: 0.0,
+                level: item.problem.level(),
+                evals: 0,
                 route: "exact",
                 model_version: 0,
             })
@@ -1011,15 +1467,21 @@ fn execute_inner(item: &ExecItem<'_>, lss: Lss, lws: Lws) -> ServeResult<Compute
     }
 }
 
-/// Split a store-export estimator tag into family and optional shard
-/// count: `lss` → `("lss", None)`, `lss@4` → `("lss", Some(4))`.
-/// Returns `None` for malformed shard suffixes (`lss@0`, `lss@x`).
-fn parse_estimator_tag(tag: &str) -> Option<(&str, Option<usize>)> {
+/// Split a store-export estimator tag into family, optional shard
+/// count, and the prefiltered marker: `lss` → `("lss", None, false)`,
+/// `lss@4` → `("lss", Some(4), false)`, `lss@4+pf` →
+/// `("lss", Some(4), true)`. Returns `None` for malformed shard
+/// suffixes (`lss@0`, `lss@x`).
+fn parse_estimator_tag(tag: &str) -> Option<(&str, Option<usize>, bool)> {
+    let (tag, prefiltered) = match tag.strip_suffix("+pf") {
+        Some(t) => (t, true),
+        None => (tag, false),
+    };
     match tag.split_once('@') {
-        None => Some((tag, None)),
+        None => Some((tag, None, prefiltered)),
         Some((family, k)) => {
             let k: usize = k.parse().ok()?;
-            (k > 0).then_some((family, Some(k)))
+            (k > 0).then_some((family, Some(k), prefiltered))
         }
     }
 }
@@ -1035,12 +1497,20 @@ fn result_key_hash(key: &ResultKey) -> u64 {
 }
 
 fn store_key_hash(key: &StoreKey, table_version: u64) -> u64 {
-    let mut bytes = Vec::with_capacity(key.dataset.len() + key.canonical.len() + 18);
+    let mut bytes =
+        Vec::with_capacity(key.dataset.len() + key.canonical.len() + key.scope.len() + 19);
     bytes.extend_from_slice(key.dataset.as_bytes());
     bytes.push(0);
     bytes.extend_from_slice(key.canonical.as_bytes());
     bytes.push(0);
     bytes.extend_from_slice(&(key.budget as u64).to_le_bytes());
     bytes.extend_from_slice(&table_version.to_le_bytes());
+    // Scoped (prefiltered) keys extend the layout; the empty scope
+    // keeps the legacy byte stream exactly, so monolithic prepare
+    // seeds — and every existing golden — are unchanged.
+    if !key.scope.is_empty() {
+        bytes.push(0);
+        bytes.extend_from_slice(key.scope.as_bytes());
+    }
     fnv1a(&bytes)
 }

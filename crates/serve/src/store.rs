@@ -26,8 +26,16 @@ use std::fmt::Write as _;
 pub struct StoreKey {
     /// Dataset name.
     pub dataset: String,
-    /// Canonical predicate string.
+    /// Canonical predicate string the state estimates: the full query
+    /// for monolithic plans, the **residual** for prefiltered plans —
+    /// so every decomposed spelling of a query shares one warm lineage.
     pub canonical: String,
+    /// Plan scope: empty for monolithic states; the canonical
+    /// **prefilter** string for states prepared over a prefiltered
+    /// (restricted) population. The same residual estimated under
+    /// different prefilters samples different populations — the states
+    /// are not interchangeable.
+    pub scope: String,
     /// Budget the state was prepared under (requests planned at a
     /// different budget prepare their own state).
     pub budget: usize,
@@ -175,7 +183,9 @@ pub struct StoreExportEntry {
     pub prepare_seed: u64,
     /// Table version the state was prepared against.
     pub table_version: u64,
-    /// Estimator tag (`lss` / `lws`).
+    /// Estimator tag: the family (`lss` / `lws`), an optional shard
+    /// suffix (`lss@4`), and an optional `+pf` suffix marking a state
+    /// prepared over a prefiltered (restricted) population.
     pub estimator: String,
     /// The known `(object id, label)` pairs.
     pub labels: Vec<(usize, bool)>,
@@ -252,8 +262,13 @@ impl ModelStore {
                     }
                     let _ = write!(labels, "{id}:{}", u8::from(*l));
                 }
+                // Prefiltered states carry a `+pf` tag suffix; the
+                // importer re-decomposes the raw condition to rebuild
+                // the restricted population, so the scope string itself
+                // needs no extra field.
+                let tag_suffix = if k.scope.is_empty() { "" } else { "+pf" };
                 format!(
-                    "entry\t{}\t{}\t{}\t{}\t{}\t{}\t{labels}",
+                    "entry\t{}\t{}\t{}\t{}\t{}{tag_suffix}\t{}\t{labels}",
                     enc_text(&k.dataset),
                     k.budget,
                     e.prepare_seed,

@@ -269,6 +269,165 @@ fn store_export_restores_warm_states_without_oracle_work() {
     assert_eq!(bits(&wa), bits(&wb));
 }
 
+/// A decomposable conjunction over the linear table: the subquery
+/// counts strict dominators on `x`, so `(SELECT ...) > 700` is
+/// equivalent to `x > 700` — an exact ground truth — while still being
+/// an expensive oracle conjunct to the decomposer. The `y` bound is the
+/// cheap prefilter; `y = (37·i) mod n` is a permutation for n=1000, so
+/// `y < 500` keeps exactly 500 of 1000 rows (selective enough to plan).
+const DECOMPOSABLE: &str = "y < 500 AND (SELECT COUNT(*) FROM d WHERE x < o.x) > 700";
+
+#[test]
+fn decomposed_spellings_alias_their_monolithic_twin() {
+    let mut s = service(1_000);
+    let cold = s.run(req(1, DECOMPOSABLE, 200, false));
+    assert!(cold.ok, "{:?}", cold.error);
+    assert_eq!(cold.served, "cold");
+    let plan = cold.plan.as_ref().expect("decomposed query carries a plan");
+    assert_eq!(plan.kind, "prefilter_estimate");
+    assert_eq!(plan.survivors, Some(500));
+    assert_eq!(plan.selectivity, Some(0.5));
+
+    // The commuted spelling canonicalizes to the same query: result
+    // cache hit, same fingerprint, no new catalog entry.
+    let commuted = s.run(req(
+        2,
+        "(SELECT COUNT(*) FROM d WHERE x < o.x) > 700 AND y < 500",
+        200,
+        false,
+    ));
+    assert_eq!(commuted.served, "cached");
+    assert_eq!(commuted.fingerprint, cold.fingerprint);
+    assert_eq!(bits(&commuted), bits(&cold));
+    assert_eq!(s.catalog_len(), 1);
+
+    // Near-misses do NOT alias: a different prefilter bound or a
+    // different residual threshold is a different query.
+    for (id, near) in [
+        (
+            3,
+            "y < 501 AND (SELECT COUNT(*) FROM d WHERE x < o.x) > 700",
+        ),
+        (
+            4,
+            "y < 500 AND (SELECT COUNT(*) FROM d WHERE x < o.x) > 699",
+        ),
+    ] {
+        let r = s.run(req(id, near, 200, false));
+        assert!(r.ok, "{:?}", r.error);
+        assert_eq!(r.served, "cold", "near-miss `{near}` must not alias");
+        assert_ne!(r.fingerprint, cold.fingerprint);
+    }
+    assert_eq!(s.catalog_len(), 3);
+}
+
+#[test]
+fn prefiltered_warm_states_export_and_restore() {
+    let mut a = service(1_000);
+    let cold = a.run(req(1, DECOMPOSABLE, 200, false));
+    assert_eq!(cold.served, "cold");
+    assert_eq!(cold.route, "lss");
+    let export = a.export_store();
+    assert!(
+        export.contains("\tlss+pf\t"),
+        "restricted state exports with the +pf tag:\n{export}"
+    );
+
+    // A fresh service restores the restricted state (re-decomposes,
+    // re-scans, replays prepare with known labels — zero oracle work)
+    // and resumes it warm with the exact same model version.
+    let mut b = service(1_000);
+    assert_eq!(b.import_store(&export).unwrap(), 1);
+    let warm = b.run(req(2, DECOMPOSABLE, 200, true));
+    assert_eq!(warm.served, "warm");
+    assert_eq!(warm.model_version, cold.model_version);
+
+    // The same fresh request replays bit-identically on a service that
+    // prepared its own state.
+    let mut a2 = service(1_000);
+    a2.run(req(1, DECOMPOSABLE, 200, false));
+    let wa = a2.run(req(9, DECOMPOSABLE, 200, true));
+    let wb = b.run(req(9, DECOMPOSABLE, 200, true));
+    assert_eq!(bits(&wa), bits(&wb));
+}
+
+#[test]
+fn zero_survivor_prefilters_answer_exact_zero_for_free() {
+    let mut s = service(1_000);
+    let r = s.run(req(
+        1,
+        "y < 0 AND (SELECT COUNT(*) FROM d WHERE x < o.x) > 700",
+        200,
+        false,
+    ));
+    assert!(r.ok, "{:?}", r.error);
+    assert_eq!(r.served, "exact");
+    assert_eq!(r.route, "exact");
+    assert_eq!(r.estimate, 0.0);
+    assert_eq!((r.lo, r.hi), (0.0, 0.0));
+    assert_eq!(r.evals, 0, "no oracle evaluation for an empty scope");
+    let plan = r.plan.as_ref().unwrap();
+    assert_eq!(plan.kind, "exact_prefilter");
+    assert_eq!(plan.survivors, Some(0));
+}
+
+#[test]
+fn planned_census_matches_forced_monolithic_census_with_fewer_evals() {
+    // A width target tight enough to force the census on both plans.
+    let tight = |id: u64| Request {
+        id,
+        dataset: "d".into(),
+        condition: DECOMPOSABLE.into(),
+        target: Target::RelWidth(0.0001),
+        fresh: false,
+    };
+    let mut planned = service(1_000);
+    let rp = planned.run(tight(1));
+    assert!(rp.ok, "{:?}", rp.error);
+    assert_eq!(rp.route, "exact");
+    assert_eq!(rp.plan.as_ref().unwrap().kind, "exact_prefilter");
+
+    let mut mono = Service::new(ServiceConfig {
+        planner: lts_serve::BudgetPlanner {
+            monolithic_selectivity: 0.0,
+            ..lts_serve::BudgetPlanner::default()
+        },
+        ..ServiceConfig::default()
+    });
+    mono.register_dataset("d", linear_table(1_000), &["x", "y"])
+        .unwrap();
+    let rm = mono.run(tight(1));
+    assert!(rm.ok, "{:?}", rm.error);
+    assert_eq!(rm.route, "exact");
+    assert!(rm.plan.is_none(), "forced-monolithic carries no plan echo");
+
+    assert_eq!(rp.estimate, rm.estimate, "same exact count either way");
+    assert_eq!(rp.evals, 500, "restricted census labels only survivors");
+    assert_eq!(rm.evals, 1_000, "monolithic census labels everything");
+}
+
+#[test]
+fn version_bump_drops_plan_state_and_selectivity_feedback() {
+    let mut s = service(1_000);
+    let cold = s.run(req(1, DECOMPOSABLE, 200, false));
+    assert_eq!(cold.served, "cold");
+    assert_eq!(s.store_len(), 1);
+
+    s.invalidate("d").unwrap();
+    assert_eq!((s.store_len(), s.cache_len()), (0, 0));
+
+    // Re-colds against the new version: the prefilter re-scans (the
+    // data is unchanged, so the plan echo is identical) and the
+    // fingerprint moves with the version.
+    let recold = s.run(req(2, DECOMPOSABLE, 200, false));
+    assert_eq!(recold.served, "cold");
+    assert_eq!(recold.table_version, 1);
+    assert_ne!(recold.fingerprint, cold.fingerprint);
+    let plan = recold.plan.as_ref().unwrap();
+    assert_eq!(plan.kind, "prefilter_estimate");
+    assert_eq!(plan.survivors, Some(500));
+}
+
 #[test]
 fn small_populations_and_tight_targets_take_the_exact_route() {
     let mut s = service(50);

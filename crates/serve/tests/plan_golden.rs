@@ -1,0 +1,49 @@
+//! End-to-end smoke of the query-planning layer: the scripted REPL
+//! session must reproduce its golden transcript byte-for-byte.
+//!
+//! The script (`tests/data/plan_requests.txt`) covers `explain` before
+//! and after a prefilter scan (predicted vs observed selectivity), a
+//! prefilter+estimate cold start, result-cache aliasing of a commuted
+//! spelling, a fresh warm resume of the restricted residual state, an
+//! exact-prefilter census, the zero-survivor plan, the monolithic
+//! fallback for an unselective prefilter, an undecomposed `explain`,
+//! and the re-cold after invalidation. Deterministic mode zeroes wall
+//! times; every other field is a pure function of the seed, so the
+//! transcript is identical at any `RAYON_NUM_THREADS` (CI runs the
+//! serve tests under 1 worker and default workers) and on any host.
+//! The CI workflow also pipes the same script through the actual
+//! `lts-serve` binary and diffs against the same golden.
+
+use lts_serve::{run_repl, ReplOptions, ServiceConfig};
+
+#[test]
+fn scripted_plan_session_matches_golden_transcript() {
+    let script = include_str!("data/plan_requests.txt");
+    let golden = include_str!("data/plan_responses.golden");
+    let mut out = Vec::new();
+    run_repl(
+        ServiceConfig::default(),
+        ReplOptions {
+            deterministic: true,
+        },
+        script.as_bytes(),
+        &mut out,
+    )
+    .unwrap();
+    let got = String::from_utf8(out).unwrap();
+    if got != golden {
+        for (i, (g, w)) in golden.lines().zip(got.lines()).enumerate() {
+            if g != w {
+                panic!(
+                    "transcript diverges at line {}:\n golden: {g}\n    got: {w}",
+                    i + 1
+                );
+            }
+        }
+        panic!(
+            "transcript length mismatch: golden {} lines, got {}",
+            golden.lines().count(),
+            got.lines().count()
+        );
+    }
+}

@@ -13,6 +13,9 @@
 //!   the paper argues a generic system falls back to,
 //! * the Q1 → (Q2, Q3) decomposition ([`query`]): distinct projection for
 //!   the object set and an aggregate-threshold predicate,
+//! * conjunctive plan analysis ([`mod@decompose`]): split a parsed predicate
+//!   into a cheap exact prefilter and an expensive subquery-bearing
+//!   residual, feeding the planning layer upstream,
 //! * a vectorized, column-at-a-time expression engine ([`vector`]) that
 //!   evaluates an `Expr` over a whole table (or a row range, or a
 //!   selection vector) in typed branch-free kernels, result-identical
@@ -37,6 +40,7 @@
 
 pub mod column;
 pub mod csv;
+pub mod decompose;
 pub mod error;
 pub mod expr;
 pub mod grid;
@@ -51,6 +55,7 @@ pub mod vector;
 
 pub use column::Column;
 pub use csv::{read_csv_path, read_csv_str, write_csv_string, CsvOptions};
+pub use decompose::{contains_subquery, decompose, split_conjuncts, DecomposedQuery};
 pub use error::{TableError, TableResult};
 pub use expr::{AggFunc, AggSubquery, BinaryOp, CmpOp, Expr, Func, RowCtx, UnaryOp};
 pub use grid::GridIndex;
