@@ -1,0 +1,320 @@
+//! Out-of-core storage benchmark: paged scans with zone-map page
+//! skipping versus the in-RAM partitioned scan, plus warm-restart cost.
+//!
+//! For each `ScaledTier` in {x30, x100}, the Sports population is
+//! written out as a paged table and the same selective conjunctive
+//! query — a `player_id` range prefilter (the generator emits
+//! `player_id` nondecreasing, so pages have tight zone maps) AND an
+//! arithmetic residual — is counted three ways:
+//!
+//! * `inram_scan` — `PartitionedTable::par_count` over the resident
+//!   table (the best case: no I/O, no decode);
+//! * `cold_full_scan` — a freshly opened `PagedTable` with zone
+//!   skipping **off**: every page is faulted, checksummed, decoded,
+//!   and evaluated;
+//! * `zone_skipped_scan` — a freshly opened `PagedTable` with zone
+//!   skipping **on**: pages whose zone maps prove the prefilter false
+//!   are never read.
+//!
+//! All three must agree on the exact count (the storage determinism
+//! contract), the skipped scan must read **≤ 50 % of the pages**, and
+//! it must post a lower wall time than the cold full scan — all
+//! asserted *before* `BENCH_storage.json` is written.
+//!
+//! The warm-restart pair measures the serving layer's durable state:
+//! `cold_prepare` is a fresh service registering the dataset and
+//! answering one cold query; `state_restore` is a new service loading
+//! the snapshot (`lts_serve::state`, the `--state-dir` path) and
+//! serving the same query from the restored result cache —
+//! bit-identical, zero oracle evaluations.
+//!
+//! `mean_evals` carries pages-read for scan rows and oracle
+//! evaluations for restart rows. Wall times are the only
+//! non-deterministic fields: CI diffs the artifact between thread
+//! counts with `wall_seconds` masked (schema in `docs/benchmarks.md`).
+//!
+//! Usage: `cargo run --release -p lts-bench --bin bench_storage --
+//! [--seed S] [--out DIR]` (`--scale`/`--trials` accepted, unused —
+//! the tiers fix the sizes).
+
+use lts_bench::{emit_records_json, BenchRecord, RunConfig, TextTable};
+use lts_data::{scaled_scenario, DatasetKind, ScaledTier, SelectivityLevel};
+use lts_serve::{state, DatasetSpec, Request, Service, ServiceConfig, Target};
+use lts_table::{Expr, PagedTable, PartitionedTable, Table};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Rows per page: small enough that the x30 tier has a few dozen
+/// pages, large enough that a page is a meaningful unit of I/O.
+const PAGE_ROWS: usize = 1024;
+
+fn record(label: &str, cell: &str, value: f64, reads: f64, wall: f64) -> BenchRecord {
+    BenchRecord {
+        label: label.to_string(),
+        cell: cell.to_string(),
+        median: value,
+        iqr: 0.0,
+        mean_evals: reads,
+        wall_seconds: wall,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lts_bench_storage_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct ScanOut {
+    count: usize,
+    wall: f64,
+    pages_read: u64,
+    pages_total: u64,
+}
+
+fn paged_scan(dir: &Path, pool_pages: usize, zone_skipping: bool, expr: &Expr) -> ScanOut {
+    // A fresh open per scan: an empty buffer pool, so every page the
+    // scan touches is a real disk fault (cold-cache semantics).
+    let paged = PagedTable::open(dir, pool_pages)
+        .expect("open paged table")
+        .with_zone_skipping(zone_skipping);
+    let t0 = Instant::now();
+    let count = paged.par_count(expr).expect("paged count");
+    let wall = t0.elapsed().as_secs_f64();
+    let scan = paged.scan_snapshot();
+    ScanOut {
+        count,
+        wall,
+        pages_read: scan.pages_evaluated,
+        pages_total: scan.pages_evaluated + scan.pages_skipped,
+    }
+}
+
+struct TierOut {
+    records: Vec<BenchRecord>,
+    rows: Vec<Vec<String>>,
+}
+
+fn run_tier(tier: ScaledTier, seed: u64) -> TierOut {
+    let scenario = scaled_scenario(DatasetKind::Sports, tier, SelectivityLevel::M, seed)
+        .expect("sports scenario");
+    let table: &Arc<Table> = &scenario.table;
+    let n = table.len();
+
+    // Selective prefilter: keep the first ~quarter of the population by
+    // `player_id` (nondecreasing in row order, so the page zone maps
+    // are tight ranges and pages past the boundary are provably false).
+    let ids = table.ints("player_id").expect("player_id column");
+    let cutoff = ids[n / 4];
+    // Row-local arithmetic residual — expensive enough per row that
+    // skipped pages save evaluation as well as I/O, and subquery-free
+    // so the scan never depends on rows outside the page.
+    let residual = (Expr::col("strikeouts").sub(Expr::lit(100.0)))
+        .power(Expr::lit(2.0))
+        .add((Expr::col("wins").sub(Expr::lit(8.0))).power(Expr::lit(2.0)))
+        .sqrt()
+        .lt(Expr::lit(60.0));
+    let expr = Expr::col("player_id")
+        .lt(Expr::lit(cutoff as f64))
+        .and(residual);
+
+    // In-RAM baseline.
+    let pt = PartitionedTable::auto(Arc::clone(table));
+    let t0 = Instant::now();
+    let inram_count = pt.par_count(&expr).expect("in-RAM count");
+    let inram_wall = t0.elapsed().as_secs_f64();
+
+    // Page out the table; the buffer pool holds one column's worth of
+    // pages while the query touches three columns, so the full scan
+    // cycles the pool (genuine out-of-core pressure).
+    let dir = temp_dir(tier.label());
+    PagedTable::create(&dir, table, PAGE_ROWS).expect("create paged table");
+    let n_pages = n.div_ceil(PAGE_ROWS);
+
+    let full = paged_scan(&dir, n_pages, false, &expr);
+    let skipped = paged_scan(&dir, n_pages, true, &expr);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ------------------------------------------------------------------
+    // Acceptance gates — all BEFORE any artifact is written.
+    // ------------------------------------------------------------------
+    assert_eq!(
+        full.count,
+        inram_count,
+        "{}: cold full scan count",
+        tier.label()
+    );
+    assert_eq!(
+        skipped.count,
+        inram_count,
+        "{}: zone-skipped count",
+        tier.label()
+    );
+    assert_eq!(
+        full.pages_read,
+        n_pages as u64,
+        "{}: full scan must read every page",
+        tier.label()
+    );
+    assert!(
+        skipped.pages_read * 2 <= skipped.pages_total,
+        "{}: zone-skipped scan must read <= 50% of pages, read {}/{}",
+        tier.label(),
+        skipped.pages_read,
+        skipped.pages_total
+    );
+    assert!(
+        skipped.wall < full.wall,
+        "{}: zone-skipped scan must beat the cold full scan, {:.4}s vs {:.4}s",
+        tier.label(),
+        skipped.wall,
+        full.wall
+    );
+
+    let cell = tier.label();
+    let fraction = skipped.pages_read as f64 / skipped.pages_total as f64;
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (label, count, reads, wall) in [
+        ("inram_scan", inram_count, 0u64, inram_wall),
+        ("cold_full_scan", full.count, full.pages_read, full.wall),
+        (
+            "zone_skipped_scan",
+            skipped.count,
+            skipped.pages_read,
+            skipped.wall,
+        ),
+    ] {
+        rows.push(vec![
+            cell.to_string(),
+            label.to_string(),
+            format!("{count}"),
+            format!("{reads}/{n_pages}"),
+            format!("{:.2}", wall * 1e3),
+        ]);
+        records.push(record(label, cell, count as f64, reads as f64, wall));
+    }
+    records.push(record(
+        "zone_skip_page_fraction",
+        cell,
+        fraction,
+        f64::NAN,
+        0.0,
+    ));
+    TierOut { records, rows }
+}
+
+/// Cold service prepare versus `--state-dir` snapshot restore, over the
+/// x30 Sports population.
+fn run_restart(seed: u64) -> (Vec<BenchRecord>, Vec<Vec<String>>) {
+    let spec = DatasetSpec {
+        kind: "sports".to_string(),
+        rows: ScaledTier::X30.rows(),
+        level: "M".to_string(),
+        seed,
+    };
+    let condition = "strikeouts < 120";
+    let run = |svc: &mut Service, id: u64| {
+        let r = svc.run(Request {
+            id,
+            dataset: "s".to_string(),
+            condition: condition.to_string(),
+            target: Target::Budget(200),
+            fresh: false,
+        });
+        assert!(r.ok, "request failed: {:?}", r.error);
+        r
+    };
+
+    // Cold prepare: generate + register + answer one cold query.
+    let t0 = Instant::now();
+    let mut cold_svc = Service::new(ServiceConfig {
+        seed,
+        ..ServiceConfig::default()
+    });
+    cold_svc.register_generated("s", &spec).expect("register");
+    let cold = run(&mut cold_svc, 1);
+    let cold_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(cold.served, "cold");
+    let reference = run(&mut cold_svc, 2);
+    assert_eq!(reference.served, "cached");
+
+    let dir = temp_dir("state");
+    state::save(&cold_svc, &dir).expect("save snapshot");
+
+    // Restore: load the snapshot and serve the same query, first try.
+    let t0 = Instant::now();
+    let mut warm_svc = Service::new(ServiceConfig {
+        seed,
+        ..ServiceConfig::default()
+    });
+    state::load(&mut warm_svc, &dir)
+        .expect("load snapshot")
+        .expect("snapshot present");
+    let restored = run(&mut warm_svc, 3);
+    let restore_wall = t0.elapsed().as_secs_f64();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Acceptance: first warm request replays the pre-restart bits with
+    // zero oracle evaluations — asserted before the artifact exists.
+    assert_eq!(restored.served, "cached");
+    assert_eq!(restored.evals, 0);
+    assert_eq!(warm_svc.stats().oracle_evals, 0);
+    assert_eq!(restored.estimate.to_bits(), reference.estimate.to_bits());
+    assert_eq!(restored.lo.to_bits(), reference.lo.to_bits());
+    assert_eq!(restored.hi.to_bits(), reference.hi.to_bits());
+
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for (label, r, wall) in [
+        ("cold_prepare", &cold, cold_wall),
+        ("state_restore", &restored, restore_wall),
+    ] {
+        rows.push(vec![
+            "warm_restart".to_string(),
+            label.to_string(),
+            format!("{:.1}", r.estimate),
+            format!("{}", r.evals),
+            format!("{:.2}", wall * 1e3),
+        ]);
+        records.push(record(
+            label,
+            "warm_restart",
+            r.estimate,
+            r.evals as f64,
+            wall,
+        ));
+    }
+    (records, rows)
+}
+
+fn main() {
+    let config = RunConfig::from_env();
+
+    let mut records: Vec<BenchRecord> = Vec::new();
+    let mut table = TextTable::new(&["cell", "mode", "count/est", "reads|evals", "ms"]);
+    for tier in [ScaledTier::X30, ScaledTier::X100] {
+        let out = run_tier(tier, config.seed);
+        for row in out.rows {
+            table.row(row);
+        }
+        records.extend(out.records);
+    }
+    let (restart_records, restart_rows) = run_restart(config.seed);
+    for row in restart_rows {
+        table.row(row);
+    }
+    records.extend(restart_records);
+
+    println!(
+        "storage benchmark: {} rows/page, tiers x30/x100, sports selective prefilter\n",
+        PAGE_ROWS
+    );
+    print!("{}", table.render());
+    println!(
+        "\nzone-skipped scan read <= 50% of pages on every tier and beat the cold \
+         full scan; snapshot restore served the first request at zero oracle cost"
+    );
+    emit_records_json(&config.out_dir, "storage", "parallel", &records);
+}

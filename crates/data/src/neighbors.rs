@@ -133,7 +133,10 @@ pub fn neighbors_table(config: &NeighborsConfig) -> TableResult<Table> {
         Field::new("src_rate", DataType::Float),
         Field::new("dst_rate", DataType::Float),
     ];
-    let mut columns = vec![Column::Float(xs.clone()), Column::Float(ys.clone())];
+    // Padding columns are derived from borrowed `xs`/`ys`, so build
+    // them first; the informative columns are then *moved* into the
+    // table (cloning them would copy two full columns per build).
+    let mut padding = Vec::with_capacity(d.saturating_sub(2));
     for j in 2..d {
         let name = format!("f{j:02}");
         fields.push(Field::new(name, DataType::Float));
@@ -151,8 +154,10 @@ pub fn neighbors_table(config: &NeighborsConfig) -> TableResult<Table> {
             // Pure noise.
             _ => (0..n).map(|_| randn(&mut rng) * 1.5).collect(),
         };
-        columns.push(Column::Float(col));
+        padding.push(Column::Float(col));
     }
+    let mut columns = vec![Column::Float(xs), Column::Float(ys)];
+    columns.extend(padding);
     fields.push(Field::new("label", DataType::Int));
     columns.push(Column::Int(labels));
 

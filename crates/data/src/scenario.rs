@@ -188,18 +188,19 @@ impl Scenario {
 /// Propagates generation or problem-construction errors.
 pub fn sports_scenario(rows: usize, level: SelectivityLevel, seed: u64) -> CoreResult<Scenario> {
     let table = Arc::new(sports_table(&SportsConfig { rows, seed })?);
-    let xs = table.floats("strikeouts")?.to_vec();
-    let ys = table.floats("wins")?.to_vec();
+    let xs = table.floats("strikeouts")?;
+    let ys = table.floats("wins")?;
 
     // Selectivity(k) = #{dom(i) < k} / N — calibrate k by quantile.
-    let dom = dominator_counts(&xs, &ys);
+    // Both uses of `dom` below are order-insensitive (an order statistic
+    // and a permutation-invariant count), so sort in place — no copy.
+    let mut dom = dominator_counts(xs, ys);
     let target = level.target(DatasetKind::Sports);
-    let mut sorted = dom.clone();
-    sorted.sort_unstable();
+    dom.sort_unstable();
     let want = ((rows as f64 * target).round() as usize).clamp(1, rows);
     // Smallest k with at least `want` qualifying points: k = dom value at
     // the want-th order statistic + 1.
-    let k = sorted[want - 1] + 1;
+    let k = dom[want - 1] + 1;
     let truth = dom.iter().filter(|&&c| c < k).count();
 
     let predicate: Arc<dyn ObjectPredicate> = Arc::new(skyband_fast_predicate(
@@ -233,12 +234,12 @@ pub fn neighbors_scenario(rows: usize, level: SelectivityLevel, seed: u64) -> Co
         features: 41,
         seed,
     })?);
-    let xs = table.floats("src_rate")?.to_vec();
-    let ys = table.floats("dst_rate")?.to_vec();
+    let xs = table.floats("src_rate")?;
+    let ys = table.floats("dst_rate")?;
 
     // Selectivity(d) = #{radius_i > d} / N (decreasing in d): pick d as
     // the (1 − target) quantile of the radii.
-    let mut radii = knn_radii(&xs, &ys, NEIGHBORS_K);
+    let mut radii = knn_radii(xs, ys, NEIGHBORS_K);
     let target = level.target(DatasetKind::Neighbors);
     radii.sort_by(f64::total_cmp);
     let idx = (((1.0 - target) * rows as f64).round() as usize).min(rows - 1);

@@ -1,0 +1,113 @@
+//! Allocation audit for the scenario construction paths.
+//!
+//! The scenario constructors are the table-construction path behind
+//! every benchmark and behind `lts-serve`'s `register` command, so a
+//! reintroduced full-column copy there taxes every cold start. This
+//! test pins the number of **column-sized** heap allocations made while
+//! building each scenario, via a counting global allocator: any change
+//! that clones a whole column (or a whole per-row work vector) bumps
+//! the count by at least one and trips the ceiling.
+//!
+//! The ceilings are intentionally tight — they sit just above the
+//! audited allocation inventory (generator columns, calibration work
+//! vectors, predicate captures, the feature matrix) and below
+//! "inventory + one more full-column copy".
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Counts allocations of at least `THRESHOLD` bytes; `usize::MAX`
+/// disarms it outside the measured section.
+struct CountingAlloc;
+
+static THRESHOLD: AtomicUsize = AtomicUsize::new(usize::MAX);
+static LARGE_ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+impl CountingAlloc {
+    fn record(size: usize) {
+        if size >= THRESHOLD.load(Ordering::Relaxed) {
+            LARGE_ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::record(layout.size());
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::record(layout.size());
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // A growth realloc that crosses the threshold is a fresh
+        // column-sized allocation as far as the audit is concerned.
+        if new_size >= layout.size() {
+            Self::record(new_size);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Run `f`, counting heap allocations of `threshold` bytes or more.
+fn count_large<T>(threshold: usize, f: impl FnOnce() -> T) -> (T, usize) {
+    LARGE_ALLOCS.store(0, Ordering::SeqCst);
+    THRESHOLD.store(threshold, Ordering::SeqCst);
+    let out = f();
+    THRESHOLD.store(usize::MAX, Ordering::SeqCst);
+    (out, LARGE_ALLOCS.load(Ordering::SeqCst))
+}
+
+const ROWS: usize = 4096;
+
+// One column (or per-row work vector) is ≥ rows × 8 bytes; anything
+// smaller is bookkeeping noise the audit ignores.
+const COLUMN_BYTES: usize = ROWS * 8;
+
+// lts-data is rayon-free and its generators are seeded, so the
+// allocation stream of a scenario build is deterministic; the single
+// #[test] below keeps the harness from running anything concurrently.
+#[test]
+fn scenario_construction_makes_no_surplus_column_copies() {
+    let (sports, sports_allocs) = count_large(COLUMN_BYTES, || {
+        lts_data::sports_scenario(ROWS, lts_data::SelectivityLevel::M, 7).unwrap()
+    });
+    assert_eq!(sports.table.len(), ROWS);
+
+    let (neighbors, neighbors_allocs) = count_large(COLUMN_BYTES, || {
+        lts_data::neighbors_scenario(ROWS, lts_data::SelectivityLevel::M, 7).unwrap()
+    });
+    assert_eq!(neighbors.table.len(), ROWS);
+
+    // Inventory (sports): 9 generator columns + dominator-count
+    // structures (y-rank copy, duplicate map, sweep order, counts) +
+    // 2 predicate captures + 2 feature-column materializations +
+    // the row-major feature matrix = 20 measured. The pre-audit path
+    // made 3 more (2 calibration column copies + 1 sort copy), so the
+    // ceiling is exact: one new copy trips it.
+    assert!(
+        sports_allocs <= 20,
+        "sports scenario made {sports_allocs} column-sized allocations — \
+         a full-column copy crept back into the construction path"
+    );
+
+    // Inventory (neighbors): 41 feature columns + labels + kNN-radius
+    // work + grid index + 2 predicate captures + features = 54
+    // measured. The pre-audit path made 4 more (2 informative-column
+    // clones + 2 calibration column copies); exact ceiling again.
+    assert!(
+        neighbors_allocs <= 54,
+        "neighbors scenario made {neighbors_allocs} column-sized allocations — \
+         a full-column copy crept back into the construction path"
+    );
+}

@@ -4,7 +4,7 @@
 //! cargo run --release -p lts-serve --bin lts-served -- \
 //!   [--addr 127.0.0.1:7878] [--deterministic] [--seed <u64>] \
 //!   [--max-connections <n>] [--max-line-bytes <n>] \
-//!   [--write-queue <n>] [--admission <n>]
+//!   [--write-queue <n>] [--admission <n>] [--state-dir <path>]
 //! ```
 //!
 //! Speaks the `lts-serve` line protocol over TCP: line-delimited
@@ -52,7 +52,9 @@ fn usage() -> ! {
          --max-line-bytes <n>    structured error for longer request lines (default 65536)\n  \
          --write-queue <n>       per-connection response queue bound; overflow drops the\n                          \
          connection (slow-reader policy; default 128)\n  \
-         --admission <n>         shared admission queue bound (default 64)\n\
+         --admission <n>         shared admission queue bound (default 64)\n  \
+         --state-dir <path>      durable warm state: restore a snapshot from this directory\n                          \
+         at startup and write one atomically at graceful shutdown\n\
          protocol: register / count / invalidate / stats / quit / shutdown (see lts-serve --help)"
     );
     std::process::exit(0)
@@ -98,6 +100,13 @@ fn main() {
                 config.write_queue_capacity = parse_usize(&mut args, "--write-queue")
             }
             "--admission" => config.admission_capacity = parse_usize(&mut args, "--admission"),
+            "--state-dir" => match args.next() {
+                Some(p) => config.state_dir = Some(std::path::PathBuf::from(p)),
+                None => {
+                    eprintln!("--state-dir needs a directory path");
+                    std::process::exit(2);
+                }
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option `{other}` (try --help)");

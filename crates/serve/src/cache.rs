@@ -149,6 +149,12 @@ impl ResultCache {
         Some(e.clone())
     }
 
+    /// Iterate over every live entry (unordered) — the export path of
+    /// the durable-state snapshot. Does not count as a serve.
+    pub fn entries(&self) -> impl Iterator<Item = (&ResultKey, &CachedResult)> {
+        self.entries.iter()
+    }
+
     /// Drop every entry of a dataset (invalidation on version bump or
     /// explicit flush).
     pub fn invalidate_dataset(&mut self, dataset: &str) -> usize {

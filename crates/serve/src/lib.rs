@@ -38,6 +38,7 @@ pub mod planner;
 pub mod protocol;
 pub mod repl;
 pub mod service;
+pub mod state;
 pub mod store;
 
 pub use cache::{CachedResult, ResultCache, ResultKey, StalenessPolicy};
@@ -49,6 +50,8 @@ pub use planner::{BudgetPlanner, QueryRoute, Route, SelectivityFeedback, Target}
 pub use protocol::{handle_line, LineOutcome, SessionState};
 pub use repl::{run_repl, ReplOptions};
 pub use service::{
-    serve_lss_profile, PlanSummary, Request, Response, Service, ServiceConfig, ServiceStats,
+    serve_lss_profile, DatasetSpec, PlanSummary, Request, Response, Service, ServiceConfig,
+    ServiceStats,
 };
+pub use state::{RestoreSummary, StateError, STATE_FILE};
 pub use store::{ModelStore, StoreKey, StoredModel, WarmState};

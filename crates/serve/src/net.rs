@@ -65,7 +65,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Configuration of the TCP front-end.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct NetConfig {
     /// The wrapped service's configuration.
     pub service: ServiceConfig,
@@ -83,6 +83,13 @@ pub struct NetConfig {
     /// Bound of the shared admission channel; submitting readers block
     /// (per-client backpressure) while it is full.
     pub admission_capacity: usize,
+    /// Durable warm state: when set, the dispatcher restores a
+    /// [`crate::state`] snapshot from this directory at startup (a
+    /// restored server is warm from its first request) and writes one
+    /// atomically at graceful shutdown. A missing snapshot is a normal
+    /// cold start; a corrupt one is logged and ignored (cold start) —
+    /// never a panic.
+    pub state_dir: Option<std::path::PathBuf>,
 }
 
 impl Default for NetConfig {
@@ -94,6 +101,7 @@ impl Default for NetConfig {
             max_line_bytes: 64 * 1024,
             write_queue_capacity: 128,
             admission_capacity: 64,
+            state_dir: None,
         }
     }
 }
@@ -293,20 +301,26 @@ impl NetServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
+        // NetConfig is no longer Copy (it may carry a state path);
+        // capture what the channels and the dispatcher need before the
+        // config moves into the shared registry.
+        let service_config = config.service;
+        let admission = config.admission_capacity.max(1);
+        let state_dir = config.state_dir.clone();
         let shared = Arc::new(Shared {
             config,
             shutting_down: AtomicBool::new(false),
             conns: Mutex::new(HashMap::new()),
             next_conn_id: AtomicU64::new(0),
         });
-        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(config.admission_capacity.max(1));
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(admission);
         let accept = {
             let shared = Arc::clone(&shared);
             std::thread::spawn(move || accept_loop(listener, &shared, &tx))
         };
         let dispatch = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || dispatch_loop(Service::new(config.service), &rx, &shared))
+            std::thread::spawn(move || dispatch_loop(service_config, state_dir, &rx, &shared))
         };
         Ok(Self {
             addr,
@@ -591,7 +605,31 @@ fn settle(conn: &Arc<ConnShared>, reply: Option<String>, shared: &Shared) {
     conn.finish_if_drained();
 }
 
-fn dispatch_loop(mut service: Service, rx: &Receiver<Job>, shared: &Arc<Shared>) {
+fn dispatch_loop(
+    service_config: ServiceConfig,
+    state_dir: Option<std::path::PathBuf>,
+    rx: &Receiver<Job>,
+    shared: &Arc<Shared>,
+) {
+    let mut service = Service::new(service_config);
+    // Durable warm state: restore before the first request so a
+    // restarted server answers warm immediately. Any failure —
+    // mismatched version, torn write, corruption — falls back to a
+    // clean cold start on a FRESH service (the failed restore may have
+    // left partial state behind).
+    if let Some(dir) = &state_dir {
+        match crate::state::load(&mut service, dir) {
+            Ok(Some(s)) => eprintln!(
+                "lts-served: restored {} dataset(s), {} warm state(s), {} cached result(s)",
+                s.datasets, s.models, s.cached
+            ),
+            Ok(None) => {}
+            Err(e) => {
+                eprintln!("lts-served: state restore failed ({e}); starting cold");
+                service = Service::new(service_config);
+            }
+        }
+    }
     loop {
         let job = match rx.recv_timeout(Duration::from_millis(20)) {
             Ok(job) => job,
@@ -636,6 +674,14 @@ fn dispatch_loop(mut service: Service, rx: &Receiver<Job>, shared: &Arc<Shared>)
     // executed — give each a structured refusal, in FIFO order.
     while let Ok(job) = rx.try_recv() {
         settle(&job.conn, Some(shutting_down_line()), shared);
+    }
+    // Snapshot after the drain, while the service is quiescent. The
+    // write is atomic (temp + rename): a failure here leaves the
+    // previous snapshot intact and is reported, never fatal.
+    if let Some(dir) = &state_dir {
+        if let Err(e) = crate::state::save(&service, dir) {
+            eprintln!("lts-served: state save failed: {e}");
+        }
     }
     shared.close_all_conns();
 }

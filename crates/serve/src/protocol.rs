@@ -23,8 +23,9 @@
 //! equal ids for equal requests replay the same response) but means
 //! clients that want distinct `fresh` streams should pass explicit ids.
 
+use crate::error::ServeError;
 use crate::planner::Target;
-use crate::service::{Request, Service};
+use crate::service::{DatasetSpec, Request, Service};
 
 /// Options shared by every protocol front-end.
 #[derive(Debug, Clone, Copy, Default)]
@@ -123,32 +124,23 @@ fn handle_register(service: &mut Service, rest: &str) -> String {
             return json_err(&format!("unknown register option `{tok}`"));
         }
     }
-    let level = match level.as_str() {
-        "XS" => lts_data::SelectivityLevel::XS,
-        "S" => lts_data::SelectivityLevel::S,
-        "M" => lts_data::SelectivityLevel::M,
-        "L" => lts_data::SelectivityLevel::L,
-        "XL" => lts_data::SelectivityLevel::XL,
-        "XXL" => lts_data::SelectivityLevel::XXL,
-        other => return json_err(&format!("unknown selectivity level `{other}`")),
+    // The service records the recipe so the durable-state snapshot can
+    // re-generate the identical dataset on restart.
+    let spec = DatasetSpec {
+        kind: kind.to_string(),
+        rows,
+        level,
+        seed,
     };
-    let (table, cols) = match kind {
-        "sports" => match lts_data::sports_scenario(rows, level, seed) {
-            Ok(sc) => (sc.table, ["strikeouts", "wins"]),
-            Err(e) => return json_err(&e.to_string()),
-        },
-        "neighbors" => match lts_data::neighbors_scenario(rows, level, seed) {
-            Ok(sc) => (sc.table, ["src_rate", "dst_rate"]),
-            Err(e) => return json_err(&e.to_string()),
-        },
-        other => return json_err(&format!("unknown dataset kind `{other}`")),
-    };
-    match service.register_dataset(name, table, &cols) {
+    match service.register_generated(name, &spec) {
         Ok(()) => format!(
             "{{\"ok\": true, \"registered\": \"{name}\", \"rows\": {rows}, \
              \"version\": {}}}",
             service.dataset_version(name).unwrap_or(0)
         ),
+        // `Invalid` carries the protocol-facing message verbatim
+        // (unknown kind/level, generator failures).
+        Err(ServeError::Invalid { message }) => json_err(&message),
         Err(e) => json_err(&e.to_string()),
     }
 }

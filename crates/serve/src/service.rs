@@ -54,7 +54,7 @@
 //! The CI thread sweep (1 worker vs default) diffs whole response
 //! streams with wall times masked.
 
-use crate::cache::{ResultCache, ResultKey, StalenessPolicy};
+use crate::cache::{CachedResult, ResultCache, ResultKey, StalenessPolicy};
 use crate::catalog::{PlanState, QueryCatalog, QueryDecomposition, QueryKey};
 use crate::error::{ServeError, ServeResult};
 use crate::fingerprint;
@@ -357,10 +357,29 @@ pub struct ServiceStats {
     pub oracle_evals_saved: u64,
 }
 
+/// Recipe of a generated dataset (the `register` protocol command):
+/// enough to re-generate the identical table on restart, which is what
+/// the durable-state snapshot persists instead of raw rows.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DatasetSpec {
+    /// Generator kind: `sports` or `neighbors`.
+    pub kind: String,
+    /// Row count.
+    pub rows: usize,
+    /// Selectivity level name (`XS` … `XXL`).
+    pub level: String,
+    /// Generator seed.
+    pub seed: u64,
+}
+
 struct DatasetState {
     table: PartitionedTable,
     feature_cols: Vec<String>,
     registry: TableRegistry,
+    /// Present for datasets registered through a generator recipe;
+    /// `None` for tables handed in directly (those cannot be
+    /// re-generated and are not persisted by the state snapshot).
+    spec: Option<DatasetSpec>,
 }
 
 /// The in-process concurrent counting service.
@@ -499,12 +518,121 @@ impl Service {
             table: PartitionedTable::auto(table).with_version(existing.unwrap_or(0)),
             feature_cols: feature_cols.iter().map(|s| s.to_string()).collect(),
             registry,
+            spec: None,
         };
         self.datasets.insert(name.to_string(), state);
         if existing.is_some() {
             self.invalidate(name)?;
         }
         Ok(())
+    }
+
+    /// Register (or replace) a dataset from a generator recipe — the
+    /// path behind the protocol's `register` command. The recipe is
+    /// recorded so the durable-state snapshot can re-generate the
+    /// identical table on restart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Invalid`] for an unknown kind or level, or
+    /// a generator/registration failure.
+    pub fn register_generated(&mut self, name: &str, spec: &DatasetSpec) -> ServeResult<()> {
+        let invalid = |message: String| ServeError::Invalid { message };
+        let level = match spec.level.as_str() {
+            "XS" => lts_data::SelectivityLevel::XS,
+            "S" => lts_data::SelectivityLevel::S,
+            "M" => lts_data::SelectivityLevel::M,
+            "L" => lts_data::SelectivityLevel::L,
+            "XL" => lts_data::SelectivityLevel::XL,
+            "XXL" => lts_data::SelectivityLevel::XXL,
+            other => return Err(invalid(format!("unknown selectivity level `{other}`"))),
+        };
+        let (table, cols) = match spec.kind.as_str() {
+            "sports" => (
+                lts_data::sports_scenario(spec.rows, level, spec.seed)
+                    .map_err(|e| invalid(e.to_string()))?
+                    .table,
+                ["strikeouts", "wins"],
+            ),
+            "neighbors" => (
+                lts_data::neighbors_scenario(spec.rows, level, spec.seed)
+                    .map_err(|e| invalid(e.to_string()))?
+                    .table,
+                ["src_rate", "dst_rate"],
+            ),
+            other => return Err(invalid(format!("unknown dataset kind `{other}`"))),
+        };
+        self.register_dataset(name, table, &cols)?;
+        if let Some(ds) = self.datasets.get_mut(name) {
+            ds.spec = Some(spec.clone());
+        }
+        Ok(())
+    }
+
+    /// The generator recipes of every re-generatable dataset, with the
+    /// current table version — the dataset section of a state snapshot.
+    /// Sorted by name for stable output.
+    pub fn dataset_specs(&self) -> Vec<(String, DatasetSpec, u64)> {
+        let mut out: Vec<(String, DatasetSpec, u64)> = self
+            .datasets
+            .iter()
+            .filter_map(|(name, ds)| {
+                ds.spec
+                    .as_ref()
+                    .map(|spec| (name.clone(), spec.clone(), ds.table.version()))
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Every live result-cache entry, sorted by key — the cache section
+    /// of a state snapshot.
+    pub fn cache_entries(&self) -> Vec<(ResultKey, CachedResult)> {
+        let mut out: Vec<(ResultKey, CachedResult)> = self
+            .cache
+            .entries()
+            .map(|(k, e)| (k.clone(), e.clone()))
+            .collect();
+        out.sort_by(|a, b| {
+            (&a.0.dataset, &a.0.canonical, a.0.budget).cmp(&(
+                &b.0.dataset,
+                &b.0.canonical,
+                b.0.budget,
+            ))
+        });
+        out
+    }
+
+    /// Re-insert a cached result restored from a state snapshot (the
+    /// serve counter restarts at zero; the staleness clock restarts
+    /// now).
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_cached(
+        &mut self,
+        key: ResultKey,
+        count: f64,
+        std_error: f64,
+        lo: f64,
+        hi: f64,
+        level: f64,
+        evals_spent: usize,
+        model_version: u64,
+        table_version: u64,
+        route: &'static str,
+    ) {
+        self.cache.insert(
+            key,
+            count,
+            std_error,
+            lo,
+            hi,
+            level,
+            evals_spent,
+            model_version,
+            table_version,
+            route,
+        );
     }
 
     /// Bump a dataset's version and drop every artifact derived from it

@@ -141,7 +141,7 @@ pub struct ModelStore {
 }
 
 /// Percent-encode the characters that would break the line format.
-fn enc_text(s: &str) -> String {
+pub(crate) fn enc_text(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -155,7 +155,7 @@ fn enc_text(s: &str) -> String {
     out
 }
 
-fn dec_text(s: &str) -> Option<String> {
+pub(crate) fn dec_text(s: &str) -> Option<String> {
     let mut out = String::with_capacity(s.len());
     let mut chars = s.chars();
     while let Some(c) = chars.next() {

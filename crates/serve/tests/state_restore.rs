@@ -1,0 +1,251 @@
+//! Durable warm state: restore = bit-identical replay.
+//!
+//! * A snapshot saved by one service and loaded into a fresh one must
+//!   answer the first repeat request from the restored result cache —
+//!   **zero oracle evaluations, byte-identical response** — and replay
+//!   `fresh` requests bit-identically from the restored model store.
+//! * A version-mismatched, torn, or corrupted snapshot yields a
+//!   structured error and a clean cold start — never a panic, never a
+//!   silently different count.
+//! * The TCP server (`--state-dir`) round-trips the same contract
+//!   across a real restart.
+
+mod net_common;
+
+use lts_serve::state;
+use lts_serve::{
+    DatasetSpec, NetConfig, NetServer, ReplOptions, Request, Response, Service, ServiceConfig,
+    StateError, Target,
+};
+use net_common::Client;
+use std::fs;
+use std::path::PathBuf;
+
+const PLAIN: &str = "strikeouts < 120";
+const DECOMPOSED: &str = "strikeouts < 150 AND (SELECT COUNT(*) FROM s WHERE wins >= o.wins) < 300";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("lts_state_restore_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn spec() -> DatasetSpec {
+    DatasetSpec {
+        kind: "sports".to_string(),
+        rows: 600,
+        level: "M".to_string(),
+        seed: 3,
+    }
+}
+
+fn count(svc: &mut Service, id: u64, condition: &str, fresh: bool) -> Response {
+    let r = svc.run(Request {
+        id,
+        dataset: "s".to_string(),
+        condition: condition.to_string(),
+        target: Target::Budget(150),
+        fresh,
+    });
+    assert!(r.ok, "request failed: {:?}", r.error);
+    r
+}
+
+fn assert_bits_equal(a: &Response, b: &Response, what: &str) {
+    assert_eq!(
+        a.estimate.to_bits(),
+        b.estimate.to_bits(),
+        "{what}: estimate"
+    );
+    assert_eq!(
+        a.std_error.to_bits(),
+        b.std_error.to_bits(),
+        "{what}: std_error"
+    );
+    assert_eq!(a.lo.to_bits(), b.lo.to_bits(), "{what}: lo");
+    assert_eq!(a.hi.to_bits(), b.hi.to_bits(), "{what}: hi");
+    assert_eq!(a.level.to_bits(), b.level.to_bits(), "{what}: level");
+    assert_eq!(a.route, b.route, "{what}: route");
+    assert_eq!(a.model_version, b.model_version, "{what}: model_version");
+    assert_eq!(a.table_version, b.table_version, "{what}: table_version");
+}
+
+#[test]
+fn snapshot_roundtrip_replays_bit_identically() {
+    let dir = temp_dir("roundtrip");
+
+    // Service A: cold-start two queries (one of which decomposes into
+    // prefilter + residual, exercising the `+pf` store lineage), cache
+    // their results, and take one `fresh` warm replay as a reference.
+    let mut a = Service::new(ServiceConfig::default());
+    a.register_generated("s", &spec()).unwrap();
+    let a_cold_plain = count(&mut a, 0, PLAIN, false);
+    assert_eq!(a_cold_plain.served, "cold");
+    let a_cold_decomp = count(&mut a, 1, DECOMPOSED, false);
+    let a_cached_plain = count(&mut a, 2, PLAIN, false);
+    assert_eq!(a_cached_plain.served, "cached");
+    let a_fresh = count(&mut a, 42, PLAIN, true);
+    assert_eq!(a_fresh.served, "warm");
+    let saved_to = state::save(&a, &dir).unwrap();
+    assert!(saved_to.ends_with(lts_serve::STATE_FILE));
+
+    // Service B: load the snapshot and serve.
+    let mut b = Service::new(ServiceConfig::default());
+    let summary = state::load(&mut b, &dir)
+        .unwrap()
+        .expect("snapshot present");
+    assert_eq!(summary.datasets, 1);
+    assert!(summary.models >= 2, "both queries' warm states restored");
+    assert!(summary.cached >= 2, "both cached results restored");
+    assert_eq!(b.dataset_version("s"), a.dataset_version("s"));
+
+    // First repeat request: answered from the restored cache — zero
+    // oracle evaluations, bit-identical to the pre-restart response.
+    let b_first = count(&mut b, 100, PLAIN, false);
+    assert_eq!(b_first.served, "cached");
+    assert_eq!(b_first.evals, 0);
+    assert_eq!(b.stats().oracle_evals, 0, "warm-from-first-request");
+    assert_bits_equal(&b_first, &a_cached_plain, "restored cached (plain)");
+
+    let b_decomp = count(&mut b, 101, DECOMPOSED, false);
+    assert_eq!(b_decomp.served, "cached");
+    assert_eq!(b_decomp.evals, 0);
+    assert_bits_equal(&b_decomp, &a_cold_decomp, "restored cached (decomposed)");
+
+    // `fresh` replay: the restored model store reproduces the exact
+    // warm estimate (same per-id seed stream, same state digest).
+    let b_fresh = count(&mut b, 42, PLAIN, true);
+    assert_eq!(b_fresh.served, "warm");
+    assert_eq!(b_fresh.evals, a_fresh.evals, "stage-2-only budget");
+    assert_bits_equal(&b_fresh, &a_fresh, "fresh warm replay");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_snapshot_is_a_normal_cold_start() {
+    let dir = temp_dir("missing");
+    let mut svc = Service::new(ServiceConfig::default());
+    assert!(state::load(&mut svc, &dir).unwrap().is_none());
+    // The service is untouched and serves normally.
+    svc.register_generated("s", &spec()).unwrap();
+    assert_eq!(count(&mut svc, 0, PLAIN, false).served, "cold");
+}
+
+#[test]
+fn corrupt_snapshots_error_structurally_and_cold_start_cleanly() {
+    let dir = temp_dir("corrupt");
+
+    // Reference: the response a pure cold start produces.
+    let mut reference = Service::new(ServiceConfig::default());
+    reference.register_generated("s", &spec()).unwrap();
+    let ref_cold = count(&mut reference, 0, PLAIN, false);
+    state::save(&reference, &dir).unwrap();
+    let path = dir.join(lts_serve::STATE_FILE);
+    let good = fs::read_to_string(&path).unwrap();
+
+    // (a) Version-mismatched snapshot: future header, valid checksum.
+    let body = good
+        .replacen("lts-state/v1", "lts-state/v2", 1)
+        .lines()
+        .filter(|l| !l.starts_with("checksum\t"))
+        .map(|l| format!("{l}\n"))
+        .collect::<String>();
+    let reseal = format!(
+        "{body}checksum\t{:016x}\n",
+        lts_core::fnv1a(body.as_bytes())
+    );
+    fs::write(&path, reseal).unwrap();
+    let mut svc = Service::new(ServiceConfig::default());
+    assert!(matches!(
+        state::load(&mut svc, &dir),
+        Err(StateError::BadVersion { found }) if found == "lts-state/v2"
+    ));
+
+    // (b) Torn write: the file ends mid-line, before the trailer.
+    fs::write(&path, &good[..good.len() / 2]).unwrap();
+    let mut svc = Service::new(ServiceConfig::default());
+    let torn = state::load(&mut svc, &dir);
+    assert!(
+        matches!(
+            torn,
+            Err(StateError::Corrupt { .. } | StateError::ChecksumMismatch)
+        ),
+        "torn snapshot must surface structurally: {torn:?}"
+    );
+
+    // (c) One flipped payload byte under the stale checksum.
+    let flipped = good.replacen("sports", "sporks", 1);
+    assert_ne!(flipped, good, "fixture must actually flip a byte");
+    fs::write(&path, flipped).unwrap();
+    let mut svc = Service::new(ServiceConfig::default());
+    assert!(matches!(
+        state::load(&mut svc, &dir),
+        Err(StateError::ChecksumMismatch)
+    ));
+
+    // After every rejected restore: a clean cold start serves the same
+    // bits as a never-snapshotted service — corruption can delay
+    // warmth, never change a count.
+    let mut cold = Service::new(ServiceConfig::default());
+    cold.register_generated("s", &spec()).unwrap();
+    let cold_resp = count(&mut cold, 0, PLAIN, false);
+    assert_eq!(cold_resp.served, "cold");
+    assert_bits_equal(&cold_resp, &ref_cold, "cold start after rejected restore");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_restart_serves_first_warm_request_bit_identically() {
+    let dir = temp_dir("tcp");
+    let config = NetConfig {
+        repl: ReplOptions {
+            deterministic: true,
+        },
+        state_dir: Some(dir.clone()),
+        ..NetConfig::default()
+    };
+
+    // Run 1: register, cold count, cached repeat; graceful shutdown
+    // writes the snapshot.
+    let server = NetServer::bind("127.0.0.1:0", config.clone()).expect("bind");
+    let golden_cached = {
+        let mut c = Client::connect(server.local_addr());
+        let resp = c.roundtrip("register sports s rows=600 level=M seed=3");
+        assert!(resp.contains("\"registered\""), "{resp}");
+        let cold = c.roundtrip(&format!("count s budget=150 id=7 :: {PLAIN}"));
+        assert!(cold.contains("\"served\": \"cold\""), "{cold}");
+        let cached = c.roundtrip(&format!("count s budget=150 id=7 :: {PLAIN}"));
+        assert!(cached.contains("\"served\": \"cached\""), "{cached}");
+        let ack = c.roundtrip("shutdown");
+        assert!(ack.contains("\"shutting_down\": true"), "{ack}");
+        cached
+    };
+    server.join();
+    assert!(
+        dir.join(lts_serve::STATE_FILE).is_file(),
+        "snapshot written"
+    );
+
+    // Run 2: a NEW server process-equivalent on the same state dir.
+    // Its very first request — no register, no warm-up — must be the
+    // byte-identical cached response, at zero oracle cost.
+    let server = NetServer::bind("127.0.0.1:0", config).expect("bind restarted");
+    {
+        let mut c = Client::connect(server.local_addr());
+        let first = c.roundtrip(&format!("count s budget=150 id=7 :: {PLAIN}"));
+        assert_eq!(first, golden_cached, "restart must replay the exact bytes");
+        assert!(first.contains("\"evals\": 0"), "{first}");
+        let stats = c.roundtrip("stats");
+        assert!(
+            stats.contains("\"oracle_evals\": 0,"),
+            "zero oracle evaluations across the whole restarted run: {stats}"
+        );
+        let ack = c.roundtrip("shutdown");
+        assert!(ack.contains("\"shutting_down\": true"), "{ack}");
+    }
+    server.join();
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -64,6 +64,12 @@ pub enum TableError {
     },
     /// An empty table or column set where data is required.
     Empty,
+    /// A paged-storage I/O or integrity fault surfaced during a scan
+    /// (see `storage::StorageError` for the structured form).
+    Storage {
+        /// Description of the storage fault.
+        message: String,
+    },
 }
 
 impl fmt::Display for TableError {
@@ -95,6 +101,7 @@ impl fmt::Display for TableError {
                 write!(f, "parse error at byte {position}: {message}")
             }
             TableError::Empty => write!(f, "empty input"),
+            TableError::Storage { message } => write!(f, "storage error: {message}"),
         }
     }
 }

@@ -49,6 +49,7 @@ pub mod partition;
 pub mod predicate;
 pub mod query;
 pub mod schema;
+pub mod storage;
 pub mod table;
 pub mod value;
 pub mod vector;
@@ -64,6 +65,10 @@ pub use partition::{par_eval_bool_ids, partition_bounds, PartitionedTable};
 pub use predicate::{thread_labeling_nanos, FnPredicate, Metered, ObjectPredicate, PredicateStats};
 pub use query::{distinct_project, AggThresholdPredicate, CountQuery, ExprPredicate};
 pub use schema::{Field, Schema};
+pub use storage::{
+    BufferManager, BufferSnapshot, PagedTable, ScanSnapshot, StorageError, StorageResult,
+    TableManifest, ZoneMap,
+};
 pub use table::{table_of_floats, Table, TableBuilder};
 pub use value::{DataType, Value};
 pub use vector::{eval_bool_columnar, eval_columnar, eval_columnar_sel, Batch, RowSel};

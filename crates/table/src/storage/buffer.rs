@@ -1,0 +1,297 @@
+//! The bounded page cache: clock (second-chance) eviction, pin/unpin
+//! accounting, and hit/miss/eviction counters.
+//!
+//! A [`BufferManager`] caches decoded column pages keyed by
+//! `(column, page)`. Capacity is a page *count*; when a load would
+//! exceed it, the clock hand sweeps the resident ring giving
+//! recently-touched pages a second chance and evicting the first
+//! unpinned, unreferenced page it finds. Pages pinned through a live
+//! [`PageGuard`] are never evicted; if every resident page is pinned
+//! the pool **overflows** rather than failing — scan correctness is
+//! independent of pool size by construction, an adversarially tiny
+//! pool just re-reads pages (the property tests run exactly that
+//! configuration).
+//!
+//! Loads happen under the cache lock, so concurrent scans never decode
+//! the same page twice and the counters are exact: `hits + misses` is
+//! the number of page requests, `misses` the number of page faults
+//! that actually hit the disk format.
+
+use super::StorageResult;
+use crate::column::Column;
+use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A point-in-time view of the cache counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferSnapshot {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that faulted the page in from disk.
+    pub misses: u64,
+    /// Pages evicted to make room.
+    pub evictions: u64,
+    /// Pages currently resident.
+    pub resident: usize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    data: Arc<Column>,
+    referenced: bool,
+    pins: u32,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    slots: HashMap<(usize, usize), Slot>,
+    ring: Vec<(usize, usize)>,
+    hand: usize,
+}
+
+/// A bounded cache of decoded column pages (see the module docs).
+#[derive(Debug)]
+pub struct BufferManager {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl BufferManager {
+    /// A cache holding at most `capacity` pages (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            inner: Mutex::new(Inner::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured capacity, in pages.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Fetch the page at `key`, loading it with `load` on a miss, and
+    /// pin it for the lifetime of the returned guard.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the loader's storage error (nothing is cached then).
+    pub fn get_pinned(
+        &self,
+        key: (usize, usize),
+        load: impl FnOnce() -> StorageResult<Column>,
+    ) -> StorageResult<PageGuard<'_>> {
+        let mut inner = self.inner.lock().expect("buffer lock");
+        if let Some(slot) = inner.slots.get_mut(&key) {
+            slot.referenced = true;
+            slot.pins += 1;
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            let data = Arc::clone(&slot.data);
+            return Ok(PageGuard {
+                mgr: self,
+                key,
+                data,
+            });
+        }
+        // Load under the lock: concurrent scans never decode the same
+        // page twice, and `misses` counts true page faults.
+        let data = Arc::new(load()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.make_room(&mut inner);
+        inner.slots.insert(
+            key,
+            Slot {
+                data: Arc::clone(&data),
+                referenced: true,
+                pins: 1,
+            },
+        );
+        inner.ring.push(key);
+        Ok(PageGuard {
+            mgr: self,
+            key,
+            data,
+        })
+    }
+
+    /// Clock sweep: evict unpinned, unreferenced pages until there is
+    /// room for one more. Gives every resident page at most one second
+    /// chance; if everything is pinned the pool overflows.
+    fn make_room(&self, inner: &mut Inner) {
+        let mut steps = 0;
+        while inner.slots.len() >= self.capacity && !inner.ring.is_empty() {
+            if steps >= 2 * inner.ring.len() {
+                break; // every page pinned — overflow rather than fail
+            }
+            let i = inner.hand % inner.ring.len();
+            let key = inner.ring[i];
+            let slot = inner.slots.get_mut(&key).expect("ring entry resident");
+            if slot.pins > 0 {
+                inner.hand = i + 1;
+                steps += 1;
+            } else if slot.referenced {
+                slot.referenced = false;
+                inner.hand = i + 1;
+                steps += 1;
+            } else {
+                inner.slots.remove(&key);
+                inner.ring.remove(i);
+                inner.hand = i; // next entry shifted into place
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                steps = 0;
+            }
+        }
+    }
+
+    /// Current counter values and residency.
+    pub fn snapshot(&self) -> BufferSnapshot {
+        BufferSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident: self.inner.lock().expect("buffer lock").slots.len(),
+        }
+    }
+
+    /// Zero the hit/miss/eviction counters (residency is unchanged).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
+    }
+
+    /// Drop every unpinned resident page (a cold-cache reset).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock().expect("buffer lock");
+        let Inner { slots, ring, hand } = &mut *inner;
+        ring.retain(|k| slots.get(k).is_some_and(|s| s.pins > 0));
+        slots.retain(|_, s| s.pins > 0);
+        *hand = 0;
+    }
+
+    fn unpin(&self, key: (usize, usize)) {
+        let mut inner = self.inner.lock().expect("buffer lock");
+        if let Some(slot) = inner.slots.get_mut(&key) {
+            slot.pins = slot.pins.saturating_sub(1);
+        }
+    }
+}
+
+/// A pinned page: dereferences to the decoded [`Column`]; the pin is
+/// released on drop.
+#[derive(Debug)]
+pub struct PageGuard<'a> {
+    mgr: &'a BufferManager,
+    key: (usize, usize),
+    data: Arc<Column>,
+}
+
+impl PageGuard<'_> {
+    /// The decoded page, shareable beyond the pin's lifetime.
+    pub fn column(&self) -> &Arc<Column> {
+        &self.data
+    }
+}
+
+impl Deref for PageGuard<'_> {
+    type Target = Column;
+
+    fn deref(&self) -> &Column {
+        &self.data
+    }
+}
+
+impl Drop for PageGuard<'_> {
+    fn drop(&mut self) {
+        self.mgr.unpin(self.key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(v: i64) -> Column {
+        Column::Int(vec![v; 4])
+    }
+
+    #[test]
+    fn hits_and_misses_are_counted() {
+        let mgr = BufferManager::new(4);
+        for _ in 0..3 {
+            let g = mgr.get_pinned((0, 0), || Ok(page(7))).unwrap();
+            assert_eq!(g.as_ints().unwrap(), &[7, 7, 7, 7]);
+        }
+        let s = mgr.snapshot();
+        assert_eq!((s.hits, s.misses, s.evictions, s.resident), (2, 1, 0, 1));
+        mgr.reset_counters();
+        assert_eq!(mgr.snapshot().hits, 0);
+    }
+
+    #[test]
+    fn clock_evicts_cold_pages_first() {
+        let mgr = BufferManager::new(2);
+        mgr.get_pinned((0, 0), || Ok(page(0))).unwrap();
+        mgr.get_pinned((0, 1), || Ok(page(1))).unwrap();
+        // Touch page 1 so page 0 loses its second chance first.
+        mgr.get_pinned((0, 1), || Ok(page(1))).unwrap();
+        mgr.get_pinned((0, 2), || Ok(page(2))).unwrap();
+        let s = mgr.snapshot();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.resident, 2);
+        // Page 1 must still be resident (hit), page 0 must re-load.
+        let before = mgr.snapshot().misses;
+        mgr.get_pinned((0, 1), || Ok(page(1))).unwrap();
+        assert_eq!(mgr.snapshot().misses, before);
+        mgr.get_pinned((0, 0), || Ok(page(0))).unwrap();
+        assert_eq!(mgr.snapshot().misses, before + 1);
+    }
+
+    #[test]
+    fn pinned_pages_survive_pressure() {
+        let mgr = BufferManager::new(1);
+        let g = mgr.get_pinned((0, 0), || Ok(page(0))).unwrap();
+        // Pool of 1 with the only slot pinned: the next load overflows
+        // instead of evicting the pinned page.
+        let g2 = mgr.get_pinned((0, 1), || Ok(page(1))).unwrap();
+        assert_eq!(mgr.snapshot().resident, 2);
+        assert_eq!(g.as_ints().unwrap()[0], 0);
+        drop(g);
+        drop(g2);
+        // Unpinned now: the next load can evict back down.
+        mgr.get_pinned((0, 2), || Ok(page(2))).unwrap();
+        assert!(mgr.snapshot().resident <= 2);
+        assert!(mgr.snapshot().evictions >= 1);
+    }
+
+    #[test]
+    fn loader_errors_cache_nothing() {
+        let mgr = BufferManager::new(2);
+        let err = mgr.get_pinned((0, 0), || {
+            Err(super::super::StorageError::Truncated { what: "p".into() })
+        });
+        assert!(err.is_err());
+        assert_eq!(mgr.snapshot().resident, 0);
+        // A later good load works.
+        mgr.get_pinned((0, 0), || Ok(page(3))).unwrap();
+        assert_eq!(mgr.snapshot().resident, 1);
+    }
+
+    #[test]
+    fn clear_drops_unpinned_pages() {
+        let mgr = BufferManager::new(4);
+        mgr.get_pinned((0, 0), || Ok(page(0))).unwrap();
+        let pinned = mgr.get_pinned((0, 1), || Ok(page(1))).unwrap();
+        mgr.clear();
+        assert_eq!(mgr.snapshot().resident, 1);
+        drop(pinned);
+    }
+}

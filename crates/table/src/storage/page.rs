@@ -1,0 +1,685 @@
+//! The on-disk page format: column-page payload codec, per-page zone
+//! maps, and the checksummed table manifest.
+//!
+//! # Layout
+//!
+//! A paged table is a directory:
+//!
+//! ```text
+//! <dir>/manifest.ltsp    the manifest (below)
+//! <dir>/col_<i>.pages    column i's pages, concatenated payloads
+//! ```
+//!
+//! A **page** holds a fixed number of rows (`page_rows`, the last page
+//! may be shorter) of one column. Payload encodings (little-endian):
+//!
+//! * `Bool` — one byte per value (`0`/`1`),
+//! * `Int` — 8 bytes per value (`i64` LE),
+//! * `Float` — 8 bytes per value (`f64::to_bits` LE),
+//! * `Str` — per value: `u32` LE byte length, then UTF-8 bytes.
+//!
+//! The **manifest** is: magic `LTSP`, format version (`u32`),
+//! `page_rows` (`u64`), `n_rows` (`u64`), the schema (field count,
+//! then name-length/name-bytes/type-tag per field), the page count
+//! (`u64`), then for every column × page: byte offset, byte length,
+//! FNV-1a checksum of the payload, and the four zone-map words. The
+//! final 8 bytes are the FNV-1a checksum of everything before them, so
+//! a torn manifest write is detected at open. Page payload checksums
+//! live in the manifest (not the data files), so a page read is
+//! verified against what the manifest promised.
+
+use super::{fnv1a64, StorageError, StorageResult};
+use crate::column::Column;
+use crate::schema::{Field, Schema};
+use crate::value::DataType;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Magic bytes opening a manifest.
+pub const PAGE_MAGIC: &[u8; 4] = b"LTSP";
+/// The on-disk format version this build reads and writes.
+pub const PAGE_FORMAT_VERSION: u32 = 1;
+
+/// Min/max + null/error statistics for one `(column, page)` chunk,
+/// built at write time.
+///
+/// `min_bits`/`max_bits` are type-punned by the column's
+/// [`DataType`]: `i64` bit patterns for `Int`, [`f64::to_bits`] for
+/// `Float` (min/max over non-NaN values), `0`/`1` for `Bool`, unused
+/// (zero) for `Str`. `null_count` is always 0 today — storage columns
+/// are dense; `Value::Null` only arises during expression evaluation —
+/// but the word is in the format so nullable storage stays
+/// format-compatible. `error_count` counts values whose *comparison*
+/// is a row error: NaN floats (a NaN comparison is a per-row
+/// `TypeMismatch` in the expression engine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ZoneMap {
+    /// Minimum value's bit pattern (see type punning above).
+    pub min_bits: u64,
+    /// Maximum value's bit pattern.
+    pub max_bits: u64,
+    /// NULL values in the chunk (always 0 for dense storage).
+    pub null_count: u64,
+    /// Values whose comparison errors (NaN floats).
+    pub error_count: u64,
+}
+
+impl ZoneMap {
+    /// Build the zone map for rows `lo..hi` of `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lo..hi` is out of range for the column.
+    pub fn of_column_range(col: &Column, lo: usize, hi: usize) -> ZoneMap {
+        match col {
+            Column::Bool(v) => {
+                let (mut any_true, mut any_false) = (false, false);
+                for &b in &v[lo..hi] {
+                    any_true |= b;
+                    any_false |= !b;
+                }
+                ZoneMap {
+                    min_bits: u64::from(any_true && !any_false),
+                    max_bits: u64::from(any_true),
+                    null_count: 0,
+                    error_count: 0,
+                }
+            }
+            Column::Int(v) => {
+                let (mut mn, mut mx) = (i64::MAX, i64::MIN);
+                for &x in &v[lo..hi] {
+                    mn = mn.min(x);
+                    mx = mx.max(x);
+                }
+                ZoneMap {
+                    min_bits: mn as u64,
+                    max_bits: mx as u64,
+                    null_count: 0,
+                    error_count: 0,
+                }
+            }
+            Column::Float(v) => {
+                let (mut mn, mut mx) = (f64::INFINITY, f64::NEG_INFINITY);
+                let mut errors = 0u64;
+                for &x in &v[lo..hi] {
+                    if x.is_nan() {
+                        errors += 1;
+                    } else {
+                        if x < mn {
+                            mn = x;
+                        }
+                        if x > mx {
+                            mx = x;
+                        }
+                    }
+                }
+                ZoneMap {
+                    min_bits: mn.to_bits(),
+                    max_bits: mx.to_bits(),
+                    null_count: 0,
+                    error_count: errors,
+                }
+            }
+            Column::Str(_) => ZoneMap {
+                min_bits: 0,
+                max_bits: 0,
+                null_count: 0,
+                error_count: 0,
+            },
+        }
+    }
+
+    /// The `(min, max)` bounds of an `Int` chunk.
+    pub fn int_bounds(&self) -> (i64, i64) {
+        (self.min_bits as i64, self.max_bits as i64)
+    }
+
+    /// The `(min, max)` bounds over the non-NaN values of a `Float`
+    /// chunk (`(+inf, -inf)` when every value is NaN).
+    pub fn float_bounds(&self) -> (f64, f64) {
+        (f64::from_bits(self.min_bits), f64::from_bits(self.max_bits))
+    }
+}
+
+/// Location, integrity, and zone statistics of one column page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageMeta {
+    /// Byte offset of the payload in the column's data file.
+    pub offset: u64,
+    /// Payload byte length.
+    pub byte_len: u64,
+    /// FNV-1a checksum of the payload.
+    pub checksum: u64,
+    /// Zone map built at write time.
+    pub zone: ZoneMap,
+}
+
+/// The decoded manifest: schema, geometry, and per-column-per-page
+/// metadata. `pages[c][p]` is column `c`'s page `p`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableManifest {
+    /// Column names and types.
+    pub schema: Schema,
+    /// Total rows.
+    pub n_rows: usize,
+    /// Rows per page (the last page may be shorter).
+    pub page_rows: usize,
+    /// `pages[column][page]` metadata.
+    pub pages: Vec<Vec<PageMeta>>,
+}
+
+impl TableManifest {
+    /// Number of pages per column.
+    pub fn n_pages(&self) -> usize {
+        if self.n_rows == 0 {
+            0
+        } else {
+            self.n_rows.div_ceil(self.page_rows)
+        }
+    }
+
+    /// Row range covered by page `p`.
+    pub fn page_row_range(&self, p: usize) -> Range<usize> {
+        let lo = p * self.page_rows;
+        lo..((lo + self.page_rows).min(self.n_rows))
+    }
+
+    /// Serialize (checksum appended).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(PAGE_MAGIC);
+        out.extend_from_slice(&PAGE_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.page_rows as u64).to_le_bytes());
+        out.extend_from_slice(&(self.n_rows as u64).to_le_bytes());
+        out.extend_from_slice(&(self.schema.len() as u32).to_le_bytes());
+        for f in self.schema.fields() {
+            let name = f.name.as_bytes();
+            out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            out.extend_from_slice(name);
+            out.push(dtype_tag(f.data_type));
+        }
+        out.extend_from_slice(&(self.n_pages() as u64).to_le_bytes());
+        for col_pages in &self.pages {
+            for m in col_pages {
+                for w in [
+                    m.offset,
+                    m.byte_len,
+                    m.checksum,
+                    m.zone.min_bits,
+                    m.zone.max_bits,
+                    m.zone.null_count,
+                    m.zone.error_count,
+                ] {
+                    out.extend_from_slice(&w.to_le_bytes());
+                }
+            }
+        }
+        let sum = fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parse and verify a manifest read from `path` (the path is only
+    /// used in error messages).
+    ///
+    /// # Errors
+    ///
+    /// Returns a structured [`StorageError`] for bad magic, an
+    /// unsupported version, truncation, a checksum mismatch, or
+    /// structurally invalid bytes.
+    pub fn decode(bytes: &[u8], path: &std::path::Path) -> StorageResult<TableManifest> {
+        if bytes.len() < 8 {
+            return Err(StorageError::Truncated {
+                what: format!("manifest {}", path.display()),
+            });
+        }
+        if &bytes[..4] != PAGE_MAGIC {
+            return Err(StorageError::BadMagic { path: path.into() });
+        }
+        let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+        if version != PAGE_FORMAT_VERSION {
+            return Err(StorageError::VersionMismatch {
+                found: version,
+                expected: PAGE_FORMAT_VERSION,
+            });
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        let stored = u64::from_le_bytes(tail.try_into().expect("8 bytes"));
+        if fnv1a64(body) != stored {
+            return Err(StorageError::ChecksumMismatch {
+                what: format!("manifest {}", path.display()),
+            });
+        }
+
+        let mut r = Reader {
+            bytes: body,
+            pos: 8,
+            what: "manifest",
+        };
+        let page_rows = r.u64()? as usize;
+        let n_rows = r.u64()? as usize;
+        if page_rows == 0 {
+            return Err(StorageError::Corrupt {
+                message: "manifest declares zero rows per page".into(),
+            });
+        }
+        let n_cols = r.u32()? as usize;
+        let mut fields = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let name_len = r.u32()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|_| StorageError::Corrupt {
+                    message: "non-UTF-8 column name".into(),
+                })?
+                .to_string();
+            let dtype = dtype_from_tag(r.u8()?)?;
+            fields.push(Field::new(name, dtype));
+        }
+        let schema = Schema::new(fields).map_err(|e| StorageError::Corrupt {
+            message: format!("invalid schema: {e}"),
+        })?;
+        let n_pages = r.u64()? as usize;
+        let expect_pages = if n_rows == 0 {
+            0
+        } else {
+            n_rows.div_ceil(page_rows)
+        };
+        if n_pages != expect_pages {
+            return Err(StorageError::Corrupt {
+                message: format!(
+                    "manifest declares {n_pages} pages, geometry implies {expect_pages}"
+                ),
+            });
+        }
+        let mut pages = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let mut col_pages = Vec::with_capacity(n_pages);
+            for _ in 0..n_pages {
+                let offset = r.u64()?;
+                let byte_len = r.u64()?;
+                let checksum = r.u64()?;
+                let zone = ZoneMap {
+                    min_bits: r.u64()?,
+                    max_bits: r.u64()?,
+                    null_count: r.u64()?,
+                    error_count: r.u64()?,
+                };
+                col_pages.push(PageMeta {
+                    offset,
+                    byte_len,
+                    checksum,
+                    zone,
+                });
+            }
+            pages.push(col_pages);
+        }
+        if r.pos != body.len() {
+            return Err(StorageError::Corrupt {
+                message: format!("{} trailing manifest bytes", body.len() - r.pos),
+            });
+        }
+        Ok(TableManifest {
+            schema,
+            n_rows,
+            page_rows,
+            pages,
+        })
+    }
+}
+
+fn dtype_tag(d: DataType) -> u8 {
+    match d {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Str => 3,
+    }
+}
+
+fn dtype_from_tag(tag: u8) -> StorageResult<DataType> {
+    Ok(match tag {
+        0 => DataType::Bool,
+        1 => DataType::Int,
+        2 => DataType::Float,
+        3 => DataType::Str,
+        other => {
+            return Err(StorageError::Corrupt {
+                message: format!("unknown column type tag {other}"),
+            })
+        }
+    })
+}
+
+/// Encode rows `lo..hi` of `col` as a page payload.
+///
+/// # Panics
+///
+/// Panics when `lo..hi` is out of range for the column.
+pub fn encode_page(col: &Column, lo: usize, hi: usize) -> Vec<u8> {
+    match col {
+        Column::Bool(v) => v[lo..hi].iter().map(|&b| u8::from(b)).collect(),
+        Column::Int(v) => {
+            let mut out = Vec::with_capacity((hi - lo) * 8);
+            for &x in &v[lo..hi] {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+            out
+        }
+        Column::Float(v) => {
+            let mut out = Vec::with_capacity((hi - lo) * 8);
+            for &x in &v[lo..hi] {
+                out.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            out
+        }
+        Column::Str(v) => {
+            let mut out = Vec::new();
+            for s in &v[lo..hi] {
+                let b = s.as_bytes();
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+            out
+        }
+    }
+}
+
+/// Decode a page payload of `rows` values of type `dtype`. `what`
+/// names the page for error messages.
+///
+/// # Errors
+///
+/// Returns [`StorageError::Truncated`] when the payload is short and
+/// [`StorageError::Corrupt`] for ragged or non-UTF-8 content.
+pub fn decode_page(
+    bytes: &[u8],
+    dtype: DataType,
+    rows: usize,
+    what: &str,
+) -> StorageResult<Column> {
+    let truncated = || StorageError::Truncated { what: what.into() };
+    Ok(match dtype {
+        DataType::Bool => {
+            if bytes.len() != rows {
+                return Err(truncated());
+            }
+            Column::Bool(bytes.iter().map(|&b| b != 0).collect())
+        }
+        DataType::Int => {
+            if bytes.len() != rows * 8 {
+                return Err(truncated());
+            }
+            Column::Int(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| i64::from_le_bytes(c.try_into().expect("8 bytes")))
+                    .collect(),
+            )
+        }
+        DataType::Float => {
+            if bytes.len() != rows * 8 {
+                return Err(truncated());
+            }
+            Column::Float(
+                bytes
+                    .chunks_exact(8)
+                    .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("8 bytes"))))
+                    .collect(),
+            )
+        }
+        DataType::Str => {
+            let mut out: Vec<Arc<str>> = Vec::with_capacity(rows);
+            let mut pos = 0usize;
+            for _ in 0..rows {
+                let end = pos.checked_add(4).ok_or_else(truncated)?;
+                if end > bytes.len() {
+                    return Err(truncated());
+                }
+                let len = u32::from_le_bytes(bytes[pos..end].try_into().expect("4 bytes")) as usize;
+                pos = end;
+                let end = pos.checked_add(len).ok_or_else(truncated)?;
+                if end > bytes.len() {
+                    return Err(truncated());
+                }
+                let s =
+                    std::str::from_utf8(&bytes[pos..end]).map_err(|_| StorageError::Corrupt {
+                        message: format!("non-UTF-8 string in {what}"),
+                    })?;
+                out.push(Arc::from(s));
+                pos = end;
+            }
+            if pos != bytes.len() {
+                return Err(StorageError::Corrupt {
+                    message: format!("{} trailing bytes in {what}", bytes.len() - pos),
+                });
+            }
+            Column::Str(out)
+        }
+    })
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> StorageResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or_else(|| StorageError::Truncated {
+                what: self.what.into(),
+            })?;
+        let out = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> StorageResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> StorageResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> StorageResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn manifest_fixture() -> TableManifest {
+        let schema = Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Float),
+            ("s", DataType::Str),
+        ])
+        .unwrap();
+        let zone = |mn: u64, mx: u64, err: u64| ZoneMap {
+            min_bits: mn,
+            max_bits: mx,
+            null_count: 0,
+            error_count: err,
+        };
+        TableManifest {
+            schema,
+            n_rows: 10,
+            page_rows: 4,
+            pages: vec![
+                vec![
+                    PageMeta {
+                        offset: 0,
+                        byte_len: 32,
+                        checksum: 1,
+                        zone: zone(0, 3, 0),
+                    },
+                    PageMeta {
+                        offset: 32,
+                        byte_len: 32,
+                        checksum: 2,
+                        zone: zone(4, 7, 0),
+                    },
+                    PageMeta {
+                        offset: 64,
+                        byte_len: 16,
+                        checksum: 3,
+                        zone: zone(8, 9, 0),
+                    },
+                ],
+                vec![
+                    PageMeta {
+                        offset: 0,
+                        byte_len: 32,
+                        checksum: 4,
+                        zone: zone(0, 0, 1),
+                    },
+                    PageMeta {
+                        offset: 32,
+                        byte_len: 32,
+                        checksum: 5,
+                        zone: zone(0, 0, 0),
+                    },
+                    PageMeta {
+                        offset: 64,
+                        byte_len: 16,
+                        checksum: 6,
+                        zone: zone(0, 0, 0),
+                    },
+                ],
+                vec![
+                    PageMeta {
+                        offset: 0,
+                        byte_len: 9,
+                        checksum: 7,
+                        zone: zone(0, 0, 0),
+                    },
+                    PageMeta {
+                        offset: 9,
+                        byte_len: 9,
+                        checksum: 8,
+                        zone: zone(0, 0, 0),
+                    },
+                    PageMeta {
+                        offset: 18,
+                        byte_len: 5,
+                        checksum: 9,
+                        zone: zone(0, 0, 0),
+                    },
+                ],
+            ],
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = manifest_fixture();
+        let bytes = m.encode();
+        let back = TableManifest::decode(&bytes, Path::new("m")).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.n_pages(), 3);
+        assert_eq!(back.page_row_range(2), 8..10);
+    }
+
+    #[test]
+    fn manifest_rejects_corruption() {
+        let m = manifest_fixture();
+        let good = m.encode();
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            TableManifest::decode(&bad, Path::new("m")),
+            Err(StorageError::BadMagic { .. })
+        ));
+        // Unsupported version.
+        let mut bad = good.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            TableManifest::decode(&bad, Path::new("m")),
+            Err(StorageError::VersionMismatch { found: 99, .. })
+        ));
+        // A flipped byte in the body breaks the checksum.
+        let mut bad = good.clone();
+        bad[20] ^= 0xff;
+        assert!(matches!(
+            TableManifest::decode(&bad, Path::new("m")),
+            Err(StorageError::ChecksumMismatch { .. })
+        ));
+        // Truncation (torn write) breaks the checksum or the length.
+        for cut in [good.len() - 1, good.len() - 9, 10, 0] {
+            assert!(TableManifest::decode(&good[..cut], Path::new("m")).is_err());
+        }
+    }
+
+    #[test]
+    fn page_payload_roundtrip_all_types() {
+        let cases: Vec<Column> = vec![
+            Column::Bool(vec![true, false, true]),
+            Column::Int(vec![i64::MIN, -1, 0, i64::MAX]),
+            Column::Float(vec![f64::NEG_INFINITY, -0.0, 1.5, f64::NAN]),
+            Column::Str(vec![Arc::from("a"), Arc::from(""), Arc::from("héllo")]),
+        ];
+        for col in cases {
+            let n = col.len();
+            let bytes = encode_page(&col, 0, n);
+            let back = decode_page(&bytes, col.data_type(), n, "p").unwrap();
+            // NaN-safe comparison: compare the re-encoded bytes.
+            assert_eq!(encode_page(&back, 0, n), bytes);
+        }
+    }
+
+    #[test]
+    fn page_payload_rejects_bad_bytes() {
+        let col = Column::Int(vec![1, 2, 3]);
+        let bytes = encode_page(&col, 0, 3);
+        assert!(matches!(
+            decode_page(&bytes[..20], DataType::Int, 3, "p"),
+            Err(StorageError::Truncated { .. })
+        ));
+        let s = Column::Str(vec![Arc::from("abc")]);
+        let bytes = encode_page(&s, 0, 1);
+        assert!(decode_page(&bytes[..5], DataType::Str, 1, "p").is_err());
+        // Declared string length runs past the payload.
+        let mut bad = bytes.clone();
+        bad[0] = 200;
+        assert!(decode_page(&bad, DataType::Str, 1, "p").is_err());
+        // Trailing garbage is structural corruption.
+        let mut long = bytes;
+        long.push(0);
+        assert!(matches!(
+            decode_page(&long, DataType::Str, 1, "p"),
+            Err(StorageError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn zone_maps_reflect_chunk_contents() {
+        let c = Column::Int(vec![5, -3, 9, 9]);
+        let z = ZoneMap::of_column_range(&c, 0, 4);
+        assert_eq!(z.int_bounds(), (-3, 9));
+        assert_eq!((z.null_count, z.error_count), (0, 0));
+        let z = ZoneMap::of_column_range(&c, 2, 4);
+        assert_eq!(z.int_bounds(), (9, 9));
+
+        let c = Column::Float(vec![1.0, f64::NAN, -2.5, f64::NAN]);
+        let z = ZoneMap::of_column_range(&c, 0, 4);
+        assert_eq!(z.float_bounds(), (-2.5, 1.0));
+        assert_eq!(z.error_count, 2);
+        // All-NaN chunk: empty bounds, every row errors on comparison.
+        let z = ZoneMap::of_column_range(&c, 1, 2);
+        assert_eq!(z.error_count, 1);
+        assert!(z.float_bounds().0 > z.float_bounds().1);
+
+        let c = Column::Bool(vec![false, true]);
+        let z = ZoneMap::of_column_range(&c, 0, 2);
+        assert_eq!((z.min_bits, z.max_bits), (0, 1));
+    }
+}
