@@ -98,6 +98,29 @@ impl PrefilterSelection {
     }
 }
 
+/// Number of top-level AND conjuncts in an expression (1 when it does
+/// not split).
+fn conjunct_count(e: &Expr) -> u64 {
+    match e {
+        Expr::Binary(lts_table::BinaryOp::And, a, b) => conjunct_count(a) + conjunct_count(b),
+        _ => 1,
+    }
+}
+
+/// Report a completed prefilter scan onto the calling thread's trace
+/// collector, if any. Population/survivor/conjunct counts are pure
+/// functions of table content and the prefilter expression, so these
+/// fields are asserted in trace goldens.
+fn emit_prefilter_span(prefilter: &Expr, population: usize, survivors: usize) {
+    if lts_obs::trace::collecting() {
+        lts_obs::trace::emit(lts_obs::TraceEvent::Prefilter {
+            conjuncts: conjunct_count(prefilter),
+            population: population as u64,
+            survivors: survivors as u64,
+        });
+    }
+}
+
 /// Run `prefilter` as one vectorized partition-parallel scan and
 /// collect the surviving row ids (ascending — bit-identical at every
 /// partition and thread count, per [`lts_table::partition`]'s
@@ -113,11 +136,12 @@ pub fn select_prefilter(
 ) -> CoreResult<PrefilterSelection> {
     let mask = table.par_eval_bool(prefilter).map_err(CoreError::Table)?;
     let population = mask.len();
-    let survivors = mask
+    let survivors: Vec<usize> = mask
         .into_iter()
         .enumerate()
         .filter_map(|(i, keep)| keep.then_some(i))
         .collect();
+    emit_prefilter_span(prefilter, population, survivors.len());
     Ok(PrefilterSelection {
         survivors,
         population,
@@ -140,11 +164,12 @@ pub fn select_prefilter_paged(
 ) -> CoreResult<PrefilterSelection> {
     let mask = paged.par_eval_bool(prefilter).map_err(CoreError::Table)?;
     let population = mask.len();
-    let survivors = mask
+    let survivors: Vec<usize> = mask
         .into_iter()
         .enumerate()
         .filter_map(|(i, keep)| keep.then_some(i))
         .collect();
+    emit_prefilter_span(prefilter, population, survivors.len());
     Ok(PrefilterSelection {
         survivors,
         population,

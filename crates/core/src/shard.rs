@@ -422,6 +422,26 @@ impl ShardedLwsWarm {
     }
 }
 
+/// Emit a shard fan-out span (one `shard_fanout` event plus one
+/// `shard` event per shard, in shard order) onto the calling thread's
+/// trace collector, if one is installed. The per-shard closures run on
+/// rayon workers that do not carry the collector, so emission happens
+/// after the join — which also keeps event order a pure function of
+/// the plan, independent of execution interleaving.
+fn emit_shard_span(k: usize, per_shard: &[(u64, std::time::Duration)]) {
+    if !lts_obs::trace::collecting() {
+        return;
+    }
+    lts_obs::trace::emit(lts_obs::TraceEvent::ShardFanout { shards: k as u64 });
+    for (i, (evals, wall)) in per_shard.iter().enumerate() {
+        lts_obs::trace::emit(lts_obs::TraceEvent::Shard {
+            index: i as u64,
+            evals: *evals,
+            wall_nanos: u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX),
+        });
+    }
+}
+
 impl Lss {
     /// The smallest per-shard budget this configuration can split
     /// (searched from the structural floor `2 + 3H`; returns `budget`
@@ -472,24 +492,33 @@ impl Lss {
         let budgets = shard_budgets(plan, budget, self.min_shard_budget(budget))?;
         let known_by_shard = split_known(plan, known)?;
         let jobs: Vec<usize> = (0..plan.k()).collect();
-        let prepared: Vec<CoreResult<LssWarm>> = jobs
+        let prepared: Vec<(CoreResult<LssWarm>, std::time::Duration)> = jobs
             .into_par_iter()
             .map(|s| {
-                self.prepare_with_known(
-                    &problems[s],
-                    budgets[s],
-                    shard_seed(seed, s),
-                    &known_by_shard[s],
-                )
+                let t0 = Instant::now();
+                // Suppressed: a work-stealing thread may run this
+                // closure while carrying another request's collector.
+                let r = lts_obs::trace::suppressed(|| {
+                    self.prepare_with_known(
+                        &problems[s],
+                        budgets[s],
+                        shard_seed(seed, s),
+                        &known_by_shard[s],
+                    )
+                });
+                (r, t0.elapsed())
             })
             .collect();
         let mut shards = Vec::with_capacity(plan.k());
+        let mut spans = Vec::with_capacity(plan.k());
         let mut prepare_evals = 0;
-        for w in prepared {
+        for (w, wall) in prepared {
             let w = w?;
             prepare_evals += w.prepare_evals;
+            spans.push((w.prepare_evals as u64, wall));
             shards.push(w);
         }
+        emit_shard_span(plan.k(), &spans);
         Ok(ShardedLssWarm {
             plan: plan.clone(),
             shards,
@@ -513,14 +542,25 @@ impl Lss {
         let start = Instant::now();
         let problems = shard_problems(problem, &warm.plan)?;
         let jobs: Vec<usize> = (0..warm.plan.k()).collect();
-        let results: Vec<CoreResult<EstimateReport>> = jobs
+        let results: Vec<(CoreResult<EstimateReport>, std::time::Duration)> = jobs
             .into_par_iter()
-            .map(|s| self.estimate_prepared(&problems[s], &warm.shards[s], shard_seed(seed, s)))
+            .map(|s| {
+                let t0 = Instant::now();
+                // Suppressed: see prepare_sharded_with_known.
+                let r = lts_obs::trace::suppressed(|| {
+                    self.estimate_prepared(&problems[s], &warm.shards[s], shard_seed(seed, s))
+                });
+                (r, t0.elapsed())
+            })
             .collect();
         let mut reports = Vec::with_capacity(warm.plan.k());
-        for r in results {
-            reports.push(r?);
+        let mut spans = Vec::with_capacity(warm.plan.k());
+        for (r, wall) in results {
+            let r = r?;
+            spans.push((r.evals as u64, wall));
+            reports.push(r);
         }
+        emit_shard_span(warm.plan.k(), &spans);
         merge_shard_reports(
             &reports,
             problem.n(),
@@ -577,24 +617,33 @@ impl Lws {
         let budgets = shard_budgets(plan, budget, self.min_shard_budget(budget))?;
         let known_by_shard = split_known(plan, known)?;
         let jobs: Vec<usize> = (0..plan.k()).collect();
-        let prepared: Vec<CoreResult<LwsWarm>> = jobs
+        let prepared: Vec<(CoreResult<LwsWarm>, std::time::Duration)> = jobs
             .into_par_iter()
             .map(|s| {
-                self.prepare_with_known(
-                    &problems[s],
-                    budgets[s],
-                    shard_seed(seed, s),
-                    &known_by_shard[s],
-                )
+                let t0 = Instant::now();
+                // Suppressed: a work-stealing thread may run this
+                // closure while carrying another request's collector.
+                let r = lts_obs::trace::suppressed(|| {
+                    self.prepare_with_known(
+                        &problems[s],
+                        budgets[s],
+                        shard_seed(seed, s),
+                        &known_by_shard[s],
+                    )
+                });
+                (r, t0.elapsed())
             })
             .collect();
         let mut shards = Vec::with_capacity(plan.k());
+        let mut spans = Vec::with_capacity(plan.k());
         let mut prepare_evals = 0;
-        for w in prepared {
+        for (w, wall) in prepared {
             let w = w?;
             prepare_evals += w.prepare_evals;
+            spans.push((w.prepare_evals as u64, wall));
             shards.push(w);
         }
+        emit_shard_span(plan.k(), &spans);
         Ok(ShardedLwsWarm {
             plan: plan.clone(),
             shards,
@@ -618,14 +667,25 @@ impl Lws {
         let start = Instant::now();
         let problems = shard_problems(problem, &warm.plan)?;
         let jobs: Vec<usize> = (0..warm.plan.k()).collect();
-        let results: Vec<CoreResult<EstimateReport>> = jobs
+        let results: Vec<(CoreResult<EstimateReport>, std::time::Duration)> = jobs
             .into_par_iter()
-            .map(|s| self.estimate_prepared(&problems[s], &warm.shards[s], shard_seed(seed, s)))
+            .map(|s| {
+                let t0 = Instant::now();
+                // Suppressed: see prepare_sharded_with_known.
+                let r = lts_obs::trace::suppressed(|| {
+                    self.estimate_prepared(&problems[s], &warm.shards[s], shard_seed(seed, s))
+                });
+                (r, t0.elapsed())
+            })
             .collect();
         let mut reports = Vec::with_capacity(warm.plan.k());
-        for r in results {
-            reports.push(r?);
+        let mut spans = Vec::with_capacity(warm.plan.k());
+        for (r, wall) in results {
+            let r = r?;
+            spans.push((r.evals as u64, wall));
+            reports.push(r);
         }
+        emit_shard_span(warm.plan.k(), &spans);
         merge_shard_reports(
             &reports,
             problem.n(),

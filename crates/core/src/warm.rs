@@ -54,6 +54,39 @@ const SALT_LEARN: u64 = 0x4C45_4152_4E01;
 const SALT_DESIGN: u64 = 0x4445_5349_474E;
 const SALT_SAMPLE: u64 = 0x5341_4D50_4C45;
 
+/// Run `f` with oracle evaluations attributed to observability phase
+/// `p`, and — when a trace collector is installed on this thread —
+/// emit the matching trace event carrying the *exact* eval delta (the
+/// labeler records once per batch on the calling thread) plus the
+/// span's wall time. Wall time stays confined to the event's
+/// `wall_nanos` field per the determinism contract; nothing is emitted
+/// on the error path.
+pub(crate) fn observed_phase<T, E>(
+    p: lts_obs::Phase,
+    f: impl FnOnce() -> Result<T, E>,
+) -> Result<T, E> {
+    let before = lts_obs::phase::thread_evals();
+    let t0 = std::time::Instant::now();
+    let scope = lts_obs::phase::scope(p);
+    let out = f();
+    drop(scope);
+    if out.is_ok() && lts_obs::trace::collecting() {
+        let evals = lts_obs::phase::delta(lts_obs::phase::thread_evals(), before)[p as usize];
+        let wall_nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let event = if p == lts_obs::Phase::Stage2 {
+            lts_obs::TraceEvent::Stage2 { evals, wall_nanos }
+        } else {
+            lts_obs::TraceEvent::Phase {
+                phase: p.name(),
+                evals,
+                wall_nanos,
+            }
+        };
+        lts_obs::trace::emit(event);
+    }
+    out
+}
+
 /// Mix two 64-bit values into one seed (SplitMix64 finalizer over the
 /// xor): the deterministic derivation used for phase and per-request
 /// seed streams. Not cryptographic — just well-spread.
@@ -255,14 +288,18 @@ impl Lws {
         let (train_budget, sample_budget) = self.budget_split(budget)?;
         let mut labeler = Labeler::new(problem);
         preload_pairs(&mut labeler, known);
-        let proxy = train_proxy(
-            problem,
-            &self.learn,
-            train_budget,
-            mix_seed(seed, SALT_LEARN),
-            &mut labeler,
-        )?;
-        let scored = ScoredPopulation::score_rest(problem, proxy.model.as_ref(), &proxy.labeled)?;
+        let proxy = observed_phase(lts_obs::Phase::Train, || {
+            train_proxy(
+                problem,
+                &self.learn,
+                train_budget,
+                mix_seed(seed, SALT_LEARN),
+                &mut labeler,
+            )
+        })?;
+        let scored = observed_phase(lts_obs::Phase::Score, || {
+            ScoredPopulation::score_rest(problem, proxy.model.as_ref(), &proxy.labeled)
+        })?;
         if scored.len() < sample_budget {
             return Err(CoreError::BudgetTooSmall {
                 budget,
@@ -306,16 +343,18 @@ impl Lws {
         let mut labeler = Labeler::new(problem);
         labeler.preload(&warm.proxy.labeled, &warm.proxy.labels);
         let mut rng = StdRng::seed_from_u64(mix_seed(seed, SALT_SAMPLE));
-        let estimate = timer.phase(Phase::Phase2, || {
-            lws_phase2(
-                self,
-                &warm.scored,
-                warm.sample_budget,
-                warm.proxy.labeled.len(),
-                problem.level(),
-                &mut labeler,
-                &mut rng,
-            )
+        let estimate = observed_phase(lts_obs::Phase::Stage2, || {
+            timer.phase(Phase::Phase2, || {
+                lws_phase2(
+                    self,
+                    &warm.scored,
+                    warm.sample_budget,
+                    warm.proxy.labeled.len(),
+                    problem.level(),
+                    &mut labeler,
+                    &mut rng,
+                )
+            })
         })?;
         Ok(EstimateReport {
             estimate: estimate.shifted(warm.proxy.positives() as f64),
@@ -441,21 +480,25 @@ impl Lss {
         let mut labeler = Labeler::new(problem);
         preload_pairs(&mut labeler, known);
 
-        let proxy = train_proxy(
-            problem,
-            &self.learn,
-            split.train,
-            mix_seed(seed, SALT_LEARN),
-            &mut labeler,
-        )?;
+        let proxy = observed_phase(lts_obs::Phase::Train, || {
+            train_proxy(
+                problem,
+                &self.learn,
+                split.train,
+                mix_seed(seed, SALT_LEARN),
+                &mut labeler,
+            )
+        })?;
 
         // Score + order (mirrors the one-shot path).
         let reuse = self.pilot_source == PilotSource::ReuseLearning;
-        let scored = if reuse {
-            ScoredPopulation::score_all(problem, proxy.model.as_ref())?
-        } else {
-            ScoredPopulation::score_rest(problem, proxy.model.as_ref(), &proxy.labeled)?
-        };
+        let scored = observed_phase(lts_obs::Phase::Score, || {
+            if reuse {
+                ScoredPopulation::score_all(problem, proxy.model.as_ref())
+            } else {
+                ScoredPopulation::score_rest(problem, proxy.model.as_ref(), &proxy.labeled)
+            }
+        })?;
         let ordered = scored.into_ordered();
         let mut in_train = vec![false; problem.n()];
         for &i in &proxy.labeled {
@@ -473,33 +516,38 @@ impl Lss {
         }
 
         // Stage-1 pilot draw + design, on its own seed stream.
-        let mut rng = StdRng::seed_from_u64(mix_seed(seed, SALT_DESIGN));
-        let mut positions = if reuse {
-            let mut is_train = vec![false; n_rest];
-            for &pos in &train_positions {
-                is_train[pos] = true;
-            }
-            let candidates: Vec<usize> = (0..n_rest).filter(|&p| !is_train[p]).collect();
-            sample_without_replacement(&mut rng, split.pilot, candidates.len())?
-                .into_iter()
-                .map(|i| candidates[i])
-                .collect()
-        } else {
-            sample_without_replacement(&mut rng, split.pilot, n_rest)?
-        };
-        positions.extend_from_slice(&train_positions);
-        let pilot_objs = ordered.objects_at(&positions);
-        let labels = labeler.label_batch(&pilot_objs)?;
+        let (positions, labels) = observed_phase(lts_obs::Phase::Pilot, || -> CoreResult<_> {
+            let mut rng = StdRng::seed_from_u64(mix_seed(seed, SALT_DESIGN));
+            let mut positions = if reuse {
+                let mut is_train = vec![false; n_rest];
+                for &pos in &train_positions {
+                    is_train[pos] = true;
+                }
+                let candidates: Vec<usize> = (0..n_rest).filter(|&p| !is_train[p]).collect();
+                sample_without_replacement(&mut rng, split.pilot, candidates.len())?
+                    .into_iter()
+                    .map(|i| candidates[i])
+                    .collect()
+            } else {
+                sample_without_replacement(&mut rng, split.pilot, n_rest)?
+            };
+            positions.extend_from_slice(&train_positions);
+            let pilot_objs = ordered.objects_at(&positions);
+            let labels = labeler.label_batch(&pilot_objs)?;
+            Ok((positions, labels))
+        })?;
         let entries: Vec<(usize, bool)> = positions.iter().copied().zip(labels).collect();
         let pilot = ordered.pilot_index(&entries)?;
         let mut design_notes = Vec::new();
-        let stratification = self.layout_cuts(
-            &pilot,
-            ordered.sorted_scores(),
-            n_rest,
-            split.stage2,
-            &mut design_notes,
-        )?;
+        let stratification = observed_phase(lts_obs::Phase::Design, || {
+            self.layout_cuts(
+                &pilot,
+                ordered.sorted_scores(),
+                n_rest,
+                split.stage2,
+                &mut design_notes,
+            )
+        })?;
 
         // Store the pilot sorted by position with aligned labels.
         let mut sorted_entries = entries;
@@ -551,27 +599,31 @@ impl Lss {
         let pilot_objs = warm.ordered.objects_at(&warm.pilot_positions);
         labeler.preload(&pilot_objs, &warm.pilot_labels);
         let mut rng = StdRng::seed_from_u64(mix_seed(seed, SALT_SAMPLE));
-        let (estimate, forecast) = timer.phase(Phase::Phase2, || -> CoreResult<_> {
-            let outcome = stage2_estimate(
-                self,
-                &warm.ordered,
-                &warm.pilot_positions,
-                &warm.stratification,
-                warm.split.stage2,
-                problem.level(),
-                &mut labeler,
-                &mut rng,
-            )?;
-            let shift = match (self.pilot_handling, warm.reuse) {
-                (crate::estimators::PilotHandling::ExactRemainder, true) => {
-                    outcome.pilot_positives as f64
-                }
-                (crate::estimators::PilotHandling::ExactRemainder, false) => {
-                    (warm.proxy.positives() + outcome.pilot_positives) as f64
-                }
-                (crate::estimators::PilotHandling::Textbook, _) => warm.proxy.positives() as f64,
-            };
-            Ok((outcome.base.shifted(shift), outcome.forecast))
+        let (estimate, forecast) = observed_phase(lts_obs::Phase::Stage2, || {
+            timer.phase(Phase::Phase2, || -> CoreResult<_> {
+                let outcome = stage2_estimate(
+                    self,
+                    &warm.ordered,
+                    &warm.pilot_positions,
+                    &warm.stratification,
+                    warm.split.stage2,
+                    problem.level(),
+                    &mut labeler,
+                    &mut rng,
+                )?;
+                let shift = match (self.pilot_handling, warm.reuse) {
+                    (crate::estimators::PilotHandling::ExactRemainder, true) => {
+                        outcome.pilot_positives as f64
+                    }
+                    (crate::estimators::PilotHandling::ExactRemainder, false) => {
+                        (warm.proxy.positives() + outcome.pilot_positives) as f64
+                    }
+                    (crate::estimators::PilotHandling::Textbook, _) => {
+                        warm.proxy.positives() as f64
+                    }
+                };
+                Ok((outcome.base.shifted(shift), outcome.forecast))
+            })
         })?;
         Ok(EstimateReport {
             estimate,

@@ -1,0 +1,87 @@
+//! Property: histogram state is a pure function of the observed
+//! *multiset* — observation order never matters, splitting the stream
+//! across recorders and merging never matters, and the masked
+//! exposition of a `wall_*` histogram is all zeros.
+
+use lts_obs::MetricsRegistry;
+use proptest::prelude::*;
+
+const BOUNDS: &[u64] = &[0, 10, 100, 1_000];
+
+/// Deterministic Fisher–Yates keyed by a SplitMix64 stream.
+fn permute(values: &[u64], seed: u64) -> Vec<u64> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let mut out = values.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+fn record(values: &[u64]) -> (Vec<u64>, u64, String) {
+    let reg = MetricsRegistry::new();
+    let h = reg.histogram("request_evals", BOUNDS);
+    for &v in values {
+        h.observe(v);
+    }
+    (h.bucket_counts(), h.count(), reg.snapshot().to_json(false))
+}
+
+proptest! {
+    #[test]
+    fn observation_order_is_irrelevant(
+        values in proptest::collection::vec(0u64..5_000, 0..64),
+        seed in any::<u64>(),
+    ) {
+        let shuffled = permute(&values, seed);
+        prop_assert_eq!(record(&values), record(&shuffled));
+    }
+
+    #[test]
+    fn split_streams_merge_to_the_sequential_state(
+        values in proptest::collection::vec(0u64..5_000, 1..64),
+        split in 0usize..64,
+    ) {
+        let split = split % values.len();
+        let reg = MetricsRegistry::new();
+        // Two handles to the same histogram, fed the two halves from
+        // two threads: counts land atomically in shared buckets.
+        let a = reg.histogram("request_evals", BOUNDS);
+        let b = reg.histogram("request_evals", BOUNDS);
+        let (left, right) = values.split_at(split);
+        let (left, right) = (left.to_vec(), right.to_vec());
+        let ta = std::thread::spawn(move || { for v in left { a.observe(v); } });
+        let tb = std::thread::spawn(move || { for v in right { b.observe(v); } });
+        ta.join().unwrap();
+        tb.join().unwrap();
+        let h = reg.histogram("request_evals", BOUNDS);
+        prop_assert_eq!(
+            (h.bucket_counts(), h.count(), reg.snapshot().to_json(false)),
+            record(&values)
+        );
+    }
+
+    #[test]
+    fn wall_histograms_mask_to_zero(
+        values in proptest::collection::vec(0u64..5_000, 0..64),
+    ) {
+        let reg = MetricsRegistry::new();
+        let h = reg.histogram("wall_request_micros", BOUNDS);
+        for &v in &values {
+            h.observe(v);
+        }
+        let masked = reg.snapshot().to_json(true);
+        for part in masked.trim_matches(['{', '}']).split(", ") {
+            let value = part.rsplit(": ").next().unwrap();
+            prop_assert_eq!(value, "0", "masked exposition leaked: {}", part);
+        }
+    }
+}

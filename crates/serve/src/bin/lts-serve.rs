@@ -19,6 +19,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deterministic" => opts.deterministic = true,
+            "--trace" => config.trace = true,
             "--seed" => {
                 let v = args.next().and_then(|v| v.parse().ok());
                 match v {
@@ -32,10 +33,11 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "lts-serve: line-delimited count requests on stdin, JSON on stdout\n\
-                     options: --deterministic (zero wall times), --seed <u64>\n\
+                     options: --deterministic (zero wall times), --trace (echo trace spans),\n\
+                     --seed <u64>\n\
                      protocol:\n  register <sports|neighbors> <name> rows=<n> level=<L> seed=<s>\n  \
                      count <dataset> [width=<f>|abswidth=<c>|budget=<n>] [fresh] [id=<u64>] :: <condition>\n  \
-                     invalidate <dataset>\n  stats\n  quit"
+                     invalidate <dataset>\n  stats\n  metrics [prom]\n  trace <id>\n  slow [k]\n  quit"
                 );
                 return;
             }

@@ -4,7 +4,8 @@
 //! cargo run --release -p lts-serve --bin lts-served -- \
 //!   [--addr 127.0.0.1:7878] [--deterministic] [--seed <u64>] \
 //!   [--max-connections <n>] [--max-line-bytes <n>] \
-//!   [--write-queue <n>] [--admission <n>] [--state-dir <path>]
+//!   [--write-queue <n>] [--admission <n>] [--state-dir <path>] \
+//!   [--metrics-addr <host:port>] [--trace]
 //! ```
 //!
 //! Speaks the `lts-serve` line protocol over TCP: line-delimited
@@ -54,8 +55,12 @@ fn usage() -> ! {
          connection (slow-reader policy; default 128)\n  \
          --admission <n>         shared admission queue bound (default 64)\n  \
          --state-dir <path>      durable warm state: restore a snapshot from this directory\n                          \
-         at startup and write one atomically at graceful shutdown\n\
-         protocol: register / count / invalidate / stats / quit / shutdown (see lts-serve --help)"
+         at startup and write one atomically at graceful shutdown\n  \
+         --metrics-addr <h:p>    also serve a plain-HTTP Prometheus scrape endpoint here\n                          \
+         (reads the registry directly; never blocks request serving)\n  \
+         --trace                 echo each request's trace span on its response line\n\
+         protocol: register / count / invalidate / stats / metrics / trace / slow /\n\
+         quit / shutdown (see lts-serve --help)"
     );
     std::process::exit(0)
 }
@@ -107,6 +112,14 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--metrics-addr" => match args.next() {
+                Some(a) => config.metrics_addr = Some(a),
+                None => {
+                    eprintln!("--metrics-addr needs a host:port value");
+                    std::process::exit(2);
+                }
+            },
+            "--trace" => config.service.trace = true,
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown option `{other}` (try --help)");
@@ -124,6 +137,9 @@ fn main() {
         }
     };
     eprintln!("lts-served: listening on {}", server.local_addr());
+    if let Some(m) = server.metrics_addr() {
+        eprintln!("lts-served: metrics on http://{m}/metrics");
+    }
 
     // Watcher: translate signals into graceful shutdown. The thread
     // dies with the process after `join` returns.

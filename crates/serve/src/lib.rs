@@ -55,3 +55,5 @@ pub use service::{
 };
 pub use state::{RestoreSummary, StateError, STATE_FILE};
 pub use store::{ModelStore, StoreKey, StoredModel, WarmState};
+
+pub use lts_obs::{MetricsRegistry, MetricsSnapshot, Observability, SlowLog, Trace, TraceRing};

@@ -55,6 +55,7 @@
 use crate::protocol::{handle_line, json_err, shutting_down_line, LineOutcome, SessionState};
 use crate::repl::ReplOptions;
 use crate::service::{Service, ServiceConfig};
+use lts_obs::Observability;
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -90,6 +91,12 @@ pub struct NetConfig {
     /// cold start; a corrupt one is logged and ignored (cold start) —
     /// never a panic.
     pub state_dir: Option<std::path::PathBuf>,
+    /// When set, bind a plain-HTTP Prometheus scrape endpoint on this
+    /// address (`GET` anything → the text exposition). The listener
+    /// reads the shared registry directly and never touches the
+    /// dispatcher, so a stalled or mid-scrape-disconnected scraper
+    /// cannot wedge request serving.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for NetConfig {
@@ -102,6 +109,7 @@ impl Default for NetConfig {
             write_queue_capacity: 128,
             admission_capacity: 64,
             state_dir: None,
+            metrics_addr: None,
         }
     }
 }
@@ -285,9 +293,12 @@ impl Shared {
 /// the listener and dispatcher have fully stopped.
 pub struct NetServer {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
+    obs: Observability,
     shared: Arc<Shared>,
     accept: Option<JoinHandle<()>>,
     dispatch: Option<JoinHandle<()>>,
+    metrics: Option<JoinHandle<()>>,
 }
 
 impl NetServer {
@@ -307,6 +318,23 @@ impl NetServer {
         let service_config = config.service;
         let admission = config.admission_capacity.max(1);
         let state_dir = config.state_dir.clone();
+        let deterministic = config.repl.deterministic;
+        // One observability bundle shared by the dispatcher's service
+        // and the scrape listener — the scrape path reads the registry
+        // without ever entering the dispatch queue.
+        let obs = Observability::default();
+        let metrics_listener = match &config.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr.as_str())?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(l) => Some(l.local_addr()?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             config,
             shutting_down: AtomicBool::new(false),
@@ -320,19 +348,39 @@ impl NetServer {
         };
         let dispatch = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || dispatch_loop(service_config, state_dir, &rx, &shared))
+            let obs = obs.clone();
+            std::thread::spawn(move || dispatch_loop(service_config, state_dir, obs, &rx, &shared))
         };
+        let metrics = metrics_listener.map(|l| {
+            let shared = Arc::clone(&shared);
+            let obs = obs.clone();
+            std::thread::spawn(move || metrics_loop(l, &obs, deterministic, &shared))
+        });
         Ok(Self {
             addr,
+            metrics_addr,
+            obs,
             shared,
             accept: Some(accept),
             dispatch: Some(dispatch),
+            metrics,
         })
     }
 
     /// The bound listener address.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound metrics (Prometheus scrape) address, when
+    /// [`NetConfig::metrics_addr`] was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The observability bundle shared with the dispatcher's service.
+    pub fn observability(&self) -> &Observability {
+        &self.obs
     }
 
     /// Trigger graceful shutdown (idempotent; returns immediately).
@@ -360,6 +408,9 @@ impl NetServer {
             let _ = h.join();
         }
         if let Some(h) = self.dispatch.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics.take() {
             let _ = h.join();
         }
     }
@@ -608,10 +659,11 @@ fn settle(conn: &Arc<ConnShared>, reply: Option<String>, shared: &Shared) {
 fn dispatch_loop(
     service_config: ServiceConfig,
     state_dir: Option<std::path::PathBuf>,
+    obs: Observability,
     rx: &Receiver<Job>,
     shared: &Arc<Shared>,
 ) {
-    let mut service = Service::new(service_config);
+    let mut service = Service::with_observability(service_config, obs.clone());
     // Durable warm state: restore before the first request so a
     // restarted server answers warm immediately. Any failure —
     // mismatched version, torn write, corruption — falls back to a
@@ -626,7 +678,7 @@ fn dispatch_loop(
             Ok(None) => {}
             Err(e) => {
                 eprintln!("lts-served: state restore failed ({e}); starting cold");
-                service = Service::new(service_config);
+                service = Service::with_observability(service_config, obs.clone());
             }
         }
     }
@@ -684,6 +736,47 @@ fn dispatch_loop(
         }
     }
     shared.close_all_conns();
+}
+
+// ------------------------------------------------------------ metrics scrape
+
+/// Accept loop of the Prometheus scrape endpoint. Each scrape is
+/// served on its own short-lived thread straight from the shared
+/// registry — this path never enters the admission channel or the
+/// dispatcher, so a stalled scraper cannot wedge request serving.
+fn metrics_loop(listener: TcpListener, obs: &Observability, deterministic: bool, shared: &Shared) {
+    while !shared.is_shutting_down() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let obs = obs.clone();
+                std::thread::spawn(move || serve_scrape(stream, &obs, deterministic));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+/// Answer one scrape: read whatever request bytes arrive (the content
+/// is ignored — any request gets the exposition), write an HTTP/1.0
+/// response, close. Short socket timeouts bound the damage from a
+/// scraper that connects and then stalls or disconnects mid-transfer;
+/// every I/O error is swallowed — the scrape thread just exits.
+fn serve_scrape(mut stream: TcpStream, obs: &Observability, deterministic: bool) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut buf = [0u8; 1024];
+    let _ = std::io::Read::read(&mut stream, &mut buf);
+    let body = obs.registry.snapshot().to_prometheus(deterministic);
+    let resp = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(resp.as_bytes());
+    let _ = stream.shutdown(Shutdown::Both);
 }
 
 #[cfg(test)]

@@ -11,6 +11,9 @@
 //! explain <dataset> [width=<frac>|abswidth=<counts>|budget=<n>] :: <condition>
 //! invalidate <dataset>
 //! stats
+//! metrics [prom]   (registry snapshot: flat JSON, or Prometheus text)
+//! trace <id>       (most recent retained trace span for a request id)
+//! slow [k]         (top-k most oracle-expensive requests)
 //! quit          (close this session; the server keeps running)
 //! shutdown      (ack, then drain the whole server and exit)
 //! ```
@@ -98,6 +101,59 @@ fn stats_json(service: &Service) -> String {
         service.store_len(),
         service.cache_len(),
     )
+}
+
+/// `metrics` — one-line JSON snapshot of the registry; `metrics prom`
+/// — the Prometheus exposition, JSON-wrapped as an escaped string so
+/// the line protocol's one-line-per-reply framing holds. Deterministic
+/// mode masks `wall_*` metrics in both renderings.
+fn handle_metrics(service: &Service, rest: &str, opts: ReplOptions) -> String {
+    let obs = service.observability();
+    if !obs.registry.is_enabled() {
+        return json_err("metrics registry is disabled");
+    }
+    let snapshot = obs.registry.snapshot();
+    match rest.trim() {
+        "" => format!(
+            "{{\"ok\": true, \"metrics\": {}}}",
+            snapshot.to_json(opts.deterministic)
+        ),
+        "prom" => format!(
+            "{{\"ok\": true, \"prometheus\": \"{}\"}}",
+            crate::service::json_escape(&snapshot.to_prometheus(opts.deterministic))
+        ),
+        other => json_err(&format!("unknown metrics option `{other}`")),
+    }
+}
+
+/// `trace <id>` — replay the most recent retained trace span for a
+/// request id from the bounded ring.
+fn handle_trace(service: &Service, rest: &str, opts: ReplOptions) -> String {
+    let Ok(id) = rest.trim().parse::<u64>() else {
+        return json_err("usage: trace <request-id>");
+    };
+    match service.observability().ring.get(id) {
+        Some(trace) => format!(
+            "{{\"ok\": true, \"trace\": {}}}",
+            trace.to_json(opts.deterministic)
+        ),
+        None => json_err(&format!("no trace retained for id {id}")),
+    }
+}
+
+/// `slow [k]` — the top-k most oracle-expensive requests, in the slow
+/// log's deterministic order.
+fn handle_slow(service: &Service, rest: &str) -> String {
+    let slow = &service.observability().slow;
+    let k = match rest.trim() {
+        "" => slow.capacity(),
+        v => match v.parse::<usize>() {
+            Ok(k) => k,
+            Err(_) => return json_err("usage: slow [k]"),
+        },
+    };
+    let entries: Vec<String> = slow.top(k).iter().map(|e| e.to_json()).collect();
+    format!("{{\"ok\": true, \"slow\": [{}]}}", entries.join(", "))
 }
 
 fn handle_register(service: &mut Service, rest: &str) -> String {
@@ -264,6 +320,9 @@ pub fn handle_line(
             Err(e) => json_err(&e.to_string()),
         }),
         "stats" => LineOutcome::Reply(stats_json(service)),
+        "metrics" => LineOutcome::Reply(handle_metrics(service, rest, opts)),
+        "trace" => LineOutcome::Reply(handle_trace(service, rest, opts)),
+        "slow" => LineOutcome::Reply(handle_slow(service, rest)),
         other => LineOutcome::Reply(json_err(&format!("unknown command `{other}`"))),
     }
 }

@@ -64,6 +64,9 @@ use lts_core::{
     fnv1a, mix_seed, restrict_problem, select_prefilter, CountEstimator, CountingProblem, Lss, Lws,
     ShardPlan, Srs,
 };
+use lts_obs::{
+    Counter, Gauge, Histogram, MetricsRegistry, Observability, SlowEntry, Trace, TraceEvent,
+};
 use lts_table::{
     decompose, parse_condition, DecomposedQuery, ExprPredicate, ObjectPredicate, PartitionedTable,
     Table, TableRegistry,
@@ -114,6 +117,11 @@ pub struct ServiceConfig {
     /// estimators with composed variance. Warm resumes replay whatever
     /// layout their state was prepared under.
     pub shards: usize,
+    /// Echo each response's trace span as a `"trace"` field on the
+    /// response JSON. Off by default, so existing response lines stay
+    /// byte-identical; the span is still collected into the trace ring
+    /// either way (when observability is enabled).
+    pub trace: bool,
 }
 
 impl Default for ServiceConfig {
@@ -126,6 +134,7 @@ impl Default for ServiceConfig {
             lss: serve_lss_profile(),
             lws: Lws::default(),
             shards: 1,
+            trace: false,
         }
     }
 }
@@ -213,6 +222,11 @@ pub struct Response {
     /// Physical plan of a decomposed query (`None` for queries that do
     /// not decompose).
     pub plan: Option<PlanSummary>,
+    /// The request's trace span, present only when
+    /// [`ServiceConfig::trace`] is on and observability is enabled.
+    /// Rendered under the same `mask_wall` flag as the rest of the
+    /// response, so deterministic replays diff clean.
+    pub trace: Option<Trace>,
 }
 
 impl Response {
@@ -235,6 +249,7 @@ impl Response {
             table_version: 0,
             wall_micros: 0,
             plan: None,
+            trace: None,
         }
     }
 
@@ -281,7 +296,7 @@ impl Response {
              \"fingerprint\": \"{:016x}\", \"estimate\": {}, \"std_error\": {}, \
              \"lo\": {}, \"hi\": {}, \"level\": {}, \"evals\": {}, \"budget\": {}, \
              \"model_version\": \"{:016x}\", \"table_version\": {}, \
-             \"wall_micros\": {}{}{}}}",
+             \"wall_micros\": {}{}{}{}}}",
             self.id,
             self.ok,
             self.served,
@@ -298,6 +313,10 @@ impl Response {
             self.table_version,
             if mask_wall { 0 } else { self.wall_micros },
             plan,
+            match &self.trace {
+                Some(t) => format!(", \"trace\": {}", t.to_json(mask_wall)),
+                None => String::new(),
+            },
             match &self.error {
                 Some(e) => format!(", \"error\": \"{}\"", esc(e)),
                 None => String::new(),
@@ -391,6 +410,102 @@ pub struct Service {
     cache: ResultCache,
     stats: ServiceStats,
     feedback: SelectivityFeedback,
+    obs: Observability,
+    metrics: Arc<ServeMetrics>,
+}
+
+/// Pre-resolved metric handles. [`lts_obs::MetricsRegistry`] lookups
+/// take a map lock and allocate the key on every call; the request hot
+/// path instead resolves every fixed-name handle once, here, at
+/// service construction. A side effect that the metrics surface
+/// relies on: every fixed-name metric exists (at zero) from the first
+/// snapshot, so expositions have a stable key set.
+struct ServeMetrics {
+    registry: MetricsRegistry,
+    requests_total: Counter,
+    requests_rejected: Counter,
+    requests_errors: Counter,
+    served_cached: Counter,
+    served_warm: Counter,
+    served_cold: Counter,
+    served_exact: Counter,
+    served_fallback: Counter,
+    served_followers: Counter,
+    oracle_evals_total: Counter,
+    oracle_evals_saved_cache: Counter,
+    oracle_evals_saved_warm: Counter,
+    evals_train: Counter,
+    evals_score: Counter,
+    evals_pilot: Counter,
+    evals_design: Counter,
+    evals_stage2: Counter,
+    evals_exact: Counter,
+    evals_srs: Counter,
+    evals_sharded: Counter,
+    pages_evaluated: Counter,
+    pages_skipped: Counter,
+    store_prepares: Counter,
+    store_resumes: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    store_entries: Gauge,
+    cache_entries: Gauge,
+    datasets: Gauge,
+    request_evals: Histogram,
+    wall_request_micros: Histogram,
+}
+
+impl ServeMetrics {
+    fn new(registry: &MetricsRegistry) -> Self {
+        Self {
+            registry: registry.clone(),
+            requests_total: registry.counter("requests_total"),
+            requests_rejected: registry.counter("requests_rejected"),
+            requests_errors: registry.counter("requests_errors"),
+            served_cached: registry.counter("served_cached"),
+            served_warm: registry.counter("served_warm"),
+            served_cold: registry.counter("served_cold"),
+            served_exact: registry.counter("served_exact"),
+            served_fallback: registry.counter("served_fallback"),
+            served_followers: registry.counter("served_followers"),
+            oracle_evals_total: registry.counter("oracle_evals_total"),
+            oracle_evals_saved_cache: registry.counter("oracle_evals_saved_cache"),
+            oracle_evals_saved_warm: registry.counter("oracle_evals_saved_warm"),
+            evals_train: registry.counter("evals_train"),
+            evals_score: registry.counter("evals_score"),
+            evals_pilot: registry.counter("evals_pilot"),
+            evals_design: registry.counter("evals_design"),
+            evals_stage2: registry.counter("evals_stage2"),
+            evals_exact: registry.counter("evals_exact"),
+            evals_srs: registry.counter("evals_srs"),
+            evals_sharded: registry.counter("evals_sharded"),
+            pages_evaluated: registry.counter("pages_evaluated"),
+            pages_skipped: registry.counter("pages_skipped"),
+            store_prepares: registry.counter("store_prepares"),
+            store_resumes: registry.counter("store_resumes"),
+            cache_hits: registry.counter("cache_hits"),
+            cache_misses: registry.counter("cache_misses"),
+            store_entries: registry.gauge("store_entries"),
+            cache_entries: registry.gauge("cache_entries"),
+            datasets: registry.gauge("datasets"),
+            request_evals: registry.histogram("request_evals", EVALS_BOUNDS),
+            wall_request_micros: registry.histogram("wall_request_micros", WALL_BOUNDS),
+        }
+    }
+
+    /// Attribute phase evals to the matching partition counter.
+    /// Unknown phase names (none today) pay the registry lookup.
+    fn add_phase_evals(&self, phase: &str, evals: u64) {
+        match phase {
+            "train" => self.evals_train.add(evals),
+            "score" => self.evals_score.add(evals),
+            "pilot" => self.evals_pilot.add(evals),
+            "design" => self.evals_design.add(evals),
+            "stage2" => self.evals_stage2.add(evals),
+            "exact" => self.evals_exact.add(evals),
+            other => self.registry.counter(&format!("evals_{other}")).add(evals),
+        }
+    }
 }
 
 // ------------------------------------------------------------ internals
@@ -482,8 +597,18 @@ struct ComputedOk {
 }
 
 impl Service {
-    /// Create a service.
+    /// Create a service with default observability (metrics registry
+    /// on, 256-trace ring, top-16 slow log).
     pub fn new(config: ServiceConfig) -> Self {
+        Self::with_observability(config, Observability::default())
+    }
+
+    /// Create a service with an explicit observability bundle — share
+    /// one registry across services, or pass
+    /// [`Observability::disabled`] to make every telemetry touchpoint
+    /// a no-op (the overhead baseline `bench_obs` measures against).
+    pub fn with_observability(config: ServiceConfig, obs: Observability) -> Self {
+        let metrics = Arc::new(ServeMetrics::new(&obs.registry));
         Self {
             config,
             datasets: HashMap::new(),
@@ -492,7 +617,16 @@ impl Service {
             cache: ResultCache::new(config.staleness),
             stats: ServiceStats::default(),
             feedback: SelectivityFeedback::new(),
+            obs,
+            metrics,
         }
+    }
+
+    /// The service's observability bundle (registry, trace ring, slow
+    /// log) — the surface behind the `metrics` / `trace` / `slow`
+    /// protocol commands and the Prometheus scrape endpoint.
+    pub fn observability(&self) -> &Observability {
+        &self.obs
     }
 
     /// Register (or replace) a dataset. Replacing bumps the version and
@@ -697,12 +831,19 @@ impl Service {
     pub fn run_batch(&mut self, requests: Vec<Request>) -> Vec<Response> {
         let n_req = requests.len();
         let mut responses: Vec<Option<Response>> = (0..n_req).map(|_| None).collect();
+        let tracing = self.obs.is_enabled();
+        let metrics = Arc::clone(&self.metrics);
+        // Trace events gathered so far, per request position. Admission
+        // runs under a collector so planning-time emissions (the
+        // prefilter scan) land in the right request's span.
+        let mut spans: HashMap<usize, Vec<TraceEvent>> = HashMap::new();
 
         // ---------------------------------------------- admission (seq)
         let mut admitted: Vec<Admitted> = Vec::new();
         for (pos, req) in requests.into_iter().enumerate() {
             if pos >= self.config.queue_capacity {
                 self.stats.rejected += 1;
+                metrics.requests_rejected.inc();
                 responses[pos] = Some(Response::failed(
                     req.id,
                     &ServeError::Overloaded {
@@ -712,10 +853,22 @@ impl Service {
                 continue;
             }
             self.stats.requests += 1;
-            match self.admit(pos, req) {
-                Ok(adm) => admitted.push(adm),
+            metrics.requests_total.inc();
+            let (outcome, events) = if tracing {
+                lts_obs::trace::collect(|| self.admit(pos, req))
+            } else {
+                (self.admit(pos, req), Vec::new())
+            };
+            match outcome {
+                Ok(adm) => {
+                    if tracing {
+                        spans.insert(pos, events);
+                    }
+                    admitted.push(adm);
+                }
                 Err((id, e)) => {
                     self.stats.errors += 1;
+                    metrics.requests_errors.inc();
                     responses[pos] = Some(Response::failed(id, &e));
                 }
             }
@@ -754,7 +907,10 @@ impl Service {
                 if let Some(hit) = self.cache.lookup(&cache_key, adm.table_version) {
                     self.stats.cached += 1;
                     self.stats.oracle_evals_saved += hit.evals_spent as u64;
-                    responses[adm.pos] = Some(Response {
+                    metrics.served_cached.inc();
+                    metrics.cache_hits.inc();
+                    metrics.oracle_evals_saved_cache.add(hit.evals_spent as u64);
+                    let mut response = Response {
                         id: adm.id,
                         ok: true,
                         error: None,
@@ -772,9 +928,26 @@ impl Service {
                         table_version: adm.table_version,
                         wall_micros: 0,
                         plan: adm.planned.summary.clone(),
-                    });
+                        trace: None,
+                    };
+                    if tracing {
+                        let mut events = vec![TraceEvent::Route {
+                            route: response.route,
+                            kind: plan_kind(&adm.planned),
+                        }];
+                        events.extend(spans.remove(&adm.pos).unwrap_or_default());
+                        events.push(TraceEvent::Cache { outcome: "hit" });
+                        events.push(TraceEvent::Served {
+                            served: "cached",
+                            evals: 0,
+                            wall_micros: 0,
+                        });
+                        self.finish_span(adm.id, adm.fingerprint, &mut response, events);
+                    }
+                    responses[adm.pos] = Some(response);
                     continue;
                 }
+                metrics.cache_misses.inc();
                 // In-batch coalescing: identical cacheable requests are
                 // computed once (single-flight); the rest are "cached".
                 if let Some(&leader_pos) = in_flight.get(&cache_key) {
@@ -782,6 +955,16 @@ impl Service {
                     continue;
                 }
                 in_flight.insert(cache_key.clone(), adm.pos);
+                if tracing {
+                    spans
+                        .entry(adm.pos)
+                        .or_default()
+                        .push(TraceEvent::Cache { outcome: "miss" });
+                }
+            } else if tracing {
+                spans.entry(adm.pos).or_default().push(TraceEvent::Cache {
+                    outcome: "bypass-fresh",
+                });
             }
 
             let (kind, is_cold) = match adm.planned.route {
@@ -835,36 +1018,53 @@ impl Service {
         let lss = self.config.lss;
         let service_seed = self.config.seed;
         let shards = self.config.shards.max(1);
-        let prepared: Vec<(StoreKey, u64, String, ServeResult<StoredModel>)> = needed
+        let prepared: Vec<Prepared> = needed
             .into_par_iter()
             .map(|(key, problem, table_version, raw)| {
-                let prepare_seed = mix_seed(service_seed, store_key_hash(&key, table_version));
-                let state = if shards > 1 {
-                    ShardPlan::uniform(problem.n(), shards).and_then(|plan| {
-                        lss.prepare_sharded(&problem, &plan, key.budget, prepare_seed)
-                            .map(WarmState::LssSharded)
-                    })
-                } else {
-                    lss.prepare(&problem, key.budget, prepare_seed)
-                        .map(WarmState::Lss)
+                let work = || {
+                    let prepare_seed = mix_seed(service_seed, store_key_hash(&key, table_version));
+                    let state = if shards > 1 {
+                        ShardPlan::uniform(problem.n(), shards).and_then(|plan| {
+                            lss.prepare_sharded(&problem, &plan, key.budget, prepare_seed)
+                                .map(WarmState::LssSharded)
+                        })
+                    } else {
+                        lss.prepare(&problem, key.budget, prepare_seed)
+                            .map(WarmState::Lss)
+                    };
+                    state
+                        .map(|state| StoredModel {
+                            state,
+                            table_version,
+                            prepare_seed,
+                            raw_condition: raw.clone(),
+                            resumes: 0,
+                        })
+                        .map_err(ServeError::from)
                 };
-                let result = state
-                    .map(|state| StoredModel {
-                        state,
-                        table_version,
-                        prepare_seed,
-                        raw_condition: raw.clone(),
-                        resumes: 0,
-                    })
-                    .map_err(ServeError::from);
-                (key, table_version, raw, result)
+                // A collector per closure: events emitted by the
+                // prepare pipeline are keyed by store key here and
+                // attached to the cold claimant at settle.
+                let (result, events) = if tracing {
+                    lts_obs::trace::collect(work)
+                } else {
+                    (work(), Vec::new())
+                };
+                (key, table_version, raw, result, events)
             })
             .collect();
         // States that failed to prepare fall back to per-request SRS.
         let mut unpreparable: HashSet<StoreKey> = HashSet::new();
-        for (key, _version, _raw, result) in prepared {
+        let mut prepare_events: HashMap<StoreKey, Vec<TraceEvent>> = HashMap::new();
+        for (key, _version, _raw, result, events) in prepared {
             match result {
-                Ok(stored) => self.store.insert(key, stored),
+                Ok(stored) => {
+                    metrics.store_prepares.inc();
+                    if tracing {
+                        prepare_events.insert(key.clone(), events);
+                    }
+                    self.store.insert(key, stored);
+                }
                 Err(_) => {
                     unpreparable.insert(key);
                 }
@@ -882,7 +1082,7 @@ impl Service {
         // ------------------------------------ wave 2: execute (par)
         let store = &self.store;
         let lws = self.config.lws;
-        let computed: Vec<Computed> = compute
+        let mut computed: Vec<(Computed, Vec<TraceEvent>)> = compute
             .iter()
             .map(|item| ExecItem {
                 pos: item.pos,
@@ -901,16 +1101,24 @@ impl Service {
             })
             .collect::<Vec<_>>()
             .into_par_iter()
-            .map(|item| execute(item, lss, lws))
+            .map(|item| {
+                if tracing {
+                    lts_obs::trace::collect(|| execute(item, lss, lws))
+                } else {
+                    (execute(item, lss, lws), Vec::new())
+                }
+            })
             .collect();
 
         // ------------------------------------------- settle (seq)
         let mut by_pos: HashMap<usize, usize> = HashMap::new();
-        for (k, c) in computed.iter().enumerate() {
+        for (k, (c, _)) in computed.iter().enumerate() {
             by_pos.insert(c.pos, k);
         }
         for item in &compute {
-            let c = &computed[by_pos[&item.pos]];
+            let (c, exec_events) = &mut computed[by_pos[&item.pos]];
+            let exec_events = std::mem::take(exec_events);
+            let c = &*c;
             let adm = admitted
                 .iter()
                 .find(|a| a.pos == item.pos)
@@ -918,6 +1126,7 @@ impl Service {
             let response = match &c.result {
                 Err(e) => {
                     self.stats.errors += 1;
+                    metrics.requests_errors.inc();
                     Response {
                         fingerprint: adm.fingerprint,
                         table_version: adm.table_version,
@@ -936,20 +1145,35 @@ impl Service {
                         "exact" => {
                             self.stats.exact += 1;
                             self.stats.oracle_evals_exact += ok.evals as u64;
+                            metrics.served_exact.inc();
                         }
                         "cold" => {
                             self.stats.cold += 1;
                             self.stats.oracle_evals_cold += ok.evals as u64;
+                            metrics.served_cold.inc();
                         }
                         _ => {
                             self.stats.warm += 1;
                             self.stats.oracle_evals_warm += ok.evals as u64;
+                            metrics.served_warm.inc();
                         }
+                    }
+                    if ok.route == "srs" {
+                        metrics.served_fallback.inc();
                     }
                     self.stats.oracle_evals += ok.evals as u64;
                     if let ComputeKind::Resume { store_key } = &item.kind {
                         if let Some(stored) = self.store.lookup(store_key, adm.table_version) {
                             stored.resumes += 1;
+                            if !item.is_cold {
+                                metrics.store_resumes.inc();
+                                // A warm resume re-uses the prepared
+                                // phases a cold start would have paid
+                                // for: that prepare cost is the saving.
+                                metrics
+                                    .oracle_evals_saved_warm
+                                    .add(stored.state.prepare_evals() as u64);
+                            }
                         }
                     }
                     if let Some(cache_key) = &item.cache_key {
@@ -984,9 +1208,48 @@ impl Service {
                         table_version: adm.table_version,
                         wall_micros: c.wall_micros,
                         plan: adm.planned.summary.clone(),
+                        trace: None,
                     }
                 }
             };
+            let mut response = response;
+            metrics.oracle_evals_total.add(response.evals as u64);
+            metrics.request_evals.observe(response.evals as u64);
+            metrics.wall_request_micros.observe(response.wall_micros);
+            if tracing {
+                let mut events = vec![TraceEvent::Route {
+                    route: response.route,
+                    kind: plan_kind(&adm.planned),
+                }];
+                events.extend(spans.remove(&item.pos).unwrap_or_default());
+                match &item.kind {
+                    ComputeKind::Resume { store_key } => {
+                        events.push(TraceEvent::Store {
+                            outcome: if item.is_cold {
+                                "cold-prepare"
+                            } else {
+                                "warm-resume"
+                            },
+                            key: format!("{:016x}", store_key_hash(store_key, adm.table_version)),
+                        });
+                        if item.is_cold {
+                            events.extend(prepare_events.remove(store_key).unwrap_or_default());
+                        }
+                    }
+                    ComputeKind::SrsFallback => events.push(TraceEvent::Store {
+                        outcome: "unpreparable",
+                        key: String::new(),
+                    }),
+                    ComputeKind::Exact | ComputeKind::ExactEmpty => {}
+                }
+                events.extend(exec_events);
+                events.push(TraceEvent::Served {
+                    served: response.served,
+                    evals: response.evals as u64,
+                    wall_micros: response.wall_micros,
+                });
+                self.finish_span(adm.id, adm.fingerprint, &mut response, events);
+            }
             responses[item.pos] = Some(response);
         }
         // Followers copy their leader's response (0 evals, "cached").
@@ -997,17 +1260,47 @@ impl Service {
             if leader.ok {
                 self.stats.cached += 1;
                 self.stats.oracle_evals_saved += leader.evals as u64;
+                metrics.served_cached.inc();
+                metrics.served_followers.inc();
+                metrics.oracle_evals_saved_cache.add(leader.evals as u64);
             } else {
                 self.stats.errors += 1;
+                metrics.requests_errors.inc();
             }
-            responses[pos] = Some(Response {
+            let mut response = Response {
                 id,
                 served: if leader.ok { "cached" } else { leader.served },
                 evals: 0,
                 wall_micros: 0,
+                trace: None,
                 ..leader
-            });
+            };
+            if tracing {
+                let mut events = Vec::new();
+                if let Some(adm) = admitted.iter().find(|a| a.pos == pos) {
+                    events.push(TraceEvent::Route {
+                        route: response.route,
+                        kind: plan_kind(&adm.planned),
+                    });
+                }
+                events.extend(spans.remove(&pos).unwrap_or_default());
+                events.push(TraceEvent::Cache {
+                    outcome: "follower",
+                });
+                events.push(TraceEvent::Served {
+                    served: response.served,
+                    evals: 0,
+                    wall_micros: 0,
+                });
+                self.finish_span(id, response.fingerprint, &mut response, events);
+            }
+            responses[pos] = Some(response);
         }
+
+        // Point-in-time levels of the stateful stores.
+        metrics.store_entries.set(self.store.len() as i64);
+        metrics.cache_entries.set(self.cache.len() as i64);
+        metrics.datasets.set(self.datasets.len() as i64);
 
         responses
             .into_iter()
@@ -1491,7 +1784,88 @@ impl Service {
         }
         Ok(restored)
     }
+
+    /// Seal a request's trace span: feed the per-phase registry
+    /// counters from the span's events, attach the span to the
+    /// response when [`ServiceConfig::trace`] is on, offer the request
+    /// to the slow log, and retain the span in the trace ring.
+    fn finish_span(
+        &self,
+        id: u64,
+        fingerprint: u64,
+        response: &mut Response,
+        events: Vec<TraceEvent>,
+    ) {
+        let metrics = &self.metrics;
+        for ev in &events {
+            match ev {
+                TraceEvent::Phase { phase, evals, .. } => {
+                    metrics.add_phase_evals(phase, *evals);
+                }
+                TraceEvent::Stage2 { evals, .. } => {
+                    metrics.evals_stage2.add(*evals);
+                }
+                TraceEvent::Shard { evals, .. } => {
+                    metrics.evals_sharded.add(*evals);
+                }
+                TraceEvent::Pages { evaluated, skipped } => {
+                    metrics.pages_evaluated.add(*evaluated);
+                    metrics.pages_skipped.add(*skipped);
+                }
+                _ => {}
+            }
+        }
+        // Exact scans and SRS fallbacks have no instrumented interior;
+        // their evals are attributed from the settled response.
+        if response.served == "exact" {
+            metrics.evals_exact.add(response.evals as u64);
+        } else if response.route == "srs" {
+            metrics.evals_srs.add(response.evals as u64);
+        }
+        let trace = Trace { id, events };
+        if response.ok && response.evals > 0 {
+            self.obs.slow.offer(SlowEntry {
+                evals: response.evals as u64,
+                id,
+                fingerprint,
+                route: response.route,
+            });
+        }
+        if self.config.trace {
+            response.trace = Some(trace.clone());
+        }
+        self.obs.ring.push(trace);
+    }
 }
+
+/// Plan kind echoed in a [`TraceEvent::Route`]: the summary's kind
+/// when the query decomposed, otherwise inferred from the route.
+fn plan_kind(planned: &PlannedQuery) -> String {
+    planned.summary.as_ref().map_or_else(
+        || match planned.route {
+            PlannedRoute::Exact | PlannedRoute::ExactEmpty => "census".to_string(),
+            PlannedRoute::Estimate { .. } => "monolithic".to_string(),
+        },
+        |s| s.kind.to_string(),
+    )
+}
+
+/// One wave-1 prepare outcome: `(store key, table version, raw
+/// condition, result, trace events collected while preparing)`.
+type Prepared = (
+    StoreKey,
+    u64,
+    String,
+    ServeResult<StoredModel>,
+    Vec<TraceEvent>,
+);
+
+/// `request_evals` histogram bucket bounds (inclusive upper edges).
+const EVALS_BOUNDS: &[u64] = &[0, 10, 100, 1_000, 10_000, 100_000];
+
+/// `wall_request_micros` histogram bounds. A `wall_*` metric: zeroed
+/// in masked expositions.
+const WALL_BOUNDS: &[u64] = &[100, 1_000, 10_000, 100_000, 1_000_000];
 
 struct ExecItem<'a> {
     pos: usize,

@@ -1,0 +1,196 @@
+//! Counter-silo reconciliation: the metrics registry, the service's
+//! own `ServiceStats`, and the per-response `evals` fields are three
+//! independently-maintained views of the same work. This battery pins
+//! the drift invariants between them:
+//!
+//! * the registry mirrors `ServiceStats` exactly (requests, errors,
+//!   route counters, oracle evaluations);
+//! * `oracle_evals_total` equals the sum of `evals` over *executed*
+//!   responses (cache hits and followers spend nothing);
+//! * the per-phase eval counters **partition** the total: every oracle
+//!   evaluation is attributed to exactly one of train / score / pilot
+//!   / design / stage2 / exact / srs / sharded;
+//! * `spent + saved == cold-equivalent`: what a warm or cached answer
+//!   avoided is exactly what a cold start of the same request costs on
+//!   a fresh service.
+
+use lts_serve::{Request, Service, ServiceConfig, Target};
+use lts_table::table_of_floats;
+use std::sync::Arc;
+
+fn linear_table(n: usize) -> Arc<lts_table::Table> {
+    let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let ys: Vec<f64> = (0..n).map(|i| ((i * 37) % n) as f64).collect();
+    Arc::new(table_of_floats(&[("x", &xs), ("y", &ys)]).unwrap())
+}
+
+fn service_with(config: ServiceConfig, n: usize) -> Service {
+    let mut s = Service::new(config);
+    s.register_dataset("d", linear_table(n), &["x", "y"])
+        .unwrap();
+    s
+}
+
+fn req(id: u64, condition: &str, budget: usize, fresh: bool) -> Request {
+    Request {
+        id,
+        dataset: "d".into(),
+        condition: condition.into(),
+        target: Target::Budget(budget),
+        fresh,
+    }
+}
+
+fn counter(s: &Service, name: &str) -> u64 {
+    s.observability()
+        .registry
+        .snapshot()
+        .value(name)
+        .unwrap_or(0)
+}
+
+/// The phase counters must partition `oracle_evals_total`.
+fn phase_partition_total(s: &Service) -> u64 {
+    [
+        "evals_train",
+        "evals_score",
+        "evals_pilot",
+        "evals_design",
+        "evals_stage2",
+        "evals_exact",
+        "evals_srs",
+        "evals_sharded",
+    ]
+    .iter()
+    .map(|n| counter(s, n))
+    .sum()
+}
+
+#[test]
+fn registry_mirrors_stats_and_phases_partition_the_total() {
+    let mut s = service_with(ServiceConfig::default(), 5_000);
+    // A mixed workload: cold estimate, cache hit, fresh warm resume, a
+    // second distinct query, an exact census (tiny population after
+    // the prefilter is not needed — small budget vs n decides), and an
+    // error.
+    let responses = [
+        s.run(req(1, "x < 2000", 300, false)), // cold
+        s.run(req(2, "x < 2000", 300, false)), // cached
+        s.run(req(3, "x < 2000", 300, true)),  // fresh → warm resume
+        s.run(req(4, "y < 1000", 300, false)), // cold, second key
+        s.run(req(5, "x < 2000", 300, true)),  // fresh again → warm
+        s.run(req(6, "x <", 300, false)),      // parse error
+    ];
+    let stats = s.stats();
+
+    // Route bookkeeping agrees between the response stream and stats.
+    let served: Vec<&str> = responses.iter().map(|r| r.served).collect();
+    assert_eq!(served[0], "cold");
+    assert_eq!(served[1], "cached");
+    assert_eq!(served[2], "warm");
+    assert_eq!(served[3], "cold");
+    assert_eq!(served[4], "warm");
+    assert!(!responses[5].ok);
+
+    // Silo 1 vs silo 2: the registry mirrors ServiceStats exactly.
+    assert_eq!(counter(&s, "requests_total"), stats.requests);
+    assert_eq!(counter(&s, "requests_rejected"), stats.rejected);
+    assert_eq!(counter(&s, "requests_errors"), stats.errors);
+    assert_eq!(counter(&s, "served_exact"), stats.exact);
+    assert_eq!(counter(&s, "served_cold"), stats.cold);
+    assert_eq!(counter(&s, "served_warm"), stats.warm);
+    assert_eq!(counter(&s, "served_cached"), stats.cached);
+    assert_eq!(counter(&s, "oracle_evals_total"), stats.oracle_evals);
+    // `ServiceStats` only tracks cache savings; the registry splits
+    // out the additional warm-resume savings (skipped re-prepares).
+    assert_eq!(
+        counter(&s, "oracle_evals_saved_cache"),
+        stats.oracle_evals_saved
+    );
+    assert!(counter(&s, "oracle_evals_saved_warm") > 0);
+
+    // Silo 2 vs silo 3: stats total == sum of executed responses'
+    // evals (the cached hit's evals echo the original cost but were
+    // not re-spent).
+    let executed_evals: u64 = responses
+        .iter()
+        .filter(|r| r.ok && r.served != "cached")
+        .map(|r| r.evals as u64)
+        .sum();
+    assert_eq!(stats.oracle_evals, executed_evals);
+
+    // Phase attribution partitions the total: nothing double-counted,
+    // nothing dropped.
+    assert_eq!(phase_partition_total(&s), stats.oracle_evals);
+    // Unsharded, no fallback: the sharded/srs buckets must be empty.
+    assert_eq!(counter(&s, "evals_sharded"), 0);
+    assert_eq!(counter(&s, "evals_srs"), 0);
+
+    // Store/cache counters line up with the store itself (silo 4).
+    assert_eq!(counter(&s, "store_prepares"), stats.cold);
+    assert_eq!(counter(&s, "store_resumes"), stats.warm);
+    assert_eq!(counter(&s, "cache_hits"), stats.cached);
+    assert_eq!(counter(&s, "store_entries"), s.store_len() as u64);
+    assert_eq!(counter(&s, "cache_entries"), s.cache_len() as u64);
+}
+
+#[test]
+fn exact_and_sharded_routes_fill_their_partition_buckets() {
+    // Census route: a population small enough that exact wins.
+    let mut s = service_with(ServiceConfig::default(), 120);
+    let r = s.run(req(1, "x < 60", 500, false));
+    assert!(r.ok, "{:?}", r.error);
+    assert_eq!(r.served, "exact");
+    assert_eq!(counter(&s, "evals_exact"), r.evals as u64);
+    assert_eq!(phase_partition_total(&s), counter(&s, "oracle_evals_total"));
+
+    // Sharded service: estimate evals land in `evals_sharded`.
+    let mut s = service_with(
+        ServiceConfig {
+            shards: 4,
+            ..ServiceConfig::default()
+        },
+        5_000,
+    );
+    let r = s.run(req(1, "x < 2000", 300, false));
+    assert!(r.ok, "{:?}", r.error);
+    assert_eq!(r.served, "cold");
+    assert!(counter(&s, "evals_sharded") > 0);
+    assert_eq!(phase_partition_total(&s), counter(&s, "oracle_evals_total"));
+}
+
+#[test]
+fn spent_plus_saved_equals_cold_equivalent() {
+    let config = ServiceConfig::default();
+
+    // Workload on service A: cold, cached repeat, fresh warm resume.
+    let mut a = service_with(config, 5_000);
+    let cold = a.run(req(1, "x < 2000", 300, false));
+    let cached = a.run(req(2, "x < 2000", 300, false));
+    let warm = a.run(req(3, "x < 2000", 300, true));
+    assert_eq!(
+        (cold.served, cached.served, warm.served),
+        ("cold", "cached", "warm")
+    );
+
+    // Cold-equivalents on fresh services with the same seed: the
+    // cacheable repeat replays the leader's seed stream, and the fresh
+    // request cold-starts into prepare + its own stage 2.
+    let mut b = service_with(config, 5_000);
+    let cold_equiv_fresh = b.run(req(3, "x < 2000", 300, true));
+    assert_eq!(cold_equiv_fresh.served, "cold");
+
+    let spent = counter(&a, "oracle_evals_total");
+    let saved = counter(&a, "oracle_evals_saved_cache") + counter(&a, "oracle_evals_saved_warm");
+    let cold_equivalent = cold.evals as u64 + cold.evals as u64 + cold_equiv_fresh.evals as u64;
+    assert_eq!(
+        spent + saved,
+        cold_equivalent,
+        "spent {spent} + saved {saved} must equal the all-cold cost"
+    );
+
+    // And the warm resume's estimate is bit-identical to its cold
+    // equivalent (same request seed), only cheaper.
+    assert_eq!(warm.estimate.to_bits(), cold_equiv_fresh.estimate.to_bits());
+    assert!(warm.evals < cold_equiv_fresh.evals);
+}

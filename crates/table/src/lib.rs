@@ -66,7 +66,7 @@ pub use predicate::{thread_labeling_nanos, FnPredicate, Metered, ObjectPredicate
 pub use query::{distinct_project, AggThresholdPredicate, CountQuery, ExprPredicate};
 pub use schema::{Field, Schema};
 pub use storage::{
-    BufferManager, BufferSnapshot, PagedTable, ScanSnapshot, StorageError, StorageResult,
+    BufferManager, BufferSnapshot, PagedTable, ScanSnapshot, Snapshot, StorageError, StorageResult,
     TableManifest, ZoneMap,
 };
 pub use table::{table_of_floats, Table, TableBuilder};

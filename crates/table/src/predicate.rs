@@ -200,6 +200,11 @@ impl<P: ObjectPredicate + ?Sized> Metered<P> {
         let nanos = u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX);
         saturating_fetch_add(&self.nanos, nanos);
         THREAD_LABEL_NANOS.with(|c| c.set(c.get().saturating_add(nanos)));
+        // Attribute the batch to whatever pipeline phase is in scope
+        // on this thread (train / pilot / stage-2 / …). The labeler
+        // records once per batch on the calling thread, so the
+        // per-phase split is exact, not sampled.
+        lts_obs::phase::record_evals(evals);
     }
 
     /// Force the raw counters to specific values — a test hook for

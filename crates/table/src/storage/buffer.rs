@@ -37,6 +37,29 @@ pub struct BufferSnapshot {
     pub resident: usize,
 }
 
+impl lts_obs::Snapshot for BufferSnapshot {
+    fn merge(&self, other: &Self) -> Self {
+        BufferSnapshot {
+            hits: self.hits.saturating_add(other.hits),
+            misses: self.misses.saturating_add(other.misses),
+            evictions: self.evictions.saturating_add(other.evictions),
+            resident: self.resident.saturating_add(other.resident),
+        }
+    }
+
+    // `resident` is a level, not a monotone counter: a delta's
+    // `resident` is how much the pool *grew* over the span (0 if it
+    // shrank), which keeps `before.merge(&delta)` an upper bound.
+    fn delta(&self, before: &Self) -> Self {
+        BufferSnapshot {
+            hits: self.hits.saturating_sub(before.hits),
+            misses: self.misses.saturating_sub(before.misses),
+            evictions: self.evictions.saturating_sub(before.evictions),
+            resident: self.resident.saturating_sub(before.resident),
+        }
+    }
+}
+
 #[derive(Debug)]
 struct Slot {
     data: Arc<Column>,

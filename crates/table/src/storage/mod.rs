@@ -36,6 +36,7 @@ pub mod page;
 pub mod paged;
 
 pub use buffer::{BufferManager, BufferSnapshot, PageGuard};
+pub use lts_obs::Snapshot;
 pub use page::{decode_page, encode_page, PageMeta, TableManifest, ZoneMap, PAGE_FORMAT_VERSION};
 pub use paged::{PagedTable, ScanSnapshot};
 

@@ -88,6 +88,22 @@ pub struct ScanSnapshot {
     pub pages_skipped: u64,
 }
 
+impl lts_obs::Snapshot for ScanSnapshot {
+    fn merge(&self, other: &Self) -> Self {
+        ScanSnapshot {
+            pages_evaluated: self.pages_evaluated.saturating_add(other.pages_evaluated),
+            pages_skipped: self.pages_skipped.saturating_add(other.pages_skipped),
+        }
+    }
+
+    fn delta(&self, before: &Self) -> Self {
+        ScanSnapshot {
+            pages_evaluated: self.pages_evaluated.saturating_sub(before.pages_evaluated),
+            pages_skipped: self.pages_skipped.saturating_sub(before.pages_skipped),
+        }
+    }
+}
+
 /// An on-disk table scanned through a bounded page cache (see the
 /// module docs).
 #[derive(Debug)]
@@ -444,6 +460,39 @@ impl PagedTable {
         false
     }
 
+    /// Start of an observed scan span: counter snapshots, taken only
+    /// when a trace collector is installed on the calling thread so
+    /// the uninstrumented path pays one thread-local branch.
+    fn observe_scan_start(&self) -> Option<(ScanSnapshot, super::BufferSnapshot)> {
+        if lts_obs::trace::collecting() {
+            Some((self.scan_snapshot(), self.buffer.snapshot()))
+        } else {
+            None
+        }
+    }
+
+    /// End of an observed scan span: emit `pages` / `buffer` trace
+    /// events carrying the counter deltas. The deltas come from the
+    /// table-wide atomics, so concurrent scans of the same table can
+    /// cross-talk; page counts are content-pure under a single scan
+    /// (and asserted in goldens), while buffer hit/miss counts are
+    /// interleaving-dependent and masked like wall time.
+    fn observe_scan_end(&self, start: Option<(ScanSnapshot, super::BufferSnapshot)>) {
+        use lts_obs::Snapshot as _;
+        if let Some((scan0, buf0)) = start {
+            let scan = self.scan_snapshot().delta(&scan0);
+            let buf = self.buffer.snapshot().delta(&buf0);
+            lts_obs::trace::emit(lts_obs::TraceEvent::Pages {
+                evaluated: scan.pages_evaluated,
+                skipped: scan.pages_skipped,
+            });
+            lts_obs::trace::emit(lts_obs::TraceEvent::Buffer {
+                hits: buf.hits,
+                misses: buf.misses,
+            });
+        }
+    }
+
     /// Evaluate `expr` as a predicate over the whole table via the
     /// page-parallel scan — element- and error-identical to
     /// [`crate::PartitionedTable::par_eval_bool`] over the same data.
@@ -453,10 +502,12 @@ impl PagedTable {
     /// Returns the first failing row's error in row order, or
     /// [`TableError::Storage`] for an I/O/integrity fault.
     pub fn par_eval_bool(&self, expr: &Expr) -> TableResult<Vec<bool>> {
+        let span = self.observe_scan_start();
         let mut out = Vec::with_capacity(self.len());
         for r in self.eval_pages(expr) {
             out.extend(r?);
         }
+        self.observe_scan_end(span);
         Ok(out)
     }
 
@@ -467,10 +518,12 @@ impl PagedTable {
     /// Returns the first failing row's error in row order, or
     /// [`TableError::Storage`] for an I/O/integrity fault.
     pub fn par_count(&self, expr: &Expr) -> TableResult<usize> {
+        let span = self.observe_scan_start();
         let mut total = 0usize;
         for r in self.eval_pages(expr) {
             total += r?.into_iter().filter(|&l| l).count();
         }
+        self.observe_scan_end(span);
         Ok(total)
     }
 
@@ -490,6 +543,7 @@ impl PagedTable {
         if let Some(&bad) = ids.iter().find(|&&i| i >= n) {
             return Err(TableError::RowIndexOutOfRange { index: bad, len: n });
         }
+        let span = self.observe_scan_start();
         let cols = self.referenced_columns(expr);
         let specs = if self.zone_skipping {
             analyze_conjuncts(expr, &self.manifest.schema)
@@ -516,6 +570,7 @@ impl PagedTable {
             }
             i = j;
         }
+        self.observe_scan_end(span);
         Ok(out)
     }
 

@@ -84,6 +84,7 @@
 //! | [`lts_stats`] | distributions, confidence intervals, summaries |
 //! | [`lts_data`] | synthetic Sports/Neighbors datasets + the paper's two queries |
 //! | [`lts_serve`] | the serving layer: query catalog + fingerprints, model store (warm starts), result cache, budget planner, one line protocol behind the `lts-serve` REPL and the `lts-served` TCP server |
+//! | [`lts_obs`] | the observability layer: metrics registry, per-phase eval attribution, deterministic per-request trace spans, Prometheus exposition |
 //!
 //! (`lts-bench`, not re-exported here, holds a repro binary per paper
 //! table/figure plus criterion benches and `BENCH_*.json` artifacts.)
@@ -98,6 +99,7 @@
 pub use lts_core as core;
 pub use lts_data as data;
 pub use lts_learn as learn;
+pub use lts_obs as obs;
 pub use lts_sampling as sampling;
 pub use lts_serve as serve;
 pub use lts_stats as stats;
@@ -115,6 +117,7 @@ pub mod prelude {
         LearnPhaseConfig, OrderedPopulation, QualityForecast, ScoredPopulation, ShardPlan,
         ShardedLssWarm, ShardedLwsWarm, TrialExecution, TrialStats,
     };
+    pub use lts_obs::{MetricsRegistry, Observability, Trace, TraceEvent};
     pub use lts_sampling::CountEstimate;
     pub use lts_serve::{
         serve_lss_profile, BudgetPlanner, NetConfig, NetServer, Request, Response, Route, Service,
